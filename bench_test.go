@@ -1,0 +1,314 @@
+// Benchmarks regenerating the paper's evaluation artifacts. Each bench maps
+// to a table or figure of the PLDI 2003 paper (see DESIGN.md §3 for the
+// index):
+//
+//	BenchmarkTable5/*          — Table 5 rows (per-procedure pipeline cost)
+//	BenchmarkHeadline          — §1.3/§5 headline (suite totals)
+//	BenchmarkC2IPScaling/*     — §3.4.2.4: IP size, this tool vs the
+//	                             O(S*V^2) translation of [13]
+//	BenchmarkDomainAblation/*  — §3.5 design choice: polyhedra vs zone vs
+//	                             interval precision/cost
+//	BenchmarkPPTAblation/*     — §3.3 design choice: Fig. 7 merging on/off
+//	BenchmarkRunningExample/*  — Figs. 3/4/8 end-to-end
+//	BenchmarkDerive            — §4 contract derivation (ASPost + AWPre)
+//	BenchmarkPolyhedra/*       — the numeric substrate's primitive costs
+package cssv
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/c2ip"
+	"repro/internal/cast"
+	"repro/internal/core"
+	"repro/internal/corec"
+	"repro/internal/cparse"
+	"repro/internal/derive"
+	"repro/internal/inline"
+	"repro/internal/libc"
+	"repro/internal/linear"
+	"repro/internal/pointer"
+	"repro/internal/polyhedra"
+	"repro/internal/ppt"
+)
+
+func mustRead(b *testing.B, path string) string {
+	b.Helper()
+	src, err := os.ReadFile(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return string(src)
+}
+
+// BenchmarkTable5 regenerates the per-procedure pipeline measurements of
+// Table 5 (manual contracts; the derivation columns are exercised by
+// BenchmarkDerive and the cssv-table5 command).
+func BenchmarkTable5(b *testing.B) {
+	suites := []struct{ name, path string }{
+		{"airbus", "testdata/airbus/airbus.c"},
+		{"fixwrites", "testdata/fixwrites/fixwrites.c"},
+	}
+	for _, s := range suites {
+		src := mustRead(b, s.path)
+		// Enumerate procedures once.
+		rep, err := Analyze(s.path, src, Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, proc := range rep.Procedures {
+			proc := proc
+			b.Run(s.name+"/"+proc.Name, func(b *testing.B) {
+				msgs := 0
+				for i := 0; i < b.N; i++ {
+					r, err := Analyze(s.path, src, Config{Procedures: []string{proc.Name}})
+					if err != nil {
+						b.Fatal(err)
+					}
+					msgs = len(r.Procedures[0].Messages)
+				}
+				b.ReportMetric(float64(proc.IPVars), "IPvars")
+				b.ReportMetric(float64(proc.IPSize), "IPstmts")
+				b.ReportMetric(float64(msgs), "messages")
+			})
+		}
+	}
+}
+
+// BenchmarkHeadline regenerates the §1.3 headline totals: messages over the
+// whole Airbus-style suite (all false alarms) and the fixwrites-style suite
+// (8 errors + 2 false alarms).
+func BenchmarkHeadline(b *testing.B) {
+	for _, s := range []struct{ name, path string }{
+		{"airbus", "testdata/airbus/airbus.c"},
+		{"fixwrites", "testdata/fixwrites/fixwrites.c"},
+	} {
+		src := mustRead(b, s.path)
+		b.Run(s.name, func(b *testing.B) {
+			total := 0
+			for i := 0; i < b.N; i++ {
+				rep, err := Analyze(s.path, src, Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				total = len(rep.Messages())
+			}
+			b.ReportMetric(float64(total), "messages")
+		})
+	}
+}
+
+// genScaling builds a procedure with V cross-aliased pointers over V
+// buffers and S pointer-arithmetic statements: the workload for the
+// §3.4.2.4 complexity comparison.
+func genScaling(V, S int) string {
+	var sb strings.Builder
+	sb.WriteString("void scale(int c) {\n")
+	for i := 0; i < V; i++ {
+		fmt.Fprintf(&sb, "    char b%d[64];\n", i)
+		fmt.Fprintf(&sb, "    char *p%d;\n", i)
+	}
+	// p0 reaches every buffer; every pi aliases p0.
+	for i := 0; i < V; i++ {
+		fmt.Fprintf(&sb, "    p0 = b%d;\n", i)
+	}
+	for i := 1; i < V; i++ {
+		fmt.Fprintf(&sb, "    p%d = p0;\n", i)
+	}
+	for s := 0; s < S; s++ {
+		fmt.Fprintf(&sb, "    if (c > %d) { p%d = p%d + 1; }\n", s, s%V, s%V)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// BenchmarkC2IPScaling compares the generated IP size of this paper's
+// translation (O(S*V)) against the earlier tool's O(S*V^2) translation
+// ([13]), reproducing the §3.4.2.4 claim. The reported IPvars/IPstmts
+// metrics are the measurement; run with -bench C2IPScaling and compare the
+// naive/new series.
+func BenchmarkC2IPScaling(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		naive bool
+	}{{"new", false}, {"naive", true}} {
+		for _, V := range []int{4, 8, 16, 32} {
+			b.Run(fmt.Sprintf("%s/V=%d", mode.name, V), func(b *testing.B) {
+				src := genScaling(V, 48)
+				var vars, stmts int
+				for i := 0; i < b.N; i++ {
+					prog := mustPipeline(b, src, "scale")
+					res, err := c2ip.Transform(prog.nprog, prog.fd, prog.pt,
+						c2ip.Options{Naive: mode.naive})
+					if err != nil {
+						b.Fatal(err)
+					}
+					vars = res.Prog.NumVars()
+					stmts = res.Prog.Size()
+				}
+				b.ReportMetric(float64(vars), "IPvars")
+				b.ReportMetric(float64(stmts), "IPstmts")
+			})
+		}
+	}
+}
+
+type pipelineOut struct {
+	nprog *corec.Program
+	fd    *cast.FuncDecl
+	pt    *ppt.PPT
+}
+
+// mustPipeline runs parse/normalize/inline/pointer/PPT for one procedure.
+func mustPipeline(b *testing.B, src, proc string) pipelineOut {
+	b.Helper()
+	file, err := cparse.ParseFile("bench.c", libc.Header+"\n"+src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := corec.Normalize(file)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inlined, err := inline.File(prog, proc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nprog, err := corec.Renormalize(prog, inlined)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fd := nprog.File.Lookup(proc)
+	g := pointer.Analyze(nprog, pointer.Inclusion)
+	pt := ppt.Build(nprog, fd, g, ppt.Options{})
+	return pipelineOut{nprog: nprog, fd: fd, pt: pt}
+}
+
+// BenchmarkDomainAblation runs a representative Table 5 procedure under
+// each numeric domain, reporting precision (messages; lower is better on
+// this safe procedure — every message is a false alarm) against cost.
+func BenchmarkDomainAblation(b *testing.B) {
+	src := mustRead(b, "testdata/airbus/airbus.c")
+	for _, domain := range []string{"polyhedra", "zone", "interval"} {
+		b.Run(domain, func(b *testing.B) {
+			msgs := 0
+			for i := 0; i < b.N; i++ {
+				rep, err := Analyze("airbus.c", src, Config{
+					Domain:     domain,
+					Procedures: []string{"RTC_Si_SkipLine"},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs = len(rep.Procedures[0].Messages)
+			}
+			b.ReportMetric(float64(msgs), "falsealarms")
+		})
+	}
+}
+
+// BenchmarkPPTAblation quantifies the Fig. 7 strong-update merge: with
+// merging disabled, updates through formals are weak and the running
+// example's postcondition can no longer be verified (§1.3: "a naive
+// implementation will perform weak updates which may lead to many false
+// alarms").
+func BenchmarkPPTAblation(b *testing.B) {
+	// The running example is the paper's own illustration: with main
+	// present, PtrEndText may point to either r or s, and only the Fig. 7
+	// merge lets the analysis update *PtrEndText strongly.
+	src := mustRead(b, "testdata/running/skipline.c")
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"merge", false}, {"nomerge", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			msgs := 0
+			for i := 0; i < b.N; i++ {
+				rep, err := Analyze("skipline.c", src, Config{
+					Procedures:        []string{"SkipLine"},
+					DisablePPTMerging: mode.disable,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs = len(rep.Procedures[0].Messages)
+			}
+			b.ReportMetric(float64(msgs), "falsealarms")
+		})
+	}
+}
+
+// BenchmarkRunningExample measures the Figs. 3/4/8 pipeline: verifying
+// SkipLine and finding the off-by-one in main.
+func BenchmarkRunningExample(b *testing.B) {
+	src := mustRead(b, "testdata/running/skipline.c")
+	for _, proc := range []string{"SkipLine", "main"} {
+		b.Run(proc, func(b *testing.B) {
+			msgs := 0
+			for i := 0; i < b.N; i++ {
+				rep, err := Analyze("skipline.c", src, Config{Procedures: []string{proc}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs = len(rep.Procedures[0].Messages)
+			}
+			b.ReportMetric(float64(msgs), "messages")
+		})
+	}
+}
+
+// BenchmarkDerive measures the §4 derivation algorithms (ASPost + AWPre +
+// write-back) on the running example.
+func BenchmarkDerive(b *testing.B) {
+	src := mustRead(b, "testdata/running/skipline.c")
+	prog, err := core.Prepare("skipline.c", src, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := derive.Derive(prog, "SkipLine", derive.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPolyhedra measures the substrate's primitive operations at the
+// dimension counts Table 5 produces (tens of variables).
+func BenchmarkPolyhedra(b *testing.B) {
+	mk := func(dim int) (*polyhedra.Poly, *polyhedra.Poly) {
+		var sysA, sysB linear.System
+		for v := 0; v < dim; v++ {
+			e := linear.VarExpr(v)
+			sysA = append(sysA, linear.NewGe(e))                        // x >= 0
+			f := linear.ConstExpr(int64(10 + v)).Sub(linear.VarExpr(v)) // x <= 10+v
+			sysA = append(sysA, linear.NewGe(f))
+			if v > 0 {
+				g := linear.VarExpr(v).Sub(linear.VarExpr(v - 1))
+				sysB = append(sysB, linear.NewGe(g)) // x_v >= x_{v-1}
+			}
+		}
+		return polyhedra.FromSystem(sysA, dim), polyhedra.FromSystem(sysB, dim)
+	}
+	for _, dim := range []int{4, 6, 8} {
+		p, q := mk(dim)
+		b.Run(fmt.Sprintf("join/dim=%d", dim), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.Clone().Join(q)
+			}
+		})
+		b.Run(fmt.Sprintf("meet+empty/dim=%d", dim), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.Clone().Meet(q).IsEmpty()
+			}
+		})
+		b.Run(fmt.Sprintf("widen/dim=%d", dim), func(b *testing.B) {
+			j := p.Clone().Join(q)
+			for i := 0; i < b.N; i++ {
+				p.Widen(j)
+			}
+		})
+	}
+}

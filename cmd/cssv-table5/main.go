@@ -1,0 +1,50 @@
+// Command cssv-table5 regenerates the paper's Table 5 over the two
+// benchmark suites (the Airbus-style string library and the
+// fixwrites-style line filter), including the contract-derivation columns
+// (false alarms under vacuous vs automatically derived vs manual
+// contracts) and the §1.3/§5 headline summary.
+//
+// Usage:
+//
+//	cssv-table5 [-fast] [-summary] [-airbus path] [-fixwrites path]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/table5"
+)
+
+func main() {
+	fast := flag.Bool("fast", false, "skip the derivation columns (much faster)")
+	summaryOnly := flag.Bool("summary", false, "print only the per-suite headline summary")
+	airbus := flag.String("airbus", "testdata/airbus/airbus.c", "path to the Airbus-style suite")
+	fixwrites := flag.String("fixwrites", "testdata/fixwrites/fixwrites.c", "path to the fixwrites-style suite")
+	flag.Parse()
+
+	opts := table5.Options{SkipDerivation: *fast}
+	var rows []table5.Row
+	for _, s := range []struct{ name, path string }{
+		{"airbus", *airbus},
+		{"fixwrites", *fixwrites},
+	} {
+		r, err := table5.RunSuite(s.name, s.path, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cssv-table5: %s: %v\n", s.name, err)
+			os.Exit(2)
+		}
+		rows = append(rows, r...)
+	}
+
+	if !*summaryOnly {
+		fmt.Print(table5.Format(rows, !*fast))
+		fmt.Println()
+	}
+	fmt.Print(table5.FormatSummary(table5.Summarize(rows)))
+	if !*fast {
+		fmt.Println("\n(Paper §5: manual contracts reduce false alarms by 93% vs vacuous;")
+		fmt.Println(" automatic derivation reduces messages by 25%.)")
+	}
+}

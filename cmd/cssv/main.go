@@ -1,0 +1,96 @@
+// Command cssv is the C String Static Verifier: it statically reports
+// every potential string-manipulation error in a C source file
+// (buffer overflows, accesses beyond the null terminator, contract
+// violations), following Dor, Rodeh & Sagiv, PLDI 2003.
+//
+// Usage:
+//
+//	cssv [flags] file.c
+//
+// Exit status is 1 when messages were reported, 2 on usage or analysis
+// failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	var (
+		procs     = flag.String("procs", "", "comma-separated procedures to analyze (default: all)")
+		domain    = flag.String("domain", "polyhedra", "numeric domain: polyhedra, zone, interval")
+		pointer   = flag.String("pointer", "inclusion", "pointer analysis: inclusion, unification")
+		contracts = flag.String("contracts", "manual", "contract mode: manual, vacuous, auto")
+		noMerge   = flag.Bool("no-ppt-merge", false, "disable the Fig. 7 strong-update merge")
+		naive     = flag.Bool("naive-c2ip", false, "use the O(S*V^2) translation of [13]")
+		stats     = flag.Bool("stats", false, "print per-procedure statistics (Table 5 columns)")
+		dumpIP    = flag.Bool("dump-ip", false, "print the generated integer programs")
+		quiet     = flag.Bool("q", false, "suppress warnings")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cssv [flags] file.c")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	cfg := cssv.Config{
+		Domain:            *domain,
+		Pointer:           *pointer,
+		Contracts:         *contracts,
+		DisablePPTMerging: *noMerge,
+		NaiveC2IP:         *naive,
+	}
+	if *procs != "" {
+		cfg.Procedures = strings.Split(*procs, ",")
+	}
+
+	rep, err := cssv.AnalyzeFile(flag.Arg(0), cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cssv:", err)
+		os.Exit(2)
+	}
+
+	messages := 0
+	for _, p := range rep.Procedures {
+		if *stats {
+			fmt.Printf("%s: LOC=%d SLOC=%d IPVars=%d IPSize=%d CPU=%s space=%.1fMB msgs=%d\n",
+				p.Name, p.LOC, p.SLOC, p.IPVars, p.IPSize,
+				p.CPU.Round(1e6), float64(p.Space)/1e6, len(p.Messages))
+		}
+		if *dumpIP {
+			fmt.Println(p.IntegerProgram)
+		}
+		if !*quiet {
+			for _, w := range p.Warnings {
+				fmt.Printf("warning: %s\n", w)
+			}
+		}
+		for _, m := range p.Messages {
+			fmt.Println(m.Text)
+			messages++
+		}
+		if p.DerivedRequires != "" || p.DerivedEnsures != "" {
+			fmt.Printf("%s: derived requires (%s)\n", p.Name, orTrue(p.DerivedRequires))
+			fmt.Printf("%s: derived ensures  (%s)\n", p.Name, orTrue(p.DerivedEnsures))
+		}
+	}
+	if messages == 0 {
+		fmt.Println("cssv: no string manipulation errors detected")
+		return
+	}
+	fmt.Printf("cssv: %d message(s)\n", messages)
+	os.Exit(1)
+}
+
+func orTrue(s string) string {
+	if s == "" {
+		return "true"
+	}
+	return s
+}

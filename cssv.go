@@ -1,0 +1,249 @@
+// Package cssv is a Go implementation of CSSV (C String Static Verifier),
+// the sound static analyzer for C string manipulation errors of
+//
+//	Nurit Dor, Michael Rodeh, Mooly Sagiv:
+//	"CSSV: Towards a Realistic Tool for Statically Detecting All Buffer
+//	Overflows in C", PLDI 2003.
+//
+// CSSV analyzes each procedure separately against programmer-supplied (or
+// automatically derived) contracts. The pipeline (paper Fig. 1):
+//
+//  1. contracts are inlined as assume/assert statements and the program is
+//     normalized to CoreC;
+//  2. a whole-program flow-insensitive pointer analysis yields procedural
+//     points-to information, biased so formal parameters admit strong
+//     updates (the Fig. 7 "parameterizable" merge);
+//  3. the C2IP transformation produces a nondeterministic integer program
+//     over constraint variables (offsets, allocation sizes, string lengths,
+//     terminator flags);
+//  4. a linear-relation analysis over convex polyhedra (Cousot–Halbwachs)
+//     checks every assertion and reports counter-examples for the rest.
+//
+// Being conservative, CSSV reports every runtime string error, at the cost
+// of occasional false alarms.
+//
+// Quick start:
+//
+//	rep, err := cssv.Analyze("prog.c", source, cssv.Config{})
+//	for _, p := range rep.Procedures {
+//	    for _, m := range p.Messages {
+//	        fmt.Println(m.Text)
+//	    }
+//	}
+package cssv
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/c2ip"
+	"repro/internal/core"
+	"repro/internal/derive"
+	"repro/internal/ppt"
+)
+
+// Config selects analysis variants. The zero value is the paper's
+// configuration: polyhedra domain, inclusion-based pointer analysis,
+// manual contracts, PPT merging on.
+type Config struct {
+	// Domain: "polyhedra" (default), "interval", or "zone".
+	Domain string
+	// Pointer: "inclusion" (default) or "unification".
+	Pointer string
+	// Contracts: "manual" (default), "vacuous" (side effects only), or
+	// "auto" (derive pre/postconditions first, paper §4).
+	Contracts string
+	// Procedures restricts the analysis; nil analyzes every defined
+	// procedure.
+	Procedures []string
+	// DisablePPTMerging turns off the Fig. 7 strong-update merge
+	// (for ablation: every update through a formal becomes weak).
+	DisablePPTMerging bool
+	// NaiveC2IP selects the O(S*V^2) translation of the authors' earlier
+	// tool [13] (for the §3.4.2.4 complexity comparison).
+	NaiveC2IP bool
+	// StrictZeroStore uses the guarded null-store transfer instead of the
+	// paper's Table 4 rule (see DESIGN.md).
+	StrictZeroStore bool
+	// NoLibc disables the built-in standard-library contract models.
+	NoLibc bool
+	// WideningDelay defers widening at loop heads (default 1).
+	WideningDelay int
+}
+
+// Message is one potential string error.
+type Message struct {
+	// Pos is the blamed source position ("file:line:col").
+	Pos string
+	// Text describes the violated requirement.
+	Text string
+	// CounterExample assigns constraint variables values under which the
+	// requirement fails (paper Fig. 8); may be empty.
+	CounterExample map[string]string
+	// Unverifiable marks conditions outside linear arithmetic.
+	Unverifiable bool
+}
+
+// Procedure is the per-procedure result (one row of the paper's Table 5).
+type Procedure struct {
+	Name string
+	// LOC and SLOC: source lines before/after the source-to-source
+	// transformations.
+	LOC, SLOC int
+	// IPVars and IPSize: constraint variables and statements of the
+	// generated integer program.
+	IPVars, IPSize int
+	// CPU and Space: analysis cost.
+	CPU   time.Duration
+	Space uint64
+	// Messages are the reported potential errors; Warnings are
+	// non-blocking notes (e.g. non-constant format strings).
+	Messages []Message
+	Warnings []string
+	// DerivedRequires / DerivedEnsures carry the auto-derived contract
+	// under Contracts: "auto".
+	DerivedRequires string
+	DerivedEnsures  string
+	// IntegerProgram is the pretty-printed C2IP output.
+	IntegerProgram string
+}
+
+// Report is the result of one analysis run.
+type Report struct {
+	Procedures []Procedure
+}
+
+// Messages returns all messages across procedures.
+func (r *Report) Messages() []Message {
+	var out []Message
+	for _, p := range r.Procedures {
+		out = append(out, p.Messages...)
+	}
+	return out
+}
+
+// Analyze runs CSSV over C source text.
+func Analyze(filename, source string, cfg Config) (*Report, error) {
+	opts, err := cfg.driverOptions()
+	if err != nil {
+		return nil, err
+	}
+	rep, err := core.AnalyzeSource(filename, source, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := &Report{}
+	for i := range rep.Procs {
+		out.Procedures = append(out.Procedures, convertProc(&rep.Procs[i]))
+	}
+	return out, nil
+}
+
+// AnalyzeFile runs CSSV over a C source file.
+func AnalyzeFile(path string, cfg Config) (*Report, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Analyze(path, string(src), cfg)
+}
+
+// DeriveContracts runs the paper's §4 derivation (ASPost + AWPre) for one
+// procedure and returns the derived clauses in contract-language syntax.
+func DeriveContracts(filename, source, proc string) (requires, ensures string, err error) {
+	prog, err := core.Prepare(filename, source, false)
+	if err != nil {
+		return "", "", err
+	}
+	res, err := derive.Derive(prog, proc, derive.Options{})
+	if err != nil {
+		return "", "", err
+	}
+	return res.RequiresText, res.EnsuresText, nil
+}
+
+func (cfg Config) driverOptions() (core.Options, error) {
+	opts := core.Options{
+		Procs:         cfg.Procedures,
+		NoLibc:        cfg.NoLibc,
+		WideningDelay: cfg.WideningDelay,
+		PPT:           ppt.Options{DisableMerging: cfg.DisablePPTMerging},
+		C2IP: c2ip.Options{
+			Naive:           cfg.NaiveC2IP,
+			StrictZeroStore: cfg.StrictZeroStore,
+		},
+	}
+	switch cfg.Domain {
+	case "", "polyhedra":
+		opts.Domain = analysis.PolyDomain{}
+	case "interval":
+		opts.Domain = analysis.IntervalDomain{}
+	case "zone":
+		opts.Domain = analysis.ZoneDomain{}
+	default:
+		return opts, fmt.Errorf("cssv: unknown domain %q", cfg.Domain)
+	}
+	switch cfg.Pointer {
+	case "", "inclusion":
+	case "unification":
+		opts.PointerMode = 1
+	default:
+		return opts, fmt.Errorf("cssv: unknown pointer mode %q", cfg.Pointer)
+	}
+	switch cfg.Contracts {
+	case "", "manual":
+		opts.Contracts = core.ManualContracts
+	case "vacuous":
+		opts.Contracts = core.VacuousContracts
+	case "auto":
+		opts.Contracts = core.AutoContracts
+	default:
+		return opts, fmt.Errorf("cssv: unknown contract mode %q", cfg.Contracts)
+	}
+	return opts, nil
+}
+
+func convertProc(pr *core.ProcReport) Procedure {
+	p := Procedure{
+		Name:   pr.Name,
+		LOC:    pr.LOC,
+		SLOC:   pr.SLOC,
+		IPVars: pr.IPVars,
+		IPSize: pr.IPSize,
+		CPU:    pr.CPU,
+		Space:  pr.Space,
+	}
+	if pr.IP != nil {
+		p.IntegerProgram = pr.IP.String()
+	}
+	for _, v := range pr.Violations {
+		m := Message{
+			Pos:          v.Pos.String(),
+			Text:         analysis.FormatViolation(v, pr.IP.Space),
+			Unverifiable: v.Unverifiable,
+		}
+		if len(v.CounterExample) > 0 {
+			m.CounterExample = map[string]string{}
+			var names []string
+			for name := range v.CounterExample {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				m.CounterExample[name] = v.CounterExample[name].RatString()
+			}
+		}
+		p.Messages = append(p.Messages, m)
+	}
+	for _, w := range pr.Warnings {
+		p.Warnings = append(p.Warnings, fmt.Sprintf("%s: %s", w.Pos, w.Msg))
+	}
+	if pr.Derived != nil {
+		p.DerivedRequires = pr.Derived.RequiresText
+		p.DerivedEnsures = pr.Derived.EnsuresText
+	}
+	return p
+}

@@ -1,0 +1,45 @@
+// Audit scenario: point CSSV at a legacy line-processing tool (the
+// fixwrites-style suite, a stand-in for the web2c component the paper
+// evaluates) and triage the findings: real errors first, sorted by
+// procedure, with counter-examples.
+//
+//	go run ./examples/audit [path/to/file.c]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	path := "testdata/fixwrites/fixwrites.c"
+	if len(os.Args) > 1 {
+		path = os.Args[1]
+	}
+	rep, err := cssv.AnalyzeFile(path, cssv.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	total := 0
+	clean := 0
+	for _, p := range rep.Procedures {
+		if len(p.Messages) == 0 {
+			clean++
+			continue
+		}
+		fmt.Printf("== %s — %d finding(s) ==\n", p.Name, len(p.Messages))
+		for _, m := range p.Messages {
+			fmt.Println(m.Text)
+			total++
+		}
+		fmt.Println()
+	}
+	fmt.Printf("audit complete: %d procedures, %d verified clean, %d finding(s)\n",
+		len(rep.Procedures), clean, total)
+	fmt.Println("CSSV is conservative: procedures reported clean are free of")
+	fmt.Println("string manipulation errors on every input.")
+}

@@ -1,0 +1,57 @@
+// Quickstart: analyze a small C program with CSSV and print every
+// potential string error with its counter-example.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// A classic unsafe pattern: the copy loop writes through dst without any
+// relation between the source length and the destination capacity, and the
+// greeting buffer is one byte too small for the longest input the contract
+// admits.
+const source = `
+void copy_into(char *dst, char *src)
+    requires (is_nullt(src) && alloc(dst) > strlen(src))
+    modifies (dst)
+    ensures (is_nullt(dst))
+{
+    char c;
+    c = *src;
+    while (c != '\0') {
+        *dst = c;
+        dst = dst + 1;
+        src = src + 1;
+        c = *src;
+    }
+    *dst = '\0';
+}
+
+void greet(char *name)
+    requires (is_nullt(name) && strlen(name) <= 16)
+{
+    char buf[16];
+    copy_into(buf, name);
+}
+`
+
+func main() {
+	rep, err := cssv.Analyze("greeting.c", source, cssv.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range rep.Procedures {
+		fmt.Printf("== %s: %d message(s) ==\n", p.Name, len(p.Messages))
+		for _, m := range p.Messages {
+			fmt.Println(m.Text)
+		}
+	}
+	// copy_into verifies: the contract guarantees the copy fits.
+	// greet is flagged: a 16-character name needs 17 bytes.
+	fmt.Println("CSSV is sound: the missing byte in greet cannot escape it.")
+}

@@ -1,0 +1,64 @@
+package cssv
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun executes each example program end to end and checks its
+// headline output, so the documented entry points cannot rot.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples run full analyses")
+	}
+	cases := []struct {
+		dir  string
+		want []string
+	}{
+		{"./examples/quickstart", []string{
+			"copy_into: 0 message(s)",
+			"greet: 1 message(s)",
+		}},
+		{"./examples/skipline", []string{
+			"verified, no false alarms",
+			"precondition of SkipLine may be violated",
+		}},
+		{"./examples/derive", []string{
+			"is_nullt(*PtrEndText)",
+			"requires (alloc(*PtrEndText)",
+		}},
+		{"./examples/audit", []string{
+			"audit complete: 8 procedures",
+		}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(strings.TrimPrefix(c.dir, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			ctxCmd := exec.Command("go", "run", c.dir)
+			done := make(chan struct{})
+			var out []byte
+			var err error
+			go func() {
+				out, err = ctxCmd.CombinedOutput()
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(5 * time.Minute):
+				_ = ctxCmd.Process.Kill()
+				t.Fatalf("%s timed out", c.dir)
+			}
+			if err != nil {
+				t.Fatalf("%s failed: %v\n%s", c.dir, err, out)
+			}
+			for _, w := range c.want {
+				if !strings.Contains(string(out), w) {
+					t.Errorf("%s output missing %q:\n%s", c.dir, w, out)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"math/big"
+
+	"repro/internal/interval"
+	"repro/internal/linear"
+	"repro/internal/zone"
+)
+
+// IntervalDomain is the non-relational interval domain (the cheap end of
+// the §3.5 ablation).
+type IntervalDomain struct{}
+
+// Name implements Domain.
+func (IntervalDomain) Name() string { return "interval" }
+
+// Universe implements Domain.
+func (IntervalDomain) Universe(n int) State { return boxState{interval.Universe(n)} }
+
+// Bottom implements Domain.
+func (IntervalDomain) Bottom(n int) State { return boxState{interval.Bottom(n)} }
+
+type boxState struct{ b *interval.Box }
+
+func (s boxState) Clone() State              { return boxState{s.b.Clone()} }
+func (s boxState) Join(o State) State        { return boxState{s.b.Join(o.(boxState).b)} }
+func (s boxState) Widen(o State) State       { return boxState{s.b.Widen(o.(boxState).b)} }
+func (s boxState) WidenSimple(o State) State { return boxState{s.b.Widen(o.(boxState).b)} }
+func (s boxState) MeetSystem(sys linear.System) State {
+	cur := s.b
+	for _, c := range sys {
+		cur = cur.MeetConstraint(c)
+	}
+	return boxState{cur}
+}
+func (s boxState) Assign(v int, e linear.Expr) State { return boxState{s.b.Assign(v, e)} }
+func (s boxState) Havoc(v int) State                 { return boxState{s.b.Havoc(v)} }
+func (s boxState) Includes(o State) bool             { return s.b.Includes(o.(boxState).b) }
+func (s boxState) IsEmpty() bool                     { return s.b.IsEmpty() }
+func (s boxState) Entails(c linear.Constraint) bool  { return s.b.Entails(c) }
+func (s boxState) System() linear.System             { return s.b.System() }
+func (s boxState) Sample() []*big.Rat                { return s.b.Sample() }
+func (s boxState) String(sp *linear.Space) string    { return s.b.String(sp) }
+
+// ZoneDomain is the difference-bound-matrix domain (the middle of the
+// ablation).
+type ZoneDomain struct{}
+
+// Name implements Domain.
+func (ZoneDomain) Name() string { return "zone" }
+
+// Universe implements Domain.
+func (ZoneDomain) Universe(n int) State { return zoneState{zone.Universe(n)} }
+
+// Bottom implements Domain.
+func (ZoneDomain) Bottom(n int) State { return zoneState{zone.Bottom(n)} }
+
+type zoneState struct{ d *zone.DBM }
+
+func (s zoneState) Clone() State              { return zoneState{s.d.Clone()} }
+func (s zoneState) Join(o State) State        { return zoneState{s.d.Join(o.(zoneState).d)} }
+func (s zoneState) Widen(o State) State       { return zoneState{s.d.Widen(o.(zoneState).d)} }
+func (s zoneState) WidenSimple(o State) State { return zoneState{s.d.Widen(o.(zoneState).d)} }
+func (s zoneState) MeetSystem(sys linear.System) State {
+	cur := s.d
+	for _, c := range sys {
+		cur = cur.MeetConstraint(c)
+	}
+	return zoneState{cur}
+}
+func (s zoneState) Assign(v int, e linear.Expr) State { return zoneState{s.d.Assign(v, e)} }
+func (s zoneState) Havoc(v int) State                 { return zoneState{s.d.Havoc(v)} }
+func (s zoneState) Includes(o State) bool             { return s.d.Includes(o.(zoneState).d) }
+func (s zoneState) IsEmpty() bool                     { return s.d.IsEmpty() }
+func (s zoneState) Entails(c linear.Constraint) bool  { return s.d.Entails(c) }
+func (s zoneState) System() linear.System             { return s.d.System() }
+func (s zoneState) Sample() []*big.Rat                { return s.d.Sample() }
+func (s zoneState) String(sp *linear.Space) string    { return s.d.String(sp) }

@@ -1,0 +1,365 @@
+package analysis
+
+import (
+	"fmt"
+	"math/big"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/clex"
+	"repro/internal/ip"
+	"repro/internal/linear"
+)
+
+// Options tunes the fixpoint iteration.
+type Options struct {
+	// Domain selects the numeric domain (default PolyDomain).
+	Domain Domain
+	// WideningDelay is the number of joins at a loop head before widening
+	// kicks in.
+	WideningDelay int
+	// NarrowingPasses is the number of decreasing passes after
+	// stabilization.
+	NarrowingPasses int
+}
+
+func (o *Options) fill() {
+	if o.Domain == nil {
+		o.Domain = PolyDomain{}
+	}
+	if o.WideningDelay == 0 {
+		o.WideningDelay = 1
+	}
+	if o.NarrowingPasses == 0 {
+		o.NarrowingPasses = 2
+	}
+}
+
+// Violation is a potential assert failure.
+type Violation struct {
+	Index int // statement index of the assert
+	Msg   string
+	Pos   clex.Pos
+	// Unverifiable marks assertions C2IP could not express.
+	Unverifiable bool
+	// CounterExample assigns values to constraint variables under which
+	// the assertion fails (paper Fig. 8); nil when unavailable.
+	CounterExample map[string]*big.Rat
+	// StateSystem is the invariant the analysis derived just before the
+	// assert, for the Fig. 8(a)-style report.
+	StateSystem linear.System
+}
+
+// Result of analyzing one integer program.
+type Result struct {
+	Prog *ip.Program
+	// Violations in program order.
+	Violations []Violation
+	// Iterations counts worklist steps (for the statistics tables).
+	Iterations int
+	// exit state (used by ASPost).
+	ExitState State
+	// in-states per statement (used by derivation and tests).
+	States []State
+}
+
+// cfgEdge is a control-flow edge with the condition assumed along it.
+type cfgEdge struct {
+	to   int
+	cond ip.DNF // nil = true
+}
+
+// Analyze runs the forward analysis.
+func Analyze(p *ip.Program, opts Options) (*Result, error) {
+	opts.fill()
+	if err := p.Resolve(); err != nil {
+		return nil, err
+	}
+	n := len(p.Stmts)
+	nvars := p.NumVars()
+
+	succ := make([][]cfgEdge, n+1) // node n = exit
+	for i, s := range p.Stmts {
+		next := i + 1
+		switch s := s.(type) {
+		case *ip.Goto:
+			succ[i] = []cfgEdge{{to: p.TargetOf(s.Target)}}
+		case *ip.IfGoto:
+			succ[i] = []cfgEdge{
+				{to: p.TargetOf(s.Target), cond: s.C},
+				{to: next, cond: s.FallthroughCond()},
+			}
+		default:
+			succ[i] = []cfgEdge{{to: next}}
+		}
+	}
+
+	// Loop heads: targets of backward edges.
+	isHead := make([]bool, n+1)
+	for i, edges := range succ {
+		for _, e := range edges {
+			if e.to <= i {
+				isHead[e.to] = true
+			}
+		}
+	}
+
+	dom := opts.Domain
+	in := make([]State, n+1)
+	for i := range in {
+		in[i] = dom.Bottom(nvars)
+	}
+	in[0] = dom.Universe(nvars)
+
+	visits := make([]int, n+1)
+	work := &intHeap{0}
+	inWork := make([]bool, n+1)
+	inWork[0] = true
+	iterations := 0
+
+	transfer := func(i int, st State) State {
+		switch s := p.Stmts[i].(type) {
+		case *ip.Assign:
+			return st.Assign(s.V, s.E)
+		case *ip.Havoc:
+			return st.Havoc(s.V)
+		case *ip.Assume:
+			return applyDNF(st, s.C, dom, nvars)
+		case *ip.Assert:
+			// Downstream of an assert the property is assumed to hold
+			// (the error, if any, has been reported). When the property
+			// contradicts the state outright, keep the state: cutting the
+			// path would mask every later error behind a failed check.
+			if s.Unverifiable {
+				return st
+			}
+			refined := applyDNF(st, s.C, dom, nvars)
+			if refined.IsEmpty() && !st.IsEmpty() {
+				return st
+			}
+			return refined
+		}
+		return st
+	}
+
+	const maxIterations = 2_000_000
+	const wideningEscalation = 12
+	debugEvery := osGetenvInt("CSSV_DEBUG_ITER")
+	for work.Len() > 0 {
+		iterations++
+		if debugEvery > 0 && iterations%debugEvery == 0 {
+			fmt.Printf("[engine] iter %d\n", iterations)
+		}
+		if iterations > maxIterations {
+			return nil, fmt.Errorf("analysis: fixpoint iteration budget exceeded")
+		}
+		i := work.pop()
+		inWork[i] = false
+		if i >= n {
+			continue
+		}
+		out := transfer(i, in[i])
+		for _, e := range succ[i] {
+			s := out
+			if e.cond != nil {
+				s = applyDNF(out, e.cond, dom, nvars)
+			}
+			if s.IsEmpty() {
+				continue
+			}
+			joined := in[e.to].Join(s)
+			if isHead[e.to] {
+				visits[e.to]++
+				switch {
+				case visits[e.to] > opts.WideningDelay+wideningEscalation:
+					// The refined widening did not stabilize: escalate to
+					// the simple widening, whose chains are finite.
+					joined = in[e.to].WidenSimple(joined)
+				case visits[e.to] > opts.WideningDelay:
+					joined = in[e.to].Widen(joined)
+				}
+			}
+			if in[e.to].Includes(joined) {
+				continue
+			}
+			in[e.to] = joined
+			if !inWork[e.to] {
+				work.push(e.to)
+				inWork[e.to] = true
+			}
+		}
+	}
+
+	// Narrowing: decreasing passes without widening.
+	preds := make([][]cfgEdge, n+1)
+	for i, edges := range succ {
+		for _, e := range edges {
+			preds[e.to] = append(preds[e.to], cfgEdge{to: i, cond: e.cond})
+		}
+	}
+	for pass := 0; pass < opts.NarrowingPasses; pass++ {
+		for j := 1; j <= n; j++ {
+			acc := dom.Bottom(nvars)
+			for _, pe := range preds[j] {
+				s := transfer(pe.to, in[pe.to])
+				if pe.cond != nil {
+					s = applyDNF(s, pe.cond, dom, nvars)
+				}
+				acc = acc.Join(s)
+			}
+			// Keep only refinements (soundness: the narrowed value must
+			// stay above the true fixpoint; intersecting a post-fixpoint
+			// with a recomputed value is safe).
+			if in[j].Includes(acc) {
+				in[j] = acc
+			}
+		}
+	}
+
+	res := &Result{Prog: p, Iterations: iterations, States: in}
+	// Assert checking.
+	for _, idx := range p.Asserts() {
+		a := p.Stmts[idx].(*ip.Assert)
+		st := in[idx]
+		if st.IsEmpty() {
+			continue // unreachable
+		}
+		if a.Unverifiable {
+			res.Violations = append(res.Violations, Violation{
+				Index: idx, Msg: a.Msg, Pos: a.Pos, Unverifiable: true,
+				StateSystem: st.System(),
+			})
+			continue
+		}
+		if v, bad := checkAssert(st, a, p.Space, dom, nvars); bad {
+			v.Index = idx
+			res.Violations = append(res.Violations, v)
+		}
+	}
+	res.ExitState = in[n]
+	return res, nil
+}
+
+func osGetenvInt(k string) int {
+	v, _ := strconv.Atoi(os.Getenv(k))
+	return v
+}
+
+// applyDNF over-approximates assume(d): the join of the per-disjunct meets.
+func applyDNF(st State, d ip.DNF, dom Domain, nvars int) State {
+	if d.IsTrue() {
+		return st
+	}
+	if d.IsFalse() {
+		return dom.Bottom(nvars)
+	}
+	acc := dom.Bottom(nvars)
+	for _, conj := range d {
+		acc = acc.Join(st.MeetSystem(linear.System(conj)))
+	}
+	return acc
+}
+
+// checkAssert verifies state |= cond by testing state /\ not(cond) for
+// emptiness per disjunct, producing a counter-example from the first
+// nonempty intersection.
+func checkAssert(st State, a *ip.Assert, sp *linear.Space, dom Domain, nvars int) (Violation, bool) {
+	neg := a.C.Negate()
+	for _, conj := range neg {
+		bad := st.MeetSystem(linear.System(conj))
+		if bad.IsEmpty() {
+			continue
+		}
+		v := Violation{
+			Msg:         a.Msg,
+			Pos:         a.Pos,
+			StateSystem: st.System(),
+		}
+		if pt := bad.Sample(); pt != nil {
+			v.CounterExample = map[string]*big.Rat{}
+			// Restrict the report to the variables the assertion mentions.
+			mentioned := map[int]bool{}
+			for _, cj := range a.C {
+				for _, c := range cj {
+					for _, vr := range c.E.Vars() {
+						mentioned[vr] = true
+					}
+				}
+			}
+			for vr := range mentioned {
+				if vr < len(pt) && pt[vr] != nil {
+					v.CounterExample[sp.Name(vr)] = pt[vr]
+				}
+			}
+		}
+		return v, true
+	}
+	return Violation{}, false
+}
+
+// FormatViolation renders a Fig. 8-style report.
+func FormatViolation(v Violation, sp *linear.Space) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: error: %s may be violated", v.Pos, v.Msg)
+	if v.Unverifiable {
+		sb.WriteString(" (not expressible in linear arithmetic)")
+	}
+	if len(v.CounterExample) > 0 {
+		sb.WriteString("\n  the requirement may be violated when:\n")
+		var names []string
+		for name := range v.CounterExample {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(&sb, "    %s = %s\n", name, v.CounterExample[name].RatString())
+		}
+	}
+	return sb.String()
+}
+
+// intHeap is a tiny min-heap of node indices (processing lower indices
+// first approximates reverse post-order on normalized programs).
+type intHeap []int
+
+func (h intHeap) Len() int { return len(h) }
+
+func (h *intHeap) push(v int) {
+	*h = append(*h, v)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[parent] <= (*h)[i] {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+func (h *intHeap) pop() int {
+	old := *h
+	v := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	*h = old[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(*h) && (*h)[l] < (*h)[small] {
+			small = l
+		}
+		if r < len(*h) && (*h)[r] < (*h)[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		(*h)[i], (*h)[small] = (*h)[small], (*h)[i]
+		i = small
+	}
+	return v
+}

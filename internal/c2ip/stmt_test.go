@@ -1,0 +1,243 @@
+package c2ip
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/corec"
+	"repro/internal/cparse"
+	"repro/internal/pointer"
+	"repro/internal/ppt"
+)
+
+// TestC2IPStoreForms drives the pure-simple-RHS store translations (the
+// Fig. 3 idiom "*PtrEndText = PtrEndLoc + 1" and friends).
+func TestC2IPStoreForms(t *testing.T) {
+	src := `
+void f(char **pp, char *q, int i)
+    requires (is_within_bounds(*pp))
+    modifies (*pp)
+{
+    *pp = q + 1;
+    *pp = q - i;
+    *pp = q;
+}
+`
+	ipText := transform(t, src, "f", Options{})
+	if !strings.Contains(ipText, ".offset := lv(q).offset + 1") {
+		t.Errorf("store of q+1 lost the offset transfer:\n%s", ipText)
+	}
+	if !strings.Contains(ipText, ".offset := lv(q).offset - lv(i).val") {
+		t.Errorf("store of q-i lost the offset transfer:\n%s", ipText)
+	}
+}
+
+// TestC2IPIntArithForms covers the arithmetic value-channel transfers.
+func TestC2IPIntArithForms(t *testing.T) {
+	src := `
+void f(int a, int b) {
+    int x;
+    x = a + b;
+    x = a - b;
+    x = a * 3;
+    x = 4 * b;
+    x = a * b;
+    x = a / 2;
+    x = a % 10;
+    x = a << 2;
+    x = a & b;
+    x = -a;
+    x = !a;
+    x = ~a;
+}
+`
+	ipText := transform(t, src, "f", Options{})
+	for _, want := range []string{
+		"lv(x).val := lv(a).val + lv(b).val",
+		"lv(x).val := lv(a).val - lv(b).val",
+		"lv(x).val := 3*lv(a).val",
+		"lv(x).val := 4*lv(b).val",
+		"lv(x).val := 4*lv(a).val", // a << 2
+		"lv(x).val := -lv(a).val",
+	} {
+		if !strings.Contains(ipText, want) {
+			t.Errorf("missing %q:\n%s", want, ipText)
+		}
+	}
+	// a % 10 is bounded.
+	if !strings.Contains(ipText, "lv(x).val >= -9") || !strings.Contains(ipText, "-lv(x).val >= -9") {
+		t.Errorf("remainder bounds missing:\n%s", ipText)
+	}
+	// Nonlinear a*b and bitand havoc.
+	if strings.Count(ipText, "lv(x).val := unknown") < 3 {
+		t.Errorf("nonlinear ops should havoc:\n%s", ipText)
+	}
+}
+
+// TestC2IPPointerDiff covers x = p - q.
+func TestC2IPPointerDiff(t *testing.T) {
+	src := `
+void f(char *p, char *q) {
+    int d;
+    d = p - q;
+}
+`
+	ipText := transform(t, src, "f", Options{})
+	if !strings.Contains(ipText, "assume(-lv(p).offset + lv(q).offset + lv(d).val = 0)") {
+		t.Errorf("pointer difference relation missing:\n%s", ipText)
+	}
+}
+
+// TestC2IPComparisonIntoVar covers x = (a < b).
+func TestC2IPComparisonIntoVar(t *testing.T) {
+	src := `
+void f(int a, int b) {
+    int c;
+    c = a < b;
+}
+`
+	ipText := transform(t, src, "f", Options{})
+	if !strings.Contains(ipText, "lv(c).val := 1") || !strings.Contains(ipText, "lv(c).val := 0") {
+		t.Errorf("comparison result not materialized:\n%s", ipText)
+	}
+}
+
+// TestC2IPNullChecks covers pointer-vs-zero conditions through the address
+// channel.
+func TestC2IPNullChecks(t *testing.T) {
+	src := `
+char *strchr(char *s, int c)
+    requires (is_nullt(s))
+    ensures (return_value == 0 || is_within_bounds(return_value));
+void f(char *s)
+    requires (is_nullt(s))
+{
+    char *hit;
+    int found;
+    found = 0;
+    hit = strchr(s, 'x');
+    if (hit != 0) {
+        found = 1;
+    }
+}
+`
+	ipText := transform(t, src, "f", Options{})
+	if !strings.Contains(ipText, "lv(hit).val") {
+		t.Errorf("null check should use the address-value channel:\n%s", ipText)
+	}
+}
+
+// TestC2IPCharStoreVariable covers storing a variable character (the
+// three-way zero/overwrite/benign split).
+func TestC2IPCharStoreVariable(t *testing.T) {
+	src := `
+void f(char *p, int c)
+    requires (is_within_bounds(p) && alloc(p) >= 1)
+    modifies (p)
+{
+    *p = c;
+}
+`
+	ipText := transform(t, src, "f", Options{})
+	// The value can be zero (terminator) or nonzero (overwrite/benign).
+	if !strings.Contains(ipText, "assume(lv(c).val = 0)") {
+		t.Errorf("zero branch missing:\n%s", ipText)
+	}
+	if !strings.Contains(ipText, ".len := lv(p).offset") {
+		t.Errorf("terminator update missing:\n%s", ipText)
+	}
+	if strings.Count(ipText, "if (unknown) goto") < 2 {
+		t.Errorf("three-way split missing:\n%s", ipText)
+	}
+}
+
+// TestC2IPFunctionPointerContracts: a call through a function pointer
+// selects nondeterministically among the candidate callees and applies each
+// one's contract (§3.4.2.3).
+func TestC2IPFunctionPointerContracts(t *testing.T) {
+	src := `
+void safe(char *p)
+    requires (alloc(p) >= 1)
+    modifies (p)
+    ensures (is_nullt(p));
+void picky(char *p)
+    requires (alloc(p) >= 64)
+    modifies (p)
+    ensures (is_nullt(p));
+void f(char *buf, int sel)
+    requires (is_within_bounds(buf) && alloc(buf) >= 8)
+{
+    void (*op)(char *);
+    if (sel) {
+        op = &safe;
+    } else {
+        op = &picky;
+    }
+    op(buf);
+}
+`
+	ipText := transform(t, src, "f", Options{})
+	if !strings.Contains(ipText, "precondition of safe (via function pointer op)") {
+		t.Errorf("safe's precondition not asserted:\n%s", ipText)
+	}
+	if !strings.Contains(ipText, "precondition of picky (via function pointer op)") {
+		t.Errorf("picky's precondition not asserted:\n%s", ipText)
+	}
+	if !strings.Contains(ipText, "if (unknown) goto") {
+		t.Errorf("no nondeterministic callee selection:\n%s", ipText)
+	}
+}
+
+// TestC2IPComplexityShape asserts the §3.4.2.4 claim structurally: doubling
+// the number of cross-aliased pointers roughly doubles this translation's
+// variable count (O(S*V)) but roughly quadruples the [13]-style
+// translation's (O(S*V^2)).
+func TestC2IPComplexityShape(t *testing.T) {
+	gen := func(V int) string {
+		var sb strings.Builder
+		sb.WriteString("void scale(int c) {\n")
+		for i := 0; i < V; i++ {
+			fmt.Fprintf(&sb, "    char b%d[64];\n    char *p%d;\n", i, i)
+		}
+		for i := 0; i < V; i++ {
+			fmt.Fprintf(&sb, "    p0 = b%d;\n", i)
+		}
+		for i := 1; i < V; i++ {
+			fmt.Fprintf(&sb, "    p%d = p0;\n", i)
+		}
+		for s := 0; s < 24; s++ {
+			fmt.Fprintf(&sb, "    if (c > %d) { p%d = p%d + 1; }\n", s, s%V, s%V)
+		}
+		sb.WriteString("}\n")
+		return sb.String()
+	}
+	vars := func(src string, naive bool) int {
+		f, err := cparse.ParseFile("t.c", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := corec.Normalize(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fd := prog.File.Lookup("scale")
+		g := pointer.Analyze(prog, pointer.Inclusion)
+		pt := ppt.Build(prog, fd, g, ppt.Options{})
+		res, err := Transform(prog, fd, pt, Options{Naive: naive})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Prog.NumVars()
+	}
+	small, big := gen(8), gen(16)
+	newGrowth := float64(vars(big, false)) / float64(vars(small, false))
+	naiveGrowth := float64(vars(big, true)) / float64(vars(small, true))
+	if newGrowth > 2.5 {
+		t.Errorf("new translation grows superlinearly: x%.2f per doubling", newGrowth)
+	}
+	if naiveGrowth < 2.5 {
+		t.Errorf("naive translation should grow quadratically: x%.2f per doubling", naiveGrowth)
+	}
+	t.Logf("variable growth per doubling: new x%.2f, naive x%.2f", newGrowth, naiveGrowth)
+}

@@ -1,0 +1,166 @@
+package cast
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ctypes"
+)
+
+func ident(name string, t ctypes.Type) *Ident {
+	id := &Ident{Name: name}
+	id.SetType(t)
+	return id
+}
+
+func TestExprPrinting(t *testing.T) {
+	x := ident("x", ctypes.Int)
+	y := ident("y", ctypes.Int)
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{&Binary{Op: Add, X: x, Y: y}, "x + y"},
+		{&Binary{Op: Mul, X: &Binary{Op: Add, X: x, Y: y}, Y: y}, "(x + y) * y"},
+		{&Binary{Op: Add, X: x, Y: &Binary{Op: Mul, X: y, Y: y}}, "x + y * y"},
+		{&Unary{Op: Deref, X: x}, "*x"},
+		{&Unary{Op: Addr, X: x}, "&x"},
+		{&Unary{Op: LogNot, X: x}, "!x"},
+		{&Index{X: x, I: y}, "x[y]"},
+		{&Member{X: x, Name: "f"}, "x.f"},
+		{&Member{X: x, Name: "f", Arrow: true}, "x->f"},
+		{&Cond{C: x, Then: y, Else: x}, "x ? y : x"},
+		{&Assign{Op: PlainAssign, LHS: x, RHS: y}, "x = y"},
+		{&Assign{Op: Add, LHS: x, RHS: y}, "x += y"},
+		{&IncDec{X: x, Prefix: true}, "++x"},
+		{&IncDec{X: x, Decr: true}, "x--"},
+		{&Cast{To: ctypes.PointerTo(ctypes.Char), X: x}, "(char *)x"},
+		{&SizeofType{Of: ctypes.Int}, "sizeof(int)"},
+		{&StringLit{Value: "hi"}, `"hi"`},
+	}
+	for _, c := range cases {
+		if got := ExprString(c.e); got != c.want {
+			t.Errorf("got %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestCharLiteralPrinting(t *testing.T) {
+	for val, want := range map[int64]string{
+		'\n': `'\n'`, 0: `'\0'`, 'a': "'a'", '\t': `'\t'`, 7: `'\x07'`,
+	} {
+		lit := &IntLit{Value: val, IsChar: true}
+		lit.SetType(ctypes.Int)
+		if got := ExprString(lit); got != want {
+			t.Errorf("char %d printed %q, want %q", val, got, want)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	e := &Binary{Op: Add, X: ident("a", ctypes.Int), Y: ident("b", ctypes.Int)}
+	c := CloneExpr(e).(*Binary)
+	c.X.(*Ident).Name = "z"
+	if e.X.(*Ident).Name != "a" {
+		t.Error("clone shares identifiers")
+	}
+}
+
+func TestSubstituteIdents(t *testing.T) {
+	// alloc(p) + n with p -> *q, n -> 3
+	p := ident("p", ctypes.PointerTo(ctypes.Char))
+	attr := &Call{Fun: ident("alloc", nil), Args: []Expr{p}}
+	attr.SetType(ctypes.Int)
+	sum := &Binary{Op: Add, X: attr, Y: ident("n", ctypes.Int)}
+	q := ident("q", ctypes.PointerTo(ctypes.PointerTo(ctypes.Char)))
+	deref := &Unary{Op: Deref, X: q}
+	deref.SetType(ctypes.PointerTo(ctypes.Char))
+	lit := &IntLit{Value: 3}
+	lit.SetType(ctypes.Int)
+	out := SubstituteIdents(sum, map[string]Expr{"p": deref, "n": lit})
+	if got := ExprString(out); got != "alloc(*q) + 3" {
+		t.Errorf("substituted to %q", got)
+	}
+	// The original is untouched.
+	if got := ExprString(sum); got != "alloc(p) + n" {
+		t.Errorf("original mutated: %q", got)
+	}
+	// Direct-call callee names are not substituted.
+	out2 := SubstituteIdents(sum, map[string]Expr{"alloc": lit})
+	if got := ExprString(out2); got != "alloc(p) + n" {
+		t.Errorf("callee name substituted: %q", got)
+	}
+}
+
+func TestFreeIdents(t *testing.T) {
+	p := ident("p", ctypes.PointerTo(ctypes.Char))
+	n := ident("n", ctypes.Int)
+	attr := &Call{Fun: ident("strlen", nil), Args: []Expr{p}}
+	attr.SetType(ctypes.Int)
+	e := &Binary{Op: Lt, X: attr, Y: &Binary{Op: Add, X: n, Y: p}}
+	got := FreeIdents(e)
+	if len(got) != 2 || got[0] != "p" || got[1] != "n" {
+		t.Errorf("FreeIdents = %v", got)
+	}
+}
+
+func TestCountLines(t *testing.T) {
+	if CountLines("a\n\n  \nb\nc\n") != 3 {
+		t.Error("blank lines counted")
+	}
+}
+
+func TestFuncLookupPrefersDefinition(t *testing.T) {
+	proto := &FuncDecl{Name: "f", Ret: ctypes.Void{}}
+	def := &FuncDecl{Name: "f", Ret: ctypes.Void{}, Body: &Block{}}
+	file := &File{Decls: []Decl{proto, def}}
+	if file.Lookup("f") != def {
+		t.Error("prototype preferred over definition")
+	}
+	if file.Lookup("g") != nil {
+		t.Error("phantom lookup")
+	}
+	if len(file.Funcs()) != 1 {
+		t.Error("Funcs should list definitions only")
+	}
+}
+
+func TestContractVacuous(t *testing.T) {
+	var nilC *Contract
+	if !nilC.IsVacuous() {
+		t.Error("nil contract not vacuous")
+	}
+	if !(&Contract{Modifies: []Expr{ident("x", ctypes.Int)}}).IsVacuous() {
+		t.Error("modifies-only contract should be vacuous")
+	}
+	if (&Contract{Requires: ident("x", ctypes.Int)}).IsVacuous() {
+		t.Error("requires-bearing contract vacuous")
+	}
+}
+
+func TestVerifyWhere(t *testing.T) {
+	v := &Verify{Kind: Assert}
+	v.P.Line = 3
+	if v.Where().Line != 3 {
+		t.Error("fallback position")
+	}
+	v.Site.Line = 9
+	if v.Where().Line != 9 {
+		t.Error("site position ignored")
+	}
+	if Assert.String() != "__assert" || Assume.String() != "__assume" {
+		t.Error("verify kind names")
+	}
+}
+
+func TestStmtString(t *testing.T) {
+	x := ident("x", ctypes.Int)
+	g := &Goto{Label: "L"}
+	if got := StmtString(g); got != "goto L;" {
+		t.Errorf("goto printed %q", got)
+	}
+	v := &Verify{Kind: Assume, Cond: x, Reason: "why"}
+	if got := StmtString(v); !strings.Contains(got, "__assume(x)") || !strings.Contains(got, "why") {
+		t.Errorf("verify printed %q", got)
+	}
+}

@@ -1,0 +1,481 @@
+package cast
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ctypes"
+)
+
+// Fprint renders a File back to C-like source text. The output parses back
+// to an equivalent AST and is used for SLOC accounting of normalized code.
+func Fprint(f *File) string {
+	var p printer
+	for _, d := range f.Decls {
+		p.decl(d)
+		p.nl()
+	}
+	return p.b.String()
+}
+
+// ExprString renders an expression.
+func ExprString(e Expr) string {
+	var p printer
+	p.expr(e, 0)
+	return p.b.String()
+}
+
+// StmtString renders a statement.
+func StmtString(s Stmt) string {
+	var p printer
+	p.stmt(s)
+	return strings.TrimRight(p.b.String(), "\n")
+}
+
+// FuncString renders a single function definition.
+func FuncString(f *FuncDecl) string {
+	var p printer
+	p.decl(f)
+	return p.b.String()
+}
+
+// CountLines reports the number of non-blank lines in rendered source,
+// the paper's SLOC measure for normalized programs.
+func CountLines(src string) int {
+	n := 0
+	for _, ln := range strings.Split(src, "\n") {
+		if strings.TrimSpace(ln) != "" {
+			n++
+		}
+	}
+	return n
+}
+
+type printer struct {
+	b      strings.Builder
+	indent int
+}
+
+func (p *printer) ws() {
+	for i := 0; i < p.indent; i++ {
+		p.b.WriteString("    ")
+	}
+}
+
+func (p *printer) nl() { p.b.WriteString("\n") }
+
+func (p *printer) printf(format string, args ...any) {
+	fmt.Fprintf(&p.b, format, args...)
+}
+
+// declString renders "T name" handling C's inside-out declarator syntax for
+// pointers, arrays and function pointers.
+func declString(t ctypes.Type, name string) string {
+	switch t := t.(type) {
+	case ctypes.Pointer:
+		if f, ok := t.Elem.(*ctypes.Func); ok {
+			var ps []string
+			for _, q := range f.Params {
+				ps = append(ps, declString(q, ""))
+			}
+			if f.Variadic {
+				ps = append(ps, "...")
+			}
+			return fmt.Sprintf("%s (*%s)(%s)", declString(f.Ret, ""), name, strings.Join(ps, ", "))
+		}
+		return declString(t.Elem, "*"+name)
+	case ctypes.Array:
+		return declString(t.Elem, fmt.Sprintf("%s[%d]", name, t.Len))
+	default:
+		s := t.String()
+		if name == "" {
+			return s
+		}
+		return s + " " + name
+	}
+}
+
+func (p *printer) decl(d Decl) {
+	switch d := d.(type) {
+	case *VarDecl:
+		p.ws()
+		switch d.Storage {
+		case SCExtern:
+			p.printf("extern ")
+		case SCStatic:
+			p.printf("static ")
+		}
+		p.printf("%s;", declString(d.DeclType, d.Name))
+		p.nl()
+	case *StructDecl:
+		p.ws()
+		kind := "struct"
+		if d.Type.Union {
+			kind = "union"
+		}
+		p.printf("%s %s {", kind, d.Type.Tag)
+		p.nl()
+		p.indent++
+		for _, f := range d.Type.Fields {
+			p.ws()
+			p.printf("%s;", declString(f.Type, f.Name))
+			p.nl()
+		}
+		p.indent--
+		p.ws()
+		p.printf("};")
+		p.nl()
+	case *TypedefDecl:
+		p.ws()
+		p.printf("typedef %s;", declString(d.Of, d.Name))
+		p.nl()
+	case *FuncDecl:
+		p.funcDecl(d)
+	}
+}
+
+func (p *printer) funcDecl(d *FuncDecl) {
+	p.ws()
+	var ps []string
+	for _, prm := range d.Params {
+		ps = append(ps, declString(prm.Type, prm.Name))
+	}
+	if d.Variadic {
+		ps = append(ps, "...")
+	}
+	if len(ps) == 0 {
+		ps = []string{"void"}
+	}
+	p.printf("%s(%s)", declString(d.Ret, d.Name), strings.Join(ps, ", "))
+	if c := d.Contract; c != nil {
+		p.nl()
+		p.indent++
+		if c.Requires != nil {
+			p.ws()
+			p.printf("requires (%s)", ExprString(c.Requires))
+			p.nl()
+		}
+		if len(c.Modifies) > 0 {
+			var ms []string
+			for _, m := range c.Modifies {
+				ms = append(ms, ExprString(m))
+			}
+			p.ws()
+			p.printf("modifies (%s)", strings.Join(ms, "), ("))
+			p.nl()
+		}
+		if c.Ensures != nil {
+			p.ws()
+			p.printf("ensures (%s)", ExprString(c.Ensures))
+			p.nl()
+		}
+		p.indent--
+		p.ws()
+	} else {
+		p.b.WriteString(" ")
+	}
+	if d.Body == nil {
+		p.printf(";")
+		p.nl()
+		return
+	}
+	p.blockBody(d.Body)
+}
+
+func (p *printer) blockBody(b *Block) {
+	p.printf("{")
+	p.nl()
+	p.indent++
+	for _, s := range b.Stmts {
+		p.stmt(s)
+	}
+	p.indent--
+	p.ws()
+	p.printf("}")
+	p.nl()
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *ExprStmt:
+		p.ws()
+		p.expr(s.X, 0)
+		p.printf(";")
+		p.nl()
+	case *Block:
+		p.ws()
+		p.blockBody(s)
+	case *If:
+		p.ws()
+		p.printf("if (")
+		p.expr(s.Cond, 0)
+		p.printf(") ")
+		p.inlineStmt(s.Then)
+		if s.Else != nil {
+			p.ws()
+			p.printf("else ")
+			p.inlineStmt(s.Else)
+		}
+	case *While:
+		p.ws()
+		p.printf("while (")
+		p.expr(s.Cond, 0)
+		p.printf(") ")
+		p.inlineStmt(s.Body)
+	case *DoWhile:
+		p.ws()
+		p.printf("do ")
+		p.inlineStmt(s.Body)
+		p.ws()
+		p.printf("while (")
+		p.expr(s.Cond, 0)
+		p.printf(");")
+		p.nl()
+	case *For:
+		p.ws()
+		p.printf("for (")
+		if s.Init != nil {
+			switch init := s.Init.(type) {
+			case *ExprStmt:
+				p.expr(init.X, 0)
+			case *DeclStmt:
+				p.printf("%s", declString(init.Decl.DeclType, init.Decl.Name))
+				if init.Init != nil {
+					p.printf(" = ")
+					p.expr(init.Init, 0)
+				}
+			}
+		}
+		p.printf("; ")
+		if s.Cond != nil {
+			p.expr(s.Cond, 0)
+		}
+		p.printf("; ")
+		if s.Post != nil {
+			p.expr(s.Post, 0)
+		}
+		p.printf(") ")
+		p.inlineStmt(s.Body)
+	case *Return:
+		p.ws()
+		if s.X != nil {
+			p.printf("return ")
+			p.expr(s.X, 0)
+			p.printf(";")
+		} else {
+			p.printf("return;")
+		}
+		p.nl()
+	case *Break:
+		p.ws()
+		p.printf("break;")
+		p.nl()
+	case *Continue:
+		p.ws()
+		p.printf("continue;")
+		p.nl()
+	case *Goto:
+		p.ws()
+		p.printf("goto %s;", s.Label)
+		p.nl()
+	case *Labeled:
+		p.printf("%s:", s.Label)
+		p.nl()
+		p.stmt(s.Stmt)
+	case *Empty:
+		p.ws()
+		p.printf(";")
+		p.nl()
+	case *DeclStmt:
+		p.ws()
+		p.printf("%s", declString(s.Decl.DeclType, s.Decl.Name))
+		if s.Init != nil {
+			p.printf(" = ")
+			p.expr(s.Init, 0)
+		}
+		p.printf(";")
+		p.nl()
+	case *Verify:
+		p.ws()
+		p.printf("%s(", s.Kind)
+		p.expr(s.Cond, 0)
+		p.printf(");")
+		if s.Reason != "" {
+			p.printf(" /* %s */", s.Reason)
+		}
+		p.nl()
+	default:
+		p.ws()
+		p.printf("/* ? %T */", s)
+		p.nl()
+	}
+}
+
+// inlineStmt prints the body of an if/while without double indentation for
+// blocks.
+func (p *printer) inlineStmt(s Stmt) {
+	if b, ok := s.(*Block); ok {
+		p.blockBody(b)
+		return
+	}
+	p.nl()
+	p.indent++
+	p.stmt(s)
+	p.indent--
+}
+
+// Operator precedence levels for the printer (higher binds tighter).
+func binPrec(op BinaryOp) int {
+	switch op {
+	case Mul, Div, Rem:
+		return 10
+	case Add, Sub:
+		return 9
+	case Shl, Shr:
+		return 8
+	case Lt, Le, Gt, Ge:
+		return 7
+	case Eq, Ne:
+		return 6
+	case BitAnd:
+		return 5
+	case BitXor:
+		return 4
+	case BitOr:
+		return 3
+	case LogAnd:
+		return 2
+	case LogOr:
+		return 1
+	}
+	return 0
+}
+
+func (p *printer) expr(e Expr, prec int) {
+	switch e := e.(type) {
+	case *Ident:
+		p.printf("%s", e.Name)
+	case *IntLit:
+		if e.IsChar {
+			p.printf("%s", charLit(byte(e.Value)))
+		} else {
+			p.printf("%d", e.Value)
+		}
+	case *StringLit:
+		p.printf("%q", e.Value)
+	case *Unary:
+		if prec > 11 {
+			p.printf("(")
+		}
+		p.printf("%s", e.Op)
+		p.expr(e.X, 12)
+		if prec > 11 {
+			p.printf(")")
+		}
+	case *Binary:
+		bp := binPrec(e.Op)
+		if prec > bp {
+			p.printf("(")
+		}
+		p.expr(e.X, bp)
+		p.printf(" %s ", e.Op)
+		p.expr(e.Y, bp+1)
+		if prec > bp {
+			p.printf(")")
+		}
+	case *Assign:
+		if prec > 0 {
+			p.printf("(")
+		}
+		p.expr(e.LHS, 1)
+		if e.Op == PlainAssign {
+			p.printf(" = ")
+		} else {
+			p.printf(" %s= ", e.Op)
+		}
+		p.expr(e.RHS, 0)
+		if prec > 0 {
+			p.printf(")")
+		}
+	case *IncDec:
+		op := "++"
+		if e.Decr {
+			op = "--"
+		}
+		if e.Prefix {
+			p.printf("%s", op)
+			p.expr(e.X, 12)
+		} else {
+			p.expr(e.X, 12)
+			p.printf("%s", op)
+		}
+	case *Call:
+		p.expr(e.Fun, 12)
+		p.printf("(")
+		for i, a := range e.Args {
+			if i > 0 {
+				p.printf(", ")
+			}
+			p.expr(a, 0)
+		}
+		p.printf(")")
+	case *Index:
+		p.expr(e.X, 12)
+		p.printf("[")
+		p.expr(e.I, 0)
+		p.printf("]")
+	case *Member:
+		p.expr(e.X, 12)
+		if e.Arrow {
+			p.printf("->%s", e.Name)
+		} else {
+			p.printf(".%s", e.Name)
+		}
+	case *Cast:
+		if prec > 11 {
+			p.printf("(")
+		}
+		p.printf("(%s)", declString(e.To, ""))
+		p.expr(e.X, 12)
+		if prec > 11 {
+			p.printf(")")
+		}
+	case *SizeofType:
+		p.printf("sizeof(%s)", declString(e.Of, ""))
+	case *Cond:
+		if prec > 0 {
+			p.printf("(")
+		}
+		p.expr(e.C, 1)
+		p.printf(" ? ")
+		p.expr(e.Then, 1)
+		p.printf(" : ")
+		p.expr(e.Else, 1)
+		if prec > 0 {
+			p.printf(")")
+		}
+	default:
+		p.printf("/* ? %T */", e)
+	}
+}
+
+func charLit(b byte) string {
+	switch b {
+	case '\n':
+		return `'\n'`
+	case '\t':
+		return `'\t'`
+	case '\r':
+		return `'\r'`
+	case 0:
+		return `'\0'`
+	case '\\':
+		return `'\\'`
+	case '\'':
+		return `'\''`
+	}
+	if b >= 32 && b < 127 {
+		return fmt.Sprintf("'%c'", b)
+	}
+	return fmt.Sprintf(`'\x%02x'`, b)
+}

@@ -1,0 +1,265 @@
+package cast
+
+// WalkExpr calls fn on e and all its subexpressions, pre-order. fn returning
+// false prunes the subtree.
+func WalkExpr(e Expr, fn func(Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	switch e := e.(type) {
+	case *Unary:
+		WalkExpr(e.X, fn)
+	case *Binary:
+		WalkExpr(e.X, fn)
+		WalkExpr(e.Y, fn)
+	case *Assign:
+		WalkExpr(e.LHS, fn)
+		WalkExpr(e.RHS, fn)
+	case *IncDec:
+		WalkExpr(e.X, fn)
+	case *Call:
+		WalkExpr(e.Fun, fn)
+		for _, a := range e.Args {
+			WalkExpr(a, fn)
+		}
+	case *Index:
+		WalkExpr(e.X, fn)
+		WalkExpr(e.I, fn)
+	case *Member:
+		WalkExpr(e.X, fn)
+	case *Cast:
+		WalkExpr(e.X, fn)
+	case *Cond:
+		WalkExpr(e.C, fn)
+		WalkExpr(e.Then, fn)
+		WalkExpr(e.Else, fn)
+	}
+}
+
+// WalkStmt calls fn on s and all nested statements, pre-order. fn returning
+// false prunes the subtree.
+func WalkStmt(s Stmt, fn func(Stmt) bool) {
+	if s == nil || !fn(s) {
+		return
+	}
+	switch s := s.(type) {
+	case *Block:
+		for _, t := range s.Stmts {
+			WalkStmt(t, fn)
+		}
+	case *If:
+		WalkStmt(s.Then, fn)
+		WalkStmt(s.Else, fn)
+	case *While:
+		WalkStmt(s.Body, fn)
+	case *DoWhile:
+		WalkStmt(s.Body, fn)
+	case *For:
+		WalkStmt(s.Init, fn)
+		WalkStmt(s.Body, fn)
+	case *Labeled:
+		WalkStmt(s.Stmt, fn)
+	}
+}
+
+// ExprsOf calls fn on every top-level expression appearing directly in s
+// (not recursing into nested statements).
+func ExprsOf(s Stmt, fn func(Expr)) {
+	switch s := s.(type) {
+	case *ExprStmt:
+		fn(s.X)
+	case *If:
+		fn(s.Cond)
+	case *While:
+		fn(s.Cond)
+	case *DoWhile:
+		fn(s.Cond)
+	case *For:
+		if s.Cond != nil {
+			fn(s.Cond)
+		}
+		if s.Post != nil {
+			fn(s.Post)
+		}
+	case *Return:
+		if s.X != nil {
+			fn(s.X)
+		}
+	case *DeclStmt:
+		if s.Init != nil {
+			fn(s.Init)
+		}
+	case *Verify:
+		fn(s.Cond)
+	}
+}
+
+// CloneExpr returns a deep copy of e.
+func CloneExpr(e Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch e := e.(type) {
+	case *Ident:
+		c := *e
+		return &c
+	case *IntLit:
+		c := *e
+		return &c
+	case *StringLit:
+		c := *e
+		return &c
+	case *Unary:
+		c := *e
+		c.X = CloneExpr(e.X)
+		return &c
+	case *Binary:
+		c := *e
+		c.X = CloneExpr(e.X)
+		c.Y = CloneExpr(e.Y)
+		return &c
+	case *Assign:
+		c := *e
+		c.LHS = CloneExpr(e.LHS)
+		c.RHS = CloneExpr(e.RHS)
+		return &c
+	case *IncDec:
+		c := *e
+		c.X = CloneExpr(e.X)
+		return &c
+	case *Call:
+		c := *e
+		c.Fun = CloneExpr(e.Fun)
+		c.Args = make([]Expr, len(e.Args))
+		for i, a := range e.Args {
+			c.Args[i] = CloneExpr(a)
+		}
+		return &c
+	case *Index:
+		c := *e
+		c.X = CloneExpr(e.X)
+		c.I = CloneExpr(e.I)
+		return &c
+	case *Member:
+		c := *e
+		c.X = CloneExpr(e.X)
+		return &c
+	case *Cast:
+		c := *e
+		c.X = CloneExpr(e.X)
+		return &c
+	case *SizeofType:
+		c := *e
+		return &c
+	case *Cond:
+		c := *e
+		c.C = CloneExpr(e.C)
+		c.Then = CloneExpr(e.Then)
+		c.Else = CloneExpr(e.Else)
+		return &c
+	}
+	return e
+}
+
+// SubstituteIdents returns a copy of e in which every free Ident whose name
+// appears in repl is replaced by a clone of the mapped expression. It is the
+// workhorse of contract inlining (formal -> actual substitution).
+func SubstituteIdents(e Expr, repl map[string]Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	if id, ok := e.(*Ident); ok {
+		if r, ok := repl[id.Name]; ok {
+			return CloneExpr(r)
+		}
+		c := *id
+		return &c
+	}
+	c := CloneExpr(e)
+	rewriteChildren(c, repl)
+	return c
+}
+
+func rewriteChildren(e Expr, repl map[string]Expr) {
+	sub := func(x Expr) Expr { return SubstituteIdents(x, repl) }
+	switch e := e.(type) {
+	case *Unary:
+		e.X = sub(e.X)
+	case *Binary:
+		e.X = sub(e.X)
+		e.Y = sub(e.Y)
+	case *Assign:
+		e.LHS = sub(e.LHS)
+		e.RHS = sub(e.RHS)
+	case *IncDec:
+		e.X = sub(e.X)
+	case *Call:
+		// Do not substitute the callee name of a direct call: attribute
+		// names (alloc, strlen, ...) are not variables.
+		if _, direct := e.Fun.(*Ident); !direct {
+			e.Fun = sub(e.Fun)
+		}
+		for i, a := range e.Args {
+			e.Args[i] = sub(a)
+		}
+	case *Index:
+		e.X = sub(e.X)
+		e.I = sub(e.I)
+	case *Member:
+		e.X = sub(e.X)
+	case *Cast:
+		e.X = sub(e.X)
+	case *Cond:
+		e.C = sub(e.C)
+		e.Then = sub(e.Then)
+		e.Else = sub(e.Else)
+	}
+}
+
+// FreeIdents returns the distinct identifier names appearing in e, in
+// first-occurrence order, excluding direct-call callee names.
+func FreeIdents(e Expr) []string {
+	var names []string
+	seen := map[string]bool{}
+	var visit func(Expr)
+	visit = func(x Expr) {
+		switch x := x.(type) {
+		case nil:
+		case *Ident:
+			if !seen[x.Name] {
+				seen[x.Name] = true
+				names = append(names, x.Name)
+			}
+		case *Unary:
+			visit(x.X)
+		case *Binary:
+			visit(x.X)
+			visit(x.Y)
+		case *Assign:
+			visit(x.LHS)
+			visit(x.RHS)
+		case *IncDec:
+			visit(x.X)
+		case *Call:
+			if _, direct := x.Fun.(*Ident); !direct {
+				visit(x.Fun)
+			}
+			for _, a := range x.Args {
+				visit(a)
+			}
+		case *Index:
+			visit(x.X)
+			visit(x.I)
+		case *Member:
+			visit(x.X)
+		case *Cast:
+			visit(x.X)
+		case *Cond:
+			visit(x.C)
+			visit(x.Then)
+			visit(x.Else)
+		}
+	}
+	visit(e)
+	return names
+}

@@ -1,0 +1,452 @@
+package clex
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Error is a lexical error with a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer tokenizes C source text.
+type Lexer struct {
+	src  string
+	file string
+	off  int
+	line int
+	col  int
+}
+
+// New returns a lexer over src. file is used for positions only.
+func New(file, src string) *Lexer {
+	return &Lexer{src: src, file: file, line: 1, col: 1}
+}
+
+// Tokenize scans the whole input and returns all tokens up to and including
+// the EOF token, or the first lexical error.
+func Tokenize(file, src string) ([]Token, error) {
+	lx := New(file, src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *Lexer) pos() Pos { return Pos{File: lx.file, Line: lx.line, Col: lx.col} }
+
+func (lx *Lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peek2() byte {
+	if lx.off+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+1]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) errf(pos Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// skipSpace consumes whitespace, comments, and preprocessor lines.
+// Simple `#define NAME value` integer macros are not expanded here; the
+// parser layer handles #define via Preprocess.
+func (lx *Lexer) skipSpace() error {
+	for lx.off < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peek2() == '/':
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peek2() == '*':
+			start := lx.pos()
+			lx.advance()
+			lx.advance()
+			for {
+				if lx.off >= len(lx.src) {
+					return lx.errf(start, "unterminated block comment")
+				}
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.advance()
+					lx.advance()
+					break
+				}
+				lx.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	if err := lx.skipSpace(); err != nil {
+		return Token{}, err
+	}
+	pos := lx.pos()
+	if lx.off >= len(lx.src) {
+		return Token{Kind: EOF, Pos: pos}, nil
+	}
+	c := lx.peek()
+	switch {
+	case isIdentStart(c):
+		start := lx.off
+		for lx.off < len(lx.src) && isIdentCont(lx.peek()) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.off]
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Text: text, Pos: pos}, nil
+		}
+		return Token{Kind: Ident, Text: text, Pos: pos}, nil
+	case isDigit(c):
+		return lx.number(pos)
+	case c == '\'':
+		return lx.charLit(pos)
+	case c == '"':
+		return lx.stringLit(pos)
+	}
+	return lx.operator(pos)
+}
+
+func (lx *Lexer) number(pos Pos) (Token, error) {
+	start := lx.off
+	base := 10
+	if lx.peek() == '0' && (lx.peek2() == 'x' || lx.peek2() == 'X') {
+		base = 16
+		lx.advance()
+		lx.advance()
+		for lx.off < len(lx.src) && isHexDigit(lx.peek()) {
+			lx.advance()
+		}
+	} else {
+		for lx.off < len(lx.src) && isDigit(lx.peek()) {
+			lx.advance()
+		}
+	}
+	text := lx.src[start:lx.off]
+	// Swallow integer suffixes (u, l, ul, ...).
+	for lx.off < len(lx.src) {
+		switch lx.peek() {
+		case 'u', 'U', 'l', 'L':
+			lx.advance()
+		default:
+			goto done
+		}
+	}
+done:
+	digits := text
+	if base == 16 {
+		digits = text[2:]
+	}
+	v, err := strconv.ParseInt(digits, base, 64)
+	if err != nil {
+		return Token{}, lx.errf(pos, "bad integer literal %q", text)
+	}
+	return Token{Kind: IntLit, Text: text, Val: v, Pos: pos}, nil
+}
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || ('a' <= c && c <= 'f') || ('A' <= c && c <= 'F')
+}
+
+func (lx *Lexer) escape(pos Pos) (byte, error) {
+	if lx.off >= len(lx.src) {
+		return 0, lx.errf(pos, "unterminated escape")
+	}
+	c := lx.advance()
+	switch c {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case '0':
+		return 0, nil
+	case '\\':
+		return '\\', nil
+	case '\'':
+		return '\'', nil
+	case '"':
+		return '"', nil
+	case 'a':
+		return 7, nil
+	case 'b':
+		return 8, nil
+	case 'f':
+		return 12, nil
+	case 'v':
+		return 11, nil
+	case 'x':
+		v := 0
+		n := 0
+		for lx.off < len(lx.src) && isHexDigit(lx.peek()) && n < 2 {
+			d, _ := strconv.ParseInt(string(lx.advance()), 16, 32)
+			v = v*16 + int(d)
+			n++
+		}
+		if n == 0 {
+			return 0, lx.errf(pos, "bad hex escape")
+		}
+		return byte(v), nil
+	}
+	return 0, lx.errf(pos, "unknown escape \\%c", c)
+}
+
+func (lx *Lexer) charLit(pos Pos) (Token, error) {
+	lx.advance() // '
+	if lx.off >= len(lx.src) {
+		return Token{}, lx.errf(pos, "unterminated character literal")
+	}
+	var v byte
+	c := lx.advance()
+	if c == '\\' {
+		e, err := lx.escape(pos)
+		if err != nil {
+			return Token{}, err
+		}
+		v = e
+	} else {
+		v = c
+	}
+	if lx.off >= len(lx.src) || lx.advance() != '\'' {
+		return Token{}, lx.errf(pos, "unterminated character literal")
+	}
+	return Token{Kind: CharLit, Text: string(v), Val: int64(v), Pos: pos}, nil
+}
+
+func (lx *Lexer) stringLit(pos Pos) (Token, error) {
+	lx.advance() // "
+	var sb strings.Builder
+	for {
+		if lx.off >= len(lx.src) {
+			return Token{}, lx.errf(pos, "unterminated string literal")
+		}
+		c := lx.advance()
+		if c == '"' {
+			break
+		}
+		if c == '\\' {
+			e, err := lx.escape(pos)
+			if err != nil {
+				return Token{}, err
+			}
+			sb.WriteByte(e)
+			continue
+		}
+		sb.WriteByte(c)
+	}
+	return Token{Kind: StringLit, Text: sb.String(), Pos: pos}, nil
+}
+
+func (lx *Lexer) operator(pos Pos) (Token, error) {
+	c := lx.advance()
+	two := func(next byte, k2, k1 Kind) Token {
+		if lx.peek() == next {
+			lx.advance()
+			return Token{Kind: k2, Pos: pos}
+		}
+		return Token{Kind: k1, Pos: pos}
+	}
+	switch c {
+	case '(':
+		return Token{Kind: LParen, Pos: pos}, nil
+	case ')':
+		return Token{Kind: RParen, Pos: pos}, nil
+	case '{':
+		return Token{Kind: LBrace, Pos: pos}, nil
+	case '}':
+		return Token{Kind: RBrace, Pos: pos}, nil
+	case '[':
+		return Token{Kind: LBracket, Pos: pos}, nil
+	case ']':
+		return Token{Kind: RBracket, Pos: pos}, nil
+	case ';':
+		return Token{Kind: Semi, Pos: pos}, nil
+	case ',':
+		return Token{Kind: Comma, Pos: pos}, nil
+	case '.':
+		return Token{Kind: Dot, Pos: pos}, nil
+	case '~':
+		return Token{Kind: Tilde, Pos: pos}, nil
+	case '?':
+		return Token{Kind: Question, Pos: pos}, nil
+	case ':':
+		return Token{Kind: Colon, Pos: pos}, nil
+	case '^':
+		return Token{Kind: Caret, Pos: pos}, nil
+	case '+':
+		if lx.peek() == '+' {
+			lx.advance()
+			return Token{Kind: Inc, Pos: pos}, nil
+		}
+		return two('=', AddEq, Plus), nil
+	case '-':
+		switch lx.peek() {
+		case '-':
+			lx.advance()
+			return Token{Kind: Dec, Pos: pos}, nil
+		case '>':
+			lx.advance()
+			return Token{Kind: Arrow, Pos: pos}, nil
+		}
+		return two('=', SubEq, Minus), nil
+	case '*':
+		return two('=', MulEq, Star), nil
+	case '/':
+		return two('=', DivEq, Slash), nil
+	case '%':
+		return two('=', ModEq, Percent), nil
+	case '&':
+		return two('&', AndAnd, Amp), nil
+	case '|':
+		return two('|', OrOr, Pipe), nil
+	case '!':
+		return two('=', NotEq, Not), nil
+	case '=':
+		return two('=', EqEq, Assign), nil
+	case '<':
+		if lx.peek() == '<' {
+			lx.advance()
+			return Token{Kind: Shl, Pos: pos}, nil
+		}
+		return two('=', Le, Lt), nil
+	case '>':
+		if lx.peek() == '>' {
+			lx.advance()
+			return Token{Kind: Shr, Pos: pos}, nil
+		}
+		return two('=', Ge, Gt), nil
+	}
+	return Token{}, lx.errf(pos, "unexpected character %q", c)
+}
+
+// Preprocess performs the tiny slice of the C preprocessor that the
+// benchmark sources need: `#define NAME integer-or-identifier` object macros
+// and blank-line removal of all other directives (#include, #ifdef, ...).
+// Macro occurrences are substituted textually at token granularity.
+func Preprocess(src string) string {
+	macros := map[string]string{}
+	var out strings.Builder
+	for _, line := range strings.Split(src, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "#") {
+			fields := strings.Fields(trimmed)
+			if len(fields) >= 3 && fields[0] == "#define" {
+				macros[fields[1]] = strings.Join(fields[2:], " ")
+			}
+			out.WriteString("\n") // preserve line numbers
+			continue
+		}
+		out.WriteString(line)
+		out.WriteString("\n")
+	}
+	if len(macros) == 0 {
+		return out.String()
+	}
+	return substituteMacros(out.String(), macros)
+}
+
+// substituteMacros replaces identifier occurrences of macro names outside
+// string and character literals and comments.
+func substituteMacros(src string, macros map[string]string) string {
+	var out strings.Builder
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '"' || c == '\'':
+			quote := c
+			out.WriteByte(c)
+			i++
+			for i < len(src) {
+				out.WriteByte(src[i])
+				if src[i] == '\\' && i+1 < len(src) {
+					i++
+					out.WriteByte(src[i])
+					i++
+					continue
+				}
+				if src[i] == quote {
+					i++
+					break
+				}
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				out.WriteByte(src[i])
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			out.WriteString("/*")
+			i += 2
+			for i < len(src) && !(src[i] == '*' && i+1 < len(src) && src[i+1] == '/') {
+				out.WriteByte(src[i])
+				i++
+			}
+			if i < len(src) {
+				out.WriteString("*/")
+				i += 2
+			}
+		case isIdentStart(c):
+			start := i
+			for i < len(src) && isIdentCont(src[i]) {
+				i++
+			}
+			word := src[start:i]
+			if rep, ok := macros[word]; ok {
+				out.WriteString(rep)
+			} else {
+				out.WriteString(word)
+			}
+		default:
+			out.WriteByte(c)
+			i++
+		}
+	}
+	return out.String()
+}

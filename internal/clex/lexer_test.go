@@ -1,0 +1,148 @@
+package clex
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(t *testing.T, src string) []Kind {
+	t.Helper()
+	toks, err := Tokenize("t.c", src)
+	if err != nil {
+		t.Fatalf("tokenize %q: %v", src, err)
+	}
+	var ks []Kind
+	for _, tok := range toks {
+		ks = append(ks, tok.Kind)
+	}
+	return ks
+}
+
+func TestTokenKinds(t *testing.T) {
+	got := kinds(t, "int x = 42; char *p;")
+	want := []Kind{KwInt, Ident, Assign, IntLit, Semi, KwChar, Star, Ident, Semi, EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOperators(t *testing.T) {
+	src := "== != <= >= << >> && || ++ -- -> += -= *= /= %= . ? : ~ ^ & |"
+	want := []Kind{EqEq, NotEq, Le, Ge, Shl, Shr, AndAnd, OrOr, Inc, Dec,
+		Arrow, AddEq, SubEq, MulEq, DivEq, ModEq, Dot, Question, Colon,
+		Tilde, Caret, Amp, Pipe, EOF}
+	got := kinds(t, src)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("op %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLiterals(t *testing.T) {
+	toks, err := Tokenize("t.c", `0x1F 42 'a' '\n' '\0' '\\' "hi\tthere" "\x41"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Val != 31 || toks[1].Val != 42 {
+		t.Errorf("int values: %d %d", toks[0].Val, toks[1].Val)
+	}
+	if toks[2].Val != 'a' || toks[3].Val != '\n' || toks[4].Val != 0 || toks[5].Val != '\\' {
+		t.Errorf("char values: %d %d %d %d", toks[2].Val, toks[3].Val, toks[4].Val, toks[5].Val)
+	}
+	if toks[6].Text != "hi\tthere" {
+		t.Errorf("string: %q", toks[6].Text)
+	}
+	if toks[7].Text != "A" {
+		t.Errorf("hex escape: %q", toks[7].Text)
+	}
+}
+
+func TestIntSuffixes(t *testing.T) {
+	toks, err := Tokenize("t.c", "10UL 7u 3L")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Val != 10 || toks[1].Val != 7 || toks[2].Val != 3 {
+		t.Errorf("suffixed ints: %v %v %v", toks[0].Val, toks[1].Val, toks[2].Val)
+	}
+}
+
+func TestComments(t *testing.T) {
+	got := kinds(t, "a /* block\ncomment */ b // line\nc")
+	want := []Kind{Ident, Ident, Ident, EOF}
+	if len(got) != len(want) {
+		t.Fatalf("comments not skipped: %v", got)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, err := Tokenize("f.c", "a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("b at %v", toks[1].Pos)
+	}
+	if toks[1].Pos.String() != "f.c:2:3" {
+		t.Errorf("pos string %q", toks[1].Pos)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"'unterminated", `"unterminated`, "/* unterminated", "@", `'\q'`} {
+		if _, err := Tokenize("t.c", src); err == nil {
+			t.Errorf("%q: no error", src)
+		}
+	}
+}
+
+func TestPreprocessDefine(t *testing.T) {
+	src := "#define SIZE 64\n#define HALF 32\nchar buf[SIZE]; int h = HALF;\n"
+	out := Preprocess(src)
+	if !strings.Contains(out, "buf[64]") || !strings.Contains(out, "h = 32") {
+		t.Errorf("macro expansion failed:\n%s", out)
+	}
+	// Lines are preserved for positions.
+	if strings.Count(out, "\n") < 3 {
+		t.Error("line structure lost")
+	}
+}
+
+func TestPreprocessProtectsStringsAndComments(t *testing.T) {
+	src := "#define X 9\nchar *s = \"X\"; /* X */ int y = X;\n"
+	out := Preprocess(src)
+	if !strings.Contains(out, `"X"`) {
+		t.Errorf("macro expanded inside string:\n%s", out)
+	}
+	if !strings.Contains(out, "y = 9") {
+		t.Errorf("macro not expanded in code:\n%s", out)
+	}
+}
+
+func TestPreprocessDropsOtherDirectives(t *testing.T) {
+	out := Preprocess("#include <string.h>\nint x;\n")
+	if strings.Contains(out, "include") {
+		t.Errorf("directive kept: %s", out)
+	}
+	if !strings.Contains(out, "int x;") {
+		t.Error("code lost")
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	toks, _ := Tokenize("t.c", `name 7 'x' "s" +`)
+	for i, want := range []string{"name", "7", "'x'", `"s"`, "+"} {
+		if got := toks[i].String(); got != want {
+			t.Errorf("token %d String = %q, want %q", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Package clex implements lexical analysis for the C subset that CSSV
+// analyzes, plus the contract-language keywords (requires, modifies,
+// ensures and the attribute functions of paper Table 1).
+package clex
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds. Punctuation kinds are named after their spelling.
+const (
+	EOF Kind = iota
+	Ident
+	IntLit
+	CharLit
+	StringLit
+
+	// Keywords.
+	KwVoid
+	KwChar
+	KwInt
+	KwLong
+	KwShort
+	KwUnsigned
+	KwSigned
+	KwStruct
+	KwUnion
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwDo
+	KwReturn
+	KwBreak
+	KwContinue
+	KwGoto
+	KwSizeof
+	KwExtern
+	KwStatic
+	KwConst
+	KwTypedef
+
+	// Contract keywords (only meaningful after a prototype or in .h files).
+	KwRequires
+	KwModifies
+	KwEnsures
+
+	// CSSV verification intrinsics (emitted by the inliner, accepted by the
+	// parser so inlined programs round-trip through the printer).
+	KwAssert
+	KwAssume
+
+	// Punctuation and operators.
+	LParen   // (
+	RParen   // )
+	LBrace   // {
+	RBrace   // }
+	LBracket // [
+	RBracket // ]
+	Semi     // ;
+	Comma    // ,
+	Dot      // .
+	Arrow    // ->
+	Inc      // ++
+	Dec      // --
+	Amp      // &
+	Star     // *
+	Plus     // +
+	Minus    // -
+	Tilde    // ~
+	Not      // !
+	Slash    // /
+	Percent  // %
+	Shl      // <<
+	Shr      // >>
+	Lt       // <
+	Gt       // >
+	Le       // <=
+	Ge       // >=
+	EqEq     // ==
+	NotEq    // !=
+	Caret    // ^
+	Pipe     // |
+	AndAnd   // &&
+	OrOr     // ||
+	Question // ?
+	Colon    // :
+	Assign   // =
+	AddEq    // +=
+	SubEq    // -=
+	MulEq    // *=
+	DivEq    // /=
+	ModEq    // %=
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", Ident: "identifier", IntLit: "integer literal",
+	CharLit: "character literal", StringLit: "string literal",
+	KwVoid: "void", KwChar: "char", KwInt: "int", KwLong: "long",
+	KwShort: "short", KwUnsigned: "unsigned", KwSigned: "signed",
+	KwStruct: "struct", KwUnion: "union", KwIf: "if", KwElse: "else",
+	KwWhile: "while", KwFor: "for", KwDo: "do", KwReturn: "return",
+	KwBreak: "break", KwContinue: "continue", KwGoto: "goto",
+	KwSizeof: "sizeof", KwExtern: "extern", KwStatic: "static",
+	KwConst: "const", KwTypedef: "typedef",
+	KwRequires: "requires", KwModifies: "modifies", KwEnsures: "ensures",
+	KwAssert: "assert", KwAssume: "assume",
+	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}",
+	LBracket: "[", RBracket: "]", Semi: ";", Comma: ",", Dot: ".",
+	Arrow: "->", Inc: "++", Dec: "--", Amp: "&", Star: "*", Plus: "+",
+	Minus: "-", Tilde: "~", Not: "!", Slash: "/", Percent: "%",
+	Shl: "<<", Shr: ">>", Lt: "<", Gt: ">", Le: "<=", Ge: ">=",
+	EqEq: "==", NotEq: "!=", Caret: "^", Pipe: "|", AndAnd: "&&",
+	OrOr: "||", Question: "?", Colon: ":", Assign: "=",
+	AddEq: "+=", SubEq: "-=", MulEq: "*=", DivEq: "/=", ModEq: "%=",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"void": KwVoid, "char": KwChar, "int": KwInt, "long": KwLong,
+	"short": KwShort, "unsigned": KwUnsigned, "signed": KwSigned,
+	"struct": KwStruct, "union": KwUnion, "if": KwIf, "else": KwElse,
+	"while": KwWhile, "for": KwFor, "do": KwDo, "return": KwReturn,
+	"break": KwBreak, "continue": KwContinue, "goto": KwGoto,
+	"sizeof": KwSizeof, "extern": KwExtern, "static": KwStatic,
+	"const": KwConst, "typedef": KwTypedef,
+	"requires": KwRequires, "modifies": KwModifies, "ensures": KwEnsures,
+	"__assert": KwAssert, "__assume": KwAssume,
+}
+
+// Pos is a position in a source file.
+type Pos struct {
+	File string
+	Line int // 1-based
+	Col  int // 1-based, in bytes
+}
+
+func (p Pos) String() string {
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// IsValid reports whether p refers to an actual source location.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// Token is a single lexical token.
+type Token struct {
+	Kind Kind
+	Text string // raw text for Ident/IntLit; decoded value for CharLit/StringLit
+	Val  int64  // numeric value for IntLit and CharLit
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case Ident, IntLit:
+		return t.Text
+	case CharLit:
+		return fmt.Sprintf("%q", rune(t.Val))
+	case StringLit:
+		return fmt.Sprintf("%q", t.Text)
+	}
+	return t.Kind.String()
+}

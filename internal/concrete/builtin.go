@@ -1,0 +1,271 @@
+package concrete
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cast"
+)
+
+// evalCall executes a call expression, resolving calls through
+// function-pointer variables.
+func (in *Interp) evalCall(fr *frame, c *cast.Call) value {
+	name := c.FuncName()
+	// A variable holding a function value shadows a same-named function.
+	if fv, ok := fr.vars[name]; ok && fv.kind == vFunc {
+		name = fv.fname
+	} else if rid, boxed := fr.boxes[name]; boxed {
+		if bv := in.regions[rid].overlay[0]; bv.kind == vFunc {
+			name = bv.fname
+		}
+	}
+	args := make([]value, len(c.Args))
+	for i, a := range c.Args {
+		args[i] = in.eval(fr, a)
+	}
+	return in.call(name, args)
+}
+
+// builtin executes a modeled library function natively; ok=false defers to
+// user-defined functions.
+func (in *Interp) builtin(name string, args []value) (value, bool) {
+	switch name {
+	case "malloc", "alloca":
+		n := in.argInt(args, 0, name)
+		if n < 0 {
+			errf(ErrContract, name, "allocation of negative size %d", n)
+		}
+		r := in.alloc(int(n))
+		return value{kind: vPtr, base: r.id}, true
+	case "free":
+		return value{kind: vInt}, true
+	case "strlen":
+		s := in.argPtr(args, 0, name)
+		return value{kind: vInt, i: int64(in.cstrlen(s, name))}, true
+	case "strcpy":
+		dst := in.argPtr(args, 0, name)
+		src := in.argPtr(args, 1, name)
+		n := in.cstrlen(src, name)
+		in.checkRoom(dst, n+1, name)
+		for i := 0; i <= n; i++ {
+			b := in.readMem(value{kind: vPtr, base: src.base, off: src.off + i}, 1, name)
+			in.writeMem(value{kind: vPtr, base: dst.base, off: dst.off + i}, 1, b, name)
+		}
+		return dst, true
+	case "strcat":
+		dst := in.argPtr(args, 0, name)
+		src := in.argPtr(args, 1, name)
+		dn := in.cstrlen(dst, name)
+		sn := in.cstrlen(src, name)
+		in.checkRoom(dst, dn+sn+1, name)
+		for i := 0; i <= sn; i++ {
+			b := in.readMem(value{kind: vPtr, base: src.base, off: src.off + i}, 1, name)
+			in.writeMem(value{kind: vPtr, base: dst.base, off: dst.off + dn + i}, 1, b, name)
+		}
+		return dst, true
+	case "strchr":
+		s := in.argPtr(args, 0, name)
+		want := byte(in.argInt(args, 1, name))
+		n := in.cstrlen(s, name)
+		for i := 0; i <= n; i++ {
+			b := in.readMem(value{kind: vPtr, base: s.base, off: s.off + i}, 1, name)
+			if byte(b.i) == want {
+				return value{kind: vPtr, base: s.base, off: s.off + i}, true
+			}
+		}
+		return value{kind: vInt, i: 0}, true // NULL
+	case "memset":
+		s := in.argPtr(args, 0, name)
+		b := byte(in.argInt(args, 1, name))
+		n := int(in.argInt(args, 2, name))
+		in.checkRoom(s, n, name)
+		for i := 0; i < n; i++ {
+			in.writeMem(value{kind: vPtr, base: s.base, off: s.off + i}, 1,
+				value{kind: vInt, i: int64(b)}, name)
+		}
+		return s, true
+	case "fgets", "gets":
+		s := in.argPtr(args, 0, name)
+		limit := 1 << 30
+		if name == "fgets" {
+			limit = int(in.argInt(args, 1, name))
+			if limit < 1 {
+				errf(ErrContract, name, "fgets with n = %d", limit)
+			}
+		}
+		line := ""
+		if len(in.Input) > 0 {
+			line = in.Input[0]
+			in.Input = in.Input[1:]
+		}
+		if name == "fgets" && len(line) > limit-1 {
+			line = line[:limit-1]
+		}
+		for i := 0; i < len(line); i++ {
+			in.writeMem(value{kind: vPtr, base: s.base, off: s.off + i}, 1,
+				value{kind: vInt, i: int64(line[i])}, name)
+		}
+		in.writeMem(value{kind: vPtr, base: s.base, off: s.off + len(line)}, 1,
+			value{kind: vInt}, name)
+		return s, true
+	case "getchar":
+		if len(in.Input) > 0 && len(in.Input[0]) > 0 {
+			ch := in.Input[0][0]
+			in.Input[0] = in.Input[0][1:]
+			return value{kind: vInt, i: int64(ch)}, true
+		}
+		return value{kind: vInt, i: -1}, true
+	case "putchar", "fputc", "fgetc", "exit", "abort", "free_":
+		return value{kind: vInt}, true
+	case "puts", "fputs":
+		s := in.argPtr(args, 0, name)
+		in.cstrlen(s, name) // must be a valid string
+		return value{kind: vInt}, true
+	case "printf", "fprintf":
+		return value{kind: vInt}, true
+	case "sprintf":
+		return in.sprintfImpl(args), true
+	case "atoi", "isspace", "isdigit", "isalpha", "toupper", "tolower",
+		"strcmp", "strncmp":
+		// Result-only models; string arguments must still be valid.
+		for _, a := range args {
+			if a.kind == vPtr {
+				in.cstrlen(a, name)
+			}
+		}
+		return value{kind: vInt}, true
+	}
+	return value{}, false
+}
+
+func (in *Interp) argInt(args []value, i int, name string) int64 {
+	if i >= len(args) || args[i].kind != vInt {
+		errf(ErrContract, name, "argument %d must be an integer", i)
+	}
+	return args[i].i
+}
+
+func (in *Interp) argPtr(args []value, i int, name string) value {
+	if i >= len(args) || args[i].kind != vPtr {
+		errf(ErrNullDeref, name, "argument %d must be a valid pointer", i)
+	}
+	return args[i]
+}
+
+// cstrlen computes the length of the string at p, flagging unterminated or
+// uninitialized buffers.
+func (in *Interp) cstrlen(p value, pos string) int {
+	r, ok := in.regions[p.base]
+	if !ok {
+		errf(ErrNullDeref, pos, "string operation on invalid pointer")
+	}
+	for i := p.off; i < r.size; i++ {
+		if !r.init[i] || r.opaque[i] {
+			errf(ErrUninitRead, pos, "string operation over uninitialized byte at offset %d", i)
+		}
+		if r.bytes[i] == 0 {
+			return i - p.off
+		}
+	}
+	errf(ErrOutOfBounds, pos, "unterminated string: no null within the region")
+	return 0
+}
+
+// checkRoom verifies n bytes fit from p.
+func (in *Interp) checkRoom(p value, n int, pos string) {
+	r, ok := in.regions[p.base]
+	if !ok {
+		errf(ErrNullDeref, pos, "invalid destination pointer")
+	}
+	if p.off < 0 || p.off+n > r.size {
+		errf(ErrOutOfBounds, pos, "%d byte(s) at offset %d overflow a %d-byte region",
+			n, p.off, r.size)
+	}
+}
+
+// sprintfImpl formats into the destination, supporting %s, %d, %c and %%.
+func (in *Interp) sprintfImpl(args []value) value {
+	dst := in.argPtr(args, 0, "sprintf")
+	format := in.goString(in.argPtr(args, 1, "sprintf"))
+	var sb strings.Builder
+	argi := 2
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' || i+1 >= len(format) {
+			sb.WriteByte(format[i])
+			continue
+		}
+		i++
+		switch format[i] {
+		case '%':
+			sb.WriteByte('%')
+		case 's':
+			sb.WriteString(in.goString(in.argPtr(args, argi, "sprintf")))
+			argi++
+		case 'd', 'i':
+			sb.WriteString(fmt.Sprintf("%d", in.argInt(args, argi, "sprintf")))
+			argi++
+		case 'c':
+			sb.WriteByte(byte(in.argInt(args, argi, "sprintf")))
+			argi++
+		default:
+			sb.WriteByte(format[i])
+		}
+	}
+	out := sb.String()
+	in.checkRoom(dst, len(out)+1, "sprintf")
+	for i := 0; i < len(out); i++ {
+		in.writeMem(value{kind: vPtr, base: dst.base, off: dst.off + i}, 1,
+			value{kind: vInt, i: int64(out[i])}, "sprintf")
+	}
+	in.writeMem(value{kind: vPtr, base: dst.base, off: dst.off + len(out)}, 1,
+		value{kind: vInt}, "sprintf")
+	return dst
+}
+
+// goString extracts the Go string at p.
+func (in *Interp) goString(p value) string {
+	n := in.cstrlen(p, "string")
+	r := in.regions[p.base]
+	return string(r.bytes[p.off : p.off+n])
+}
+
+// MakeString allocates a region holding s (plus terminator) and returns a
+// pointer value to its base — the harness for calling procedures with
+// string arguments.
+func (in *Interp) MakeString(s string, extra int) value {
+	r := in.alloc(len(s) + 1 + extra)
+	copy(r.bytes, s)
+	for i := 0; i <= len(s); i++ {
+		r.init[i] = true
+	}
+	return value{kind: vPtr, base: r.id}
+}
+
+// MakeBuffer allocates an uninitialized region of n bytes.
+func (in *Interp) MakeBuffer(n int) value {
+	r := in.alloc(n)
+	return value{kind: vPtr, base: r.id}
+}
+
+// MakeInt wraps an integer argument.
+func MakeInt(i int64) value { return value{kind: vInt, i: i} }
+
+// MakePtrTo returns a boxed pointer-to-pointer: a fresh 4-byte cell
+// containing p (for char** arguments).
+func (in *Interp) MakePtrTo(p value) value {
+	r := in.alloc(4)
+	r.overlay[0] = p
+	for i := 0; i < 4; i++ {
+		r.opaque[i] = true
+		r.init[i] = true
+	}
+	return value{kind: vPtr, base: r.id}
+}
+
+// Deref reads the word value stored at p (for inspecting out-params).
+func (in *Interp) Deref(p value) value {
+	return in.readMem(p, 4, "deref")
+}
+
+// StringAt returns the Go string a pointer references (test helper).
+func (in *Interp) StringAt(p value) string { return in.goString(p) }

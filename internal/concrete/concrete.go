@@ -1,0 +1,270 @@
+// Package concrete implements the paper's instrumented operational
+// semantics (§2.4, Def. 2.1): an interpreter for normalized CoreC programs
+// whose states track, for every memory region, its base address, allocation
+// size and per-byte contents, and which halts with a diagnostic on every
+// string-manipulation error — out-of-bounds accesses, invalid pointer
+// arithmetic (beyond K&R's one-past-the-end rule), reads of uninitialized
+// cells, and accesses beyond the null terminator.
+//
+// The interpreter is the executable ground truth for CSSV: the soundness
+// property (the abstract analysis reports a message whenever a concrete
+// execution errs) is checked differentially by randomized tests.
+package concrete
+
+import (
+	"fmt"
+
+	"repro/internal/cast"
+	"repro/internal/corec"
+	"repro/internal/ctypes"
+)
+
+// ErrKind classifies runtime string errors.
+type ErrKind int
+
+// Error kinds of the instrumented semantics.
+const (
+	ErrOutOfBounds ErrKind = iota // access outside [0, size-width]
+	ErrBadArith                   // pointer arithmetic outside [0, size]
+	ErrUninitRead                 // read of an uninitialized cell
+	ErrBeyondNull                 // character read beyond the first null
+	ErrNullDeref                  // dereference of a null/invalid pointer
+	ErrContract                   // library-model precondition violated
+	ErrOther
+)
+
+var errNames = map[ErrKind]string{
+	ErrOutOfBounds: "out-of-bounds access",
+	ErrBadArith:    "invalid pointer arithmetic",
+	ErrUninitRead:  "read of uninitialized memory",
+	ErrBeyondNull:  "access beyond the null terminator",
+	ErrNullDeref:   "null or dangling pointer dereference",
+	ErrContract:    "library precondition violated",
+	ErrOther:       "runtime error",
+}
+
+// RuntimeError is a detected string-manipulation error.
+type RuntimeError struct {
+	Kind ErrKind
+	Pos  string
+	Msg  string
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("%s: %s: %s", e.Pos, errNames[e.Kind], e.Msg)
+}
+
+// regionID identifies an allocated memory region (a base address).
+type regionID int
+
+// value is a tagged runtime value.
+type value struct {
+	kind  valueKind
+	i     int64    // Int
+	base  regionID // Ptr
+	off   int      // Ptr
+	fname string   // Func
+}
+
+type valueKind int
+
+const (
+	vUninit valueKind = iota
+	vInt
+	vPtr
+	vFunc
+)
+
+// region is a contiguous allocation: byte cells plus a scalar overlay for
+// word-sized values (ints and pointers stored in memory).
+type region struct {
+	id    regionID
+	size  int
+	bytes []byte
+	init  []bool
+	// overlay holds word values written at an offset; the covered bytes
+	// are marked opaque.
+	overlay map[int]value
+	opaque  []bool
+}
+
+func newRegion(id regionID, size int) *region {
+	return &region{
+		id:      id,
+		size:    size,
+		bytes:   make([]byte, size),
+		init:    make([]bool, size),
+		overlay: map[int]value{},
+		opaque:  make([]bool, size),
+	}
+}
+
+// Interp executes a normalized program.
+type Interp struct {
+	prog    *corec.Program
+	regions map[regionID]*region
+	nextID  regionID
+	globals map[string]value    // scalar globals
+	globReg map[string]regionID // array globals
+	// Input feeds fgets/getchar; deterministic per run.
+	Input []string
+	// StepLimit bounds execution (loops in generated programs).
+	StepLimit int
+	steps     int
+}
+
+// New prepares an interpreter for the program.
+func New(prog *corec.Program) *Interp {
+	in := &Interp{
+		prog:      prog,
+		regions:   map[regionID]*region{},
+		globals:   map[string]value{},
+		globReg:   map[string]regionID{},
+		StepLimit: 100000,
+	}
+	for _, d := range prog.File.Decls {
+		vd, ok := d.(*cast.VarDecl)
+		if !ok {
+			continue
+		}
+		if ctypes.IsScalar(vd.DeclType) {
+			in.globals[vd.Name] = value{kind: vInt, i: 0} // globals are zeroed
+			continue
+		}
+		r := in.alloc(vd.DeclType.Size())
+		// Globals are zero-initialized.
+		for i := range r.init {
+			r.init[i] = true
+		}
+		in.globReg[vd.Name] = r.id
+		if s, isStr := prog.Strings[vd.Name]; isStr {
+			copy(r.bytes, s)
+		}
+	}
+	return in
+}
+
+func (in *Interp) alloc(size int) *region {
+	in.nextID++
+	r := newRegion(in.nextID, size)
+	in.regions[in.nextID] = r
+	return r
+}
+
+// frame is one activation record.
+type frame struct {
+	vars map[string]value
+	// varRegion maps array-typed locals to their regions.
+	varRegion map[string]regionID
+	// boxes maps scalar locals whose address was taken to their box
+	// region; once boxed, the box is the single source of truth.
+	boxes map[string]regionID
+	fd    *cast.FuncDecl
+}
+
+// errf raises a runtime error via panic; Call recovers it.
+func errf(kind ErrKind, pos, format string, args ...any) {
+	panic(&RuntimeError{Kind: kind, Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Call executes the named function with the given arguments and returns
+// its result (zero value for void), or the first runtime error.
+func (in *Interp) Call(name string, args ...value) (ret value, rerr *RuntimeError) {
+	defer func() {
+		if r := recover(); r != nil {
+			if re, ok := r.(*RuntimeError); ok {
+				rerr = re
+				return
+			}
+			panic(r)
+		}
+	}()
+	ret = in.call(name, args)
+	return ret, nil
+}
+
+// CallInts is Call with integer arguments (convenience for tests).
+func (in *Interp) CallInts(name string, args ...int64) (int64, *RuntimeError) {
+	vs := make([]value, len(args))
+	for i, a := range args {
+		vs[i] = value{kind: vInt, i: a}
+	}
+	v, err := in.Call(name, vs...)
+	return v.i, err
+}
+
+func (in *Interp) call(name string, args []value) value {
+	if v, ok := in.builtin(name, args); ok {
+		return v
+	}
+	fd := in.prog.File.Lookup(name)
+	if fd == nil || fd.Body == nil {
+		errf(ErrOther, "?", "call to undefined function %s", name)
+	}
+	fr := &frame{vars: map[string]value{}, varRegion: map[string]regionID{},
+		boxes: map[string]regionID{}, fd: fd}
+	for i, p := range fd.Params {
+		if i < len(args) {
+			fr.vars[p.Name] = args[i]
+		}
+	}
+	// Allocate locals.
+	for _, s := range fd.Body.Stmts {
+		ds, ok := s.(*cast.DeclStmt)
+		if !ok {
+			continue
+		}
+		if ctypes.IsScalar(ds.Decl.DeclType) {
+			fr.vars[ds.Decl.Name] = value{kind: vUninit}
+		} else {
+			r := in.alloc(ds.Decl.DeclType.Size())
+			fr.varRegion[ds.Decl.Name] = r.id
+		}
+	}
+	return in.exec(fr)
+}
+
+// exec runs the flat CoreC statement list of fr.fd.
+func (in *Interp) exec(fr *frame) value {
+	stmts := fr.fd.Body.Stmts
+	labels := map[string]int{}
+	for i, s := range stmts {
+		if l, ok := s.(*cast.Labeled); ok {
+			labels[l.Label] = i
+		}
+	}
+	pc := 0
+	for pc < len(stmts) {
+		in.steps++
+		if in.steps > in.StepLimit {
+			errf(ErrOther, posOf(stmts[pc]), "step limit exceeded")
+		}
+		switch s := stmts[pc].(type) {
+		case *cast.DeclStmt, *cast.Empty, *cast.Labeled, *cast.Verify:
+			// Declarations were pre-allocated; Verify statements belong to
+			// the inlined program and are not part of the real semantics.
+		case *cast.Goto:
+			pc = labels[s.Label]
+			continue
+		case *cast.If:
+			if in.truth(fr, s.Cond) {
+				g := s.Then.(*cast.Goto)
+				pc = labels[g.Label]
+				continue
+			}
+		case *cast.Return:
+			if s.X == nil {
+				return value{kind: vInt}
+			}
+			return in.eval(fr, s.X)
+		case *cast.ExprStmt:
+			in.execExpr(fr, s.X)
+		default:
+			errf(ErrOther, posOf(s), "cannot execute %T", s)
+		}
+		pc++
+	}
+	return value{kind: vInt}
+}
+
+func posOf(n cast.Node) string { return n.Pos().String() }

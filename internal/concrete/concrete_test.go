@@ -1,0 +1,250 @@
+package concrete
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/corec"
+	"repro/internal/cparse"
+	"repro/internal/libc"
+)
+
+func prep(t *testing.T, src string) *Interp {
+	t.Helper()
+	f, err := cparse.ParseFile("t.c", libc.Header+"\n"+src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	prog, err := corec.Normalize(f)
+	if err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	return New(prog)
+}
+
+func TestInterpArithmetic(t *testing.T) {
+	in := prep(t, `
+int triple(int x) { return x * 3; }
+int sum(int n) {
+    int s;
+    int i;
+    s = 0;
+    for (i = 1; i <= n; i++) s += i;
+    return s;
+}
+`)
+	v, err := in.CallInts("triple", 14)
+	if err != nil || v != 42 {
+		t.Errorf("triple(14) = %d, %v", v, err)
+	}
+	v, err = in.CallInts("sum", 10)
+	if err != nil || v != 55 {
+		t.Errorf("sum(10) = %d, %v", v, err)
+	}
+}
+
+func TestInterpStrings(t *testing.T) {
+	in := prep(t, `
+int mylen(char *s) {
+    int n;
+    n = 0;
+    while (*s != '\0') {
+        n = n + 1;
+        s = s + 1;
+    }
+    return n;
+}
+`)
+	s := in.MakeString("hello", 0)
+	v, err := in.Call("mylen", s)
+	if err != nil || v.i != 5 {
+		t.Errorf("mylen(hello) = %v, %v", v.i, err)
+	}
+}
+
+func TestInterpDetectsOverflow(t *testing.T) {
+	in := prep(t, `
+void smash(char *buf, int n) {
+    buf[n] = 'x';
+}
+`)
+	b := in.MakeBuffer(8)
+	if _, err := in.Call("smash", b, MakeInt(7)); err != nil {
+		t.Errorf("in-bounds write flagged: %v", err)
+	}
+	if _, err := in.Call("smash", b, MakeInt(8)); err == nil {
+		t.Error("out-of-bounds write not flagged")
+	} else if err.Kind != ErrOutOfBounds {
+		t.Errorf("wrong kind: %v", err)
+	}
+}
+
+func TestInterpDetectsBadArith(t *testing.T) {
+	in := prep(t, `
+char *back(char *p) { return p - 1; }
+`)
+	s := in.MakeString("a", 0)
+	if _, err := in.Call("back", s); err == nil || err.Kind != ErrBadArith {
+		t.Errorf("p-1 from base not flagged as bad arithmetic: %v", err)
+	}
+}
+
+func TestInterpDetectsBeyondNull(t *testing.T) {
+	in := prep(t, `
+char peek(char *s, int i) { return s[i]; }
+`)
+	s := in.MakeString("ab", 3) // region: a b \0 ? ? ?
+	if _, err := in.Call("peek", s, MakeInt(2)); err != nil {
+		t.Errorf("read at terminator flagged: %v", err)
+	}
+	_, err := in.Call("peek", s, MakeInt(3))
+	if err == nil {
+		t.Error("read beyond terminator not flagged")
+	}
+}
+
+func TestInterpDetectsUninit(t *testing.T) {
+	in := prep(t, `
+int useuninit() {
+    int x;
+    return x + 1;
+}
+`)
+	if _, err := in.Call("useuninit"); err == nil || err.Kind != ErrUninitRead {
+		t.Errorf("uninitialized read not flagged: %v", err)
+	}
+}
+
+// TestInterpSkipLine executes the paper's running example concretely: the
+// pointer advances and the text is rewritten in place.
+func TestInterpSkipLine(t *testing.T) {
+	in := prep(t, `
+void SkipLine(int NbLine, char **PtrEndText) {
+    int indice;
+    char *PtrEndLoc;
+    indice = 0;
+begin_loop:
+    if (indice >= NbLine) goto end_loop;
+    PtrEndLoc = *PtrEndText;
+    *PtrEndLoc = '\n';
+    *PtrEndText = PtrEndLoc + 1;
+    indice = indice + 1;
+    goto begin_loop;
+end_loop:
+    PtrEndLoc = *PtrEndText;
+    *PtrEndLoc = '\0';
+}
+`)
+	buf := in.MakeString("", 15) // 16-byte buffer, empty string
+	pp := in.MakePtrTo(buf)
+	if _, err := in.Call("SkipLine", MakeInt(3), pp); err != nil {
+		t.Fatalf("SkipLine errored: %v", err)
+	}
+	// *pp advanced by 3.
+	np := in.Deref(pp)
+	if np.off != 3 {
+		t.Errorf("pointer advanced to %d, want 3", np.off)
+	}
+	if got := in.StringAt(buf); got != "\n\n\n" {
+		t.Errorf("buffer = %q, want three newlines", got)
+	}
+	// And the paper's off-by-one: a buffer with exactly 1 byte free cannot
+	// take 2 newlines.
+	small := in.MakeString("", 0) // 1 byte
+	pp2 := in.MakePtrTo(small)
+	if _, err := in.Call("SkipLine", MakeInt(1), pp2); err == nil {
+		t.Error("overflowing SkipLine not flagged")
+	}
+}
+
+func TestInterpLibcModels(t *testing.T) {
+	in := prep(t, `
+int uses(char *dst, char *src) {
+    strcpy(dst, src);
+    strcat(dst, src);
+    return strlen(dst);
+}
+`)
+	dst := in.MakeBuffer(16)
+	src := in.MakeString("abc", 0)
+	v, err := in.Call("uses", dst, src)
+	if err != nil || v.i != 6 {
+		t.Errorf("strcpy+strcat gave %v, %v", v.i, err)
+	}
+	if got := in.StringAt(dst); got != "abcabc" {
+		t.Errorf("dst = %q", got)
+	}
+	// Overflowing strcpy is flagged.
+	tiny := in.MakeBuffer(3)
+	if _, err := in.Call("uses", tiny, src); err == nil || err.Kind != ErrOutOfBounds {
+		t.Errorf("overflowing strcpy not flagged: %v", err)
+	}
+}
+
+func TestInterpFgets(t *testing.T) {
+	in := prep(t, `
+int readline(char *buf, int n) {
+    fgets(buf, n, 0);
+    return strlen(buf);
+}
+`)
+	in.Input = []string{"hello world"}
+	buf := in.MakeBuffer(32)
+	v, err := in.Call("readline", buf, MakeInt(32))
+	if err != nil || v.i != 11 {
+		t.Errorf("readline = %v, %v", v.i, err)
+	}
+	// Truncation at n-1.
+	in.Input = []string{"0123456789"}
+	buf2 := in.MakeBuffer(8)
+	v, err = in.Call("readline", buf2, MakeInt(8))
+	if err != nil || v.i != 7 {
+		t.Errorf("truncated readline = %v, %v", v.i, err)
+	}
+}
+
+func TestInterpRemoveNewlineBug(t *testing.T) {
+	// The fixwrites bug reproduces concretely: an empty line underflows.
+	in := prep(t, `
+void remove_newline(char *line) {
+    int n;
+    n = strlen(line);
+    line[n - 1] = '\0';
+}
+`)
+	ok := in.MakeString("text\n", 0)
+	if _, err := in.Call("remove_newline", ok); err != nil {
+		t.Errorf("normal line flagged: %v", err)
+	}
+	empty := in.MakeString("", 0)
+	if _, err := in.Call("remove_newline", empty); err == nil {
+		t.Error("empty-line underflow not flagged")
+	}
+}
+
+func TestInterpSprintf(t *testing.T) {
+	in := prep(t, `
+char out[32];
+void hello(char *who) {
+    sprintf(out, "hi %s!", who);
+}
+char tiny[4];
+void boom(char *who) {
+    sprintf(tiny, "hi %s!", who);
+}
+`)
+	who := in.MakeString("bob", 0)
+	if _, err := in.Call("hello", who); err != nil {
+		t.Errorf("sprintf flagged: %v", err)
+	}
+	if _, err := in.Call("boom", who); err == nil {
+		t.Error("overflowing sprintf not flagged")
+	}
+}
+
+func TestInterpErrorStrings(t *testing.T) {
+	e := &RuntimeError{Kind: ErrOutOfBounds, Pos: "f.c:3:1", Msg: "boom"}
+	if !strings.Contains(e.Error(), "out-of-bounds") {
+		t.Errorf("error string: %s", e)
+	}
+}

@@ -1,0 +1,419 @@
+package concrete
+
+import (
+	"repro/internal/cast"
+	"repro/internal/ctypes"
+	"repro/internal/pointer"
+)
+
+// truth evaluates a CoreC condition.
+func (in *Interp) truth(fr *frame, e cast.Expr) bool {
+	switch c := e.(type) {
+	case *cast.Binary:
+		l := in.eval(fr, c.X)
+		r := in.eval(fr, c.Y)
+		return compare(c.Op, l, r, posOf(e))
+	default:
+		v := in.eval(fr, e)
+		return !isZero(v)
+	}
+}
+
+func isZero(v value) bool {
+	switch v.kind {
+	case vInt:
+		return v.i == 0
+	case vPtr:
+		return false
+	}
+	errf(ErrUninitRead, "?", "branch on uninitialized value")
+	return false
+}
+
+func compare(op cast.BinaryOp, l, r value, pos string) bool {
+	if l.kind == vUninit || r.kind == vUninit {
+		errf(ErrUninitRead, pos, "comparison with uninitialized value")
+	}
+	// Pointer comparisons compare offsets (same-base assumed, as in the
+	// instrumented semantics).
+	var a, b int64
+	switch {
+	case l.kind == vPtr && r.kind == vPtr:
+		a, b = int64(l.off), int64(r.off)
+	case l.kind == vPtr && r.kind == vInt:
+		// p == 0 / p != 0 null checks.
+		a, b = 1, 0
+		if r.i != 0 {
+			a, b = int64(l.off), r.i
+		}
+	case l.kind == vInt && r.kind == vPtr:
+		a, b = 0, 1
+		if l.i != 0 {
+			a, b = l.i, int64(r.off)
+		}
+	default:
+		a, b = l.i, r.i
+	}
+	switch op {
+	case cast.Lt:
+		return a < b
+	case cast.Le:
+		return a <= b
+	case cast.Gt:
+		return a > b
+	case cast.Ge:
+		return a >= b
+	case cast.Eq:
+		return a == b
+	case cast.Ne:
+		return a != b
+	}
+	errf(ErrOther, pos, "bad comparison")
+	return false
+}
+
+// execExpr runs an assignment or call statement.
+func (in *Interp) execExpr(fr *frame, e cast.Expr) {
+	switch x := e.(type) {
+	case *cast.Assign:
+		rhs := in.eval(fr, x.RHS)
+		in.store(fr, x.LHS, rhs)
+	case *cast.Call:
+		in.evalCall(fr, x)
+	default:
+		errf(ErrOther, posOf(e), "cannot execute expression %T", e)
+	}
+}
+
+// store writes v to an lvalue (variable or *p).
+func (in *Interp) store(fr *frame, lhs cast.Expr, v value) {
+	switch l := lhs.(type) {
+	case *cast.Ident:
+		if rid, boxed := fr.boxes[l.Name]; boxed {
+			in.regions[rid].overlay[0] = v
+			return
+		}
+		if _, isLocal := fr.vars[l.Name]; isLocal {
+			fr.vars[l.Name] = v
+			return
+		}
+		if _, isGlobal := in.globals[l.Name]; isGlobal {
+			in.globals[l.Name] = v
+			return
+		}
+		fr.vars[l.Name] = v
+		return
+	case *cast.Unary:
+		if l.Op == cast.Deref {
+			p := in.eval(fr, l.X)
+			width := int(elemWidth(l.X.Type()))
+			in.writeMem(p, width, v, posOf(lhs))
+			return
+		}
+	}
+	errf(ErrOther, posOf(lhs), "bad store target %T", lhs)
+}
+
+func elemWidth(t ctypes.Type) int64 {
+	e := ctypes.Elem(ctypes.Decay(t))
+	if e == nil || e.Size() == 0 {
+		return 1
+	}
+	return int64(e.Size())
+}
+
+// eval evaluates a CoreC expression (atoms and simple RHS forms).
+func (in *Interp) eval(fr *frame, e cast.Expr) value {
+	switch x := e.(type) {
+	case *cast.IntLit:
+		return value{kind: vInt, i: x.Value}
+	case *cast.Ident:
+		return in.evalIdent(fr, x)
+	case *cast.Unary:
+		switch x.Op {
+		case cast.Deref:
+			p := in.eval(fr, x.X)
+			return in.readMem(p, int(elemWidth(x.X.Type())), posOf(e))
+		case cast.Addr:
+			id := x.X.(*cast.Ident)
+			// Address of a scalar variable: box it into a fresh cell
+			// region so stores through the pointer are visible.
+			return in.addressOf(fr, id)
+		case cast.Neg:
+			v := in.evalInt(fr, x.X)
+			return value{kind: vInt, i: -v}
+		case cast.LogNot:
+			v := in.eval(fr, x.X)
+			if isZero(v) {
+				return value{kind: vInt, i: 1}
+			}
+			return value{kind: vInt, i: 0}
+		case cast.BitNot:
+			v := in.evalInt(fr, x.X)
+			return value{kind: vInt, i: ^v}
+		}
+	case *cast.Binary:
+		return in.evalBinary(fr, x)
+	case *cast.Cast:
+		v := in.eval(fr, x.X)
+		return v // values carry their own tags; casts are representation-only
+	case *cast.Call:
+		return in.evalCall(fr, x)
+	}
+	errf(ErrOther, posOf(e), "cannot evaluate %T", e)
+	return value{}
+}
+
+func (in *Interp) evalInt(fr *frame, e cast.Expr) int64 {
+	v := in.eval(fr, e)
+	if v.kind == vUninit {
+		errf(ErrUninitRead, posOf(e), "use of uninitialized value")
+	}
+	if v.kind == vPtr {
+		errf(ErrOther, posOf(e), "pointer used as integer")
+	}
+	return v.i
+}
+
+func (in *Interp) evalIdent(fr *frame, x *cast.Ident) value {
+	if ctypes.IsFunc(typeOfOr(x)) {
+		// A function name decays to a function value.
+		return value{kind: vFunc, fname: x.Name}
+	}
+	if ctypes.IsArray(typeOfOr(x)) {
+		// Array decay: the value is a pointer to the region base.
+		if rid, ok := fr.varRegion[x.Name]; ok {
+			return value{kind: vPtr, base: rid}
+		}
+		if rid, ok := in.globReg[x.Name]; ok {
+			return value{kind: vPtr, base: rid}
+		}
+	}
+	if rid, boxed := fr.boxes[x.Name]; boxed {
+		v := in.regions[rid].overlay[0]
+		if v.kind == vUninit {
+			errf(ErrUninitRead, posOf(x), "use of uninitialized variable %s", x.Name)
+		}
+		return v
+	}
+	if v, ok := fr.vars[x.Name]; ok {
+		if v.kind == vUninit {
+			errf(ErrUninitRead, posOf(x), "use of uninitialized variable %s", x.Name)
+		}
+		return v
+	}
+	if v, ok := in.globals[x.Name]; ok {
+		return v
+	}
+	if rid, ok := in.globReg[x.Name]; ok {
+		return value{kind: vPtr, base: rid}
+	}
+	errf(ErrOther, posOf(x), "unknown variable %s", x.Name)
+	return value{}
+}
+
+func typeOfOr(e cast.Expr) ctypes.Type {
+	if t := e.Type(); t != nil {
+		return t
+	}
+	return ctypes.Int
+}
+
+// addressOf boxes a scalar variable so its address can escape. CoreC
+// guarantees address-of is applied to locals only (never formals), and the
+// box is shared per variable.
+func (in *Interp) addressOf(fr *frame, id *cast.Ident) value {
+	if ctypes.IsFunc(typeOfOr(id)) {
+		return value{kind: vFunc, fname: id.Name}
+	}
+	if rid, ok := fr.varRegion[id.Name]; ok {
+		return value{kind: vPtr, base: rid}
+	}
+	if rid, ok := in.globReg[id.Name]; ok {
+		return value{kind: vPtr, base: rid}
+	}
+	if rid, ok := fr.boxes[id.Name]; ok {
+		return value{kind: vPtr, base: rid}
+	}
+	// Box the scalar: a 4-byte region holding the current value; future
+	// accesses to the variable go through the box.
+	r := in.alloc(4)
+	r.overlay[0] = fr.vars[id.Name]
+	for i := 0; i < 4; i++ {
+		r.opaque[i] = true
+		r.init[i] = true
+	}
+	fr.boxes[id.Name] = r.id
+	return value{kind: vPtr, base: r.id}
+}
+
+// evalBinary handles atom op atom.
+func (in *Interp) evalBinary(fr *frame, x *cast.Binary) value {
+	if x.Op.IsComparison() {
+		if compare(x.Op, in.eval(fr, x.X), in.eval(fr, x.Y), posOf(x)) {
+			return value{kind: vInt, i: 1}
+		}
+		return value{kind: vInt, i: 0}
+	}
+	l := in.eval(fr, x.X)
+	r := in.eval(fr, x.Y)
+	lp := l.kind == vPtr
+	rp := r.kind == vPtr
+
+	switch {
+	case (x.Op == cast.Add || x.Op == cast.Sub) && lp && !rp:
+		return in.ptrArith(l, x.Op, r, elemWidth(x.X.Type()), posOf(x))
+	case x.Op == cast.Add && rp && !lp:
+		return in.ptrArith(r, cast.Add, l, elemWidth(x.Y.Type()), posOf(x))
+	case x.Op == cast.Sub && lp && rp:
+		sz := elemWidth(x.X.Type())
+		return value{kind: vInt, i: (int64(l.off) - int64(r.off)) / sz}
+	}
+	a := l.i
+	b := r.i
+	if l.kind == vUninit || r.kind == vUninit {
+		errf(ErrUninitRead, posOf(x), "arithmetic on uninitialized value")
+	}
+	switch x.Op {
+	case cast.Add:
+		return value{kind: vInt, i: a + b}
+	case cast.Sub:
+		return value{kind: vInt, i: a - b}
+	case cast.Mul:
+		return value{kind: vInt, i: a * b}
+	case cast.Div:
+		if b == 0 {
+			errf(ErrOther, posOf(x), "division by zero")
+		}
+		return value{kind: vInt, i: a / b}
+	case cast.Rem:
+		if b == 0 {
+			errf(ErrOther, posOf(x), "remainder by zero")
+		}
+		return value{kind: vInt, i: a % b}
+	case cast.Shl:
+		return value{kind: vInt, i: a << uint(b&31)}
+	case cast.Shr:
+		return value{kind: vInt, i: a >> uint(b&31)}
+	case cast.BitAnd:
+		return value{kind: vInt, i: a & b}
+	case cast.BitOr:
+		return value{kind: vInt, i: a | b}
+	case cast.BitXor:
+		return value{kind: vInt, i: a ^ b}
+	}
+	errf(ErrOther, posOf(x), "bad operator")
+	return value{}
+}
+
+// ptrArith checks K&R A7.7: the result must lie in [0, size].
+func (in *Interp) ptrArith(p value, op cast.BinaryOp, i value, width int64, pos string) value {
+	if i.kind == vUninit {
+		errf(ErrUninitRead, pos, "pointer arithmetic with uninitialized index")
+	}
+	delta := i.i * width
+	if op == cast.Sub {
+		delta = -delta
+	}
+	r, ok := in.regions[p.base]
+	if !ok {
+		errf(ErrNullDeref, pos, "arithmetic on invalid pointer")
+	}
+	no := int64(p.off) + delta
+	if no < 0 || no > int64(r.size) {
+		errf(ErrBadArith, pos, "pointer moves to offset %d of a %d-byte region", no, r.size)
+	}
+	return value{kind: vPtr, base: p.base, off: int(no)}
+}
+
+// readMem loads width bytes at p.
+func (in *Interp) readMem(p value, width int, pos string) value {
+	r := in.checkAccess(p, width, pos)
+	if width == 1 {
+		off := p.off
+		// Cleanness (§3): character reads must not pass the first null.
+		// Checked before initialization so the error kind matches what the
+		// static analysis checks.
+		if n, terminated := r.firstNull(); terminated && off > n {
+			errf(ErrBeyondNull, pos, "read at offset %d beyond the terminator at %d", off, n)
+		}
+		if r.opaque[off] {
+			errf(ErrOther, pos, "byte read inside a word-sized cell")
+		}
+		if !r.init[off] {
+			errf(ErrUninitRead, pos, "read of uninitialized byte")
+		}
+		return value{kind: vInt, i: int64(r.bytes[off])}
+	}
+	v, ok := r.overlay[p.off]
+	if !ok {
+		errf(ErrUninitRead, pos, "word read of uninitialized or fragmented cell")
+	}
+	if v.kind == vUninit {
+		errf(ErrUninitRead, pos, "read of uninitialized cell")
+	}
+	return v
+}
+
+// writeMem stores width bytes at p.
+func (in *Interp) writeMem(p value, width int, v value, pos string) {
+	r := in.checkAccess(p, width, pos)
+	if width == 1 {
+		if v.kind == vUninit {
+			errf(ErrUninitRead, pos, "store of uninitialized value")
+		}
+		if r.opaque[p.off] {
+			// Overwriting part of a word cell invalidates it.
+			for off, ov := range r.overlay {
+				_ = ov
+				if p.off >= off && p.off < off+4 {
+					delete(r.overlay, off)
+					for k := off; k < off+4 && k < r.size; k++ {
+						r.opaque[k] = false
+						r.init[k] = false
+					}
+				}
+			}
+		}
+		r.bytes[p.off] = byte(v.i)
+		r.init[p.off] = true
+		r.opaque[p.off] = false
+		return
+	}
+	r.overlay[p.off] = v
+	for k := p.off; k < p.off+width && k < r.size; k++ {
+		r.opaque[k] = true
+		r.init[k] = true
+	}
+}
+
+// checkAccess validates the dereference bounds.
+func (in *Interp) checkAccess(p value, width int, pos string) *region {
+	if p.kind != vPtr {
+		errf(ErrNullDeref, pos, "dereference of non-pointer value")
+	}
+	r, ok := in.regions[p.base]
+	if !ok {
+		errf(ErrNullDeref, pos, "dereference of invalid pointer")
+	}
+	if p.off < 0 || p.off+width > r.size {
+		errf(ErrOutOfBounds, pos, "access of %d byte(s) at offset %d of a %d-byte region",
+			width, p.off, r.size)
+	}
+	return r
+}
+
+// firstNull returns the index of the first initialized zero byte.
+func (r *region) firstNull() (int, bool) {
+	for i := 0; i < r.size; i++ {
+		if r.init[i] && !r.opaque[i] && r.bytes[i] == 0 {
+			return i, true
+		}
+		if !r.init[i] || r.opaque[i] {
+			return 0, false // unknown contents before any null
+		}
+	}
+	return 0, false
+}
+
+var _ = pointer.AllocFuncs

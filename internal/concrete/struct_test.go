@@ -1,0 +1,138 @@
+package concrete
+
+import "testing"
+
+// TestInterpStructs: member access through the byte-arithmetic lowering
+// round-trips values.
+func TestInterpStructs(t *testing.T) {
+	in := prep(t, `
+struct pair {
+    int a;
+    int b;
+};
+int swap_sum(struct pair *p) {
+    int t;
+    t = p->a;
+    p->a = p->b;
+    p->b = t;
+    return p->a + p->b;
+}
+`)
+	r := in.MakeBuffer(8)
+	// Initialize the fields through the interpreter's word overlay.
+	in.writeMem(value{kind: vPtr, base: r.base, off: 0}, 4, value{kind: vInt, i: 3}, "init")
+	in.writeMem(value{kind: vPtr, base: r.base, off: 4}, 4, value{kind: vInt, i: 9}, "init")
+	v, err := in.Call("swap_sum", r)
+	if err != nil {
+		t.Fatalf("swap_sum: %v", err)
+	}
+	if v.i != 12 {
+		t.Errorf("sum = %d", v.i)
+	}
+	a := in.readMem(value{kind: vPtr, base: r.base, off: 0}, 4, "check")
+	b := in.readMem(value{kind: vPtr, base: r.base, off: 4}, 4, "check")
+	if a.i != 9 || b.i != 3 {
+		t.Errorf("after swap a=%d b=%d", a.i, b.i)
+	}
+}
+
+// TestInterpPointerCompare: loop guards comparing pointers.
+func TestInterpPointerCompare(t *testing.T) {
+	in := prep(t, `
+int span(char *lo, char *hi) {
+    int n;
+    n = 0;
+    while (lo < hi) {
+        lo = lo + 1;
+        n = n + 1;
+    }
+    return n;
+}
+`)
+	s := in.MakeString("abcdef", 0)
+	hi := value{kind: vPtr, base: s.base, off: 4}
+	v, err := in.Call("span", s, hi)
+	if err != nil || v.i != 4 {
+		t.Errorf("span = %v, %v", v.i, err)
+	}
+}
+
+// TestInterpDivRem: integer division semantics.
+func TestInterpDivRem(t *testing.T) {
+	in := prep(t, `
+int div(int a, int b) { return a / b; }
+int rem(int a, int b) { return a % b; }
+`)
+	if v, err := in.CallInts("div", 7, 2); err != nil || v != 3 {
+		t.Errorf("7/2 = %v, %v", v, err)
+	}
+	if v, err := in.CallInts("rem", -7, 3); err != nil || v != -1 {
+		t.Errorf("-7%%3 = %v, %v", v, err)
+	}
+	if _, err := in.CallInts("div", 1, 0); err == nil {
+		t.Error("division by zero not flagged")
+	}
+}
+
+// TestInterpFunctionPointer: calls through function-pointer variables.
+func TestInterpFunctionPointer(t *testing.T) {
+	in := prep(t, `
+int twice(int x) { return 2 * x; }
+int thrice(int x) { return 3 * x; }
+int apply(int sel, int x) {
+    int (*op)(int);
+    if (sel) {
+        op = &twice;
+    } else {
+        op = &thrice;
+    }
+    return op(x);
+}
+`)
+	if v, err := in.CallInts("apply", 1, 5); err != nil || v != 10 {
+		t.Errorf("apply(1,5) = %v, %v", v, err)
+	}
+	if v, err := in.CallInts("apply", 0, 5); err != nil || v != 15 {
+		t.Errorf("apply(0,5) = %v, %v", v, err)
+	}
+}
+
+// TestInterpGlobals: globals persist across calls and arrays are zeroed.
+func TestInterpGlobals(t *testing.T) {
+	in := prep(t, `
+int counter;
+char gbuf[8];
+int tick(void) {
+	counter = counter + 1;
+	return counter;
+}
+int firstbyte(void) { return gbuf[0]; }
+`)
+	if v, _ := in.CallInts("tick"); v != 1 {
+		t.Errorf("first tick = %d", v)
+	}
+	if v, _ := in.CallInts("tick"); v != 2 {
+		t.Errorf("second tick = %d", v)
+	}
+	if v, err := in.CallInts("firstbyte"); err != nil || v != 0 {
+		t.Errorf("global array not zeroed: %v, %v", v, err)
+	}
+}
+
+// TestInterpStepLimit: runaway loops abort with ErrOther, not a hang.
+func TestInterpStepLimit(t *testing.T) {
+	in := prep(t, `
+void spin(void) {
+    int i;
+    i = 0;
+    while (i >= 0) {
+        i = i + 0;
+    }
+}
+`)
+	in.StepLimit = 1000
+	_, err := in.Call("spin")
+	if err == nil || err.Kind != ErrOther {
+		t.Errorf("step limit: %v", err)
+	}
+}

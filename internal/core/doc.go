@@ -1,0 +1,7 @@
+// Package core is CSSV itself: the per-procedure pipeline of the paper's
+// Fig. 1 (contract inlining, CoreC normalization, whole-program pointer
+// analysis, procedural points-to construction, C2IP, and the integer
+// analysis), plus the modifies-clause verification and the Table 5
+// statistics collection. The root package cssv wraps it with a stable
+// public API.
+package core

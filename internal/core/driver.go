@@ -1,0 +1,287 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/c2ip"
+	"repro/internal/cast"
+	"repro/internal/corec"
+	"repro/internal/cparse"
+	"repro/internal/derive"
+	"repro/internal/inline"
+	"repro/internal/ip"
+	"repro/internal/libc"
+	"repro/internal/pointer"
+	"repro/internal/ppt"
+)
+
+// Options configures a CSSV run.
+type Options struct {
+	// PointerMode selects the whole-program points-to algorithm.
+	PointerMode pointer.Mode
+	// Domain selects the numeric domain (default polyhedra).
+	Domain analysis.Domain
+	// PPT tunes procedural points-to construction.
+	PPT ppt.Options
+	// C2IP tunes the transformation.
+	C2IP c2ip.Options
+	// WideningDelay / NarrowingPasses forward to the fixpoint engine.
+	WideningDelay   int
+	NarrowingPasses int
+	// NoSideEffectCheck disables the modifies-clause verification.
+	NoSideEffectCheck bool
+	// Procs restricts analysis to these procedures (default: all defined
+	// procedures that are not libc models).
+	Procs []string
+	// NoLibc disables prepending the standard-library contract header.
+	NoLibc bool
+	// Contracts selects which contract the analyzed procedure itself gets:
+	// the manual one from the source (default), a vacuous one (side effects
+	// only), or the automatically derived one (paper §4, Table 5's
+	// "Deriving" columns). Callees always keep their declared contracts.
+	Contracts ContractMode
+}
+
+// ContractMode selects the analyzed procedure's own contract.
+type ContractMode int
+
+// Contract modes.
+const (
+	ManualContracts ContractMode = iota
+	VacuousContracts
+	AutoContracts
+)
+
+// ProcReport is one row of the paper's Table 5.
+type ProcReport struct {
+	Name string
+	// LOC: non-blank lines of the original function; SLOC: after the
+	// source-to-source transformations (CoreC + inlining).
+	LOC, SLOC int
+	// IPVars / IPSize: constraint variables and statements of the C2IP
+	// output.
+	IPVars, IPSize int
+	// CPU and Space (total bytes allocated) for the whole per-procedure
+	// pipeline.
+	CPU   time.Duration
+	Space uint64
+	// Violations are the reported messages; Warnings the non-error notes.
+	Violations []analysis.Violation
+	Warnings   []c2ip.Warning
+	Iterations int
+	// IP retains the generated program (printing, derivation, tests).
+	IP *ip.Program
+	// Inlined is the analyzed (inlined + normalized) procedure.
+	Inlined *cast.FuncDecl
+	// PPT is the procedural points-to state used.
+	PPT *ppt.PPT
+	// Derived carries the auto-derived contract under AutoContracts.
+	Derived *derive.Result
+}
+
+// Messages returns the number of reported messages.
+func (r *ProcReport) Messages() int { return len(r.Violations) }
+
+// Report is a whole-run result.
+type Report struct {
+	Procs []ProcReport
+}
+
+// TotalMessages sums messages over all procedures.
+func (r *Report) TotalMessages() int {
+	n := 0
+	for i := range r.Procs {
+		n += r.Procs[i].Messages()
+	}
+	return n
+}
+
+// Proc returns the report for the named procedure, or nil.
+func (r *Report) Proc(name string) *ProcReport {
+	for i := range r.Procs {
+		if r.Procs[i].Name == name {
+			return &r.Procs[i]
+		}
+	}
+	return nil
+}
+
+// Prepare parses and normalizes a translation unit (with the libc contract
+// header unless noLibc), for callers that drive individual phases (e.g.
+// contract derivation).
+func Prepare(filename, src string, noLibc bool) (*corec.Program, error) {
+	sources := []cparse.NamedSource{{Name: filename, Src: src}}
+	if !noLibc {
+		sources = []cparse.NamedSource{
+			{Name: "<libc contracts>", Src: libc.Header},
+			{Name: filename, Src: src},
+		}
+	}
+	file, err := cparse.ParseFiles(sources)
+	if err != nil {
+		return nil, err
+	}
+	return corec.Normalize(file)
+}
+
+// AnalyzeSource runs CSSV on a single translation unit given as text.
+func AnalyzeSource(filename, src string, opts Options) (*Report, error) {
+	sources := []cparse.NamedSource{{Name: filename, Src: src}}
+	if !opts.NoLibc {
+		sources = []cparse.NamedSource{
+			{Name: "<libc contracts>", Src: libc.Header},
+			{Name: filename, Src: src},
+		}
+	}
+	file, err := cparse.ParseFiles(sources)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := corec.Normalize(file)
+	if err != nil {
+		return nil, err
+	}
+
+	procs := opts.Procs
+	if procs == nil {
+		for _, fd := range prog.File.Funcs() {
+			if !libc.Functions[fd.Name] {
+				procs = append(procs, fd.Name)
+			}
+		}
+		sort.Strings(procs)
+	}
+
+	rep := &Report{}
+	for _, name := range procs {
+		pr, err := analyzeProc(file, prog, name, opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		rep.Procs = append(rep.Procs, *pr)
+	}
+	return rep, nil
+}
+
+// vacuousOf keeps only the side-effect clause of a contract.
+func vacuousOf(fd *cast.FuncDecl) *cast.Contract {
+	if fd == nil || fd.Contract == nil {
+		return &cast.Contract{}
+	}
+	return &cast.Contract{Modifies: fd.Contract.Modifies}
+}
+
+// withContract returns a program copy where proc's contract is replaced.
+func withContract(prog *corec.Program, proc string, ct *cast.Contract) *corec.Program {
+	out := &cast.File{Name: prog.File.Name}
+	for _, d := range prog.File.Decls {
+		fd, ok := d.(*cast.FuncDecl)
+		if !ok || fd.Name != proc {
+			out.Decls = append(out.Decls, d)
+			continue
+		}
+		nf := *fd
+		nf.Contract = ct
+		out.Decls = append(out.Decls, &nf)
+	}
+	return &corec.Program{File: out, Strings: prog.Strings}
+}
+
+// analyzeProc runs the per-procedure pipeline of Fig. 1.
+func analyzeProc(orig *cast.File, prog *corec.Program, name string, opts Options) (*ProcReport, error) {
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
+	start := time.Now()
+
+	pr := &ProcReport{Name: name}
+	if fd := orig.Lookup(name); fd != nil && fd.Body != nil {
+		pr.LOC = cast.CountLines(cast.FuncString(fd))
+	}
+
+	// Contract-mode preprocessing: replace P's own pre/postcondition.
+	switch opts.Contracts {
+	case VacuousContracts:
+		prog = withContract(prog, name, vacuousOf(prog.File.Lookup(name)))
+	case AutoContracts:
+		der, err := derive.Derive(prog, name, derive.Options{
+			PointerMode:     opts.PointerMode,
+			WideningDelay:   opts.WideningDelay,
+			NarrowingPasses: opts.NarrowingPasses,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("derive: %w", err)
+		}
+		ct := &cast.Contract{
+			Requires: der.Requires,
+			Ensures:  der.Ensures,
+			Modifies: der.Modifies,
+		}
+		prog = withContract(prog, name, ct)
+		pr.Derived = der
+	}
+
+	// Phase 1: inline contracts into P, then renormalize.
+	inlined, err := inline.File(prog, name)
+	if err != nil {
+		return nil, fmt.Errorf("inline: %w", err)
+	}
+	nprog, err := corec.Renormalize(prog, inlined)
+	if err != nil {
+		return nil, fmt.Errorf("renormalize: %w", err)
+	}
+	fd := nprog.File.Lookup(name)
+	if fd == nil || fd.Body == nil {
+		return nil, fmt.Errorf("procedure not found or has no body")
+	}
+	if err := corec.Validate(fd); err != nil {
+		return nil, fmt.Errorf("inlined procedure is not CoreC: %w", err)
+	}
+	pr.SLOC = cast.CountLines(cast.FuncString(fd))
+	pr.Inlined = fd
+
+	// Phase 2: whole-program flow-insensitive pointer analysis + PPT.
+	g := pointer.Analyze(nprog, opts.PointerMode)
+	pt := ppt.Build(nprog, fd, g, opts.PPT)
+	pr.PPT = pt
+
+	// Phase 3: C2IP.
+	res, err := c2ip.Transform(nprog, fd, pt, opts.C2IP)
+	if err != nil {
+		return nil, fmt.Errorf("c2ip: %w", err)
+	}
+	pr.IP = res.Prog
+	pr.Warnings = res.Warnings
+	pr.IPVars = res.Prog.NumVars()
+	pr.IPSize = res.Prog.Size()
+
+	// Phase 4: integer analysis.
+	ares, err := analysis.Analyze(res.Prog, analysis.Options{
+		Domain:          opts.Domain,
+		WideningDelay:   opts.WideningDelay,
+		NarrowingPasses: opts.NarrowingPasses,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	pr.Violations = ares.Violations
+	pr.Iterations = ares.Iterations
+
+	// Side-effect verification (the modifies clause is part of the
+	// contract and is checked like the pre/postconditions).
+	if !opts.NoSideEffectCheck {
+		if origFd := prog.File.Lookup(name); origFd != nil {
+			pr.Violations = append(pr.Violations,
+				checkSideEffects(fd, pt, origFd.Contract)...)
+		}
+	}
+
+	pr.CPU = time.Since(start)
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
+	pr.Space = msAfter.TotalAlloc - msBefore.TotalAlloc
+	return pr, nil
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// runningExample is the paper's Fig. 3 + Fig. 4: SkipLine with its contract
+// and the toy main with the off-by-one error at the second SkipLine call.
+const runningExample = `
+#define SIZE 1024
+
+void SkipLine(int NbLine, char **PtrEndText)
+    requires (is_within_bounds(*PtrEndText) &&
+              alloc(*PtrEndText) > NbLine && NbLine >= 0)
+    modifies (*PtrEndText), (is_nullt(*PtrEndText)), (strlen(*PtrEndText))
+    ensures (is_nullt(*PtrEndText) && strlen(*PtrEndText) == 0 &&
+             *PtrEndText == pre(*PtrEndText) + NbLine)
+{
+    int indice;
+    char *PtrEndLoc;
+    indice = 0;
+begin_loop:
+    if (indice >= NbLine) goto end_loop;
+    PtrEndLoc = *PtrEndText;
+    *PtrEndLoc = '\n';
+    *PtrEndText = PtrEndLoc + 1;
+    indice = indice + 1;
+    goto begin_loop;
+end_loop:
+    PtrEndLoc = *PtrEndText;
+    *PtrEndLoc = '\0';
+}
+
+void main() {
+    char buf[SIZE];
+    char *r;
+    char *s;
+    int n;
+    r = buf;
+    SkipLine(1, &r);
+    fgets(r, SIZE - 1, 0);
+    n = strlen(r);
+    s = r + n;
+    SkipLine(1, &s);
+}
+`
+
+// TestRunningExampleSkipLine: CSSV verifies SkipLine with no false alarms
+// (paper §2.3: "CSSV is able to statically verify the absence of string
+// errors in this function, without reporting any false alarm").
+func TestRunningExampleSkipLine(t *testing.T) {
+	rep, err := AnalyzeSource("skipline.c", runningExample, Options{Procs: []string{"SkipLine"}})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	pr := rep.Proc("SkipLine")
+	if pr == nil {
+		t.Fatal("no report for SkipLine")
+	}
+	for _, v := range pr.Violations {
+		t.Errorf("false alarm: %s", analysis.FormatViolation(v, pr.IP.Space))
+	}
+	if t.Failed() {
+		t.Logf("IP:\n%s", pr.IP)
+	}
+}
+
+// TestRunningExampleMain: CSSV detects the off-by-one error at the second
+// SkipLine call in main and reports no other message (paper §2.3).
+func TestRunningExampleMain(t *testing.T) {
+	rep, err := AnalyzeSource("skipline.c", runningExample, Options{Procs: []string{"main"}})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	pr := rep.Proc("main")
+	if pr == nil {
+		t.Fatal("no report for main")
+	}
+	if len(pr.Violations) == 0 {
+		t.Fatalf("the off-by-one error was missed\nIP:\n%s", pr.IP)
+	}
+	found := false
+	for _, v := range pr.Violations {
+		t.Logf("message: %s", analysis.FormatViolation(v, pr.IP.Space))
+		if v.Msg == "precondition of SkipLine" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected a 'precondition of SkipLine' violation")
+	}
+	if len(pr.Violations) > 1 {
+		t.Errorf("expected exactly one message, got %d", len(pr.Violations))
+	}
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFunctionPointerPreconditionChecked: the end-to-end behavior of
+// §3.4.2.3 — the too-demanding candidate callee is flagged, and removing it
+// clears the report.
+func TestFunctionPointerPreconditionChecked(t *testing.T) {
+	src := `
+void safe(char *p)
+    requires (alloc(p) >= 1)
+    modifies (p)
+    ensures (is_nullt(p))
+{
+    *p = '\0';
+}
+void picky(char *p)
+    requires (alloc(p) >= 64)
+    modifies (p)
+    ensures (is_nullt(p))
+{
+    *p = '\0';
+}
+void f(char *buf, int sel)
+    requires (is_within_bounds(buf) && alloc(buf) >= 8 && offset(buf) == 0)
+{
+    void (*op)(char *);
+    if (sel) {
+        op = &safe;
+    } else {
+        op = &picky;
+    }
+    op(buf);
+}
+void g(char *buf)
+    requires (is_within_bounds(buf) && alloc(buf) >= 8)
+{
+    void (*op)(char *);
+    op = &safe;
+    op(buf);
+}
+`
+	rep, err := AnalyzeSource("t.c", src, Options{Procs: []string{"f", "g"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fMsgs := rep.Proc("f").Violations
+	foundPicky := false
+	for _, v := range fMsgs {
+		if strings.Contains(v.Msg, "picky") {
+			foundPicky = true
+		}
+		if strings.Contains(v.Msg, "precondition of safe") {
+			t.Errorf("safe's satisfiable precondition flagged: %s", v.Msg)
+		}
+	}
+	if !foundPicky {
+		t.Errorf("picky's unsatisfiable precondition missed; messages: %v", fMsgs)
+	}
+	if n := len(rep.Proc("g").Violations); n != 0 {
+		t.Errorf("single-callee pointer call flagged %d times", n)
+	}
+}

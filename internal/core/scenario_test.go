@@ -1,0 +1,100 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestOmittedPreconditionScenario reproduces paper §2.3: "omitting
+// NbLine >= 0 from the precondition of SkipLine yields an error message
+// during the analysis of the procedure. The message indicates that the
+// postcondition *PtrEndText == pre(*PtrEndText) + NbLine may not hold.
+// Interestingly, the counter-example produced by CSSV for this message
+// shows that this postcondition does not hold when the value of NbLine is
+// negative."
+func TestOmittedPreconditionScenario(t *testing.T) {
+	src := `
+void SkipLine(int NbLine, char **PtrEndText)
+    requires (is_within_bounds(*PtrEndText) && alloc(*PtrEndText) > NbLine)
+    modifies (*PtrEndText), (is_nullt(*PtrEndText)), (strlen(*PtrEndText))
+    ensures (is_nullt(*PtrEndText) && strlen(*PtrEndText) == 0 &&
+             *PtrEndText == pre(*PtrEndText) + NbLine)
+{
+    int indice;
+    char *PtrEndLoc;
+    indice = 0;
+begin_loop:
+    if (indice >= NbLine) goto end_loop;
+    PtrEndLoc = *PtrEndText;
+    *PtrEndLoc = '\n';
+    *PtrEndText = PtrEndLoc + 1;
+    indice = indice + 1;
+    goto begin_loop;
+end_loop:
+    PtrEndLoc = *PtrEndText;
+    *PtrEndLoc = '\0';
+}
+`
+	rep, err := AnalyzeSource("t.c", src, Options{Procs: []string{"SkipLine"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := rep.Proc("SkipLine")
+	var post *struct {
+		nbline string
+	}
+	for _, v := range pr.Violations {
+		if !strings.Contains(v.Msg, "postcondition of SkipLine") {
+			continue
+		}
+		for name, val := range v.CounterExample {
+			if strings.Contains(name, "NbLine") && strings.HasPrefix(val.RatString(), "-") {
+				post = &struct{ nbline string }{val.RatString()}
+			}
+		}
+	}
+	if post == nil {
+		t.Fatalf("expected a postcondition violation with a negative NbLine counter-example; got %v",
+			pr.Violations)
+	}
+	t.Logf("counter-example NbLine = %s (paper: 'does not hold when the value of NbLine is negative')", post.nbline)
+}
+
+// TestStrongerPreconditionScenario reproduces the follow-up: "requiring in
+// the precondition of SkipLine that *PtrEndText points-to a null-terminated
+// string will cause an error message regarding the call to SkipLine at line
+// [2] of main" (buf is freshly declared, not yet a string).
+func TestStrongerPreconditionScenario(t *testing.T) {
+	src := `
+void SkipLine(int NbLine, char **PtrEndText)
+    requires (is_nullt(*PtrEndText) &&
+              alloc(*PtrEndText) > NbLine && NbLine >= 0)
+    modifies (*PtrEndText), (is_nullt(*PtrEndText)), (strlen(*PtrEndText))
+    ensures (is_nullt(*PtrEndText))
+{
+    char *PtrEndLoc;
+    PtrEndLoc = *PtrEndText;
+    *PtrEndLoc = '\0';
+}
+void main() {
+    char buf[64];
+    char *r;
+    r = buf;
+    SkipLine(1, &r);
+}
+`
+	rep, err := AnalyzeSource("t.c", src, Options{Procs: []string{"main"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range rep.Proc("main").Violations {
+		if strings.Contains(v.Msg, "precondition of SkipLine") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("over-strong precondition not flagged at the call site: %v",
+			rep.Proc("main").Violations)
+	}
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/cast"
+	"repro/internal/ctypes"
+	"repro/internal/ppt"
+)
+
+// checkSideEffects verifies the modifies clause (paper §1: contracts "are
+// verified by the tool"; §1.2: the modification clause describes "the
+// objects that may be modified"): every store in P whose target escapes P's
+// frame — a global, or state reachable from a formal — must be covered by a
+// declared modifies entry, and so must the declared effects of callees.
+//
+// Procedures with no declared side-effect information are not checked
+// (their effects are unspecified, the vacuous-contract reading of §1.2).
+func checkSideEffects(fd *cast.FuncDecl, pt *ppt.PPT, ct *cast.Contract) []analysis.Violation {
+	if ct == nil || (len(ct.Modifies) == 0 && ct.Ensures == nil) {
+		return nil
+	}
+
+	covered := map[ppt.LocID]bool{}
+	for _, m := range ct.Modifies {
+		for _, l := range footprint(pt, m) {
+			covered[l] = true
+		}
+	}
+
+	// Locations owned by P's frame are always writable: locals (including
+	// normalization and snapshot temporaries), formals' own cells, and heap
+	// regions P allocates.
+	frame := map[ppt.LocID]bool{}
+	for _, p := range fd.Params {
+		if l, ok := pt.Lv(p.Name); ok {
+			frame[l] = true
+		}
+	}
+	for _, s := range fd.Body.Stmts {
+		if ds, ok := s.(*cast.DeclStmt); ok {
+			if l, ok := pt.Lv(ds.Decl.Name); ok {
+				frame[l] = true
+			}
+		}
+	}
+
+	exempt := func(l ppt.LocID) bool {
+		if covered[l] || frame[l] {
+			return true
+		}
+		name := pt.Loc(l).Name
+		return strings.Contains(name, "alloc#") && strings.HasSuffix(name, "@"+fd.Name)
+	}
+
+	var out []analysis.Violation
+	report := func(pos cast.Node, what string) {
+		out = append(out, analysis.Violation{
+			Msg: fmt.Sprintf("side effect outside the modifies clause: %s", what),
+			Pos: pos.Pos(),
+		})
+	}
+
+	for _, s := range fd.Body.Stmts {
+		es, ok := s.(*cast.ExprStmt)
+		if !ok {
+			continue
+		}
+		switch x := es.X.(type) {
+		case *cast.Assign:
+			if u, ok := x.LHS.(*cast.Unary); ok && u.Op == cast.Deref {
+				if id, ok := u.X.(*cast.Ident); ok {
+					for _, r := range pt.Rv(id.Name) {
+						if !exempt(r) {
+							report(s, fmt.Sprintf("store through *%s into %s", id.Name, pt.Loc(r).Name))
+						}
+					}
+				}
+			}
+			if c, ok := x.RHS.(*cast.Call); ok {
+				out = append(out, checkCallEffects(fd, pt, c, s, exempt)...)
+			}
+		case *cast.Call:
+			out = append(out, checkCallEffects(fd, pt, x, s, exempt)...)
+		}
+	}
+	return dedupViolations(out)
+}
+
+// checkCallEffects propagates a callee's declared modifies through the
+// actuals and checks coverage.
+func checkCallEffects(fd *cast.FuncDecl, pt *ppt.PPT, c *cast.Call, at cast.Stmt, exempt func(ppt.LocID) bool) []analysis.Violation {
+	var out []analysis.Violation
+	callee := c.FuncName()
+	if callee == "" {
+		return nil
+	}
+	// The callee's contract was available to the inliner through the same
+	// file; reconstructing it here would re-parse, so the PPT path suffices:
+	// any pointer argument whose target escapes is treated as potentially
+	// written only when the callee declares effects — conservatively we
+	// check pointer arguments of known-mutating library models.
+	if !mutatingLib[callee] {
+		return nil
+	}
+	if len(c.Args) == 0 {
+		return nil
+	}
+	if id, ok := c.Args[0].(*cast.Ident); ok {
+		targets := pt.Rv(id.Name)
+		if t := id.Type(); t != nil && ctypes.IsArray(t) {
+			if l, ok := pt.Lv(id.Name); ok {
+				targets = []ppt.LocID{l}
+			}
+		}
+		for _, r := range targets {
+			if !exempt(r) {
+				out = append(out, analysis.Violation{
+					Msg: fmt.Sprintf("side effect outside the modifies clause: %s writes %s",
+						callee, pt.Loc(r).Name),
+					Pos: at.Pos(),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// mutatingLib lists library models whose first argument's buffer is
+// written.
+var mutatingLib = map[string]bool{
+	"strcpy": true, "strncpy": true, "strcat": true, "strncat": true,
+	"memset": true, "memcpy": true, "fgets": true, "gets": true,
+	"sprintf": true,
+}
+
+// footprint resolves a modifies entry to the abstract locations it covers.
+// Attribute entries and bare pointers cover the target regions; lvalue
+// derefs cover the cells.
+func footprint(pt *ppt.PPT, e cast.Expr) []ppt.LocID {
+	switch m := e.(type) {
+	case *cast.Call:
+		if len(m.Args) == 1 {
+			return footprintRegions(pt, m.Args[0])
+		}
+	case *cast.Ident:
+		if t := m.Type(); t != nil && ctypes.IsArray(t) {
+			if l, ok := pt.Lv(m.Name); ok {
+				return []ppt.LocID{l}
+			}
+		}
+		return footprintRegions(pt, m)
+	case *cast.Unary:
+		if m.Op == cast.Deref {
+			cells := footprintRegions(pt, m.X)
+			// The cell *p is covered, and — because rewriting a pointer
+			// cell is how its buffer gets rebuilt in the paper's idiom —
+			// so is what those cells reference.
+			var out []ppt.LocID
+			out = append(out, cells...)
+			for _, cl := range cells {
+				out = append(out, pt.Pt(cl)...)
+			}
+			return out
+		}
+	}
+	return nil
+}
+
+// footprintRegions returns the points-to targets of a pointer path.
+func footprintRegions(pt *ppt.PPT, e cast.Expr) []ppt.LocID {
+	switch x := e.(type) {
+	case *cast.Ident:
+		if t := x.Type(); t != nil && ctypes.IsArray(t) {
+			if l, ok := pt.Lv(x.Name); ok {
+				return []ppt.LocID{l}
+			}
+		}
+		return pt.Rv(x.Name)
+	case *cast.Unary:
+		if x.Op == cast.Deref {
+			var out []ppt.LocID
+			for _, c := range footprintRegions(pt, x.X) {
+				out = append(out, pt.Pt(c)...)
+			}
+			return out
+		}
+	}
+	return nil
+}
+
+func dedupViolations(vs []analysis.Violation) []analysis.Violation {
+	seen := map[string]bool{}
+	var out []analysis.Violation
+	for _, v := range vs {
+		key := v.Pos.String() + "|" + v.Msg
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}

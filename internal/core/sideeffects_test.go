@@ -1,0 +1,132 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSideEffectCheckFlagsUndeclaredWrite: a procedure that writes through
+// a formal without declaring it violates its own contract.
+func TestSideEffectCheckFlagsUndeclaredWrite(t *testing.T) {
+	src := `
+void sneaky(char *dst, char *src)
+    requires (is_nullt(src) && alloc(dst) >= 1)
+    modifies (strlen(src))
+    ensures (is_nullt(src))
+{
+    *dst = '\0';
+}
+`
+	rep, err := AnalyzeSource("t.c", src, Options{Procs: []string{"sneaky"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range rep.Procs[0].Violations {
+		if strings.Contains(v.Msg, "side effect outside the modifies clause") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("undeclared write not flagged; messages: %v", rep.Procs[0].Violations)
+	}
+}
+
+// TestSideEffectCheckAcceptsDeclaredWrite: the same procedure with an
+// honest clause is clean.
+func TestSideEffectCheckAcceptsDeclaredWrite(t *testing.T) {
+	src := `
+void honest(char *dst)
+    requires (alloc(dst) >= 1)
+    modifies (dst)
+    ensures (is_nullt(dst))
+{
+    *dst = '\0';
+}
+`
+	rep, err := AnalyzeSource("t.c", src, Options{Procs: []string{"honest"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Procs[0].Violations {
+		if strings.Contains(v.Msg, "side effect") {
+			t.Errorf("declared write flagged: %s", v.Msg)
+		}
+	}
+}
+
+// TestSideEffectCheckLocalWritesExempt: stores into locals and into the
+// procedure's own allocations never need declaring.
+func TestSideEffectCheckLocalWritesExempt(t *testing.T) {
+	src := `
+void *malloc(int n);
+int localwriter(char *src)
+    requires (is_nullt(src) && strlen(src) < 8)
+    ensures (return_value >= 0)
+{
+    char buf[8];
+    char *h;
+    strcpy(buf, src);
+    h = (char*)malloc(4);
+    *h = '\0';
+    return 0;
+}
+`
+	rep, err := AnalyzeSource("t.c", src, Options{Procs: []string{"localwriter"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Procs[0].Violations {
+		if strings.Contains(v.Msg, "side effect") {
+			t.Errorf("frame-local write flagged: %s", v.Msg)
+		}
+	}
+}
+
+// TestSideEffectCheckLibraryCalls: undeclared effects through library
+// models (strcpy into a global) are flagged.
+func TestSideEffectCheckLibraryCalls(t *testing.T) {
+	src := `
+char gbuf[32];
+void fills(char *src)
+    requires (is_nullt(src) && strlen(src) < 32)
+    ensures (is_nullt(src))
+{
+    strcpy(gbuf, src);
+}
+`
+	rep, err := AnalyzeSource("t.c", src, Options{Procs: []string{"fills"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range rep.Procs[0].Violations {
+		if strings.Contains(v.Msg, "strcpy writes") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("library write into a global not flagged: %v", rep.Procs[0].Violations)
+	}
+}
+
+// TestSideEffectCheckUnspecifiedContractSkipped: no modifies and no ensures
+// means the effects are unspecified and unchecked.
+func TestSideEffectCheckUnspecifiedContractSkipped(t *testing.T) {
+	src := `
+void writer(char *dst)
+    requires (alloc(dst) >= 1)
+{
+    *dst = '\0';
+}
+`
+	rep, err := AnalyzeSource("t.c", src, Options{Procs: []string{"writer"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Procs[0].Violations {
+		if strings.Contains(v.Msg, "side effect") {
+			t.Errorf("unspecified contract checked: %s", v.Msg)
+		}
+	}
+}

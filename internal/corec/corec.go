@@ -1,0 +1,306 @@
+// Package corec lowers parsed C into CoreC, the simplified subset that CSSV
+// is defined over (paper §2.1, [38]):
+//
+//	(i)   control flow is only if/goto (loops, break, continue are lowered);
+//	(ii)  expressions are side-effect free and non-nested;
+//	(iii) all assignments are statements;
+//	(iv)  declarations have no initializations (and are hoisted to the top);
+//	(v)   address-of formal parameters is eliminated via a local copy.
+//
+// After normalization, every function body is a flat statement list where
+// each statement is one of the CoreC forms validated by Validate:
+//
+//	x = atom            x = unop atom        x = atom binop atom
+//	x = *p              *p = atom            x = &v
+//	x = (T)atom         x = f(atoms...)      f(atoms...)
+//	if (cond) goto L    goto L               L: ;
+//	return [atom]       __assert(e)          __assume(e)
+//
+// where atom is an identifier or integer literal and cond is "atom",
+// "!atom", or "atom relop atom". Struct member accesses are lowered to
+// byte-level pointer arithmetic (cast to char*, add the field offset, cast
+// back), matching the paper's low-level memory model (§2.4). Array indexing
+// a[i] is lowered to pointer arithmetic t = a + i; *t.
+package corec
+
+import (
+	"fmt"
+
+	"repro/internal/cast"
+	"repro/internal/clex"
+	"repro/internal/ctypes"
+)
+
+// StringTable maps generated global buffer names to the string contents
+// they hold (the null terminator is not included in the value but is
+// counted in the buffer's declared size).
+type StringTable map[string]string
+
+// Program is a normalized translation unit.
+type Program struct {
+	File *cast.File
+	// Strings lists the synthetic globals generated for string literals.
+	Strings StringTable
+}
+
+// Normalize lowers every function definition in f to CoreC. The input AST
+// is not modified; prototypes, contracts, globals and struct declarations
+// are carried over.
+func Normalize(f *cast.File) (*Program, error) {
+	n := &normalizer{strings: StringTable{}}
+	out := &cast.File{Name: f.Name}
+	var stringDecls []cast.Decl
+	for _, d := range f.Decls {
+		fd, ok := d.(*cast.FuncDecl)
+		if !ok || fd.Body == nil {
+			out.Decls = append(out.Decls, d)
+			continue
+		}
+		nf, err := n.function(fd)
+		if err != nil {
+			return nil, err
+		}
+		out.Decls = append(out.Decls, nf)
+	}
+	for name, val := range n.strings {
+		vd := &cast.VarDecl{
+			Name:     name,
+			DeclType: ctypes.Array{Elem: ctypes.Char, Len: len(val) + 1},
+			Storage:  cast.SCStatic,
+		}
+		stringDecls = append(stringDecls, vd)
+	}
+	out.Decls = append(stringDecls, out.Decls...)
+	return &Program{File: out, Strings: n.strings}, nil
+}
+
+// Renormalize normalizes a file derived from a previously normalized
+// program (e.g. after contract inlining), carrying over the string-literal
+// table: the __strN globals already present in the file keep the contents
+// recorded by the first pass.
+func Renormalize(prior *Program, file *cast.File) (*Program, error) {
+	out, err := Normalize(file)
+	if err != nil {
+		return nil, err
+	}
+	for name, val := range prior.Strings {
+		if _, clash := out.Strings[name]; !clash {
+			out.Strings[name] = val
+		}
+	}
+	return out, nil
+}
+
+type normalizer struct {
+	strings StringTable
+	nstr    int
+}
+
+type funcNorm struct {
+	n        *normalizer
+	fd       *cast.FuncDecl
+	out      []cast.Stmt
+	decls    []*cast.VarDecl
+	ntmp     int
+	nlbl     int
+	rename   []map[string]string // scope stack for local renaming
+	declared map[string]bool     // all names claimed in this function
+	breakLbl string
+	contLbl  string
+}
+
+func (n *normalizer) function(fd *cast.FuncDecl) (*cast.FuncDecl, error) {
+	fn := &funcNorm{
+		n:        n,
+		fd:       fd,
+		declared: map[string]bool{},
+	}
+	for _, p := range fd.Params {
+		fn.declared[p.Name] = true
+	}
+	// Renormalization safety: skip fresh-name counters past any __tN / __LN
+	// already present (e.g. when the contract inliner re-feeds a normalized
+	// function).
+	cast.WalkStmt(fd.Body, func(s cast.Stmt) bool {
+		if l, ok := s.(*cast.Labeled); ok {
+			var k int
+			if _, err := fmt.Sscanf(l.Label, "__L%d", &k); err == nil && k >= fn.nlbl {
+				fn.nlbl = k + 1
+			}
+		}
+		if ds, ok := s.(*cast.DeclStmt); ok {
+			var k int
+			if _, err := fmt.Sscanf(ds.Decl.Name, "__t%d", &k); err == nil && k >= fn.ntmp {
+				fn.ntmp = k + 1
+			}
+		}
+		return true
+	})
+	fn.pushScope()
+
+	// Rule (v): formals whose address is taken get a local copy.
+	copies, err := fn.copyAddressedFormals()
+	if err != nil {
+		return nil, err
+	}
+
+	if err := fn.stmt(fd.Body); err != nil {
+		return nil, err
+	}
+
+	nf := &cast.FuncDecl{
+		Name:     fd.Name,
+		Ret:      fd.Ret,
+		Params:   fd.Params,
+		Variadic: fd.Variadic,
+		Contract: fd.Contract,
+	}
+	nf.P = fd.Pos()
+	body := &cast.Block{}
+	body.P = fd.Body.Pos()
+	for _, vd := range fn.decls {
+		ds := &cast.DeclStmt{Decl: vd}
+		ds.P = vd.Pos()
+		body.Stmts = append(body.Stmts, ds)
+	}
+	body.Stmts = append(body.Stmts, copies...)
+	body.Stmts = append(body.Stmts, fn.out...)
+	nf.Body = body
+	return nf, nil
+}
+
+// ---------------------------------------------------------------------------
+// Naming
+
+func (fn *funcNorm) pushScope() {
+	fn.rename = append(fn.rename, map[string]string{})
+}
+
+func (fn *funcNorm) popScope() {
+	fn.rename = fn.rename[:len(fn.rename)-1]
+}
+
+func (fn *funcNorm) resolve(name string) string {
+	for i := len(fn.rename) - 1; i >= 0; i-- {
+		if r, ok := fn.rename[i][name]; ok {
+			return r
+		}
+	}
+	return name
+}
+
+// declareLocal hoists a local declaration, renaming on collision, and
+// returns the unique name.
+func (fn *funcNorm) declareLocal(name string, t ctypes.Type, pos clex.Pos) string {
+	unique := name
+	for i := 1; fn.declared[unique]; i++ {
+		unique = fmt.Sprintf("%s__%d", name, i)
+	}
+	fn.declared[unique] = true
+	fn.rename[len(fn.rename)-1][name] = unique
+	vd := &cast.VarDecl{Name: unique, DeclType: t}
+	vd.P = pos
+	fn.decls = append(fn.decls, vd)
+	return unique
+}
+
+func (fn *funcNorm) freshTemp(t ctypes.Type, pos clex.Pos) *cast.Ident {
+	name := fmt.Sprintf("__t%d", fn.ntmp)
+	fn.ntmp++
+	fn.declared[name] = true
+	vd := &cast.VarDecl{Name: name, DeclType: t}
+	vd.P = pos
+	fn.decls = append(fn.decls, vd)
+	id := &cast.Ident{Name: name}
+	id.P = pos
+	id.SetType(t)
+	return id
+}
+
+func (fn *funcNorm) freshLabel() string {
+	l := fmt.Sprintf("__L%d", fn.nlbl)
+	fn.nlbl++
+	return l
+}
+
+// ---------------------------------------------------------------------------
+// Emission helpers
+
+func (fn *funcNorm) emit(s cast.Stmt) { fn.out = append(fn.out, s) }
+
+func (fn *funcNorm) emitAssign(lhs, rhs cast.Expr, pos clex.Pos) {
+	a := &cast.Assign{Op: cast.PlainAssign, LHS: lhs, RHS: rhs}
+	a.P = pos
+	a.SetType(ctypes.Decay(lhs.Type()))
+	es := &cast.ExprStmt{X: a}
+	es.P = pos
+	fn.emit(es)
+}
+
+func (fn *funcNorm) emitGoto(label string, pos clex.Pos) {
+	g := &cast.Goto{Label: label}
+	g.P = pos
+	fn.emit(g)
+}
+
+func (fn *funcNorm) emitLabel(label string, pos clex.Pos) {
+	e := &cast.Empty{}
+	e.P = pos
+	l := &cast.Labeled{Label: label, Stmt: e}
+	l.P = pos
+	fn.emit(l)
+}
+
+func (fn *funcNorm) emitIfGoto(cond cast.Expr, label string, pos clex.Pos) {
+	g := &cast.Goto{Label: label}
+	g.P = pos
+	s := &cast.If{Cond: cond, Then: g}
+	s.P = pos
+	fn.emit(s)
+}
+
+// ---------------------------------------------------------------------------
+// Address-of formals (rule v)
+
+func (fn *funcNorm) copyAddressedFormals() ([]cast.Stmt, error) {
+	addressed := map[string]bool{}
+	cast.WalkStmt(fn.fd.Body, func(s cast.Stmt) bool {
+		cast.ExprsOf(s, func(e cast.Expr) {
+			cast.WalkExpr(e, func(x cast.Expr) bool {
+				if u, ok := x.(*cast.Unary); ok && u.Op == cast.Addr {
+					if id, ok := u.X.(*cast.Ident); ok {
+						for _, p := range fn.fd.Params {
+							if p.Name == id.Name {
+								addressed[id.Name] = true
+							}
+						}
+					}
+				}
+				return true
+			})
+		})
+		return true
+	})
+	var copies []cast.Stmt
+	for _, p := range fn.fd.Params {
+		if !addressed[p.Name] {
+			continue
+		}
+		local := fn.declareLocal(p.Name+"__copy", p.Type, fn.fd.Pos())
+		// All body references to the formal go through the copy.
+		fn.rename[0][p.Name] = local
+		lhs := &cast.Ident{Name: local}
+		lhs.SetType(p.Type)
+		lhs.P = fn.fd.Pos()
+		rhs := &cast.Ident{Name: p.Name}
+		rhs.SetType(p.Type)
+		rhs.P = fn.fd.Pos()
+		a := &cast.Assign{Op: cast.PlainAssign, LHS: lhs, RHS: rhs}
+		a.SetType(p.Type)
+		a.P = fn.fd.Pos()
+		es := &cast.ExprStmt{X: a}
+		es.P = fn.fd.Pos()
+		copies = append(copies, es)
+	}
+	return copies, nil
+}

@@ -1,0 +1,245 @@
+package corec
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cast"
+	"repro/internal/cparse"
+)
+
+func normalize(t *testing.T, src string) *Program {
+	t.Helper()
+	f, err := cparse.ParseFile("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	p, err := Normalize(f)
+	if err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	return p
+}
+
+func validateAll(t *testing.T, p *Program) {
+	t.Helper()
+	for _, fd := range p.File.Funcs() {
+		if err := Validate(fd); err != nil {
+			t.Errorf("%s not CoreC: %v\n%s", fd.Name, err, cast.FuncString(fd))
+		}
+	}
+}
+
+func TestNormalizeLoops(t *testing.T) {
+	src := `
+void f(int n) {
+    int i;
+    int sum;
+    sum = 0;
+    for (i = 0; i < n; i++) {
+        if (i == 3) continue;
+        if (i == 7) break;
+        sum += i;
+    }
+    while (sum > 0) sum--;
+    do { sum++; } while (sum < 10);
+}
+`
+	p := normalize(t, src)
+	validateAll(t, p)
+	fd := p.File.Lookup("f")
+	// No loop constructs may remain.
+	cast.WalkStmt(fd.Body, func(s cast.Stmt) bool {
+		switch s.(type) {
+		case *cast.While, *cast.DoWhile, *cast.For, *cast.Break, *cast.Continue:
+			t.Errorf("loop construct %T survived normalization", s)
+		}
+		return true
+	})
+}
+
+func TestNormalizeNestedExpr(t *testing.T) {
+	src := `
+int g(int);
+void f(int a, int b) {
+    int x;
+    x = g(a + b * 2) + g(a - 1);
+}
+`
+	p := normalize(t, src)
+	validateAll(t, p)
+}
+
+func TestNormalizeStringLiteral(t *testing.T) {
+	src := `
+void f(char *dst) {
+    char *p;
+    p = "hello";
+}
+`
+	p := normalize(t, src)
+	validateAll(t, p)
+	if len(p.Strings) != 1 {
+		t.Fatalf("strings = %v, want 1 entry", p.Strings)
+	}
+	for name, val := range p.Strings {
+		if val != "hello" {
+			t.Errorf("string value = %q", val)
+		}
+		if !strings.HasPrefix(name, "__str") {
+			t.Errorf("string name = %q", name)
+		}
+	}
+}
+
+func TestNormalizeAddressedFormal(t *testing.T) {
+	src := `
+void g(int *p);
+void f(int n) {
+    g(&n);
+    n = n + 1;
+}
+`
+	p := normalize(t, src)
+	validateAll(t, p)
+	fd := p.File.Lookup("f")
+	// The formal must not have its address taken; a copy must exist.
+	text := cast.FuncString(fd)
+	if !strings.Contains(text, "n__copy") {
+		t.Errorf("no formal copy introduced:\n%s", text)
+	}
+	if strings.Contains(text, "&n;") {
+		t.Errorf("address of formal survived:\n%s", text)
+	}
+}
+
+func TestNormalizeMemberAccess(t *testing.T) {
+	src := `
+struct line { char text[80]; int len; };
+void f(struct line *l) {
+    l->len = 3;
+    l->text[0] = 'x';
+}
+`
+	p := normalize(t, src)
+	validateAll(t, p)
+}
+
+func TestNormalizeTernaryLogical(t *testing.T) {
+	src := `
+void f(int a, int b) {
+    int m;
+    int c;
+    m = a > b ? a : b;
+    c = a > 0 && b > 0;
+    c = a || b;
+}
+`
+	p := normalize(t, src)
+	validateAll(t, p)
+}
+
+func TestNormalizeIncDec(t *testing.T) {
+	src := `
+void f(char *p) {
+    char c;
+    int i;
+    i = 0;
+    c = *p++;
+    ++i;
+    i--;
+}
+`
+	p := normalize(t, src)
+	validateAll(t, p)
+}
+
+func TestNormalizeScopes(t *testing.T) {
+	src := `
+void f(int n) {
+    int x;
+    x = 1;
+    {
+        int x;
+        x = 2;
+        {
+            int x;
+            x = 3;
+        }
+    }
+    x = 4;
+}
+`
+	p := normalize(t, src)
+	validateAll(t, p)
+	fd := p.File.Lookup("f")
+	names := map[string]bool{}
+	for _, s := range fd.Body.Stmts {
+		if ds, ok := s.(*cast.DeclStmt); ok {
+			if names[ds.Decl.Name] {
+				t.Errorf("duplicate hoisted declaration %q", ds.Decl.Name)
+			}
+			names[ds.Decl.Name] = true
+		}
+	}
+	if len(names) != 3 {
+		t.Errorf("got %d hoisted locals, want 3 (x renamed twice)", len(names))
+	}
+}
+
+func TestNormalizeSkipLineStyle(t *testing.T) {
+	// The paper's Fig. 3 SkipLine is already CoreC; normalization should
+	// keep its structure (gotos, labels, simple assignments).
+	src := `
+void SkipLine(int NbLine, char **PtrEndText) {
+    int indice;
+    char *PtrEndLoc;
+    indice = 0;
+begin_loop:
+    if (indice >= NbLine) goto end_loop;
+    PtrEndLoc = *PtrEndText;
+    *PtrEndLoc = '\n';
+    *PtrEndText = PtrEndLoc + 1;
+    indice = indice + 1;
+    goto begin_loop;
+end_loop:
+    PtrEndLoc = *PtrEndText;
+    *PtrEndLoc = '\0';
+}
+`
+	p := normalize(t, src)
+	validateAll(t, p)
+	fd := p.File.Lookup("SkipLine")
+	st := StatsOf(fd)
+	if st.Temps != 0 {
+		t.Errorf("SkipLine needed %d temps, want 0\n%s", st.Temps, cast.FuncString(fd))
+	}
+}
+
+func TestNormalizeCalls(t *testing.T) {
+	src := `
+int strlen_(char *s);
+void f(char *a, char *b) {
+    int n;
+    n = strlen_(a) + strlen_(b);
+    strlen_(a);
+}
+`
+	p := normalize(t, src)
+	validateAll(t, p)
+}
+
+func TestNormalizeFunctionPointer(t *testing.T) {
+	src := `
+int h(int);
+void f(int x) {
+    int (*fp)(int);
+    int r;
+    fp = &h;
+    r = (*fp)(x);
+    r = fp(x);
+}
+`
+	p := normalize(t, src)
+	validateAll(t, p)
+}

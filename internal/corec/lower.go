@@ -1,0 +1,796 @@
+package corec
+
+import (
+	"fmt"
+
+	"repro/internal/cast"
+	"repro/internal/clex"
+	"repro/internal/ctypes"
+)
+
+// Error is a normalization error.
+type Error struct {
+	Pos clex.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos clex.Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (fn *funcNorm) stmt(s cast.Stmt) error {
+	switch s := s.(type) {
+	case *cast.Block:
+		fn.pushScope()
+		for _, t := range s.Stmts {
+			if err := fn.stmt(t); err != nil {
+				return err
+			}
+		}
+		fn.popScope()
+		return nil
+	case *cast.Empty:
+		return nil
+	case *cast.DeclStmt:
+		name := fn.declareLocal(s.Decl.Name, s.Decl.DeclType, s.Pos())
+		if s.Init != nil {
+			lhs := &cast.Ident{Name: name}
+			lhs.P = s.Pos()
+			lhs.SetType(s.Decl.DeclType)
+			a := &cast.Assign{Op: cast.PlainAssign, LHS: lhs, RHS: s.Init}
+			a.P = s.Pos()
+			a.SetType(ctypes.Decay(s.Decl.DeclType))
+			_, err := fn.lowerAssign(a)
+			return err
+		}
+		return nil
+	case *cast.ExprStmt:
+		return fn.exprForEffect(s.X)
+	case *cast.If:
+		// "if (c) goto L" is already CoreC-shaped; branch directly.
+		if g, ok := s.Then.(*cast.Goto); ok && s.Else == nil {
+			return fn.condGoto(s.Cond, g.Label, true)
+		}
+		if s.Else == nil {
+			end := fn.freshLabel()
+			if err := fn.condGoto(s.Cond, end, false); err != nil {
+				return err
+			}
+			if err := fn.stmt(s.Then); err != nil {
+				return err
+			}
+			fn.emitLabel(end, s.Pos())
+			return nil
+		}
+		elseL := fn.freshLabel()
+		end := fn.freshLabel()
+		if err := fn.condGoto(s.Cond, elseL, false); err != nil {
+			return err
+		}
+		if err := fn.stmt(s.Then); err != nil {
+			return err
+		}
+		fn.emitGoto(end, s.Pos())
+		fn.emitLabel(elseL, s.Pos())
+		if err := fn.stmt(s.Else); err != nil {
+			return err
+		}
+		fn.emitLabel(end, s.Pos())
+		return nil
+	case *cast.While:
+		start := fn.freshLabel()
+		end := fn.freshLabel()
+		fn.emitLabel(start, s.Pos())
+		if err := fn.condGoto(s.Cond, end, false); err != nil {
+			return err
+		}
+		if err := fn.loopBody(s.Body, end, start); err != nil {
+			return err
+		}
+		fn.emitGoto(start, s.Pos())
+		fn.emitLabel(end, s.Pos())
+		return nil
+	case *cast.DoWhile:
+		start := fn.freshLabel()
+		check := fn.freshLabel()
+		end := fn.freshLabel()
+		fn.emitLabel(start, s.Pos())
+		if err := fn.loopBody(s.Body, end, check); err != nil {
+			return err
+		}
+		fn.emitLabel(check, s.Pos())
+		if err := fn.condGoto(s.Cond, start, true); err != nil {
+			return err
+		}
+		fn.emitLabel(end, s.Pos())
+		return nil
+	case *cast.For:
+		fn.pushScope()
+		defer fn.popScope()
+		if s.Init != nil {
+			if err := fn.stmt(s.Init); err != nil {
+				return err
+			}
+		}
+		start := fn.freshLabel()
+		post := fn.freshLabel()
+		end := fn.freshLabel()
+		fn.emitLabel(start, s.Pos())
+		if s.Cond != nil {
+			if err := fn.condGoto(s.Cond, end, false); err != nil {
+				return err
+			}
+		}
+		if err := fn.loopBody(s.Body, end, post); err != nil {
+			return err
+		}
+		fn.emitLabel(post, s.Pos())
+		if s.Post != nil {
+			if err := fn.exprForEffect(s.Post); err != nil {
+				return err
+			}
+		}
+		fn.emitGoto(start, s.Pos())
+		fn.emitLabel(end, s.Pos())
+		return nil
+	case *cast.Break:
+		if fn.breakLbl == "" {
+			return errf(s.Pos(), "break outside loop")
+		}
+		fn.emitGoto(fn.breakLbl, s.Pos())
+		return nil
+	case *cast.Continue:
+		if fn.contLbl == "" {
+			return errf(s.Pos(), "continue outside loop")
+		}
+		fn.emitGoto(fn.contLbl, s.Pos())
+		return nil
+	case *cast.Goto:
+		fn.emitGoto(s.Label, s.Pos())
+		return nil
+	case *cast.Labeled:
+		fn.emitLabel(s.Label, s.Pos())
+		return fn.stmt(s.Stmt)
+	case *cast.Return:
+		if s.X == nil {
+			r := &cast.Return{}
+			r.P = s.Pos()
+			fn.emit(r)
+			return nil
+		}
+		a, err := fn.atom(s.X)
+		if err != nil {
+			return err
+		}
+		r := &cast.Return{X: a}
+		r.P = s.Pos()
+		fn.emit(r)
+		return nil
+	case *cast.Verify:
+		// Contract-expression statements are kept symbolic; only local
+		// renaming applies.
+		v := &cast.Verify{Kind: s.Kind, Cond: fn.renameExpr(s.Cond), Reason: s.Reason, Site: s.Site}
+		v.P = s.Pos()
+		fn.emit(v)
+		return nil
+	}
+	return errf(s.Pos(), "cannot normalize %T", s)
+}
+
+func (fn *funcNorm) loopBody(body cast.Stmt, breakLbl, contLbl string) error {
+	savedB, savedC := fn.breakLbl, fn.contLbl
+	fn.breakLbl, fn.contLbl = breakLbl, contLbl
+	err := fn.stmt(body)
+	fn.breakLbl, fn.contLbl = savedB, savedC
+	return err
+}
+
+// renameExpr applies local renaming without flattening (for contract text).
+func (fn *funcNorm) renameExpr(e cast.Expr) cast.Expr {
+	repl := map[string]cast.Expr{}
+	for _, name := range cast.FreeIdents(e) {
+		if r := fn.resolve(name); r != name {
+			id := &cast.Ident{Name: r}
+			repl[name] = id
+		}
+	}
+	if len(repl) == 0 {
+		return e
+	}
+	return cast.SubstituteIdents(e, repl)
+}
+
+// ---------------------------------------------------------------------------
+// Conditions
+
+var negRel = map[cast.BinaryOp]cast.BinaryOp{
+	cast.Lt: cast.Ge, cast.Le: cast.Gt, cast.Gt: cast.Le, cast.Ge: cast.Lt,
+	cast.Eq: cast.Ne, cast.Ne: cast.Eq,
+}
+
+// condGoto emits code that jumps to label when e's truth equals jumpIfTrue.
+func (fn *funcNorm) condGoto(e cast.Expr, label string, jumpIfTrue bool) error {
+	switch x := e.(type) {
+	case *cast.Binary:
+		switch {
+		case x.Op == cast.LogAnd:
+			if jumpIfTrue {
+				skip := fn.freshLabel()
+				if err := fn.condGoto(x.X, skip, false); err != nil {
+					return err
+				}
+				if err := fn.condGoto(x.Y, label, true); err != nil {
+					return err
+				}
+				fn.emitLabel(skip, e.Pos())
+				return nil
+			}
+			if err := fn.condGoto(x.X, label, false); err != nil {
+				return err
+			}
+			return fn.condGoto(x.Y, label, false)
+		case x.Op == cast.LogOr:
+			if jumpIfTrue {
+				if err := fn.condGoto(x.X, label, true); err != nil {
+					return err
+				}
+				return fn.condGoto(x.Y, label, true)
+			}
+			skip := fn.freshLabel()
+			if err := fn.condGoto(x.X, skip, true); err != nil {
+				return err
+			}
+			if err := fn.condGoto(x.Y, label, false); err != nil {
+				return err
+			}
+			fn.emitLabel(skip, e.Pos())
+			return nil
+		case x.Op.IsComparison():
+			a, err := fn.atom(x.X)
+			if err != nil {
+				return err
+			}
+			b, err := fn.atom(x.Y)
+			if err != nil {
+				return err
+			}
+			op := x.Op
+			if !jumpIfTrue {
+				op = negRel[op]
+			}
+			c := &cast.Binary{Op: op, X: a, Y: b}
+			c.P = e.Pos()
+			c.SetType(ctypes.Int)
+			fn.emitIfGoto(c, label, e.Pos())
+			return nil
+		}
+	case *cast.Unary:
+		if x.Op == cast.LogNot {
+			return fn.condGoto(x.X, label, !jumpIfTrue)
+		}
+	}
+	// General case: compare the value against zero.
+	a, err := fn.atom(e)
+	if err != nil {
+		return err
+	}
+	op := cast.Ne
+	if !jumpIfTrue {
+		op = cast.Eq
+	}
+	zero := &cast.IntLit{}
+	zero.P = e.Pos()
+	zero.SetType(ctypes.Int)
+	c := &cast.Binary{Op: op, X: a, Y: zero}
+	c.P = e.Pos()
+	c.SetType(ctypes.Int)
+	fn.emitIfGoto(c, label, e.Pos())
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+func isAtom(e cast.Expr) bool {
+	switch e.(type) {
+	case *cast.Ident, *cast.IntLit:
+		return true
+	}
+	return false
+}
+
+// atom lowers e to an identifier or literal, emitting statements as needed.
+func (fn *funcNorm) atom(e cast.Expr) (cast.Expr, error) {
+	switch x := e.(type) {
+	case *cast.IntLit:
+		c := *x
+		return &c, nil
+	case *cast.Ident:
+		c := *x
+		c.Name = fn.resolve(x.Name)
+		return &c, nil
+	case *cast.SizeofType:
+		lit := &cast.IntLit{Value: int64(x.Of.Size())}
+		lit.P = x.Pos()
+		lit.SetType(ctypes.Int)
+		return lit, nil
+	case *cast.StringLit:
+		return fn.stringGlobal(x), nil
+	case *cast.Unary:
+		if x.Op == cast.Neg {
+			if lit, ok := x.X.(*cast.IntLit); ok {
+				c := *lit
+				c.Value = -c.Value
+				c.P = x.Pos()
+				return &c, nil
+			}
+		}
+	case *cast.Assign:
+		v, err := fn.lowerAssign(x)
+		if err != nil {
+			return nil, err
+		}
+		if isAtom(v) {
+			return v, nil
+		}
+		t := fn.freshTemp(ctypes.Decay(v.Type()), e.Pos())
+		fn.emitAssign(t, v, e.Pos())
+		return t, nil
+	case *cast.IncDec:
+		return fn.lowerIncDec(x)
+	}
+	// Everything else: compute a simple RHS into a temp.
+	rhs, err := fn.simpleRHS(e)
+	if err != nil {
+		return nil, err
+	}
+	if isAtom(rhs) {
+		return rhs, nil
+	}
+	t := fn.freshTemp(ctypes.Decay(e.Type()), e.Pos())
+	fn.emitAssign(t, rhs, e.Pos())
+	return t, nil
+}
+
+// simpleRHS lowers e into a legal CoreC right-hand side (possibly an atom),
+// emitting statements for subexpressions.
+func (fn *funcNorm) simpleRHS(e cast.Expr) (cast.Expr, error) {
+	switch x := e.(type) {
+	case *cast.IntLit, *cast.Ident, *cast.StringLit, *cast.SizeofType:
+		return fn.atom(e)
+	case *cast.Unary:
+		switch x.Op {
+		case cast.Deref:
+			p, err := fn.atom(x.X)
+			if err != nil {
+				return nil, err
+			}
+			u := &cast.Unary{Op: cast.Deref, X: p}
+			u.P = x.Pos()
+			u.SetType(x.Type())
+			return u, nil
+		case cast.Addr:
+			return fn.addressOf(x.X)
+		default:
+			if lit, ok := x.X.(*cast.IntLit); ok && x.Op == cast.Neg {
+				c := *lit
+				c.Value = -c.Value
+				return &c, nil
+			}
+			a, err := fn.atom(x.X)
+			if err != nil {
+				return nil, err
+			}
+			u := &cast.Unary{Op: x.Op, X: a}
+			u.P = x.Pos()
+			u.SetType(x.Type())
+			return u, nil
+		}
+	case *cast.Binary:
+		if x.Op.IsLogical() {
+			return fn.lowerLogical(x)
+		}
+		a, err := fn.atom(x.X)
+		if err != nil {
+			return nil, err
+		}
+		b, err := fn.atom(x.Y)
+		if err != nil {
+			return nil, err
+		}
+		bin := &cast.Binary{Op: x.Op, X: a, Y: b}
+		bin.P = x.Pos()
+		bin.SetType(x.Type())
+		return bin, nil
+	case *cast.Assign:
+		return fn.lowerAssign(x)
+	case *cast.IncDec:
+		return fn.lowerIncDec(x)
+	case *cast.Call:
+		return fn.lowerCall(x)
+	case *cast.Index:
+		return fn.loadOrDecay(x)
+	case *cast.Member:
+		return fn.loadOrDecay(x)
+	case *cast.Cast:
+		a, err := fn.atom(x.X)
+		if err != nil {
+			return nil, err
+		}
+		if ctypes.Decay(a.Type()).Equal(ctypes.Decay(x.To)) {
+			return a, nil
+		}
+		c := &cast.Cast{To: x.To, X: a}
+		c.P = x.Pos()
+		c.SetType(x.To)
+		return c, nil
+	case *cast.Cond:
+		t := fn.freshTemp(ctypes.Decay(x.Type()), x.Pos())
+		elseL := fn.freshLabel()
+		end := fn.freshLabel()
+		if err := fn.condGoto(x.C, elseL, false); err != nil {
+			return nil, err
+		}
+		v1, err := fn.atom(x.Then)
+		if err != nil {
+			return nil, err
+		}
+		fn.emitAssign(t, v1, x.Pos())
+		fn.emitGoto(end, x.Pos())
+		fn.emitLabel(elseL, x.Pos())
+		v2, err := fn.atom(x.Else)
+		if err != nil {
+			return nil, err
+		}
+		fn.emitAssign(t, v2, x.Pos())
+		fn.emitLabel(end, x.Pos())
+		return t, nil
+	}
+	return nil, errf(e.Pos(), "cannot lower expression %T", e)
+}
+
+// loadOrDecay lowers an Index/Member rvalue: array-typed results decay to
+// their base address (a[i] of type char[8] is a char* value, not a load);
+// scalar results load through the computed address.
+func (fn *funcNorm) loadOrDecay(x cast.Expr) (cast.Expr, error) {
+	addr, err := fn.addressOf(x)
+	if err != nil {
+		return nil, err
+	}
+	if arr, isArr := x.Type().(ctypes.Array); isArr {
+		// Decay: reinterpret the row/field address as a pointer to the
+		// element type.
+		want := ctypes.PointerTo(arr.Elem)
+		if ctypes.Decay(addr.Type()).Equal(want) {
+			return addr, nil
+		}
+		c := &cast.Cast{To: want, X: addr}
+		c.P = x.Pos()
+		c.SetType(want)
+		return c, nil
+	}
+	u := &cast.Unary{Op: cast.Deref, X: addr}
+	u.P = x.Pos()
+	u.SetType(x.Type())
+	return u, nil
+}
+
+// lowerLogical materializes a && / || into a 0/1 temp via control flow.
+func (fn *funcNorm) lowerLogical(e *cast.Binary) (cast.Expr, error) {
+	t := fn.freshTemp(ctypes.Int, e.Pos())
+	falseL := fn.freshLabel()
+	end := fn.freshLabel()
+	if err := fn.condGoto(e, falseL, false); err != nil {
+		return nil, err
+	}
+	one := &cast.IntLit{Value: 1}
+	one.P = e.Pos()
+	one.SetType(ctypes.Int)
+	fn.emitAssign(t, one, e.Pos())
+	fn.emitGoto(end, e.Pos())
+	fn.emitLabel(falseL, e.Pos())
+	zero := &cast.IntLit{}
+	zero.P = e.Pos()
+	zero.SetType(ctypes.Int)
+	fn.emitAssign(t, zero, e.Pos())
+	fn.emitLabel(end, e.Pos())
+	return t, nil
+}
+
+// stringGlobal interns a string literal as a synthetic static buffer and
+// returns a reference to it.
+func (fn *funcNorm) stringGlobal(s *cast.StringLit) cast.Expr {
+	name := fmt.Sprintf("__str%d", fn.n.nstr)
+	fn.n.nstr++
+	fn.n.strings[name] = s.Value
+	id := &cast.Ident{Name: name}
+	id.P = s.Pos()
+	id.SetType(ctypes.Array{Elem: ctypes.Char, Len: len(s.Value) + 1})
+	return id
+}
+
+// addressOf lowers &e, returning an atom or &v / arithmetic form whose value
+// is the address of the lvalue e.
+func (fn *funcNorm) addressOf(e cast.Expr) (cast.Expr, error) {
+	switch x := e.(type) {
+	case *cast.Ident:
+		name := fn.resolve(x.Name)
+		id := &cast.Ident{Name: name}
+		id.P = x.Pos()
+		id.SetType(x.Type())
+		u := &cast.Unary{Op: cast.Addr, X: id}
+		u.P = x.Pos()
+		u.SetType(ctypes.PointerTo(x.Type()))
+		t := fn.freshTemp(ctypes.PointerTo(x.Type()), x.Pos())
+		fn.emitAssign(t, u, x.Pos())
+		return t, nil
+	case *cast.Unary:
+		if x.Op == cast.Deref {
+			return fn.atom(x.X)
+		}
+	case *cast.Index:
+		base, err := fn.atom(x.X)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := fn.atom(x.I)
+		if err != nil {
+			return nil, err
+		}
+		elem := ctypes.Elem(ctypes.Decay(x.X.Type()))
+		bin := &cast.Binary{Op: cast.Add, X: base, Y: idx}
+		bin.P = x.Pos()
+		bin.SetType(ctypes.PointerTo(elem))
+		t := fn.freshTemp(ctypes.PointerTo(elem), x.Pos())
+		fn.emitAssign(t, bin, x.Pos())
+		return t, nil
+	case *cast.Member:
+		return fn.memberAddr(x)
+	}
+	return nil, errf(e.Pos(), "cannot take address of %T", e)
+}
+
+// memberAddr lowers &x.f / &p->f to byte-level pointer arithmetic:
+// t1 = (char*)base; t2 = t1 + offset; t3 = (F*)t2.
+func (fn *funcNorm) memberAddr(m *cast.Member) (cast.Expr, error) {
+	var base cast.Expr
+	var err error
+	var stTy ctypes.Type
+	if m.Arrow {
+		base, err = fn.atom(m.X)
+		stTy = ctypes.Elem(ctypes.Decay(m.X.Type()))
+	} else {
+		base, err = fn.addressOf(m.X)
+		stTy = m.X.Type()
+	}
+	if err != nil {
+		return nil, err
+	}
+	st, ok := stTy.(*ctypes.Struct)
+	if !ok {
+		return nil, errf(m.Pos(), "member access on non-struct %v", stTy)
+	}
+	fld := st.Field(m.Name)
+	if fld == nil {
+		return nil, errf(m.Pos(), "no field %q in %s", m.Name, st)
+	}
+	charPtr := ctypes.PointerTo(ctypes.Char)
+	fldPtr := ctypes.PointerTo(fld.Type)
+
+	cur := base
+	if !ctypes.Decay(cur.Type()).Equal(charPtr) {
+		t1 := fn.freshTemp(charPtr, m.Pos())
+		c := &cast.Cast{To: charPtr, X: cur}
+		c.P = m.Pos()
+		c.SetType(charPtr)
+		fn.emitAssign(t1, c, m.Pos())
+		cur = t1
+	}
+	if fld.Offset != 0 {
+		off := &cast.IntLit{Value: int64(fld.Offset)}
+		off.P = m.Pos()
+		off.SetType(ctypes.Int)
+		t2 := fn.freshTemp(charPtr, m.Pos())
+		bin := &cast.Binary{Op: cast.Add, X: cur, Y: off}
+		bin.P = m.Pos()
+		bin.SetType(charPtr)
+		fn.emitAssign(t2, bin, m.Pos())
+		cur = t2
+	}
+	if !fldPtr.Equal(charPtr) {
+		t3 := fn.freshTemp(fldPtr, m.Pos())
+		c := &cast.Cast{To: fldPtr, X: cur}
+		c.P = m.Pos()
+		c.SetType(fldPtr)
+		fn.emitAssign(t3, c, m.Pos())
+		cur = t3
+	}
+	return cur, nil
+}
+
+// storeRHS lowers e to an expression allowed on the right of a store:
+// a simple RHS that itself performs no memory access or call.
+func (fn *funcNorm) storeRHS(e cast.Expr) (cast.Expr, error) {
+	r, err := fn.simpleRHS(e)
+	if err != nil {
+		return nil, err
+	}
+	switch x := r.(type) {
+	case *cast.Unary:
+		if x.Op != cast.Deref && x.Op != cast.Addr {
+			return r, nil
+		}
+	case *cast.Binary, *cast.Cast:
+		return r, nil
+	default:
+		return r, nil
+	}
+	// Memory read or address computation: bind to a temp.
+	t := fn.freshTemp(ctypes.Decay(e.Type()), e.Pos())
+	fn.emitAssign(t, r, e.Pos())
+	return t, nil
+}
+
+// lowerCall lowers a call's callee and arguments to atoms and returns the
+// simple Call expression (not yet bound to a temp).
+func (fn *funcNorm) lowerCall(c *cast.Call) (cast.Expr, error) {
+	var funExpr cast.Expr
+	switch f := c.Fun.(type) {
+	case *cast.Ident:
+		if r := fn.resolve(f.Name); r != f.Name {
+			// A local function pointer shadowing: resolve it.
+			id := &cast.Ident{Name: r}
+			id.P = f.Pos()
+			id.SetType(f.Type())
+			funExpr = id
+		} else {
+			cp := *f
+			funExpr = &cp
+		}
+	default:
+		a, err := fn.atom(c.Fun)
+		if err != nil {
+			return nil, err
+		}
+		funExpr = a
+	}
+	args := make([]cast.Expr, len(c.Args))
+	for i, a := range c.Args {
+		at, err := fn.atom(a)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = at
+	}
+	nc := &cast.Call{Fun: funExpr, Args: args}
+	nc.P = c.Pos()
+	nc.SetType(c.Type())
+	return nc, nil
+}
+
+// lowerIncDec expands ++/-- and returns the expression's value atom.
+func (fn *funcNorm) lowerIncDec(x *cast.IncDec) (cast.Expr, error) {
+	one := &cast.IntLit{Value: 1}
+	one.P = x.Pos()
+	one.SetType(ctypes.Int)
+	op := cast.Add
+	if x.Decr {
+		op = cast.Sub
+	}
+	var old cast.Expr
+	if !x.Prefix {
+		// Save the old value.
+		v, err := fn.atom(cast.CloneExpr(x.X))
+		if err != nil {
+			return nil, err
+		}
+		t := fn.freshTemp(ctypes.Decay(x.X.Type()), x.Pos())
+		fn.emitAssign(t, v, x.Pos())
+		old = t
+	}
+	bin := &cast.Binary{Op: op, X: cast.CloneExpr(x.X), Y: one}
+	bin.P = x.Pos()
+	bin.SetType(ctypes.Decay(x.X.Type()))
+	asn := &cast.Assign{Op: cast.PlainAssign, LHS: x.X, RHS: bin}
+	asn.P = x.Pos()
+	asn.SetType(bin.Type())
+	newVal, err := fn.lowerAssign(asn)
+	if err != nil {
+		return nil, err
+	}
+	if x.Prefix {
+		return newVal, nil
+	}
+	return old, nil
+}
+
+// lowerAssign lowers an assignment (possibly compound) and returns the
+// assigned value as an atom.
+func (fn *funcNorm) lowerAssign(a *cast.Assign) (cast.Expr, error) {
+	rhs := a.RHS
+	if a.Op != cast.PlainAssign {
+		load := cast.CloneExpr(a.LHS)
+		bin := &cast.Binary{Op: a.Op, X: load, Y: a.RHS}
+		bin.P = a.Pos()
+		bin.SetType(ctypes.Decay(a.LHS.Type()))
+		rhs = bin
+	}
+	switch lhs := a.LHS.(type) {
+	case *cast.Ident:
+		name := fn.resolve(lhs.Name)
+		id := &cast.Ident{Name: name}
+		id.P = lhs.Pos()
+		id.SetType(lhs.Type())
+		r, err := fn.simpleRHS(rhs)
+		if err != nil {
+			return nil, err
+		}
+		fn.emitAssign(id, r, a.Pos())
+		if isAtom(r) {
+			return r, nil
+		}
+		cp := *id
+		return &cp, nil
+	default:
+		addr, err := fn.addressOf(a.LHS)
+		if err != nil {
+			return nil, err
+		}
+		// A store may carry a simple non-memory RHS (paper Fig. 3 line [6]
+		// writes "*PtrEndText = PtrEndLoc + 1"); memory reads and calls
+		// still go through a temp so each statement touches memory once.
+		v, err := fn.storeRHS(rhs)
+		if err != nil {
+			return nil, err
+		}
+		deref := &cast.Unary{Op: cast.Deref, X: addr}
+		deref.P = a.Pos()
+		deref.SetType(ctypes.Elem(ctypes.Decay(addr.Type())))
+		asn := &cast.Assign{Op: cast.PlainAssign, LHS: deref, RHS: v}
+		asn.P = a.Pos()
+		asn.SetType(v.Type())
+		es := &cast.ExprStmt{X: asn}
+		es.P = a.Pos()
+		fn.emit(es)
+		return v, nil
+	}
+}
+
+// exprForEffect lowers an expression-statement.
+func (fn *funcNorm) exprForEffect(e cast.Expr) error {
+	switch x := e.(type) {
+	case *cast.Assign:
+		_, err := fn.lowerAssign(x)
+		return err
+	case *cast.IncDec:
+		_, err := fn.lowerIncDec(x)
+		return err
+	case *cast.Call:
+		c, err := fn.lowerCall(x)
+		if err != nil {
+			return err
+		}
+		call := c.(*cast.Call)
+		if _, isVoid := call.Type().(ctypes.Void); isVoid {
+			es := &cast.ExprStmt{X: call}
+			es.P = x.Pos()
+			fn.emit(es)
+			return nil
+		}
+		// Non-void result discarded: still bind to a temp so the call is a
+		// CoreC statement.
+		t := fn.freshTemp(ctypes.Decay(call.Type()), x.Pos())
+		fn.emitAssign(t, call, x.Pos())
+		return nil
+	default:
+		// Pure expression statement: evaluate for errors (e.g. *p;) then
+		// discard.
+		_, err := fn.atom(e)
+		return err
+	}
+}

@@ -1,0 +1,205 @@
+package corec
+
+import (
+	"fmt"
+
+	"repro/internal/cast"
+)
+
+// Validate checks that a normalized function body consists solely of CoreC
+// statement forms, returning the first violation.
+func Validate(fd *cast.FuncDecl) error {
+	if fd.Body == nil {
+		return nil
+	}
+	declsDone := false
+	for _, s := range fd.Body.Stmts {
+		if _, ok := s.(*cast.DeclStmt); ok {
+			if declsDone {
+				return errf(s.Pos(), "declaration after first statement")
+			}
+			if ds := s.(*cast.DeclStmt); ds.Init != nil {
+				return errf(s.Pos(), "declaration with initializer")
+			}
+			continue
+		}
+		declsDone = true
+		if err := validateStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func validateStmt(s cast.Stmt) error {
+	switch s := s.(type) {
+	case *cast.ExprStmt:
+		return validateExprStmt(s)
+	case *cast.Goto:
+		return nil
+	case *cast.Labeled:
+		if _, ok := s.Stmt.(*cast.Empty); !ok {
+			return errf(s.Pos(), "label must be attached to an empty statement")
+		}
+		return nil
+	case *cast.If:
+		if _, ok := s.Then.(*cast.Goto); !ok {
+			return errf(s.Pos(), "if body must be a goto")
+		}
+		if s.Else != nil {
+			return errf(s.Pos(), "if must not have else")
+		}
+		return validateCond(s.Cond)
+	case *cast.Return:
+		if s.X != nil && !isAtom(s.X) {
+			return errf(s.Pos(), "return operand must be an atom")
+		}
+		return nil
+	case *cast.Verify:
+		return nil
+	case *cast.Empty:
+		return nil
+	}
+	return errf(s.Pos(), "statement %T is not CoreC", s)
+}
+
+func validateCond(e cast.Expr) error {
+	if b, ok := e.(*cast.Binary); ok && b.Op.IsComparison() {
+		if !isAtom(b.X) || !isAtom(b.Y) {
+			return errf(e.Pos(), "condition operands must be atoms")
+		}
+		return nil
+	}
+	if isAtom(e) {
+		return nil
+	}
+	return errf(e.Pos(), "condition must be an atom or atom-relop-atom")
+}
+
+func validateExprStmt(s *cast.ExprStmt) error {
+	switch x := s.X.(type) {
+	case *cast.Assign:
+		if x.Op != cast.PlainAssign {
+			return errf(s.Pos(), "compound assignment in CoreC")
+		}
+		if err := validateLHS(x.LHS); err != nil {
+			return err
+		}
+		if _, isStore := x.LHS.(*cast.Unary); isStore {
+			return validateStoreRHS(x.RHS)
+		}
+		return validateRHS(x.RHS)
+	case *cast.Call:
+		return validateCall(x)
+	}
+	return errf(s.Pos(), "expression statement must be an assignment or call")
+}
+
+// validateStoreRHS allows simple expressions with no memory access or call
+// on the right of a store (paper Fig. 3 writes *p = q + 1).
+func validateStoreRHS(e cast.Expr) error {
+	switch x := e.(type) {
+	case *cast.Ident, *cast.IntLit:
+		return nil
+	case *cast.Unary:
+		if x.Op != cast.Deref && x.Op != cast.Addr && isAtom(x.X) {
+			return nil
+		}
+	case *cast.Binary:
+		if !x.Op.IsLogical() && isAtom(x.X) && isAtom(x.Y) {
+			return nil
+		}
+	case *cast.Cast:
+		if isAtom(x.X) {
+			return nil
+		}
+	}
+	return errf(e.Pos(), "store RHS is not a pure simple expression: %s", cast.ExprString(e))
+}
+
+func validateLHS(e cast.Expr) error {
+	switch x := e.(type) {
+	case *cast.Ident:
+		return nil
+	case *cast.Unary:
+		if x.Op == cast.Deref && isAtom(x.X) {
+			return nil
+		}
+	}
+	return errf(e.Pos(), "LHS must be a variable or *atom, got %s", cast.ExprString(e))
+}
+
+func validateRHS(e cast.Expr) error {
+	switch x := e.(type) {
+	case *cast.Ident, *cast.IntLit:
+		return nil
+	case *cast.Unary:
+		switch x.Op {
+		case cast.Deref:
+			if isAtom(x.X) {
+				return nil
+			}
+		case cast.Addr:
+			if _, ok := x.X.(*cast.Ident); ok {
+				return nil
+			}
+		default:
+			if isAtom(x.X) {
+				return nil
+			}
+		}
+	case *cast.Binary:
+		if !x.Op.IsLogical() && isAtom(x.X) && isAtom(x.Y) {
+			return nil
+		}
+	case *cast.Cast:
+		if isAtom(x.X) {
+			return nil
+		}
+	case *cast.Call:
+		return validateCall(x)
+	}
+	return errf(e.Pos(), "RHS is not a CoreC simple expression: %s", cast.ExprString(e))
+}
+
+func validateCall(c *cast.Call) error {
+	if _, ok := c.Fun.(*cast.Ident); !ok {
+		return errf(c.Pos(), "call target must be an identifier")
+	}
+	for _, a := range c.Args {
+		if !isAtom(a) {
+			return errf(a.Pos(), "call argument must be an atom: %s", cast.ExprString(a))
+		}
+	}
+	return nil
+}
+
+// Stats summarizes a normalized function for reporting.
+type Stats struct {
+	Statements int
+	Temps      int
+	Labels     int
+}
+
+// StatsOf computes normalization statistics for a CoreC function.
+func StatsOf(fd *cast.FuncDecl) Stats {
+	var st Stats
+	if fd.Body == nil {
+		return st
+	}
+	for _, s := range fd.Body.Stmts {
+		switch s := s.(type) {
+		case *cast.DeclStmt:
+			if len(s.Decl.Name) > 3 && s.Decl.Name[:3] == "__t" {
+				st.Temps++
+			}
+			continue
+		case *cast.Labeled:
+			st.Labels++
+		}
+		st.Statements++
+	}
+	return st
+}
+
+var _ = fmt.Sprintf

@@ -1,0 +1,188 @@
+package cparse
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cast"
+)
+
+func TestContractOnPrototypeThenDefinition(t *testing.T) {
+	// The contract declared on the prototype carries over to the
+	// definition (the paper's .h-file convention, §2.2).
+	src := `
+int f(int x)
+    requires (x >= 0)
+    ensures (return_value >= x);
+int f(int x) {
+    return x + 1;
+}
+`
+	file, err := ParseFile("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := file.Lookup("f")
+	if def.Body == nil {
+		t.Fatal("definition not found")
+	}
+	if def.Contract == nil || def.Contract.Requires == nil {
+		t.Error("prototype contract lost on the definition")
+	}
+}
+
+func TestContractMultipleRequires(t *testing.T) {
+	// Repeated clauses conjoin.
+	src := `
+void f(int a, int b)
+    requires (a >= 0)
+    requires (b >= 0);
+`
+	file, err := ParseFile("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := file.Lookup("f").Contract.Requires
+	if got := cast.ExprString(req); got != "a >= 0 && b >= 0" {
+		t.Errorf("conjoined requires = %q", got)
+	}
+}
+
+func TestContractAttributeErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{
+			"void f(char *p) requires (alloc(p, 1) > 0);",
+			"exactly one argument",
+		},
+		{
+			"void f(char *p) requires (pre(p) == p);",
+			"only meaningful in ensures",
+		},
+		{
+			"int f(void) requires (return_value > 0);",
+			"undeclared identifier",
+		},
+	}
+	for _, c := range cases {
+		_, err := ParseFile("t.c", c.src)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestContractAttributesShadowFunctions(t *testing.T) {
+	// Even with a declared strlen function, strlen(e) in a contract is the
+	// attribute (contracts cannot contain calls).
+	src := `
+int strlen(char *s);
+void f(char *p)
+    requires (is_nullt(p) && strlen(p) < 10)
+{
+    int n;
+    n = strlen(p);
+}
+`
+	file, err := ParseFile("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := file.Lookup("f")
+	// In the contract, strlen(p)'s callee is the bare attribute name (no
+	// function type).
+	found := false
+	cast.WalkExpr(fd.Contract.Requires, func(e cast.Expr) bool {
+		if c, ok := e.(*cast.Call); ok && c.FuncName() == "strlen" {
+			found = true
+			if id := c.Fun.(*cast.Ident); id.Type() != nil {
+				t.Error("contract strlen bound to the function, not the attribute")
+			}
+		}
+		return true
+	})
+	if !found {
+		t.Error("strlen attribute not found in contract")
+	}
+}
+
+func TestTypedefs(t *testing.T) {
+	src := `
+typedef char *string;
+typedef struct pair { int a; int b; } pair_t;
+void f(string s, pair_t *p) {
+    *s = 'x';
+    p->a = 1;
+}
+`
+	file, err := ParseFile("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := file.Lookup("f")
+	if got := fd.Params[0].Type.String(); got != "char*" {
+		t.Errorf("typedef expanded to %s", got)
+	}
+	if got := fd.Params[1].Type.String(); got != "struct pair*" {
+		t.Errorf("struct typedef expanded to %s", got)
+	}
+}
+
+func TestVariadicDeclarations(t *testing.T) {
+	src := `int printf(char *format, ...);
+void f(char *m) { printf(m); printf(m, 1, 2); }`
+	if _, err := ParseFile("t.c", src); err != nil {
+		t.Fatalf("variadic call rejected: %v", err)
+	}
+	// Too few fixed arguments still error.
+	bad := `int printf(char *format, ...);
+void f(void) { printf(); }`
+	if _, err := ParseFile("t.c", bad); err == nil {
+		t.Error("missing fixed argument accepted")
+	}
+}
+
+func TestDoWhileAndCompound(t *testing.T) {
+	src := `
+void f(int n) {
+    int i;
+    i = 0;
+    do {
+        i += 2;
+        i *= 1;
+        i -= 1;
+        i /= 1;
+        i %= 97;
+    } while (i < n);
+}
+`
+	if _, err := ParseFile("t.c", src); err != nil {
+		t.Fatalf("do-while/compound ops rejected: %v", err)
+	}
+}
+
+func TestGlobalConstInitializers(t *testing.T) {
+	if _, err := ParseFile("t.c", "int limit = 4 * 8;"); err != nil {
+		t.Errorf("constant global initializer rejected: %v", err)
+	}
+	if _, err := ParseFile("t.c", "int a; int b = a;"); err == nil {
+		t.Error("non-constant global initializer accepted")
+	}
+}
+
+func TestForwardStructReference(t *testing.T) {
+	src := `
+struct node;
+struct node {
+    struct node *next;
+    char name[8];
+};
+void f(struct node *n) {
+    n->name[0] = '\0';
+}
+`
+	if _, err := ParseFile("t.c", src); err != nil {
+		t.Fatalf("forward struct reference rejected: %v", err)
+	}
+}

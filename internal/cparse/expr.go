@@ -1,0 +1,469 @@
+package cparse
+
+import (
+	"repro/internal/cast"
+	"repro/internal/clex"
+	"repro/internal/ctypes"
+)
+
+// expr parses a full expression (assignment level; the comma operator is
+// not in the subset).
+func (p *parser) expr() (cast.Expr, error) { return p.assignExpr() }
+
+func (p *parser) assignExpr() (cast.Expr, error) {
+	lhs, err := p.ternary()
+	if err != nil {
+		return nil, err
+	}
+	var op cast.BinaryOp
+	switch p.peek().Kind {
+	case clex.Assign:
+		op = cast.PlainAssign
+	case clex.AddEq:
+		op = cast.Add
+	case clex.SubEq:
+		op = cast.Sub
+	case clex.MulEq:
+		op = cast.Mul
+	case clex.DivEq:
+		op = cast.Div
+	case clex.ModEq:
+		op = cast.Rem
+	default:
+		return lhs, nil
+	}
+	tok := p.next()
+	rhs, err := p.assignExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !isLValue(lhs) {
+		return nil, p.errf(tok.Pos, "assignment to non-lvalue")
+	}
+	a := &cast.Assign{Op: op, LHS: lhs, RHS: rhs}
+	a.P = tok.Pos
+	a.SetType(ctypes.Decay(lhs.Type()))
+	return a, nil
+}
+
+func isLValue(e cast.Expr) bool {
+	switch e := e.(type) {
+	case *cast.Ident:
+		return true
+	case *cast.Index:
+		return true
+	case *cast.Member:
+		return true
+	case *cast.Unary:
+		return e.Op == cast.Deref
+	}
+	return false
+}
+
+func (p *parser) ternary() (cast.Expr, error) {
+	c, err := p.binary(1)
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().Kind != clex.Question {
+		return c, nil
+	}
+	tok := p.next()
+	t, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(clex.Colon); err != nil {
+		return nil, err
+	}
+	f, err := p.ternary()
+	if err != nil {
+		return nil, err
+	}
+	e := &cast.Cond{C: c, Then: t, Else: f}
+	e.P = tok.Pos
+	e.SetType(ctypes.Decay(t.Type()))
+	return e, nil
+}
+
+var binOps = map[clex.Kind]cast.BinaryOp{
+	clex.Star: cast.Mul, clex.Slash: cast.Div, clex.Percent: cast.Rem,
+	clex.Plus: cast.Add, clex.Minus: cast.Sub,
+	clex.Shl: cast.Shl, clex.Shr: cast.Shr,
+	clex.Lt: cast.Lt, clex.Le: cast.Le, clex.Gt: cast.Gt, clex.Ge: cast.Ge,
+	clex.EqEq: cast.Eq, clex.NotEq: cast.Ne,
+	clex.Amp: cast.BitAnd, clex.Caret: cast.BitXor, clex.Pipe: cast.BitOr,
+	clex.AndAnd: cast.LogAnd, clex.OrOr: cast.LogOr,
+}
+
+func binLevel(op cast.BinaryOp) int {
+	switch op {
+	case cast.Mul, cast.Div, cast.Rem:
+		return 10
+	case cast.Add, cast.Sub:
+		return 9
+	case cast.Shl, cast.Shr:
+		return 8
+	case cast.Lt, cast.Le, cast.Gt, cast.Ge:
+		return 7
+	case cast.Eq, cast.Ne:
+		return 6
+	case cast.BitAnd:
+		return 5
+	case cast.BitXor:
+		return 4
+	case cast.BitOr:
+		return 3
+	case cast.LogAnd:
+		return 2
+	case cast.LogOr:
+		return 1
+	}
+	return 0
+}
+
+// binary parses binary operators with precedence climbing.
+func (p *parser) binary(minLevel int) (cast.Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op, ok := binOps[p.peek().Kind]
+		if !ok || binLevel(op) < minLevel {
+			return lhs, nil
+		}
+		tok := p.next()
+		rhs, err := p.binary(binLevel(op) + 1)
+		if err != nil {
+			return nil, err
+		}
+		b := &cast.Binary{Op: op, X: lhs, Y: rhs}
+		b.P = tok.Pos
+		t, err := p.binaryType(tok.Pos, op, lhs, rhs)
+		if err != nil {
+			return nil, err
+		}
+		b.SetType(t)
+		lhs = b
+	}
+}
+
+func (p *parser) binaryType(pos clex.Pos, op cast.BinaryOp, x, y cast.Expr) (ctypes.Type, error) {
+	tx := ctypes.Decay(x.Type())
+	ty := ctypes.Decay(y.Type())
+	if op.IsComparison() || op.IsLogical() {
+		return ctypes.Int, nil
+	}
+	switch op {
+	case cast.Add:
+		if ctypes.IsPointer(tx) && ctypes.IsInteger(ty) {
+			return tx, nil
+		}
+		if ctypes.IsInteger(tx) && ctypes.IsPointer(ty) {
+			return ty, nil
+		}
+	case cast.Sub:
+		if ctypes.IsPointer(tx) && ctypes.IsPointer(ty) {
+			return ctypes.Int, nil
+		}
+		if ctypes.IsPointer(tx) && ctypes.IsInteger(ty) {
+			return tx, nil
+		}
+	}
+	if ctypes.IsPointer(tx) || ctypes.IsPointer(ty) {
+		if op == cast.Add || op == cast.Sub {
+			return nil, p.errf(pos, "invalid pointer arithmetic operands")
+		}
+	}
+	return ctypes.Int, nil
+}
+
+func (p *parser) unary() (cast.Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case clex.Star, clex.Amp, clex.Minus, clex.Not, clex.Tilde:
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		var op cast.UnaryOp
+		var typ ctypes.Type
+		switch t.Kind {
+		case clex.Star:
+			op = cast.Deref
+			elem := ctypes.Elem(ctypes.Decay(x.Type()))
+			if elem == nil {
+				return nil, p.errf(t.Pos, "cannot dereference %s", x.Type())
+			}
+			typ = elem
+		case clex.Amp:
+			op = cast.Addr
+			typ = ctypes.PointerTo(x.Type())
+			if !isLValue(x) {
+				return nil, p.errf(t.Pos, "cannot take address of non-lvalue")
+			}
+		case clex.Minus:
+			op = cast.Neg
+			typ = ctypes.Int
+		case clex.Not:
+			op = cast.LogNot
+			typ = ctypes.Int
+		case clex.Tilde:
+			op = cast.BitNot
+			typ = ctypes.Int
+		}
+		u := &cast.Unary{Op: op, X: x}
+		u.P = t.Pos
+		u.SetType(typ)
+		return u, nil
+	case clex.Inc, clex.Dec:
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		e := &cast.IncDec{X: x, Decr: t.Kind == clex.Dec, Prefix: true}
+		e.P = t.Pos
+		e.SetType(ctypes.Decay(x.Type()))
+		return e, nil
+	case clex.KwSizeof:
+		p.next()
+		if p.peek().Kind == clex.LParen && p.isTypeStart(p.peekN(1)) {
+			p.next()
+			base, err := p.baseType()
+			if err != nil {
+				return nil, err
+			}
+			typ, _, err := p.declarator(base)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(clex.RParen); err != nil {
+				return nil, err
+			}
+			e := &cast.SizeofType{Of: typ}
+			e.P = t.Pos
+			e.SetType(ctypes.Int)
+			return e, nil
+		}
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		lit := &cast.IntLit{Value: int64(x.Type().Size())}
+		lit.P = t.Pos
+		lit.SetType(ctypes.Int)
+		return lit, nil
+	case clex.LParen:
+		// Cast?
+		if p.isTypeStart(p.peekN(1)) {
+			p.next()
+			base, err := p.baseType()
+			if err != nil {
+				return nil, err
+			}
+			typ, _, err := p.declarator(base)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(clex.RParen); err != nil {
+				return nil, err
+			}
+			x, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			e := &cast.Cast{To: typ, X: x}
+			e.P = t.Pos
+			e.SetType(typ)
+			return e, nil
+		}
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (cast.Expr, error) {
+	e, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		switch t.Kind {
+		case clex.LBracket:
+			p.next()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(clex.RBracket); err != nil {
+				return nil, err
+			}
+			elem := ctypes.Elem(ctypes.Decay(e.Type()))
+			if elem == nil {
+				return nil, p.errf(t.Pos, "cannot index %s", e.Type())
+			}
+			ix := &cast.Index{X: e, I: idx}
+			ix.P = t.Pos
+			ix.SetType(elem)
+			e = ix
+		case clex.LParen:
+			call, err := p.callRest(e, t.Pos)
+			if err != nil {
+				return nil, err
+			}
+			e = call
+		case clex.Dot, clex.Arrow:
+			p.next()
+			name, err := p.expect(clex.Ident)
+			if err != nil {
+				return nil, err
+			}
+			base := e.Type()
+			if t.Kind == clex.Arrow {
+				base = ctypes.Elem(ctypes.Decay(base))
+				if base == nil {
+					return nil, p.errf(t.Pos, "-> on non-pointer %s", e.Type())
+				}
+			}
+			st, ok := base.(*ctypes.Struct)
+			if !ok {
+				return nil, p.errf(t.Pos, "member access on non-struct %s", base)
+			}
+			fld := st.Field(name.Text)
+			if fld == nil {
+				return nil, p.errf(name.Pos, "%s has no field %q", st, name.Text)
+			}
+			m := &cast.Member{X: e, Name: name.Text, Arrow: t.Kind == clex.Arrow}
+			m.P = t.Pos
+			m.SetType(fld.Type)
+			e = m
+		case clex.Inc, clex.Dec:
+			p.next()
+			id := &cast.IncDec{X: e, Decr: t.Kind == clex.Dec, Prefix: false}
+			id.P = t.Pos
+			id.SetType(ctypes.Decay(e.Type()))
+			e = id
+		default:
+			return e, nil
+		}
+	}
+}
+
+// callRest parses the argument list of a call whose callee is fun.
+func (p *parser) callRest(fun cast.Expr, pos clex.Pos) (cast.Expr, error) {
+	p.next() // (
+	var args []cast.Expr
+	for p.peek().Kind != clex.RParen {
+		a, err := p.assignExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+		if !p.accept(clex.Comma) {
+			break
+		}
+	}
+	if _, err := p.expect(clex.RParen); err != nil {
+		return nil, err
+	}
+	c := &cast.Call{Fun: fun, Args: args}
+	c.P = pos
+
+	// Attribute pseudo-calls in contract context.
+	if id, ok := fun.(*cast.Ident); ok && id.Type() == nil {
+		if p.inContract && AttributeNames[id.Name] {
+			if len(args) != 1 {
+				return nil, p.errf(pos, "%s takes exactly one argument", id.Name)
+			}
+			switch id.Name {
+			case "base", "pre":
+				if id.Name == "pre" && !p.inEnsures {
+					return nil, p.errf(pos, "pre(e) is only meaningful in ensures clauses")
+				}
+				c.SetType(ctypes.Decay(args[0].Type()))
+			default:
+				c.SetType(ctypes.Int)
+			}
+			return c, nil
+		}
+		return nil, p.errf(pos, "call to undeclared function %q", id.Name)
+	}
+
+	ft, ok := ctypes.Decay(fun.Type()).(ctypes.Pointer)
+	var sig *ctypes.Func
+	if ok {
+		sig, _ = ft.Elem.(*ctypes.Func)
+	}
+	if sig == nil {
+		sig, _ = fun.Type().(*ctypes.Func)
+	}
+	if sig == nil {
+		return nil, p.errf(pos, "call of non-function %s", fun.Type())
+	}
+	if !sig.Variadic && len(args) != len(sig.Params) {
+		return nil, p.errf(pos, "wrong number of arguments: got %d, want %d", len(args), len(sig.Params))
+	}
+	if sig.Variadic && len(args) < len(sig.Params) {
+		return nil, p.errf(pos, "too few arguments: got %d, want at least %d", len(args), len(sig.Params))
+	}
+	c.SetType(sig.Ret)
+	return c, nil
+}
+
+func (p *parser) primary() (cast.Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case clex.IntLit:
+		p.next()
+		e := &cast.IntLit{Value: t.Val}
+		e.P = t.Pos
+		e.SetType(ctypes.Int)
+		return e, nil
+	case clex.CharLit:
+		p.next()
+		e := &cast.IntLit{Value: t.Val, IsChar: true}
+		e.P = t.Pos
+		e.SetType(ctypes.Int)
+		return e, nil
+	case clex.StringLit:
+		p.next()
+		e := &cast.StringLit{Value: t.Text}
+		e.P = t.Pos
+		e.SetType(ctypes.Array{Elem: ctypes.Char, Len: len(t.Text) + 1})
+		return e, nil
+	case clex.Ident:
+		p.next()
+		e := &cast.Ident{Name: t.Text}
+		e.P = t.Pos
+		if t.Text == ReturnValueName && p.inEnsures {
+			e.SetType(p.contractRet)
+			return e, nil
+		}
+		// In contract context attribute names always denote attributes,
+		// even when a like-named function is declared (contracts cannot
+		// contain function calls, paper §2.2; so strlen(s) in an ensures
+		// clause is the length attribute, not libc's strlen).
+		if p.inContract && AttributeNames[t.Text] && p.peek().Kind == clex.LParen {
+			return e, nil
+		}
+		if typ, ok := p.scope.lookup(t.Text); ok {
+			e.SetType(typ)
+			return e, nil
+		}
+		return nil, p.errf(t.Pos, "undeclared identifier %q", t.Text)
+	case clex.LParen:
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(clex.RParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, p.errf(t.Pos, "unexpected token %s in expression", t)
+}

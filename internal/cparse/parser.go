@@ -1,0 +1,1122 @@
+// Package cparse parses the C subset that CSSV analyzes (paper §2.1) plus
+// the contract clauses of §2.2, producing a typed cast.File.
+//
+// The grammar covers what the paper's tool handles: multi-level pointers
+// and arrays, structs and unions, casts, function pointers, all C control
+// flow, malloc/alloca, and contract attributes in function-call syntax
+// (alloc(e), strlen(e), is_nullt(e), offset(e), base(e),
+// is_within_bounds(e), pre(e), return_value).
+package cparse
+
+import (
+	"fmt"
+
+	"repro/internal/cast"
+	"repro/internal/clex"
+	"repro/internal/ctypes"
+)
+
+// Error is a parse or type error with a source position.
+type Error struct {
+	Pos clex.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// AttributeNames are the contract-language attributes of paper Table 1
+// (function-call syntax) plus the is_within_bounds shorthand and pre().
+var AttributeNames = map[string]bool{
+	"base": true, "offset": true, "is_nullt": true, "strlen": true,
+	"alloc": true, "is_within_bounds": true, "pre": true,
+}
+
+// ReturnValueName is the designated contract variable for a function's
+// return value (paper §2.2).
+const ReturnValueName = cast.ReturnValueName
+
+type scope struct {
+	vars   map[string]ctypes.Type
+	parent *scope
+}
+
+func (s *scope) lookup(name string) (ctypes.Type, bool) {
+	for sc := s; sc != nil; sc = sc.parent {
+		if t, ok := sc.vars[name]; ok {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+func (s *scope) declare(name string, t ctypes.Type) {
+	s.vars[name] = t
+}
+
+type parser struct {
+	toks []clex.Token
+	pos  int
+
+	typedefs map[string]ctypes.Type
+	structs  map[string]*ctypes.Struct
+	funcs    map[string]*cast.FuncDecl
+
+	globals *scope
+	scope   *scope
+
+	// inContract permits attribute calls; inEnsures additionally permits
+	// pre(e) and return_value.
+	inContract  bool
+	inEnsures   bool
+	contractRet ctypes.Type
+
+	// lastParamNames records the names from the most recently parsed
+	// parameter list, so funcRest can pair them with the function type.
+	lastParamNames []string
+}
+
+// ParseFile parses a translation unit. The src is run through the minimal
+// preprocessor (clex.Preprocess) first.
+func ParseFile(filename, src string) (*cast.File, error) {
+	return ParseFiles([]NamedSource{{Name: filename, Src: src}})
+}
+
+// NamedSource pairs a file name (for positions) with its contents.
+type NamedSource struct {
+	Name string
+	Src  string
+}
+
+// ParseFiles parses several sources as one translation unit (the paper's
+// .h-plus-.c convention): declarations and contracts from earlier files are
+// visible in later ones, and every token keeps its own file's positions.
+func ParseFiles(files []NamedSource) (*cast.File, error) {
+	var toks []clex.Token
+	for _, f := range files {
+		ts, err := clex.Tokenize(f.Name, clex.Preprocess(f.Src))
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, ts[:len(ts)-1]...) // drop the intermediate EOF
+	}
+	toks = append(toks, clex.Token{Kind: clex.EOF})
+	return parseTokens(files[len(files)-1].Name, toks)
+}
+
+func parseTokens(filename string, toks []clex.Token) (*cast.File, error) {
+	g := &scope{vars: map[string]ctypes.Type{}}
+	p := &parser{
+		toks:     toks,
+		typedefs: map[string]ctypes.Type{},
+		structs:  map[string]*ctypes.Struct{},
+		funcs:    map[string]*cast.FuncDecl{},
+		globals:  g,
+		scope:    g,
+	}
+	file := &cast.File{Name: filename}
+	for p.peek().Kind != clex.EOF {
+		decls, err := p.topDecl()
+		if err != nil {
+			return nil, err
+		}
+		file.Decls = append(file.Decls, decls...)
+	}
+	return file, nil
+}
+
+// ParseExpr parses a single expression in isolation (used in tests); names
+// resolve against the provided variable typing, and contract attributes are
+// permitted.
+func ParseExpr(src string, vars map[string]ctypes.Type) (cast.Expr, error) {
+	toks, err := clex.Tokenize("<expr>", src)
+	if err != nil {
+		return nil, err
+	}
+	g := &scope{vars: map[string]ctypes.Type{}}
+	for k, v := range vars {
+		g.vars[k] = v
+	}
+	p := &parser{
+		toks:        toks,
+		typedefs:    map[string]ctypes.Type{},
+		structs:     map[string]*ctypes.Struct{},
+		funcs:       map[string]*cast.FuncDecl{},
+		globals:     g,
+		scope:       g,
+		inContract:  true,
+		inEnsures:   true,
+		contractRet: ctypes.Int,
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().Kind != clex.EOF {
+		return nil, p.errHere("trailing tokens after expression")
+	}
+	return e, nil
+}
+
+// ---------------------------------------------------------------------------
+// Token helpers
+
+func (p *parser) peek() clex.Token { return p.toks[p.pos] }
+func (p *parser) peekN(n int) clex.Token {
+	if p.pos+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos+n]
+}
+func (p *parser) next() clex.Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) accept(k clex.Kind) bool {
+	if p.peek().Kind == k {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k clex.Kind) (clex.Token, error) {
+	t := p.peek()
+	if t.Kind != k {
+		return t, p.errf(t.Pos, "expected %s, found %s", k, t)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) errf(pos clex.Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) errHere(format string, args ...any) error {
+	return p.errf(p.peek().Pos, format, args...)
+}
+
+// ---------------------------------------------------------------------------
+// Types and declarations
+
+func (p *parser) isTypeStart(t clex.Token) bool {
+	switch t.Kind {
+	case clex.KwVoid, clex.KwChar, clex.KwInt, clex.KwLong, clex.KwShort,
+		clex.KwUnsigned, clex.KwSigned, clex.KwStruct, clex.KwUnion,
+		clex.KwConst:
+		return true
+	case clex.Ident:
+		_, ok := p.typedefs[t.Text]
+		return ok
+	}
+	return false
+}
+
+// baseType parses declaration specifiers (without storage class) and returns
+// the base type.
+func (p *parser) baseType() (ctypes.Type, error) {
+	for p.accept(clex.KwConst) {
+	}
+	t := p.peek()
+	switch t.Kind {
+	case clex.KwVoid:
+		p.next()
+		return ctypes.Void{}, nil
+	case clex.KwChar:
+		p.next()
+		return ctypes.Char, nil
+	case clex.KwInt:
+		p.next()
+		return ctypes.Int, nil
+	case clex.KwLong, clex.KwShort, clex.KwUnsigned, clex.KwSigned:
+		// Fold all integer flavors to int or char; the analysis is
+		// byte-size oriented and the paper's subset only distinguishes
+		// char-sized from word-sized cells.
+		name := ""
+		bytes := ctypes.IntSize
+		for {
+			switch p.peek().Kind {
+			case clex.KwLong, clex.KwShort, clex.KwUnsigned, clex.KwSigned, clex.KwInt:
+				if name != "" {
+					name += " "
+				}
+				name += p.next().Text
+				continue
+			case clex.KwChar:
+				p.next()
+				bytes = ctypes.CharSize
+				name += " char"
+			}
+			break
+		}
+		if bytes == ctypes.CharSize {
+			return ctypes.Char, nil
+		}
+		_ = name
+		return ctypes.Int, nil
+	case clex.KwStruct, clex.KwUnion:
+		return p.structType()
+	case clex.Ident:
+		if td, ok := p.typedefs[t.Text]; ok {
+			p.next()
+			return td, nil
+		}
+	}
+	return nil, p.errf(t.Pos, "expected type, found %s", t)
+}
+
+func (p *parser) structType() (ctypes.Type, error) {
+	kw := p.next() // struct or union
+	isUnion := kw.Kind == clex.KwUnion
+	tag := ""
+	if p.peek().Kind == clex.Ident {
+		tag = p.next().Text
+	}
+	if !p.accept(clex.LBrace) {
+		if tag == "" {
+			return nil, p.errf(kw.Pos, "anonymous struct without body")
+		}
+		if s, ok := p.structs[tag]; ok {
+			return s, nil
+		}
+		// Forward reference; create an incomplete struct.
+		s := &ctypes.Struct{Tag: tag, Union: isUnion}
+		p.structs[tag] = s
+		return s, nil
+	}
+	var s *ctypes.Struct
+	if tag != "" {
+		if existing, ok := p.structs[tag]; ok {
+			s = existing
+		} else {
+			s = &ctypes.Struct{Tag: tag, Union: isUnion}
+			p.structs[tag] = s
+		}
+	} else {
+		s = &ctypes.Struct{Union: isUnion}
+	}
+	var fields []ctypes.Field
+	for !p.accept(clex.RBrace) {
+		base, err := p.baseType()
+		if err != nil {
+			return nil, err
+		}
+		for {
+			ft, name, err := p.declarator(base)
+			if err != nil {
+				return nil, err
+			}
+			if name == "" {
+				return nil, p.errHere("struct field requires a name")
+			}
+			fields = append(fields, ctypes.Field{Name: name, Type: ft})
+			if !p.accept(clex.Comma) {
+				break
+			}
+		}
+		if _, err := p.expect(clex.Semi); err != nil {
+			return nil, err
+		}
+	}
+	s.SetFields(fields)
+	return s, nil
+}
+
+// declarator parses a (possibly abstract) declarator given the base type,
+// returning the full type and the declared name ("" for abstract).
+func (p *parser) declarator(base ctypes.Type) (ctypes.Type, string, error) {
+	t := base
+	for p.accept(clex.Star) {
+		for p.accept(clex.KwConst) {
+		}
+		t = ctypes.PointerTo(t)
+	}
+	return p.directDeclarator(t)
+}
+
+// directDeclarator handles the inner part: name, parenthesized declarator,
+// and array/function suffixes.
+func (p *parser) directDeclarator(t ctypes.Type) (ctypes.Type, string, error) {
+	name := ""
+	// A parenthesized declarator like (*f) introduces an inner hole that
+	// receives the suffix-modified type.
+	if p.peek().Kind == clex.LParen && p.isDeclParen() {
+		p.next()
+		// Parse the inner declarator against a placeholder; we patch the
+		// hole after the suffixes are known.
+		innerStart := p.pos
+		// Skip to matching RParen to find suffixes first.
+		depth := 1
+		for depth > 0 {
+			switch p.next().Kind {
+			case clex.LParen:
+				depth++
+			case clex.RParen:
+				depth--
+			case clex.EOF:
+				return nil, "", p.errHere("unterminated declarator")
+			}
+		}
+		after := p.pos
+		suffixed, err := p.declaratorSuffix(t)
+		if err != nil {
+			return nil, "", err
+		}
+		end := p.pos
+		// Re-parse the inner declarator with the suffixed type as base.
+		p.pos = innerStart
+		innerT, innerName, err := p.declarator(suffixed)
+		if err != nil {
+			return nil, "", err
+		}
+		if p.pos != after-1 {
+			return nil, "", p.errHere("malformed declarator")
+		}
+		p.pos = end
+		return innerT, innerName, nil
+	}
+	if p.peek().Kind == clex.Ident {
+		name = p.next().Text
+	}
+	t2, err := p.declaratorSuffix(t)
+	return t2, name, err
+}
+
+// isDeclParen distinguishes "(*x)" (declarator grouping) from a parameter
+// list "(void)" after an omitted name.
+func (p *parser) isDeclParen() bool {
+	n := p.peekN(1)
+	return n.Kind == clex.Star || n.Kind == clex.LParen ||
+		(n.Kind == clex.Ident && !p.isTypeStart(n))
+}
+
+func (p *parser) declaratorSuffix(t ctypes.Type) (ctypes.Type, error) {
+	switch p.peek().Kind {
+	case clex.LBracket:
+		p.next()
+		if p.accept(clex.RBracket) {
+			// Unsized array (parameter position): treat as pointer.
+			inner, err := p.declaratorSuffix(t)
+			if err != nil {
+				return nil, err
+			}
+			return ctypes.PointerTo(inner), nil
+		}
+		sz, err := p.constExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(clex.RBracket); err != nil {
+			return nil, err
+		}
+		inner, err := p.declaratorSuffix(t)
+		if err != nil {
+			return nil, err
+		}
+		return ctypes.Array{Elem: inner, Len: int(sz)}, nil
+	case clex.LParen:
+		p.next()
+		params, variadic, _, err := p.paramList()
+		if err != nil {
+			return nil, err
+		}
+		ps := make([]ctypes.Type, len(params))
+		for i, prm := range params {
+			ps[i] = prm.Type
+		}
+		return &ctypes.Func{Ret: t, Params: ps, Variadic: variadic}, nil
+	}
+	return t, nil
+}
+
+// paramList parses a parameter list after '(' up to and including ')'.
+func (p *parser) paramList() ([]cast.Param, bool, []string, error) {
+	var params []cast.Param
+	var names []string
+	variadic := false
+	if p.accept(clex.RParen) {
+		p.lastParamNames = names
+		return params, false, names, nil
+	}
+	if p.peek().Kind == clex.KwVoid && p.peekN(1).Kind == clex.RParen {
+		p.next()
+		p.next()
+		p.lastParamNames = names
+		return params, false, names, nil
+	}
+	for {
+		if p.peek().Kind == clex.Dot {
+			// "..." lexes as three dots.
+			if p.peekN(1).Kind == clex.Dot && p.peekN(2).Kind == clex.Dot {
+				p.next()
+				p.next()
+				p.next()
+				variadic = true
+				break
+			}
+			return nil, false, nil, p.errHere("unexpected '.'")
+		}
+		base, err := p.baseType()
+		if err != nil {
+			return nil, false, nil, err
+		}
+		t, name, err := p.declarator(base)
+		if err != nil {
+			return nil, false, nil, err
+		}
+		// Arrays in parameter position decay to pointers.
+		if a, ok := t.(ctypes.Array); ok {
+			t = ctypes.PointerTo(a.Elem)
+		}
+		params = append(params, cast.Param{Name: name, Type: t})
+		names = append(names, name)
+		if !p.accept(clex.Comma) {
+			break
+		}
+	}
+	if _, err := p.expect(clex.RParen); err != nil {
+		return nil, false, nil, err
+	}
+	p.lastParamNames = names
+	return params, variadic, names, nil
+}
+
+// constExpr evaluates a constant integer expression (array sizes).
+func (p *parser) constExpr() (int64, error) {
+	e, err := p.ternary()
+	if err != nil {
+		return 0, err
+	}
+	v, ok := FoldConst(e)
+	if !ok {
+		return 0, p.errf(e.Pos(), "expected constant expression")
+	}
+	return v, nil
+}
+
+// FoldConst evaluates integer constant expressions.
+func FoldConst(e cast.Expr) (int64, bool) {
+	switch e := e.(type) {
+	case *cast.IntLit:
+		return e.Value, true
+	case *cast.SizeofType:
+		return int64(e.Of.Size()), true
+	case *cast.Unary:
+		v, ok := FoldConst(e.X)
+		if !ok {
+			return 0, false
+		}
+		switch e.Op {
+		case cast.Neg:
+			return -v, true
+		case cast.BitNot:
+			return ^v, true
+		case cast.LogNot:
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+	case *cast.Binary:
+		a, ok1 := FoldConst(e.X)
+		b, ok2 := FoldConst(e.Y)
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		switch e.Op {
+		case cast.Add:
+			return a + b, true
+		case cast.Sub:
+			return a - b, true
+		case cast.Mul:
+			return a * b, true
+		case cast.Div:
+			if b == 0 {
+				return 0, false
+			}
+			return a / b, true
+		case cast.Rem:
+			if b == 0 {
+				return 0, false
+			}
+			return a % b, true
+		case cast.Shl:
+			return a << uint(b), true
+		case cast.Shr:
+			return a >> uint(b), true
+		case cast.BitAnd:
+			return a & b, true
+		case cast.BitOr:
+			return a | b, true
+		case cast.BitXor:
+			return a ^ b, true
+		}
+	case *cast.Cast:
+		return FoldConst(e.X)
+	}
+	return 0, false
+}
+
+// topDecl parses one top-level declaration, which may expand to several
+// cast.Decls (e.g. "int a, b;").
+func (p *parser) topDecl() ([]cast.Decl, error) {
+	start := p.peek().Pos
+
+	if p.accept(clex.KwTypedef) {
+		base, err := p.baseType()
+		if err != nil {
+			return nil, err
+		}
+		t, name, err := p.declarator(base)
+		if err != nil {
+			return nil, err
+		}
+		if name == "" {
+			return nil, p.errf(start, "typedef requires a name")
+		}
+		if _, err := p.expect(clex.Semi); err != nil {
+			return nil, err
+		}
+		p.typedefs[name] = t
+		return []cast.Decl{&cast.TypedefDecl{Name: name, Of: t}}, nil
+	}
+
+	storage := cast.SCNone
+	for {
+		if p.accept(clex.KwExtern) {
+			storage = cast.SCExtern
+			continue
+		}
+		if p.accept(clex.KwStatic) {
+			storage = cast.SCStatic
+			continue
+		}
+		break
+	}
+
+	base, err := p.baseType()
+	if err != nil {
+		return nil, err
+	}
+
+	// Bare struct definition: "struct S { ... };"
+	if s, ok := base.(*ctypes.Struct); ok && p.accept(clex.Semi) {
+		sd := &cast.StructDecl{Type: s}
+		return []cast.Decl{sd}, nil
+	}
+
+	var decls []cast.Decl
+	for {
+		t, name, err := p.declarator(base)
+		if err != nil {
+			return nil, err
+		}
+		if name == "" {
+			return nil, p.errHere("declaration requires a name")
+		}
+		if ft, ok := t.(*ctypes.Func); ok {
+			fd, err := p.funcRest(start, name, ft, storage)
+			if err != nil {
+				return nil, err
+			}
+			decls = append(decls, fd)
+			if fd.Body != nil {
+				return decls, nil
+			}
+			if p.accept(clex.Comma) {
+				continue
+			}
+			return decls, nil
+		}
+		vd := &cast.VarDecl{Name: name, DeclType: t, Storage: storage}
+		vd.P = start
+		p.globals.declare(name, t)
+		if p.accept(clex.Assign) {
+			// Global initializers are rejected in CoreC but accepted here;
+			// the normalizer would need an init function. Keep it simple:
+			// only constant scalar initializers, folded away.
+			e, err := p.assignExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, ok := FoldConst(e); !ok {
+				return nil, p.errf(e.Pos(), "only constant global initializers are supported")
+			}
+		}
+		decls = append(decls, vd)
+		if !p.accept(clex.Comma) {
+			break
+		}
+	}
+	if _, err := p.expect(clex.Semi); err != nil {
+		return nil, err
+	}
+	return decls, nil
+}
+
+// funcRest parses the remainder of a function declaration after the
+// declarator: optional contract clauses, then a body or ';'.
+//
+// The declarator has already consumed the parameter list into ft, but we
+// need parameter names; re-scan is avoided by tracking the most recent
+// param names during declarator parsing — instead, for simplicity the
+// grammar requires function declarators at top level to be "name(params)",
+// which we re-parse here from the recorded token range.
+func (p *parser) funcRest(start clex.Pos, name string, ft *ctypes.Func, storage cast.StorageClass) (*cast.FuncDecl, error) {
+	_ = storage
+	fd := &cast.FuncDecl{Name: name, Ret: ft.Ret, Variadic: ft.Variadic}
+	fd.P = start
+	names := p.lastParamNames
+	for i, t := range ft.Params {
+		nm := ""
+		if i < len(names) {
+			nm = names[i]
+		}
+		if nm == "" {
+			nm = fmt.Sprintf("__arg%d", i)
+		}
+		fd.Params = append(fd.Params, cast.Param{Name: nm, Type: t})
+	}
+
+	p.globals.declare(name, ft)
+	if prev, ok := p.funcs[name]; ok && prev.Contract != nil {
+		fd.Contract = prev.Contract
+	}
+
+	// Contract clauses.
+	ct, err := p.contractClauses(fd)
+	if err != nil {
+		return nil, err
+	}
+	if ct != nil {
+		fd.Contract = ct
+	}
+
+	if p.peek().Kind == clex.LBrace {
+		body, err := p.funcBody(fd)
+		if err != nil {
+			return nil, err
+		}
+		fd.Body = body
+		p.funcs[name] = fd
+		return fd, nil
+	}
+	if _, err := p.expect(clex.Semi); err != nil {
+		return nil, err
+	}
+	if _, ok := p.funcs[name]; !ok || fd.Contract != nil {
+		p.funcs[name] = fd
+	}
+	return fd, nil
+}
+
+// contractClauses parses optional requires/modifies/ensures clauses.
+func (p *parser) contractClauses(fd *cast.FuncDecl) (*cast.Contract, error) {
+	if k := p.peek().Kind; k != clex.KwRequires && k != clex.KwModifies && k != clex.KwEnsures {
+		return nil, nil
+	}
+	// Contract expressions see the formals and globals.
+	saved := p.scope
+	p.scope = &scope{vars: map[string]ctypes.Type{}, parent: p.globals}
+	for _, prm := range fd.Params {
+		p.scope.declare(prm.Name, prm.Type)
+	}
+	defer func() { p.scope = saved }()
+
+	p.inContract = true
+	p.contractRet = fd.Ret
+	defer func() { p.inContract = false; p.inEnsures = false }()
+
+	ct := &cast.Contract{}
+	for {
+		switch {
+		case p.accept(clex.KwRequires):
+			e, err := p.parenExprOrBare()
+			if err != nil {
+				return nil, err
+			}
+			ct.Requires = conjoin(ct.Requires, e)
+		case p.accept(clex.KwModifies):
+			for {
+				e, err := p.parenExprOrBare()
+				if err != nil {
+					return nil, err
+				}
+				ct.Modifies = append(ct.Modifies, e)
+				if !p.accept(clex.Comma) {
+					break
+				}
+			}
+		case p.accept(clex.KwEnsures):
+			p.inEnsures = true
+			e, err := p.parenExprOrBare()
+			if err != nil {
+				return nil, err
+			}
+			p.inEnsures = false
+			ct.Ensures = conjoin(ct.Ensures, e)
+		default:
+			return ct, nil
+		}
+	}
+}
+
+func conjoin(a, b cast.Expr) cast.Expr {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	c := &cast.Binary{Op: cast.LogAnd, X: a, Y: b}
+	c.SetType(ctypes.Int)
+	return c
+}
+
+// parenExprOrBare parses "( e )" or a bare conditional expression (no
+// top-level comma so modifies lists stay unambiguous).
+func (p *parser) parenExprOrBare() (cast.Expr, error) {
+	if p.peek().Kind == clex.LParen {
+		// A parenthesized expression; but "(e)" could also be the start of
+		// a longer expression like "(a) + b" — parse a full conditional
+		// expression and let precedence handle it.
+		return p.ternary()
+	}
+	return p.ternary()
+}
+
+func (p *parser) funcBody(fd *cast.FuncDecl) (*cast.Block, error) {
+	saved := p.scope
+	p.scope = &scope{vars: map[string]ctypes.Type{}, parent: p.globals}
+	for _, prm := range fd.Params {
+		p.scope.declare(prm.Name, prm.Type)
+	}
+	p.scope.declare(ReturnValueName, fd.Ret)
+	defer func() { p.scope = saved }()
+	return p.block()
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (p *parser) block() (*cast.Block, error) {
+	tok, err := p.expect(clex.LBrace)
+	if err != nil {
+		return nil, err
+	}
+	b := &cast.Block{}
+	b.P = tok.Pos
+	saved := p.scope
+	p.scope = &scope{vars: map[string]ctypes.Type{}, parent: saved}
+	defer func() { p.scope = saved }()
+	for !p.accept(clex.RBrace) {
+		if p.peek().Kind == clex.EOF {
+			return nil, p.errHere("unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s...)
+	}
+	return b, nil
+}
+
+// stmt parses one statement; declarations with multiple declarators expand
+// to several statements.
+func (p *parser) stmt() ([]cast.Stmt, error) {
+	t := p.peek()
+
+	// Local declaration?
+	if p.isTypeStart(t) && !(t.Kind == clex.Ident && p.peekN(1).Kind == clex.Colon) {
+		return p.localDecl()
+	}
+
+	switch t.Kind {
+	case clex.Semi:
+		p.next()
+		e := &cast.Empty{}
+		e.P = t.Pos
+		return []cast.Stmt{e}, nil
+	case clex.LBrace:
+		b, err := p.block()
+		return []cast.Stmt{b}, err
+	case clex.KwIf:
+		p.next()
+		if _, err := p.expect(clex.LParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(clex.RParen); err != nil {
+			return nil, err
+		}
+		then, err := p.oneStmt()
+		if err != nil {
+			return nil, err
+		}
+		var els cast.Stmt
+		if p.accept(clex.KwElse) {
+			els, err = p.oneStmt()
+			if err != nil {
+				return nil, err
+			}
+		}
+		s := &cast.If{Cond: cond, Then: then, Else: els}
+		s.P = t.Pos
+		return []cast.Stmt{s}, nil
+	case clex.KwWhile:
+		p.next()
+		if _, err := p.expect(clex.LParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(clex.RParen); err != nil {
+			return nil, err
+		}
+		body, err := p.oneStmt()
+		if err != nil {
+			return nil, err
+		}
+		s := &cast.While{Cond: cond, Body: body}
+		s.P = t.Pos
+		return []cast.Stmt{s}, nil
+	case clex.KwDo:
+		p.next()
+		body, err := p.oneStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(clex.KwWhile); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(clex.LParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(clex.RParen); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(clex.Semi); err != nil {
+			return nil, err
+		}
+		s := &cast.DoWhile{Body: body, Cond: cond}
+		s.P = t.Pos
+		return []cast.Stmt{s}, nil
+	case clex.KwFor:
+		return p.forStmt()
+	case clex.KwReturn:
+		p.next()
+		var x cast.Expr
+		if p.peek().Kind != clex.Semi {
+			var err error
+			x, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(clex.Semi); err != nil {
+			return nil, err
+		}
+		s := &cast.Return{X: x}
+		s.P = t.Pos
+		return []cast.Stmt{s}, nil
+	case clex.KwBreak:
+		p.next()
+		if _, err := p.expect(clex.Semi); err != nil {
+			return nil, err
+		}
+		s := &cast.Break{}
+		s.P = t.Pos
+		return []cast.Stmt{s}, nil
+	case clex.KwContinue:
+		p.next()
+		if _, err := p.expect(clex.Semi); err != nil {
+			return nil, err
+		}
+		s := &cast.Continue{}
+		s.P = t.Pos
+		return []cast.Stmt{s}, nil
+	case clex.KwGoto:
+		p.next()
+		lbl, err := p.expect(clex.Ident)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(clex.Semi); err != nil {
+			return nil, err
+		}
+		s := &cast.Goto{Label: lbl.Text}
+		s.P = t.Pos
+		return []cast.Stmt{s}, nil
+	case clex.KwAssert, clex.KwAssume:
+		p.next()
+		if _, err := p.expect(clex.LParen); err != nil {
+			return nil, err
+		}
+		p.inContract = true
+		cond, err := p.expr()
+		p.inContract = false
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(clex.RParen); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(clex.Semi); err != nil {
+			return nil, err
+		}
+		kind := cast.Assert
+		if t.Kind == clex.KwAssume {
+			kind = cast.Assume
+		}
+		s := &cast.Verify{Kind: kind, Cond: cond}
+		s.P = t.Pos
+		return []cast.Stmt{s}, nil
+	case clex.Ident:
+		if p.peekN(1).Kind == clex.Colon {
+			p.next()
+			p.next()
+			inner, err := p.oneStmt()
+			if err != nil {
+				return nil, err
+			}
+			s := &cast.Labeled{Label: t.Text, Stmt: inner}
+			s.P = t.Pos
+			return []cast.Stmt{s}, nil
+		}
+	}
+
+	// Expression statement.
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(clex.Semi); err != nil {
+		return nil, err
+	}
+	s := &cast.ExprStmt{X: e}
+	s.P = t.Pos
+	return []cast.Stmt{s}, nil
+}
+
+func (p *parser) oneStmt() (cast.Stmt, error) {
+	ss, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	if len(ss) == 1 {
+		return ss[0], nil
+	}
+	b := &cast.Block{Stmts: ss}
+	if len(ss) > 0 {
+		b.P = ss[0].Pos()
+	}
+	return b, nil
+}
+
+func (p *parser) localDecl() ([]cast.Stmt, error) {
+	start := p.peek().Pos
+	base, err := p.baseType()
+	if err != nil {
+		return nil, err
+	}
+	var out []cast.Stmt
+	for {
+		t, name, err := p.declarator(base)
+		if err != nil {
+			return nil, err
+		}
+		if name == "" {
+			return nil, p.errHere("declaration requires a name")
+		}
+		vd := &cast.VarDecl{Name: name, DeclType: t}
+		vd.P = start
+		p.scope.declare(name, t)
+		ds := &cast.DeclStmt{Decl: vd}
+		ds.P = start
+		if p.accept(clex.Assign) {
+			init, err := p.assignExpr()
+			if err != nil {
+				return nil, err
+			}
+			ds.Init = init
+		}
+		out = append(out, ds)
+		if !p.accept(clex.Comma) {
+			break
+		}
+	}
+	if _, err := p.expect(clex.Semi); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (p *parser) forStmt() ([]cast.Stmt, error) {
+	t := p.next() // for
+	if _, err := p.expect(clex.LParen); err != nil {
+		return nil, err
+	}
+	var init cast.Stmt
+	if !p.accept(clex.Semi) {
+		if p.isTypeStart(p.peek()) {
+			ds, err := p.localDecl()
+			if err != nil {
+				return nil, err
+			}
+			if len(ds) == 1 {
+				init = ds[0]
+			} else {
+				b := &cast.Block{Stmts: ds}
+				init = b
+			}
+		} else {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			es := &cast.ExprStmt{X: e}
+			es.P = e.Pos()
+			init = es
+			if _, err := p.expect(clex.Semi); err != nil {
+				return nil, err
+			}
+		}
+	}
+	var cond cast.Expr
+	if !p.accept(clex.Semi) {
+		var err error
+		cond, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(clex.Semi); err != nil {
+			return nil, err
+		}
+	}
+	var post cast.Expr
+	if p.peek().Kind != clex.RParen {
+		var err error
+		post, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(clex.RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.oneStmt()
+	if err != nil {
+		return nil, err
+	}
+	s := &cast.For{Init: init, Cond: cond, Post: post, Body: body}
+	s.P = t.Pos
+	return []cast.Stmt{s}, nil
+}

@@ -1,0 +1,248 @@
+package cparse
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cast"
+	"repro/internal/ctypes"
+)
+
+// skipLineSrc is the paper's running example (Fig. 3 + Fig. 4 contract),
+// written in the natural C the paper's front end would have seen.
+const skipLineSrc = `
+#define SIZE 1024
+
+char *fgets(char *s, int n, int stream)
+    requires (alloc(s) >= n && n >= 1)
+    modifies (s)
+    ensures (is_nullt(s) && strlen(s) < n);
+
+int strlen_(char *s)
+    requires (is_nullt(s))
+    ensures (return_value == strlen(s));
+
+void SkipLine(int NbLine, char **PtrEndText)
+    requires (is_within_bounds(*PtrEndText) && alloc(*PtrEndText) > NbLine && NbLine >= 0)
+    modifies (*PtrEndText), (is_nullt(*PtrEndText)), (strlen(*PtrEndText))
+    ensures (is_nullt(*PtrEndText) && strlen(*PtrEndText) == 0 &&
+             *PtrEndText == pre(*PtrEndText) + NbLine)
+{
+    int indice;
+    char *PtrEndLoc;
+    indice = 0;
+begin_loop:
+    if (indice >= NbLine) goto end_loop;
+    PtrEndLoc = *PtrEndText;
+    *PtrEndLoc = '\n';
+    *PtrEndText = PtrEndLoc + 1;
+    indice = indice + 1;
+    goto begin_loop;
+end_loop:
+    PtrEndLoc = *PtrEndText;
+    *PtrEndLoc = '\0';
+}
+
+void main() {
+    char buf[SIZE];
+    char *r;
+    char *s;
+    r = buf;
+    SkipLine(1, &r);
+    fgets(r, SIZE - 1, 0);
+    s = r + strlen_(r);
+    SkipLine(1, &s);
+}
+`
+
+func TestParseSkipLine(t *testing.T) {
+	f, err := ParseFile("skipline.c", skipLineSrc)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	sl := f.Lookup("SkipLine")
+	if sl == nil || sl.Body == nil {
+		t.Fatalf("SkipLine not found or missing body")
+	}
+	if sl.Contract == nil || sl.Contract.Requires == nil || sl.Contract.Ensures == nil {
+		t.Fatalf("SkipLine contract missing: %+v", sl.Contract)
+	}
+	if len(sl.Contract.Modifies) != 3 {
+		t.Errorf("modifies count = %d, want 3", len(sl.Contract.Modifies))
+	}
+	if len(sl.Params) != 2 {
+		t.Fatalf("params = %d, want 2", len(sl.Params))
+	}
+	if got := sl.Params[1].Type.String(); got != "char**" {
+		t.Errorf("PtrEndText type = %s, want char**", got)
+	}
+	mainFn := f.Lookup("main")
+	if mainFn == nil || mainFn.Body == nil {
+		t.Fatalf("main not found")
+	}
+	// buf should be char[1024] after macro expansion.
+	var bufType ctypes.Type
+	cast.WalkStmt(mainFn.Body, func(s cast.Stmt) bool {
+		if ds, ok := s.(*cast.DeclStmt); ok && ds.Decl.Name == "buf" {
+			bufType = ds.Decl.DeclType
+		}
+		return true
+	})
+	if bufType == nil || bufType.String() != "char[1024]" {
+		t.Errorf("buf type = %v, want char[1024]", bufType)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	f, err := ParseFile("skipline.c", skipLineSrc)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	printed := cast.Fprint(f)
+	f2, err := ParseFile("printed.c", printed)
+	if err != nil {
+		t.Fatalf("reparse printed output: %v\n%s", err, printed)
+	}
+	if cast.Fprint(f2) != printed {
+		t.Errorf("print not idempotent:\n--- first ---\n%s\n--- second ---\n%s", printed, cast.Fprint(f2))
+	}
+}
+
+func TestParseDeclarators(t *testing.T) {
+	tests := []struct {
+		src  string
+		name string
+		want string
+	}{
+		{"int x;", "x", "int"},
+		{"char *p;", "p", "char*"},
+		{"char **pp;", "pp", "char**"},
+		{"char buf[16];", "buf", "char[16]"},
+		{"char grid[4][8];", "grid", "char[8][4]"},
+		{"int *arr[3];", "arr", "int*[3]"},
+		{"int (*fp)(int, char*);", "fp", "int (int, char*)*"},
+		{"int (*fparr[2])(void);", "fparr", "int ()*[2]"},
+	}
+	for _, tt := range tests {
+		f, err := ParseFile("t.c", tt.src)
+		if err != nil {
+			t.Errorf("%s: %v", tt.src, err)
+			continue
+		}
+		vd, ok := f.Decls[0].(*cast.VarDecl)
+		if !ok {
+			t.Errorf("%s: not a VarDecl: %T", tt.src, f.Decls[0])
+			continue
+		}
+		if vd.Name != tt.name || vd.DeclType.String() != tt.want {
+			t.Errorf("%s: got %s %s, want %s %s", tt.src, vd.DeclType, vd.Name, tt.want, tt.name)
+		}
+	}
+}
+
+func TestParseStructs(t *testing.T) {
+	src := `
+struct line {
+    char text[80];
+    int len;
+    struct line *next;
+};
+int f(struct line *l) {
+    l->len = 0;
+    l->text[0] = '\0';
+    return l->len;
+}
+`
+	f, err := ParseFile("s.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	sd, ok := f.Decls[0].(*cast.StructDecl)
+	if !ok {
+		t.Fatalf("first decl is %T, want StructDecl", f.Decls[0])
+	}
+	if sd.Type.Size() != 80+4+4 {
+		t.Errorf("struct size = %d, want 88", sd.Type.Size())
+	}
+	if off := sd.Type.Field("len").Offset; off != 80 {
+		t.Errorf("len offset = %d, want 80", off)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		src     string
+		wantSub string
+	}{
+		{"int f() { return x; }", "undeclared identifier"},
+		{"int f(int a) { a(); return 0; }", "call of non-function"},
+		{"int f() { int x; x = *x; return x; }", "cannot dereference"},
+		{"int f() { int x; x.y = 1; return 0; }", "member access on non-struct"},
+		{"void g(int); int f() { g(1, 2); return 0; }", "wrong number of arguments"},
+		{"int f() { 3 = 4; return 0; }", "assignment to non-lvalue"},
+	}
+	for _, tt := range tests {
+		_, err := ParseFile("e.c", tt.src)
+		if err == nil {
+			t.Errorf("%s: expected error containing %q, got nil", tt.src, tt.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), tt.wantSub) {
+			t.Errorf("%s: error %q does not contain %q", tt.src, err, tt.wantSub)
+		}
+	}
+}
+
+func TestParseExprTypes(t *testing.T) {
+	vars := map[string]ctypes.Type{
+		"p": ctypes.PointerTo(ctypes.Char),
+		"q": ctypes.PointerTo(ctypes.Char),
+		"i": ctypes.Int,
+	}
+	tests := []struct {
+		src  string
+		want string
+	}{
+		{"p + i", "char*"},
+		{"p - q", "int"},
+		{"*p", "char"},
+		{"&p", "char**"},
+		{"p < q", "int"},
+		{"alloc(p) - offset(p)", "int"},
+		{"is_within_bounds(p)", "int"},
+		{"strlen(p) == 0", "int"},
+	}
+	for _, tt := range tests {
+		e, err := ParseExpr(tt.src, vars)
+		if err != nil {
+			t.Errorf("%s: %v", tt.src, err)
+			continue
+		}
+		if got := e.Type().String(); got != tt.want {
+			t.Errorf("%s: type = %s, want %s", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestFoldConst(t *testing.T) {
+	tests := []struct {
+		src  string
+		want int64
+	}{
+		{"1 + 2 * 3", 7},
+		{"(1 << 4) - 1", 15},
+		{"sizeof(int)", 4},
+		{"sizeof(char*)", 4},
+		{"-5 + 10", 5},
+	}
+	for _, tt := range tests {
+		e, err := ParseExpr(tt.src, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", tt.src, err)
+		}
+		v, ok := FoldConst(e)
+		if !ok || v != tt.want {
+			t.Errorf("%s = %d (ok=%v), want %d", tt.src, v, ok, tt.want)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+// Package ctypes models the C type system for the subset CSSV analyzes.
+//
+// Sizes follow the paper's running assumptions (§2.4, Fig. 5): char is one
+// byte, int and pointers are four bytes. Structs are laid out without
+// padding; CSSV's semantics only needs field offsets and total sizes, not
+// ABI-accurate alignment.
+package ctypes
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Byte sizes of the primitive types.
+const (
+	CharSize    = 1
+	IntSize     = 4
+	PointerSize = 4
+)
+
+// Type is a C type.
+type Type interface {
+	// Size returns the storage size in bytes (0 for void and functions).
+	Size() int
+	String() string
+	// Equal reports structural equality (structs compare by name).
+	Equal(Type) bool
+}
+
+// Void is the C void type.
+type Void struct{}
+
+func (Void) Size() int         { return 0 }
+func (Void) String() string    { return "void" }
+func (Void) Equal(t Type) bool { _, ok := t.(Void); return ok }
+
+// Prim is a primitive arithmetic type.
+type Prim struct {
+	Name  string // "char", "int", "long", "short", "unsigned int", ...
+	Bytes int
+}
+
+func (p Prim) Size() int      { return p.Bytes }
+func (p Prim) String() string { return p.Name }
+func (p Prim) Equal(t Type) bool {
+	q, ok := t.(Prim)
+	return ok && p.Name == q.Name
+}
+
+// Predefined primitive types.
+var (
+	Char = Prim{Name: "char", Bytes: CharSize}
+	Int  = Prim{Name: "int", Bytes: IntSize}
+)
+
+// IsChar reports whether t is a character type.
+func IsChar(t Type) bool {
+	p, ok := t.(Prim)
+	return ok && p.Bytes == CharSize
+}
+
+// IsInteger reports whether t is any integer (arithmetic) type.
+func IsInteger(t Type) bool {
+	_, ok := t.(Prim)
+	return ok
+}
+
+// Pointer is a pointer type.
+type Pointer struct {
+	Elem Type
+}
+
+func (p Pointer) Size() int      { return PointerSize }
+func (p Pointer) String() string { return p.Elem.String() + "*" }
+func (p Pointer) Equal(t Type) bool {
+	q, ok := t.(Pointer)
+	return ok && p.Elem.Equal(q.Elem)
+}
+
+// IsPointer reports whether t is a pointer type.
+func IsPointer(t Type) bool {
+	_, ok := t.(Pointer)
+	return ok
+}
+
+// PointerTo returns the type "elem*".
+func PointerTo(elem Type) Pointer { return Pointer{Elem: elem} }
+
+// Elem returns the pointee/element type of a pointer or array, or nil.
+func Elem(t Type) Type {
+	switch t := t.(type) {
+	case Pointer:
+		return t.Elem
+	case Array:
+		return t.Elem
+	}
+	return nil
+}
+
+// Array is a constant-size array type.
+type Array struct {
+	Elem Type
+	Len  int
+}
+
+func (a Array) Size() int      { return a.Elem.Size() * a.Len }
+func (a Array) String() string { return fmt.Sprintf("%s[%d]", a.Elem, a.Len) }
+func (a Array) Equal(t Type) bool {
+	b, ok := t.(Array)
+	return ok && a.Len == b.Len && a.Elem.Equal(b.Elem)
+}
+
+// IsArray reports whether t is an array type.
+func IsArray(t Type) bool {
+	_, ok := t.(Array)
+	return ok
+}
+
+// Field is a struct or union member.
+type Field struct {
+	Name   string
+	Type   Type
+	Offset int // byte offset within the struct (0 for all union members)
+}
+
+// Struct is a struct or union type. Structs compare by tag name so that
+// recursive types (linked lists) terminate.
+type Struct struct {
+	Tag     string
+	Union   bool
+	Fields  []Field
+	ByteLen int
+}
+
+func (s *Struct) Size() int { return s.ByteLen }
+func (s *Struct) String() string {
+	kind := "struct"
+	if s.Union {
+		kind = "union"
+	}
+	if s.Tag != "" {
+		return kind + " " + s.Tag
+	}
+	var b strings.Builder
+	b.WriteString(kind + " {")
+	for i, f := range s.Fields {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "%s %s", f.Type, f.Name)
+	}
+	b.WriteString("}")
+	return b.String()
+}
+func (s *Struct) Equal(t Type) bool {
+	q, ok := t.(*Struct)
+	if !ok {
+		return false
+	}
+	if s.Tag != "" || q.Tag != "" {
+		return s.Tag == q.Tag && s.Union == q.Union
+	}
+	return s == q
+}
+
+// Field returns the field named name, or nil.
+func (s *Struct) Field(name string) *Field {
+	for i := range s.Fields {
+		if s.Fields[i].Name == name {
+			return &s.Fields[i]
+		}
+	}
+	return nil
+}
+
+// SetFields installs the member list and computes offsets and total size.
+func (s *Struct) SetFields(fields []Field) {
+	off := 0
+	maxSize := 0
+	for i := range fields {
+		if s.Union {
+			fields[i].Offset = 0
+		} else {
+			fields[i].Offset = off
+			off += fields[i].Type.Size()
+		}
+		if sz := fields[i].Type.Size(); sz > maxSize {
+			maxSize = sz
+		}
+	}
+	s.Fields = fields
+	if s.Union {
+		s.ByteLen = maxSize
+	} else {
+		s.ByteLen = off
+	}
+}
+
+// Func is a function type.
+type Func struct {
+	Ret      Type
+	Params   []Type
+	Variadic bool
+}
+
+func (f *Func) Size() int { return 0 }
+func (f *Func) String() string {
+	var b strings.Builder
+	b.WriteString(f.Ret.String())
+	b.WriteString(" (")
+	for i, p := range f.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p.String())
+	}
+	if f.Variadic {
+		if len(f.Params) > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString("...")
+	}
+	b.WriteString(")")
+	return b.String()
+}
+func (f *Func) Equal(t Type) bool {
+	g, ok := t.(*Func)
+	if !ok || len(f.Params) != len(g.Params) || f.Variadic != g.Variadic {
+		return false
+	}
+	if !f.Ret.Equal(g.Ret) {
+		return false
+	}
+	for i := range f.Params {
+		if !f.Params[i].Equal(g.Params[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsFunc reports whether t is a function type.
+func IsFunc(t Type) bool {
+	_, ok := t.(*Func)
+	return ok
+}
+
+// Decay converts array types to pointers to their element (the implicit
+// array-to-pointer conversion of C expressions) and functions to function
+// pointers; other types pass through.
+func Decay(t Type) Type {
+	switch t := t.(type) {
+	case Array:
+		return PointerTo(t.Elem)
+	case *Func:
+		return PointerTo(t)
+	}
+	return t
+}
+
+// IsScalar reports whether values of t fit in a single abstract cell
+// (integers and pointers).
+func IsScalar(t Type) bool { return IsInteger(t) || IsPointer(t) }

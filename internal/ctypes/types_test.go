@@ -1,0 +1,137 @@
+package ctypes
+
+import "testing"
+
+func TestSizes(t *testing.T) {
+	cases := []struct {
+		t    Type
+		want int
+	}{
+		{Char, 1},
+		{Int, 4},
+		{PointerTo(Char), 4},
+		{PointerTo(PointerTo(Int)), 4},
+		{Array{Elem: Char, Len: 100}, 100},
+		{Array{Elem: Int, Len: 10}, 40},
+		{Array{Elem: Array{Elem: Char, Len: 8}, Len: 4}, 32},
+		{Void{}, 0},
+		{&Func{Ret: Int}, 0},
+	}
+	for _, c := range cases {
+		if got := c.t.Size(); got != c.want {
+			t.Errorf("%s size = %d, want %d", c.t, got, c.want)
+		}
+	}
+}
+
+func TestStructLayout(t *testing.T) {
+	s := &Struct{Tag: "line"}
+	s.SetFields([]Field{
+		{Name: "text", Type: Array{Elem: Char, Len: 80}},
+		{Name: "len", Type: Int},
+		{Name: "next", Type: PointerTo(s)},
+	})
+	if s.Size() != 88 {
+		t.Errorf("size = %d", s.Size())
+	}
+	if f := s.Field("len"); f == nil || f.Offset != 80 {
+		t.Errorf("len field: %+v", f)
+	}
+	if f := s.Field("next"); f == nil || f.Offset != 84 {
+		t.Errorf("next field: %+v", f)
+	}
+	if s.Field("absent") != nil {
+		t.Error("phantom field")
+	}
+}
+
+func TestUnionLayout(t *testing.T) {
+	u := &Struct{Tag: "u", Union: true}
+	u.SetFields([]Field{
+		{Name: "i", Type: Int},
+		{Name: "buf", Type: Array{Elem: Char, Len: 16}},
+	})
+	if u.Size() != 16 {
+		t.Errorf("union size = %d, want 16", u.Size())
+	}
+	for _, f := range u.Fields {
+		if f.Offset != 0 {
+			t.Errorf("union member %s at offset %d", f.Name, f.Offset)
+		}
+	}
+}
+
+func TestEquality(t *testing.T) {
+	if !PointerTo(Char).Equal(PointerTo(Char)) {
+		t.Error("char* != char*")
+	}
+	if PointerTo(Char).Equal(PointerTo(Int)) {
+		t.Error("char* == int*")
+	}
+	a := Array{Elem: Char, Len: 4}
+	if !a.Equal(Array{Elem: Char, Len: 4}) || a.Equal(Array{Elem: Char, Len: 5}) {
+		t.Error("array equality wrong")
+	}
+	s1 := &Struct{Tag: "s"}
+	s2 := &Struct{Tag: "s"}
+	if !s1.Equal(s2) {
+		t.Error("structs compare by tag")
+	}
+	f1 := &Func{Ret: Int, Params: []Type{Char}}
+	f2 := &Func{Ret: Int, Params: []Type{Char}}
+	f3 := &Func{Ret: Int, Params: []Type{Int}}
+	if !f1.Equal(f2) || f1.Equal(f3) {
+		t.Error("func equality wrong")
+	}
+}
+
+func TestDecay(t *testing.T) {
+	if got := Decay(Array{Elem: Char, Len: 9}); !got.Equal(PointerTo(Char)) {
+		t.Errorf("array decays to %s", got)
+	}
+	f := &Func{Ret: Void{}}
+	if got := Decay(f); !got.Equal(PointerTo(f)) {
+		t.Errorf("func decays to %s", got)
+	}
+	if got := Decay(Int); !got.Equal(Int) {
+		t.Errorf("int decays to %s", got)
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	if !IsChar(Char) || IsChar(Int) {
+		t.Error("IsChar")
+	}
+	if !IsInteger(Int) || IsInteger(PointerTo(Int)) {
+		t.Error("IsInteger")
+	}
+	if !IsPointer(PointerTo(Int)) || IsPointer(Int) {
+		t.Error("IsPointer")
+	}
+	if !IsArray(Array{Elem: Int, Len: 1}) || IsArray(Int) {
+		t.Error("IsArray")
+	}
+	if !IsScalar(Int) || !IsScalar(PointerTo(Char)) || IsScalar(Array{Elem: Char, Len: 2}) {
+		t.Error("IsScalar")
+	}
+	if Elem(PointerTo(Char)) == nil || Elem(Array{Elem: Int, Len: 3}) == nil || Elem(Int) != nil {
+		t.Error("Elem")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	cases := map[string]Type{
+		"char":       Char,
+		"char*":      PointerTo(Char),
+		"char**":     PointerTo(PointerTo(Char)),
+		"char[8]":    Array{Elem: Char, Len: 8},
+		"struct s":   &Struct{Tag: "s"},
+		"int (char)": &Func{Ret: Int, Params: []Type{Char}},
+		"void ()":    &Func{Ret: Void{}},
+	}
+	for want, ty := range cases {
+		if got := ty.String(); got != want {
+			t.Errorf("String = %q, want %q", got, want)
+		}
+	}
+}

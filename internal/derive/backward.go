@@ -1,0 +1,132 @@
+package derive
+
+import (
+	"repro/internal/ip"
+	"repro/internal/linear"
+	"repro/internal/polyhedra"
+)
+
+// backward runs AWPre (paper §4.1): a backward analysis over the same
+// abstract domain as the forward one, where assignments are handled by
+// substitution. The result at the prelude boundary approximates the weakest
+// liberal precondition of "no assert fails and the postcondition holds".
+//
+// Approximation notes (all sound for derivation — CSSV's soundness never
+// depends on a derived precondition, §1.2):
+//
+//   - assume(C) is treated like assert(C) (meet), which yields a condition
+//     stronger than C => Q;
+//   - v := unknown drops the constraints mentioning v (weaker than the
+//     universal quantification, as the paper's AWPre also loses information
+//     at joins and widenings);
+//   - branch joins use the convex hull.
+func backward(p *ip.Program, opts Options) *polyhedra.Poly {
+	if err := p.Resolve(); err != nil {
+		return nil
+	}
+	n := len(p.Stmts)
+	nvars := p.NumVars()
+
+	// succ edges (same shape as the forward engine).
+	type edge struct {
+		to   int
+		cond ip.DNF
+	}
+	succ := make([][]edge, n+1)
+	for i, s := range p.Stmts {
+		next := i + 1
+		switch s := s.(type) {
+		case *ip.Goto:
+			succ[i] = []edge{{to: p.TargetOf(s.Target)}}
+		case *ip.IfGoto:
+			succ[i] = []edge{
+				{to: p.TargetOf(s.Target), cond: s.C},
+				{to: next, cond: s.FallthroughCond()},
+			}
+		default:
+			succ[i] = []edge{{to: next}}
+		}
+	}
+
+	// Q[i]: condition required at entry of statement i.
+	q := make([]*polyhedra.Poly, n+1)
+	q[n] = polyhedra.Universe(nvars)
+	for i := range q[:n] {
+		q[i] = nil // "not yet computed" (top of the backward lattice)
+	}
+
+	meetDNF := func(st *polyhedra.Poly, d ip.DNF) *polyhedra.Poly {
+		if d.IsTrue() {
+			return st
+		}
+		if d.IsFalse() {
+			return polyhedra.Bottom(nvars)
+		}
+		acc := polyhedra.Bottom(nvars)
+		for _, conj := range d {
+			acc = acc.Join(st.MeetSystem(linear.System(conj)))
+		}
+		return acc
+	}
+
+	// transfer computes pre of statement i from the posts of its successors.
+	transfer := func(i int) *polyhedra.Poly {
+		// Combine successor requirements.
+		var post *polyhedra.Poly
+		for _, e := range succ[i] {
+			qs := q[e.to]
+			if qs == nil {
+				qs = polyhedra.Universe(nvars)
+			}
+			contrib := qs
+			if e.cond != nil {
+				contrib = meetDNF(qs, e.cond)
+			}
+			if post == nil {
+				post = contrib
+			} else {
+				post = post.Join(contrib)
+			}
+		}
+		if post == nil {
+			post = polyhedra.Universe(nvars)
+		}
+		switch s := p.Stmts[i].(type) {
+		case *ip.Assign:
+			return post.Substitute(s.V, s.E)
+		case *ip.Havoc:
+			return post.Forget(s.V)
+		case *ip.Assume:
+			return meetDNF(post, s.C)
+		case *ip.Assert:
+			if s.Unverifiable {
+				return post
+			}
+			return meetDNF(post, s.C)
+		}
+		return post
+	}
+
+	// Bounded descending iteration (Gauss–Seidel in reverse order).
+	// Starting from true everywhere, each pass strengthens q toward the
+	// weakest liberal precondition; stopping after a fixed number of
+	// passes yields a sound-for-derivation approximation that keeps the
+	// loop-free constraints exact while loop bodies contribute only their
+	// first unrollings (the paper's AWPre similarly loses information at
+	// joins and widenings, §4.1). Termination is by construction.
+	const passes = 3
+	for i := range q {
+		q[i] = polyhedra.Universe(nvars)
+	}
+	for pass := 0; pass < passes; pass++ {
+		for i := n - 1; i >= 0; i-- {
+			q[i] = transfer(i)
+		}
+	}
+
+	at := p.PreludeEnd
+	if at >= len(q) || q[at] == nil {
+		return polyhedra.Universe(nvars)
+	}
+	return q[at]
+}

@@ -1,0 +1,60 @@
+package derive
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/corec"
+	"repro/internal/cparse"
+)
+
+const skipLineSrc = `
+void SkipLine(int NbLine, char **PtrEndText) {
+    int indice;
+    char *PtrEndLoc;
+    indice = 0;
+begin_loop:
+    if (indice >= NbLine) goto end_loop;
+    PtrEndLoc = *PtrEndText;
+    *PtrEndLoc = '\n';
+    *PtrEndText = PtrEndLoc + 1;
+    indice = indice + 1;
+    goto begin_loop;
+end_loop:
+    PtrEndLoc = *PtrEndText;
+    *PtrEndLoc = '\0';
+}
+`
+
+// TestASPostSkipLine reproduces paper §4.1 equation (1): with a true
+// precondition, ASPost discovers that the target buffer is null-terminated,
+// that the new length equals the new offset (strlen == 0), and a relation
+// between the new and old offsets involving NbLine.
+func TestASPostSkipLine(t *testing.T) {
+	f, err := cparse.ParseFile("skipline.c", skipLineSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := corec.Normalize(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Derive(prog, "SkipLine", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("derived modifies: %d entries", len(res.Modifies))
+	t.Logf("derived requires: %s", res.RequiresText)
+	t.Logf("derived ensures:  %s", res.EnsuresText)
+
+	if !strings.Contains(res.EnsuresText, "is_nullt(*PtrEndText)") {
+		t.Errorf("ensures should state the buffer is null-terminated, got: %s", res.EnsuresText)
+	}
+	if !strings.Contains(res.EnsuresText, "strlen(*PtrEndText)") {
+		t.Errorf("ensures should constrain strlen, got: %s", res.EnsuresText)
+	}
+	// Equation (1)'s offset relation mentions the pre-state offset.
+	if !strings.Contains(res.EnsuresText, "pre(") {
+		t.Errorf("ensures should relate to the entry state via pre(), got: %s", res.EnsuresText)
+	}
+}

@@ -1,0 +1,450 @@
+// Package inline implements the first CSSV phase (paper §3.2, Table 2):
+// exposing the behavior of procedures by inlining contracts.
+//
+// For the analyzed procedure P it emits, as ordinary CoreC statements:
+//
+//	entry of P      __pre_k = e;            for every pre(e) in post[P]
+//	                __assume(pre[P]);
+//	return e        return_value = e; goto __cssv_exit;
+//	exit of P       __cssv_exit: __assert(post[P]); return return_value;
+//	call x = g(a..) __pre_k = e[a/f];       for every pre(e) in post[g]
+//	                __assert(pre[g][a/f]);
+//	                x = g(a..);             (kept for pointer effects + mod[g])
+//	                __assume(post[g][a/f, x/return_value, __pre_k/pre(e)]);
+//
+// The result differs from P exactly on executions that violate a contract,
+// which is what makes separate (modular) verification sound.
+package inline
+
+import (
+	"fmt"
+
+	"repro/internal/cast"
+	"repro/internal/clex"
+	"repro/internal/corec"
+	"repro/internal/ctypes"
+)
+
+// ReturnVar is the local that carries P's return value to the exit assert.
+const ReturnVar = cast.ReturnValueName
+
+// ExitLabel is the unique procedure exit point.
+const ExitLabel = "__cssv_exit"
+
+// Snapshots maps snapshot temporaries (__preN) back to the entry-time
+// expressions they record, so the contract-derivation write-back (§4.2) can
+// rebuild pre(e) terms.
+type Snapshots map[string]cast.Expr
+
+// File returns a copy of prog.File in which the definition of target has
+// been replaced by inline(target); all other definitions are untouched (they
+// still provide calling contexts for the whole-program pointer analysis).
+// The returned file is then re-normalized by the caller.
+func File(prog *corec.Program, target string) (*cast.File, error) {
+	f, _, err := FileEx(prog, target, nil)
+	return f, err
+}
+
+// FileEx is File plus derivation support: extraSnaps lists additional
+// entry-time expressions to snapshot (the designated variables of §4.1,
+// recording every property the procedure may modify), and the returned
+// Snapshots maps every snapshot temp of the target — contract pre() ones
+// and extra ones — to its expression.
+func FileEx(prog *corec.Program, target string, extraSnaps []cast.Expr) (*cast.File, Snapshots, error) {
+	out := &cast.File{Name: prog.File.Name}
+	snaps := Snapshots{}
+	for _, d := range prog.File.Decls {
+		fd, ok := d.(*cast.FuncDecl)
+		if !ok || fd.Body == nil || fd.Name != target {
+			out.Decls = append(out.Decls, d)
+			continue
+		}
+		inlined, sm, err := function(prog.File, fd, extraSnaps)
+		if err != nil {
+			return nil, nil, err
+		}
+		snaps = sm
+		out.Decls = append(out.Decls, inlined)
+	}
+	return out, snaps, nil
+}
+
+type inliner struct {
+	file *cast.File
+	fd   *cast.FuncDecl
+	out  []cast.Stmt
+	// decls accumulates snapshot temporaries.
+	decls []cast.Stmt
+	npre  int
+	// snapInfo records __preN -> snapshotted expression for the target.
+	snapInfo Snapshots
+}
+
+// function builds inline(fd).
+func function(file *cast.File, fd *cast.FuncDecl, extraSnaps []cast.Expr) (*cast.FuncDecl, Snapshots, error) {
+	in := &inliner{file: file, fd: fd, snapInfo: Snapshots{}}
+
+	nf := &cast.FuncDecl{
+		Name:     fd.Name,
+		Ret:      fd.Ret,
+		Params:   fd.Params,
+		Variadic: fd.Variadic,
+		Contract: fd.Contract,
+	}
+	nf.P = fd.Pos()
+
+	// Entry: snapshots for pre(e) in post[P], then assume the precondition.
+	post := contractEnsures(fd)
+	postSub := map[string]cast.Expr{}
+	if post != nil {
+		snaps, err := in.snapshots(post, nil, fd.Pos(), true)
+		if err != nil {
+			return nil, nil, err
+		}
+		postSub = snaps
+	}
+	// Designated variables for derivation (§4.1): record the entry value of
+	// every property the procedure may modify.
+	for _, e := range extraSnaps {
+		if err := in.snapshotOne(e, fd.Pos(), true); err != nil {
+			return nil, nil, err
+		}
+	}
+	if pre := contractRequires(fd); pre != nil {
+		in.emitVerify(cast.Assume, cast.CloneExpr(pre), "precondition of "+fd.Name, fd.Pos(), fd.Pos())
+	}
+
+	// Declare the return-value carrier for non-void functions.
+	if _, isVoid := fd.Ret.(ctypes.Void); !isVoid {
+		in.declare(ReturnVar, fd.Ret, fd.Pos())
+	}
+
+	// Body.
+	for _, s := range fd.Body.Stmts {
+		if err := in.stmt(s); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Exit: the postcondition assert, then the actual return.
+	in.emitLabel(ExitLabel, fd.Pos())
+	if post != nil {
+		cond := substPre(cast.CloneExpr(post), postSub)
+		in.emitVerify(cast.Assert, cond, "postcondition of "+fd.Name, fd.Pos(), fd.Pos())
+	}
+	if _, isVoid := fd.Ret.(ctypes.Void); !isVoid {
+		rv := &cast.Ident{Name: ReturnVar}
+		rv.SetType(fd.Ret)
+		rv.P = fd.Pos()
+		ret := &cast.Return{X: rv}
+		ret.P = fd.Pos()
+		in.out = append(in.out, ret)
+	} else {
+		ret := &cast.Return{}
+		ret.P = fd.Pos()
+		in.out = append(in.out, ret)
+	}
+
+	body := &cast.Block{}
+	body.P = fd.Body.Pos()
+	body.Stmts = append(body.Stmts, in.decls...)
+	body.Stmts = append(body.Stmts, in.out...)
+	nf.Body = body
+	return nf, in.snapInfo, nil
+}
+
+func contractRequires(fd *cast.FuncDecl) cast.Expr {
+	if fd.Contract == nil {
+		return nil
+	}
+	return fd.Contract.Requires
+}
+
+func contractEnsures(fd *cast.FuncDecl) cast.Expr {
+	if fd.Contract == nil {
+		return nil
+	}
+	return fd.Contract.Ensures
+}
+
+func (in *inliner) declare(name string, t ctypes.Type, pos clex.Pos) {
+	vd := &cast.VarDecl{Name: name, DeclType: t}
+	vd.P = pos
+	ds := &cast.DeclStmt{Decl: vd}
+	ds.P = pos
+	in.decls = append(in.decls, ds)
+}
+
+func (in *inliner) emitVerify(kind cast.VerifyKind, cond cast.Expr, reason string, pos, site clex.Pos) {
+	v := &cast.Verify{Kind: kind, Cond: cond, Reason: reason, Site: site}
+	v.P = pos
+	in.out = append(in.out, v)
+}
+
+func (in *inliner) emitLabel(name string, pos clex.Pos) {
+	e := &cast.Empty{}
+	e.P = pos
+	l := &cast.Labeled{Label: name, Stmt: e}
+	l.P = pos
+	in.out = append(in.out, l)
+}
+
+// snapshots scans expr for pre(e) occurrences, emits snapshot code for each
+// (applying the actual-for-formal substitution sub first), and returns a map
+// from the textual form of the pre() argument to the snapshot variable.
+// record marks entry-level snapshots of the target (exposed in Snapshots).
+func (in *inliner) snapshots(expr cast.Expr, sub map[string]cast.Expr, pos clex.Pos, record bool) (map[string]cast.Expr, error) {
+	snaps := map[string]cast.Expr{}
+	var err error
+	cast.WalkExpr(expr, func(e cast.Expr) bool {
+		c, ok := e.(*cast.Call)
+		if !ok || c.FuncName() != "pre" || len(c.Args) != 1 {
+			return true
+		}
+		arg := c.Args[0]
+		actual := arg
+		if sub != nil {
+			actual = cast.SubstituteIdents(arg, sub)
+		}
+		// Key by the substituted form: substPre later runs over the
+		// substituted postcondition, where pre()'s argument reads in terms
+		// of the actuals.
+		key := cast.ExprString(actual)
+		if _, done := snaps[key]; done {
+			return false
+		}
+		name := in.emitSnapshot(actual, pos)
+		if record {
+			in.snapInfo[name] = cast.CloneExpr(actual)
+		}
+		snapID := &cast.Ident{Name: name}
+		snapID.P = pos
+		snapID.SetType(ctypes.Decay(actual.Type()))
+		snaps[key] = snapID
+		return false
+	})
+	return snaps, err
+}
+
+// emitSnapshot emits the code recording the entry value of expr and returns
+// the snapshot variable name. Property expressions (containing attributes)
+// become int temps pinned by an assume; plain C expressions become real
+// assignments.
+func (in *inliner) emitSnapshot(actual cast.Expr, pos clex.Pos) string {
+	name := fmt.Sprintf("__pre%d", in.npre)
+	in.npre++
+	if hasAttributes(actual) {
+		in.declare(name, ctypes.Int, pos)
+		id := &cast.Ident{Name: name}
+		id.SetType(ctypes.Int)
+		id.P = pos
+		eqE := &cast.Binary{Op: cast.Eq, X: id, Y: cast.CloneExpr(actual)}
+		eqE.SetType(ctypes.Int)
+		eqE.P = pos
+		in.emitVerify(cast.Assume, eqE, "snapshot "+cast.ExprString(actual), pos, pos)
+		return name
+	}
+	t := ctypes.Decay(actual.Type())
+	if t == nil {
+		t = ctypes.Int
+	}
+	in.declare(name, t, pos)
+	id := &cast.Ident{Name: name}
+	id.SetType(t)
+	id.P = pos
+	asn := &cast.Assign{Op: cast.PlainAssign, LHS: id, RHS: cast.CloneExpr(actual)}
+	asn.SetType(t)
+	asn.P = pos
+	es := &cast.ExprStmt{X: asn}
+	es.P = pos
+	in.out = append(in.out, es)
+	return name
+}
+
+// snapshotOne records one extra derivation snapshot.
+func (in *inliner) snapshotOne(e cast.Expr, pos clex.Pos, record bool) error {
+	name := in.emitSnapshot(e, pos)
+	if record {
+		in.snapInfo[name] = cast.CloneExpr(e)
+	}
+	return nil
+}
+
+// hasAttributes reports whether e contains contract attribute calls.
+func hasAttributes(e cast.Expr) bool {
+	found := false
+	cast.WalkExpr(e, func(x cast.Expr) bool {
+		if c, ok := x.(*cast.Call); ok {
+			switch c.FuncName() {
+			case "strlen", "alloc", "offset", "is_nullt", "base", "is_within_bounds":
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// substPre replaces pre(e) occurrences with their snapshot variables.
+func substPre(e cast.Expr, snaps map[string]cast.Expr) cast.Expr {
+	switch x := e.(type) {
+	case *cast.Call:
+		if x.FuncName() == "pre" && len(x.Args) == 1 {
+			if s, ok := snaps[cast.ExprString(x.Args[0])]; ok {
+				return cast.CloneExpr(s)
+			}
+			return e
+		}
+		for i, a := range x.Args {
+			x.Args[i] = substPre(a, snaps)
+		}
+	case *cast.Unary:
+		x.X = substPre(x.X, snaps)
+	case *cast.Binary:
+		x.X = substPre(x.X, snaps)
+		x.Y = substPre(x.Y, snaps)
+	case *cast.Cast:
+		x.X = substPre(x.X, snaps)
+	case *cast.Cond:
+		x.C = substPre(x.C, snaps)
+		x.Then = substPre(x.Then, snaps)
+		x.Else = substPre(x.Else, snaps)
+	case *cast.Index:
+		x.X = substPre(x.X, snaps)
+		x.I = substPre(x.I, snaps)
+	}
+	return e
+}
+
+// stmt processes one CoreC statement of the target body.
+func (in *inliner) stmt(s cast.Stmt) error {
+	switch s := s.(type) {
+	case *cast.DeclStmt:
+		in.decls = append(in.decls, s)
+		return nil
+	case *cast.Return:
+		if s.X != nil {
+			rv := &cast.Ident{Name: ReturnVar}
+			rv.SetType(in.fd.Ret)
+			rv.P = s.Pos()
+			asn := &cast.Assign{Op: cast.PlainAssign, LHS: rv, RHS: s.X}
+			asn.SetType(in.fd.Ret)
+			asn.P = s.Pos()
+			es := &cast.ExprStmt{X: asn}
+			es.P = s.Pos()
+			in.out = append(in.out, es)
+		}
+		g := &cast.Goto{Label: ExitLabel}
+		g.P = s.Pos()
+		in.out = append(in.out, g)
+		return nil
+	case *cast.ExprStmt:
+		switch x := s.X.(type) {
+		case *cast.Call:
+			return in.call(s, "", x)
+		case *cast.Assign:
+			if c, ok := x.RHS.(*cast.Call); ok {
+				lhs, _ := x.LHS.(*cast.Ident)
+				name := ""
+				if lhs != nil {
+					name = lhs.Name
+				}
+				return in.call(s, name, c)
+			}
+		}
+	}
+	in.out = append(in.out, s)
+	return nil
+}
+
+// call wraps a call site with the callee's contract (Table 2, third row).
+func (in *inliner) call(orig cast.Stmt, dst string, c *cast.Call) error {
+	callee := in.file.Lookup(c.FuncName())
+	if callee == nil || callee.Contract == nil {
+		// No contract: keep the raw call; C2IP applies the conservative
+		// default effect.
+		in.out = append(in.out, orig)
+		return nil
+	}
+	ct := callee.Contract
+	// formal -> actual substitution.
+	sub := map[string]cast.Expr{}
+	for i, p := range callee.Params {
+		if i < len(c.Args) {
+			sub[p.Name] = c.Args[i]
+		}
+	}
+
+	// Snapshots for pre(e) in post[g], taken before the call.
+	var snaps map[string]cast.Expr
+	if ct.Ensures != nil {
+		var err error
+		snaps, err = in.snapshots(ct.Ensures, sub, orig.Pos(), false)
+		if err != nil {
+			return err
+		}
+	}
+	// assert(pre[g](a...)).
+	if ct.Requires != nil {
+		cond := cast.SubstituteIdents(ct.Requires, sub)
+		in.emitVerify(cast.Assert, cond,
+			fmt.Sprintf("precondition of %s", callee.Name), orig.Pos(), orig.Pos())
+	}
+	// The original call (pointer effects and mod[g] are handled by C2IP).
+	in.out = append(in.out, orig)
+	// assume(post[g](a...)), with return_value bound to the destination.
+	if ct.Ensures != nil {
+		postSub := map[string]cast.Expr{}
+		for k, v := range sub {
+			postSub[k] = v
+		}
+		if dst != "" {
+			id := &cast.Ident{Name: dst}
+			id.P = orig.Pos()
+			id.SetType(c.Type())
+			postSub[cast.ReturnValueName] = id
+		}
+		cond := cast.SubstituteIdents(ct.Ensures, postSub)
+		cond = substPre(cond, snaps)
+		if dst == "" && mentionsReturnValue(ct.Ensures) {
+			cond = dropReturnValueConjuncts(cond)
+		}
+		if cond != nil {
+			in.emitVerify(cast.Assume, cond,
+				fmt.Sprintf("postcondition of %s", callee.Name), orig.Pos(), orig.Pos())
+		}
+	}
+	return nil
+}
+
+func mentionsReturnValue(e cast.Expr) bool {
+	for _, n := range cast.FreeIdents(e) {
+		if n == cast.ReturnValueName {
+			return true
+		}
+	}
+	return false
+}
+
+// dropReturnValueConjuncts removes top-level conjuncts that mention
+// return_value when the call result is discarded (sound weakening).
+func dropReturnValueConjuncts(e cast.Expr) cast.Expr {
+	if b, ok := e.(*cast.Binary); ok && b.Op == cast.LogAnd {
+		l := dropReturnValueConjuncts(b.X)
+		r := dropReturnValueConjuncts(b.Y)
+		switch {
+		case l == nil:
+			return r
+		case r == nil:
+			return l
+		default:
+			b.X, b.Y = l, r
+			return b
+		}
+	}
+	if mentionsReturnValue(e) {
+		return nil
+	}
+	return e
+}

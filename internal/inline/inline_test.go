@@ -1,0 +1,203 @@
+package inline
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cast"
+	"repro/internal/corec"
+	"repro/internal/cparse"
+)
+
+func inlineFor(t *testing.T, src, target string) (*cast.FuncDecl, Snapshots) {
+	t.Helper()
+	f, err := cparse.ParseFile("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	prog, err := corec.Normalize(f)
+	if err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	out, snaps, err := FileEx(prog, target, nil)
+	if err != nil {
+		t.Fatalf("inline: %v", err)
+	}
+	return out.Lookup(target), snaps
+}
+
+// TestInlineTable2Entry: at entry, pre(e) snapshots are taken and the
+// precondition is assumed.
+func TestInlineTable2Entry(t *testing.T) {
+	fd, snaps := inlineFor(t, `
+int f(int x)
+    requires (x >= 1)
+    ensures (return_value == pre(x) + 1)
+{
+    return x + 1;
+}
+`, "f")
+	text := cast.FuncString(fd)
+	if !strings.Contains(text, "__pre0 = x") {
+		t.Errorf("snapshot assignment missing:\n%s", text)
+	}
+	if !strings.Contains(text, "__assume(x >= 1)") {
+		t.Errorf("precondition assume missing:\n%s", text)
+	}
+	if e, ok := snaps["__pre0"]; !ok || cast.ExprString(e) != "x" {
+		t.Errorf("snapshot map = %v", snaps)
+	}
+}
+
+// TestInlineTable2Exit: returns route through return_value and a single
+// exit point asserting the postcondition with pre() replaced by the
+// snapshot.
+func TestInlineTable2Exit(t *testing.T) {
+	fd, _ := inlineFor(t, `
+int f(int x)
+    ensures (return_value == pre(x) + 1)
+{
+    if (x > 0) return x + 1;
+    return 1 - x + x;
+}
+`, "f")
+	text := cast.FuncString(fd)
+	if !strings.Contains(text, ExitLabel+":") {
+		t.Errorf("exit label missing:\n%s", text)
+	}
+	if !strings.Contains(text, "__assert(return_value == __pre0 + 1)") {
+		t.Errorf("postcondition assert missing or pre() unsubstituted:\n%s", text)
+	}
+	if strings.Count(text, "goto "+ExitLabel) < 2 {
+		t.Errorf("returns not rerouted to the exit:\n%s", text)
+	}
+	body := text[strings.Index(text, "{"):]
+	if strings.Contains(body, "pre(x)") {
+		t.Errorf("a pre() survived substitution in the body:\n%s", text)
+	}
+}
+
+// TestInlineTable2Call: calls are bracketed by assert(pre[g]) and
+// assume(post[g]) with actuals substituted for formals and return_value
+// bound to the destination.
+func TestInlineTable2Call(t *testing.T) {
+	fd, _ := inlineFor(t, `
+int g(int a)
+    requires (a >= 0)
+    ensures (return_value == a + 1);
+void f(int y) {
+    int r;
+    r = g(y + 1);
+}
+`, "f")
+	text := cast.FuncString(fd)
+	if !strings.Contains(text, "__assert(__t0 >= 0)") {
+		t.Errorf("callee precondition assert (on the actual) missing:\n%s", text)
+	}
+	if !strings.Contains(text, "r = g(__t0)") {
+		t.Errorf("original call missing:\n%s", text)
+	}
+	if !strings.Contains(text, "__assume(r == __t0 + 1)") {
+		t.Errorf("postcondition assume with return_value bound missing:\n%s", text)
+	}
+}
+
+// TestInlineCallDiscardedResult: a discarded non-void result is bound to a
+// normalization temp, so the postcondition's return_value conjuncts stay
+// available through that temp.
+func TestInlineCallDiscardedResult(t *testing.T) {
+	fd, _ := inlineFor(t, `
+int g(int a)
+    ensures (return_value >= 0 && a <= 100);
+void f(int y) {
+    g(y);
+}
+`, "f")
+	text := cast.FuncString(fd)
+	if strings.Contains(text, "return_value") {
+		t.Errorf("raw return_value leaked into the caller:\n%s", text)
+	}
+	if !strings.Contains(text, "__assume(__t0 >= 0 && y <= 100)") {
+		t.Errorf("postcondition assume missing or unexpected shape:\n%s", text)
+	}
+}
+
+// TestInlinePropertySnapshot: pre() over attribute expressions becomes an
+// int temp pinned by an assume.
+func TestInlinePropertySnapshot(t *testing.T) {
+	fd, snaps := inlineFor(t, `
+void f(char *s)
+    requires (is_nullt(s))
+    modifies (s)
+    ensures (strlen(s) == pre(strlen(s)));
+void f(char *s) {
+    *s = 'x';
+}
+`, "f")
+	_ = snaps
+	text := cast.FuncString(fd)
+	if !strings.Contains(text, "__assume(__pre0 == strlen(s))") {
+		t.Errorf("property snapshot assume missing:\n%s", text)
+	}
+	if !strings.Contains(text, "__assert(strlen(s) == __pre0)") {
+		t.Errorf("postcondition should reference the snapshot:\n%s", text)
+	}
+}
+
+// TestInlineNoContractCallPassesThrough: calls to contract-less functions
+// stay untouched.
+func TestInlineNoContractCallPassesThrough(t *testing.T) {
+	fd, _ := inlineFor(t, `
+void helper(int z) { z = z + 1; }
+void f(int y) {
+    helper(y);
+}
+`, "f")
+	text := cast.FuncString(fd)
+	if strings.Contains(text, "__assert") || strings.Contains(text, "__assume") {
+		t.Errorf("vacuous call got verification statements:\n%s", text)
+	}
+	if !strings.Contains(text, "helper(y)") {
+		t.Errorf("call lost:\n%s", text)
+	}
+}
+
+// TestInlineRenormalizes: the inlined output re-normalizes to valid CoreC.
+func TestInlineRenormalizes(t *testing.T) {
+	src := `
+int g(int a)
+    requires (a >= 0)
+    ensures (return_value >= a);
+int f(int y)
+    requires (y >= 1)
+    ensures (return_value >= 0)
+{
+    int acc;
+    int i;
+    acc = 0;
+    for (i = 0; i < y; i++) {
+        acc = acc + g(i);
+    }
+    return acc;
+}
+`
+	f, err := cparse.ParseFile("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := corec.Normalize(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := File(prog, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nprog, err := corec.Normalize(out)
+	if err != nil {
+		t.Fatalf("renormalize: %v", err)
+	}
+	if err := corec.Validate(nprog.File.Lookup("f")); err != nil {
+		t.Errorf("inlined f is not CoreC: %v", err)
+	}
+}

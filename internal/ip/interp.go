@@ -1,0 +1,85 @@
+package ip
+
+import (
+	"math/big"
+	"math/rand"
+)
+
+// Exec runs the integer program concretely, resolving every nondeterminism
+// (havocs, if(unknown)) with rng, and returns the index of the first
+// violated assert statement, if any. Execution blocks at a failed assume
+// and — like the paper's instrumented semantics — halts at the first
+// error; it aborts after maxSteps.
+//
+// Exec is the testing oracle for the abstract engine: an assert a concrete
+// run violates first must be flagged by the (sound) analysis.
+func (p *Program) Exec(rng *rand.Rand, maxSteps int) (violated []int) {
+	if err := p.Resolve(); err != nil {
+		return nil
+	}
+	env := make([]*big.Int, p.NumVars())
+	for i := range env {
+		env[i] = big.NewInt(rng.Int63n(9) - 4)
+	}
+	pc := 0
+	for steps := 0; pc < len(p.Stmts) && steps < maxSteps; steps++ {
+		switch s := p.Stmts[pc].(type) {
+		case *Assign:
+			env[s.V] = s.E.Eval(env)
+		case *Havoc:
+			env[s.V] = big.NewInt(rng.Int63n(17) - 8)
+		case *Assume:
+			if !evalDNF(s.C, env) {
+				return violated // blocked execution
+			}
+		case *Assert:
+			if s.Unverifiable || !evalDNF(s.C, env) {
+				return append(violated, pc)
+			}
+		case *Goto:
+			pc = p.TargetOf(s.Target)
+			continue
+		case *IfGoto:
+			take := false
+			if s.C == nil {
+				take = rng.Intn(2) == 0
+			} else {
+				take = evalDNF(s.C, env)
+			}
+			if take {
+				pc = p.TargetOf(s.Target)
+				continue
+			}
+			// The fall-through condition must hold for the path to be
+			// feasible; with an explicit FalseC the two edges may overlap
+			// or leave gaps, so treat an infeasible fall-through as a
+			// blocked execution.
+			if !evalDNF(s.FallthroughCond(), env) {
+				return violated
+			}
+		case *Label:
+			// no-op
+		}
+		pc++
+	}
+	return violated
+}
+
+func evalDNF(d DNF, env []*big.Int) bool {
+	if d.IsTrue() {
+		return true
+	}
+	for _, conj := range d {
+		all := true
+		for _, c := range conj {
+			if !c.Holds(env) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,126 @@
+// Package libc provides contract models for the C standard library
+// functions that string-manipulating programs use. The paper treats library
+// functions as contract-only procedures ("when a procedure code is omitted
+// as in the case of library functions, CSSV assumes its contract is correct
+// and cannot verify it", §1.2); this header is the Go reproduction of that
+// contract set, written in the tool's own contract language and parsed like
+// any user code.
+package libc
+
+// Header is prepended to analyzed sources unless the driver is told
+// otherwise. Functions already declared by the user win (the parser keeps
+// the contract-bearing declaration).
+const Header = `
+/* CSSV contract models for the C standard library. */
+
+void *malloc(int n)
+    requires (n >= 0);
+void *alloca(int n)
+    requires (n >= 0);
+void free(void *p);
+void exit(int code);
+void abort(void);
+
+int strlen(char *s)
+    requires (is_nullt(s))
+    ensures (return_value == strlen(s) && return_value >= 0);
+
+char *strcpy(char *dst, char *src)
+    requires (is_nullt(src) && alloc(dst) > strlen(src))
+    modifies (dst)
+    ensures (is_nullt(dst) && strlen(dst) == pre(strlen(src)));
+
+char *strncpy(char *dst, char *src, int n)
+    requires (is_nullt(src) && alloc(dst) >= n && n >= 0)
+    modifies (dst);
+
+char *strcat(char *dst, char *src)
+    requires (is_nullt(dst) && is_nullt(src) &&
+              alloc(dst) > strlen(dst) + strlen(src))
+    modifies (dst)
+    ensures (is_nullt(dst) &&
+             strlen(dst) == pre(strlen(dst)) + pre(strlen(src)));
+
+char *strncat(char *dst, char *src, int n)
+    requires (is_nullt(dst) && is_nullt(src) && n >= 0 &&
+              alloc(dst) > strlen(dst) + n)
+    modifies (dst)
+    ensures (is_nullt(dst));
+
+int snprintf(char *s, int n, char *format, ...)
+    requires (alloc(s) >= n && n >= 1)
+    modifies (s)
+    ensures (is_nullt(s) && strlen(s) < n);
+
+char *strchr(char *s, int c)
+    requires (is_nullt(s))
+    ensures (return_value == 0 ||
+             (is_nullt(return_value) && offset(return_value) >= offset(s) &&
+              is_within_bounds(return_value)));
+
+char *strrchr(char *s, int c)
+    requires (is_nullt(s))
+    ensures (return_value == 0 ||
+             (is_nullt(return_value) && offset(return_value) >= offset(s) &&
+              is_within_bounds(return_value)));
+
+int strcmp(char *a, char *b)
+    requires (is_nullt(a) && is_nullt(b));
+
+int strncmp(char *a, char *b, int n)
+    requires (is_nullt(a) && is_nullt(b) && n >= 0);
+
+char *fgets(char *s, int n, int stream)
+    requires (alloc(s) >= n && n >= 1)
+    modifies (s)
+    ensures (is_nullt(s) && strlen(s) < n);
+
+/* gets cannot be given a sound finite precondition: any call is an error. */
+char *gets(char *s)
+    requires (0)
+    modifies (s)
+    ensures (is_nullt(s));
+
+void *memset(void *s, int c, int n)
+    requires (n >= 0);
+
+void *memcpy(void *dst, void *src, int n)
+    requires (n >= 0);
+
+int atoi(char *s)
+    requires (is_nullt(s));
+
+int getchar(void);
+int putchar(int c);
+int puts(char *s)
+    requires (is_nullt(s));
+int fputs(char *s, int stream)
+    requires (is_nullt(s));
+int fputc(int c, int stream);
+int fgetc(int stream);
+
+int printf(char *format, ...);
+int fprintf(int stream, char *format, ...);
+int sprintf(char *s, char *format, ...);
+
+int isspace(int c);
+int isdigit(int c);
+int isalpha(int c);
+int toupper(int c);
+int tolower(int c);
+`
+
+// Functions lists the names modeled by Header (used by tests and by the
+// driver to avoid analyzing them as user code).
+var Functions = map[string]bool{
+	"malloc": true, "alloca": true, "free": true, "exit": true, "abort": true,
+	"strlen": true, "strcpy": true, "strncpy": true, "strcat": true,
+	"strchr": true, "strrchr": true, "strcmp": true, "strncmp": true,
+	"fgets": true, "gets": true, "memset": true, "memcpy": true,
+	"atoi": true, "getchar": true, "putchar": true, "puts": true,
+	"fputs": true, "fputc": true, "fgetc": true,
+	"printf": true, "fprintf": true, "sprintf": true, "snprintf": true,
+	"strncat": true,
+	"isspace": true, "isdigit": true, "isalpha": true,
+	"toupper": true, "tolower": true,
+}

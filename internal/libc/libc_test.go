@@ -1,0 +1,66 @@
+package libc
+
+import (
+	"testing"
+
+	"repro/internal/cast"
+	"repro/internal/cparse"
+)
+
+// TestHeaderParses: the contract header is valid input for the tool's own
+// parser and every listed function is declared.
+func TestHeaderParses(t *testing.T) {
+	f, err := cparse.ParseFile("libc.h", Header)
+	if err != nil {
+		t.Fatalf("libc header does not parse: %v", err)
+	}
+	declared := map[string]bool{}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*cast.FuncDecl); ok {
+			declared[fd.Name] = true
+		}
+	}
+	for name := range Functions {
+		if !declared[name] {
+			t.Errorf("%s listed in Functions but not declared in Header", name)
+		}
+	}
+}
+
+// TestKeyContracts: spot-check the load-bearing contracts.
+func TestKeyContracts(t *testing.T) {
+	f, err := cparse.ParseFile("libc.h", Header)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := map[string]struct {
+		requires bool
+		ensures  bool
+	}{
+		"strcpy": {true, true},
+		"strcat": {true, true},
+		"strlen": {true, true},
+		"fgets":  {true, true},
+		"gets":   {true, true}, // requires (0): every call is an error
+		"printf": {false, false},
+	}
+	for name, want := range checks {
+		fd := f.Lookup(name)
+		if fd == nil {
+			t.Errorf("%s missing", name)
+			continue
+		}
+		hasReq := fd.Contract != nil && fd.Contract.Requires != nil
+		hasEns := fd.Contract != nil && fd.Contract.Ensures != nil
+		if hasReq != want.requires || hasEns != want.ensures {
+			t.Errorf("%s: requires=%v ensures=%v, want %v/%v",
+				name, hasReq, hasEns, want.requires, want.ensures)
+		}
+	}
+	// gets' precondition is the unsatisfiable constant.
+	gets := f.Lookup("gets")
+	if lit, ok := gets.Contract.Requires.(*cast.IntLit); !ok || lit.Value != 0 {
+		t.Errorf("gets precondition should be the constant 0, got %s",
+			cast.ExprString(gets.Contract.Requires))
+	}
+}

@@ -1,0 +1,375 @@
+// Package linear provides exact linear expressions and constraints over a
+// finite set of integer variables, the lingua franca between the C2IP
+// transformer, the numeric abstract domains, and the contract derivation
+// algorithms.
+//
+// Variables are identified by dense indices into a Space, which maps them
+// to the constraint-variable names of paper §3.4.1 (l.val, l.offset,
+// l.aSize, l.is_nullt, l.len, ...). All coefficients are exact big.Int
+// values: the analysis never rounds.
+package linear
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+)
+
+// Space assigns dense indices to named variables.
+type Space struct {
+	names []string
+	index map[string]int
+}
+
+// NewSpace returns an empty variable space.
+func NewSpace() *Space {
+	return &Space{index: map[string]int{}}
+}
+
+// Var returns the index for name, allocating one if needed.
+func (s *Space) Var(name string) int {
+	if i, ok := s.index[name]; ok {
+		return i
+	}
+	i := len(s.names)
+	s.names = append(s.names, name)
+	s.index[name] = i
+	return i
+}
+
+// Lookup returns the index for name and whether it exists.
+func (s *Space) Lookup(name string) (int, bool) {
+	i, ok := s.index[name]
+	return i, ok
+}
+
+// Name returns the name of variable i.
+func (s *Space) Name(i int) string {
+	if i < 0 || i >= len(s.names) {
+		return fmt.Sprintf("v%d", i)
+	}
+	return s.names[i]
+}
+
+// Names returns all variable names in index order.
+func (s *Space) Names() []string { return append([]string(nil), s.names...) }
+
+// Dim returns the number of variables.
+func (s *Space) Dim() int { return len(s.names) }
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Expr is a linear expression sum(coef_i * x_i) + Const with exact integer
+// coefficients. The zero value is the constant 0.
+type Expr struct {
+	coef  map[int]*big.Int
+	Const *big.Int
+}
+
+// NewExpr returns the zero expression.
+func NewExpr() Expr {
+	return Expr{coef: map[int]*big.Int{}, Const: new(big.Int)}
+}
+
+// ConstExpr returns the constant expression c.
+func ConstExpr(c int64) Expr {
+	e := NewExpr()
+	e.Const.SetInt64(c)
+	return e
+}
+
+// VarExpr returns the expression 1*x_v.
+func VarExpr(v int) Expr {
+	e := NewExpr()
+	e.coef[v] = big.NewInt(1)
+	return e
+}
+
+// Clone returns a deep copy.
+func (e Expr) Clone() Expr {
+	c := NewExpr()
+	c.Const.Set(e.constOrZero())
+	for v, k := range e.coef {
+		c.coef[v] = new(big.Int).Set(k)
+	}
+	return c
+}
+
+func (e Expr) constOrZero() *big.Int {
+	if e.Const == nil {
+		return new(big.Int)
+	}
+	return e.Const
+}
+
+// Coef returns the coefficient of variable v (zero if absent).
+func (e Expr) Coef(v int) *big.Int {
+	if k, ok := e.coef[v]; ok {
+		return k
+	}
+	return new(big.Int)
+}
+
+// SetCoef sets the coefficient of v.
+func (e *Expr) SetCoef(v int, k *big.Int) {
+	if e.coef == nil {
+		e.coef = map[int]*big.Int{}
+	}
+	if k.Sign() == 0 {
+		delete(e.coef, v)
+		return
+	}
+	e.coef[v] = new(big.Int).Set(k)
+}
+
+// AddTerm adds k*x_v to e in place.
+func (e *Expr) AddTerm(v int, k int64) {
+	if e.coef == nil {
+		e.coef = map[int]*big.Int{}
+	}
+	c, ok := e.coef[v]
+	if !ok {
+		c = new(big.Int)
+		e.coef[v] = c
+	}
+	c.Add(c, big.NewInt(k))
+	if c.Sign() == 0 {
+		delete(e.coef, v)
+	}
+}
+
+// AddConst adds k to the constant term in place.
+func (e *Expr) AddConst(k int64) {
+	if e.Const == nil {
+		e.Const = new(big.Int)
+	}
+	e.Const.Add(e.Const, big.NewInt(k))
+}
+
+// Add returns e + f.
+func (e Expr) Add(f Expr) Expr {
+	r := e.Clone()
+	r.Const.Add(r.Const, f.constOrZero())
+	for v, k := range f.coef {
+		c, ok := r.coef[v]
+		if !ok {
+			c = new(big.Int)
+			r.coef[v] = c
+		}
+		c.Add(c, k)
+		if c.Sign() == 0 {
+			delete(r.coef, v)
+		}
+	}
+	return r
+}
+
+// Sub returns e - f.
+func (e Expr) Sub(f Expr) Expr { return e.Add(f.Scale(-1)) }
+
+// Scale returns k*e.
+func (e Expr) Scale(k int64) Expr {
+	r := e.Clone()
+	bk := big.NewInt(k)
+	r.Const.Mul(r.Const, bk)
+	for v := range r.coef {
+		r.coef[v].Mul(r.coef[v], bk)
+		if r.coef[v].Sign() == 0 {
+			delete(r.coef, v)
+		}
+	}
+	return r
+}
+
+// IsConst reports whether e has no variable terms.
+func (e Expr) IsConst() bool { return len(e.coef) == 0 }
+
+// Vars returns the variables with nonzero coefficients, sorted.
+func (e Expr) Vars() []int {
+	var vs []int
+	for v := range e.coef {
+		vs = append(vs, v)
+	}
+	sort.Ints(vs)
+	return vs
+}
+
+// Subst returns e with variable v replaced by the expression r.
+func (e Expr) Subst(v int, r Expr) Expr {
+	k, ok := e.coef[v]
+	if !ok {
+		return e.Clone()
+	}
+	out := e.Clone()
+	delete(out.coef, v)
+	scaled := r.Clone()
+	scaled.Const.Mul(scaled.Const, k)
+	for u := range scaled.coef {
+		scaled.coef[u].Mul(scaled.coef[u], k)
+	}
+	return out.Add(scaled)
+}
+
+// Eval evaluates e at the given integer point (indexed by variable).
+func (e Expr) Eval(point []*big.Int) *big.Int {
+	r := new(big.Int).Set(e.constOrZero())
+	for v, k := range e.coef {
+		if v < len(point) && point[v] != nil {
+			t := new(big.Int).Mul(k, point[v])
+			r.Add(r, t)
+		}
+	}
+	return r
+}
+
+// String renders e using names from sp (or v<i> when sp is nil).
+func (e Expr) String(sp *Space) string {
+	var parts []string
+	for _, v := range e.Vars() {
+		k := e.coef[v]
+		name := fmt.Sprintf("v%d", v)
+		if sp != nil {
+			name = sp.Name(v)
+		}
+		switch {
+		case k.Cmp(big.NewInt(1)) == 0:
+			parts = append(parts, name)
+		case k.Cmp(big.NewInt(-1)) == 0:
+			parts = append(parts, "-"+name)
+		default:
+			parts = append(parts, k.String()+"*"+name)
+		}
+	}
+	c := e.constOrZero()
+	if c.Sign() != 0 || len(parts) == 0 {
+		parts = append(parts, c.String())
+	}
+	s := strings.Join(parts, " + ")
+	return strings.ReplaceAll(s, "+ -", "- ")
+}
+
+// ---------------------------------------------------------------------------
+// Constraints
+
+// Rel is a constraint relation.
+type Rel int
+
+// Constraint relations: the expression is {==, >=} 0. Strict inequalities
+// are normalized away at construction because all variables are integers
+// (e > 0 becomes e - 1 >= 0).
+const (
+	Eq Rel = iota
+	Ge
+)
+
+func (r Rel) String() string {
+	if r == Eq {
+		return "="
+	}
+	return ">="
+}
+
+// Constraint asserts E Rel 0.
+type Constraint struct {
+	E   Expr
+	Rel Rel
+}
+
+// NewGe returns the constraint e >= 0.
+func NewGe(e Expr) Constraint { return Constraint{E: e, Rel: Ge} }
+
+// NewGt returns e > 0 as the integer constraint e - 1 >= 0.
+func NewGt(e Expr) Constraint {
+	r := e.Clone()
+	r.AddConst(-1)
+	return Constraint{E: r, Rel: Ge}
+}
+
+// NewEq returns the constraint e == 0.
+func NewEq(e Expr) Constraint { return Constraint{E: e, Rel: Eq} }
+
+// Clone returns a deep copy.
+func (c Constraint) Clone() Constraint {
+	return Constraint{E: c.E.Clone(), Rel: c.Rel}
+}
+
+// Negate returns the integer negation of c as a disjunction of constraints:
+// not(e == 0) is {e >= 1} or {-e >= 1}; not(e >= 0) is {-e >= 1}.
+func (c Constraint) Negate() []Constraint {
+	switch c.Rel {
+	case Eq:
+		pos := c.E.Clone()
+		pos.AddConst(-1)
+		neg := c.E.Scale(-1)
+		neg.AddConst(-1)
+		return []Constraint{{E: pos, Rel: Ge}, {E: neg, Rel: Ge}}
+	default:
+		neg := c.E.Scale(-1)
+		neg.AddConst(-1)
+		return []Constraint{{E: neg, Rel: Ge}}
+	}
+}
+
+// Holds reports whether the constraint is satisfied at the integer point.
+func (c Constraint) Holds(point []*big.Int) bool {
+	v := c.E.Eval(point)
+	if c.Rel == Eq {
+		return v.Sign() == 0
+	}
+	return v.Sign() >= 0
+}
+
+// IsTautology reports whether c holds for all assignments (constant and
+// satisfied).
+func (c Constraint) IsTautology() bool {
+	if !c.E.IsConst() {
+		return false
+	}
+	if c.Rel == Eq {
+		return c.E.constOrZero().Sign() == 0
+	}
+	return c.E.constOrZero().Sign() >= 0
+}
+
+// IsContradiction reports whether c fails for all assignments.
+func (c Constraint) IsContradiction() bool {
+	if !c.E.IsConst() {
+		return false
+	}
+	if c.Rel == Eq {
+		return c.E.constOrZero().Sign() != 0
+	}
+	return c.E.constOrZero().Sign() < 0
+}
+
+// String renders the constraint in "e >= 0" normal form but moving the
+// constant to the right-hand side for readability: "x - y >= 3".
+func (c Constraint) String(sp *Space) string {
+	lhs := c.E.Clone()
+	k := new(big.Int).Neg(lhs.constOrZero())
+	lhs.Const.SetInt64(0)
+	return fmt.Sprintf("%s %s %s", lhs.String(sp), c.Rel, k)
+}
+
+// System is a conjunction of constraints.
+type System []Constraint
+
+// String renders the system.
+func (s System) String(sp *Space) string {
+	var parts []string
+	for _, c := range s {
+		parts = append(parts, c.String(sp))
+	}
+	return strings.Join(parts, " && ")
+}
+
+// Clone deep-copies the system.
+func (s System) Clone() System {
+	out := make(System, len(s))
+	for i, c := range s {
+		out[i] = c.Clone()
+	}
+	return out
+}

@@ -1,0 +1,229 @@
+package pointer
+
+import (
+	"fmt"
+
+	"repro/internal/cast"
+)
+
+// libReturnsArg maps library functions (modeled by contract, no body) whose
+// return value aliases one of their pointer arguments to that argument's
+// index. This is the only pointer-level knowledge CSSV needs about libc
+// (paper §1.2: contracts usually omit pointer information; the analysis
+// collects it).
+var libReturnsArg = map[string]int{
+	"strcpy": 0, "strncpy": 0, "strcat": 0, "strncat": 0,
+	"memcpy": 0, "memmove": 0, "memset": 0,
+	"strchr": 0, "strrchr": 0, "strstr": 0, "strpbrk": 0,
+	"fgets": 0, "gets": 0,
+}
+
+// solve computes the least fixed point of the constraint system, resolving
+// direct and function-pointer calls as points-to facts grow.
+func (b *builder) solve() {
+	resolved := map[string]bool{} // call-site id -> done per callee
+
+	for {
+		changed := false
+
+		// Propagate basic constraints.
+		for _, c := range b.constraints {
+			switch c.kind {
+			case addrOf:
+				if !b.res.pt[c.dst][c.src] {
+					b.res.pt[c.dst][c.src] = true
+					changed = true
+				}
+			case copyC:
+				if b.union(c.dst, c.src) {
+					changed = true
+				}
+			case loadC:
+				for t := range b.res.pt[c.src] {
+					if b.union(c.dst, t) {
+						changed = true
+					}
+				}
+			case storeC:
+				for t := range b.res.pt[c.dst] {
+					if b.union(t, c.src) {
+						changed = true
+					}
+				}
+			case storeAddrC:
+				for t := range b.res.pt[c.dst] {
+					if !b.res.pt[t][c.src] {
+						b.res.pt[t][c.src] = true
+						changed = true
+					}
+				}
+			}
+		}
+
+		// Resolve calls against the current solution.
+		for i := range b.pendingCalls {
+			pc := &b.pendingCalls[i]
+			for _, callee := range b.callees(pc) {
+				key := callKey(i, callee)
+				if resolved[key] {
+					continue
+				}
+				resolved[key] = true
+				changed = true
+				b.wireCall(pc, callee)
+			}
+		}
+
+		if !changed {
+			return
+		}
+	}
+}
+
+func callKey(site int, callee string) string {
+	return fmt.Sprintf("%s@%d", callee, site)
+}
+
+// union merges pt[src] into pt[dst]; reports change.
+func (b *builder) union(dst, src NodeID) bool {
+	if dst == src {
+		return false
+	}
+	changed := false
+	for t := range b.res.pt[src] {
+		if !b.res.pt[dst][t] {
+			b.res.pt[dst][t] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+// callees returns the function names a call site may invoke under the
+// current points-to solution.
+func (b *builder) callees(pc *pendingCall) []string {
+	name := pc.call.FuncName()
+	if name == "" {
+		return nil
+	}
+	// Through a variable (function pointer): all functions in its set.
+	if id, ok := b.res.locs[pc.fn+"::"+name]; ok && b.res.Nodes[id].Kind == VarNode {
+		var out []string
+		for t := range b.res.pt[id] {
+			if b.res.Nodes[t].Kind == FuncNode {
+				out = append(out, b.res.Nodes[t].FuncName)
+			}
+		}
+		return out
+	}
+	return []string{name}
+}
+
+// wireCall adds parameter/return flow for one resolved callee.
+func (b *builder) wireCall(pc *pendingCall, callee string) {
+	// Known library model: return aliases an argument.
+	if argIdx, ok := libReturnsArg[callee]; ok {
+		if pc.dst != "" && argIdx < len(pc.call.Args) {
+			if arg, ok := pc.call.Args[argIdx].(*cast.Ident); ok {
+				if dst, ok2 := b.lvNode(pc.fn, pc.dst); ok2 {
+					if src, ok3 := b.lvNode(pc.fn, arg.Name); ok3 {
+						b.add(copyC, dst, src)
+					}
+				}
+			}
+		}
+		return
+	}
+
+	fd := b.funcDecl(callee)
+	if fd == nil {
+		return
+	}
+	// Formals receive actuals.
+	for i, p := range fd.Params {
+		if i >= len(pc.call.Args) {
+			break
+		}
+		arg, ok := pc.call.Args[i].(*cast.Ident)
+		if !ok {
+			continue
+		}
+		formal, ok := b.res.locs[callee+"::"+p.Name]
+		if !ok {
+			// Prototype-only function with a contract: conservatively no
+			// pointer flow (the contract inliner models its effects).
+			continue
+		}
+		if src, ok := b.lvNode(pc.fn, arg.Name); ok {
+			if b.isRegionValued(nil, pc.fn, arg) {
+				b.add(addrOf, formal, src)
+			} else {
+				b.add(copyC, formal, src)
+			}
+		}
+	}
+	// Return flow.
+	if pc.dst != "" {
+		if ret, ok := b.res.locs[callee+"::"+cast.ReturnValueName+"$"]; ok {
+			if dst, ok2 := b.lvNode(pc.fn, pc.dst); ok2 {
+				b.add(copyC, dst, ret)
+			}
+		}
+	}
+	// Record the edge for recursion detection.
+	b.callEdges = append(b.callEdges, [2]string{pc.fn, callee})
+}
+
+func (b *builder) funcDecl(name string) *cast.FuncDecl {
+	if fd, ok := b.funcs[name]; ok {
+		return fd
+	}
+	return nil
+}
+
+// markRecursiveSummaries marks address-taken locals of functions involved
+// in recursion as summary locations: several frames may be live at once, so
+// an abstract location whose address can escape the frame represents
+// several concrete base addresses (paper Def. 3.2). Locals whose address
+// never escapes denote the current frame's single cell and stay strong.
+func (b *builder) markRecursiveSummaries() {
+	addressTaken := map[NodeID]bool{}
+	for _, c := range b.constraints {
+		if c.kind == addrOf || c.kind == storeAddrC {
+			addressTaken[c.src] = true
+		}
+	}
+	adj := map[string][]string{}
+	for _, e := range b.callEdges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+	}
+	recursive := map[string]bool{}
+	for fn := range b.funcs {
+		// DFS from fn's callees; if fn is reachable, it is recursive.
+		seen := map[string]bool{}
+		stack := append([]string(nil), adj[fn]...)
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if cur == fn {
+				recursive[fn] = true
+				break
+			}
+			if seen[cur] {
+				continue
+			}
+			seen[cur] = true
+			stack = append(stack, adj[cur]...)
+		}
+	}
+	for qual, id := range b.res.locs {
+		if !addressTaken[id] {
+			continue
+		}
+		for fn := range recursive {
+			if len(qual) > len(fn) && qual[:len(fn)] == fn && qual[len(fn):len(fn)+2] == "::" {
+				b.res.Nodes[id].Summary = true
+			}
+		}
+	}
+}

@@ -1,0 +1,325 @@
+package polyhedra
+
+import "math/big"
+
+// genset is the generator representation of a homogenized cone: lines
+// (bidirectional) and rays. Rays with a positive coordinate 0 are vertices
+// of the dehomogenized polyhedron (point = v[1..]/v[0]); rays with
+// coordinate 0 zero are recession rays.
+type genset struct {
+	lines []vec
+	rays  []vec
+}
+
+func (g *genset) clone() *genset {
+	c := &genset{}
+	for _, l := range g.lines {
+		c.lines = append(c.lines, l.clone())
+	}
+	for _, r := range g.rays {
+		c.rays = append(c.rays, r.clone())
+	}
+	return c
+}
+
+// hasVertex reports whether any ray has a positive homogenizing coordinate,
+// i.e. the dehomogenized polyhedron is non-empty.
+func (g *genset) hasVertex() bool {
+	for _, r := range g.rays {
+		if r[0].Sign() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// row is a constraint row: v[0] + v[1]*x1 + ... + v[n]*xn {>=, ==} 0.
+type row struct {
+	v  vec
+	eq bool
+}
+
+func (r row) clone() row { return row{v: r.v.clone(), eq: r.eq} }
+
+// satRay pairs a ray with the set of added constraints it saturates.
+type satRay struct {
+	v   vec
+	sat bitset
+}
+
+// cone is the incremental double-description state used during
+// constraint-to-generator conversion.
+type cone struct {
+	dim   int // vector length
+	lines []vec
+	rays  []satRay
+	ncons int
+	// maxRays caps intermediate ray counts; 0 means unlimited.
+	maxRays int
+	// dropped counts constraints skipped due to the cap (over-approximation).
+	dropped int
+}
+
+// universePolyCone returns the cone of the universe polyhedron over n
+// variables: lines e1..en and the positivity ray e0. The implicit
+// positivity constraint d >= 0 is registered as constraint index 0 so that
+// saturation-based adjacency tests account for it: the initial ray e0 does
+// not saturate it, while every line (d = 0) does.
+func universePolyCone(n, maxRays int) *cone {
+	c := &cone{dim: n + 1, maxRays: maxRays, ncons: 1}
+	for i := 1; i <= n; i++ {
+		l := newVec(n + 1)
+		l[i].SetInt64(1)
+		c.lines = append(c.lines, l)
+	}
+	r := newVec(n + 1)
+	r[0].SetInt64(1)
+	c.rays = append(c.rays, satRay{v: r, sat: newBitset(1)})
+	return c
+}
+
+// universeCone returns the full-space cone in dimension m (m lines, no
+// rays); used for the dual (generator-to-constraint) conversion.
+func universeCone(m, maxRays int) *cone {
+	c := &cone{dim: m, maxRays: maxRays}
+	for i := 0; i < m; i++ {
+		l := newVec(m)
+		l[i].SetInt64(1)
+		c.lines = append(c.lines, l)
+	}
+	return c
+}
+
+// satAllPrev returns a bitset with constraints 0..n-1 marked saturated.
+func satAllPrev(n int) bitset {
+	b := newBitset(n)
+	for i := 0; i < n; i++ {
+		b.set(i)
+	}
+	return b
+}
+
+// add incorporates the constraint r into the generator description
+// (Chernikova's algorithm). It reports whether the constraint was applied
+// (false when the ray cap forced it to be dropped, which over-approximates).
+func (c *cone) add(r row) bool {
+	idx := c.ncons
+	c.ncons++
+
+	// Case 1: some line is not orthogonal to the constraint. Use it to
+	// shift every other generator onto the hyperplane.
+	for i, l := range c.lines {
+		p := dot(r.v, l)
+		if p.Sign() == 0 {
+			continue
+		}
+		if p.Sign() < 0 {
+			l = l.neg()
+			p.Neg(p)
+		}
+		c.lines = append(c.lines[:i], c.lines[i+1:]...)
+		for j, l2 := range c.lines {
+			p2 := dot(r.v, l2)
+			if p2.Sign() != 0 {
+				c.lines[j] = combine(p, l2, new(big.Int).Neg(p2), l)
+			}
+		}
+		for j := range c.rays {
+			p2 := dot(r.v, c.rays[j].v)
+			if p2.Sign() != 0 {
+				c.rays[j].v = combine(p, c.rays[j].v, new(big.Int).Neg(p2), l)
+			}
+			c.rays[j].sat.set(idx)
+		}
+		if !r.eq {
+			// The line itself becomes the ray on the positive side.
+			l.normalize()
+			c.rays = append(c.rays, satRay{v: l, sat: satAllPrev(idx)})
+		}
+		return true
+	}
+
+	// Case 2: all lines orthogonal; partition rays by the sign of the
+	// product with the constraint.
+	type classified struct {
+		idx int // index into c.rays, for the adjacency test
+		ray satRay
+		p   *big.Int
+	}
+	var plus, minus []classified
+	var keep []satRay
+	for i, ry := range c.rays {
+		p := dot(r.v, ry.v)
+		switch p.Sign() {
+		case 0:
+			ry.sat.set(idx)
+			keep = append(keep, ry)
+		case 1:
+			plus = append(plus, classified{i, ry, p})
+		default:
+			minus = append(minus, classified{i, ry, p})
+		}
+	}
+	if len(minus) == 0 && !r.eq {
+		// Constraint already satisfied by all rays.
+		for _, pl := range plus {
+			keep = append(keep, pl.ray)
+		}
+		c.rays = keep
+		return true
+	}
+	if c.maxRays > 0 && len(plus)*len(minus) > c.maxRays {
+		// The combination step would explode; drop the constraint
+		// (the represented set only grows, a sound over-approximation
+		// for the forward analysis).
+		c.ncons--
+		c.dropped++
+		return false
+	}
+
+	newRays := keep
+	if !r.eq {
+		for _, pl := range plus {
+			newRays = append(newRays, pl.ray)
+		}
+	}
+	// Combine adjacent (plus, minus) pairs onto the hyperplane.
+	allRays := c.rays
+	for _, pl := range plus {
+		for _, mi := range minus {
+			if !adjacent(pl.idx, mi.idx, allRays) {
+				continue
+			}
+			// w = p_plus * minus - p_minus * plus (positive combination).
+			w := combine(pl.p, mi.ray.v, new(big.Int).Neg(mi.p), pl.ray.v)
+			if w.isZero() {
+				continue
+			}
+			sat := pl.ray.sat.and(mi.ray.sat)
+			sat.set(idx)
+			newRays = append(newRays, satRay{v: w, sat: sat})
+		}
+	}
+	c.rays = dedupRays(newRays)
+	return true
+}
+
+// adjacent implements the combinatorial adjacency test: rays i1 and i2 are
+// adjacent iff no other ray saturates every constraint they both saturate.
+func adjacent(i1, i2 int, all []satRay) bool {
+	common := all[i1].sat.and(all[i2].sat)
+	for i := range all {
+		if i == i1 || i == i2 {
+			continue
+		}
+		if common.subsetOf(all[i].sat) {
+			return false
+		}
+	}
+	return true
+}
+
+func dedupRays(rays []satRay) []satRay {
+	var out []satRay
+	seen := make(map[string]bool, len(rays))
+	var key []byte
+	for _, r := range rays {
+		r.v.normalize()
+		key = key[:0]
+		for _, x := range r.v {
+			key = append(key, byte(x.Sign()+1))
+			for _, w := range x.Bits() {
+				key = append(key,
+					byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+					byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+			}
+			key = append(key, 0xfe)
+		}
+		k := string(key)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// result extracts the plain generator set.
+func (c *cone) result() *genset {
+	g := &genset{}
+	for _, l := range c.lines {
+		l.normalize()
+		g.lines = append(g.lines, l)
+	}
+	for _, r := range c.rays {
+		g.rays = append(g.rays, r.v)
+	}
+	return g
+}
+
+// gensOf converts a constraint system to generators. The boolean reports
+// whether the result is exact (false when the ray cap dropped constraints).
+func gensOf(cons []row, n, maxRays int) (*genset, bool) {
+	c := universePolyCone(n, maxRays)
+	exact := true
+	// Equalities first: they only shrink the representation.
+	for _, r := range cons {
+		if r.eq {
+			if !c.add(r) {
+				exact = false
+			}
+		}
+	}
+	for _, r := range cons {
+		if !r.eq {
+			if !c.add(r) {
+				exact = false
+			}
+		}
+	}
+	return c.result(), exact
+}
+
+// consOf converts generators to a minimized constraint system via the dual
+// cone: the constraints of cone(G) are the generators of
+// {c : c.g >= 0 for rays, c.l == 0 for lines}.
+func consOf(g *genset, n int) []row {
+	dual := universeCone(n+1, 0)
+	for _, l := range g.lines {
+		dual.add(row{v: l, eq: true})
+	}
+	for _, r := range g.rays {
+		dual.add(row{v: r, eq: false})
+	}
+	var out []row
+	for _, l := range dual.lines {
+		if trivialRow(l, true) {
+			continue
+		}
+		out = append(out, row{v: l.clone(), eq: true})
+	}
+	for _, r := range dual.rays {
+		if trivialRow(r.v, false) {
+			continue
+		}
+		out = append(out, row{v: r.v.clone(), eq: false})
+	}
+	return out
+}
+
+// trivialRow reports whether the row is the implicit positivity constraint
+// (a nonnegative multiple of e0) or zero, neither of which constrains the
+// dehomogenized polyhedron.
+func trivialRow(v vec, eq bool) bool {
+	for i := 1; i < len(v); i++ {
+		if v[i].Sign() != 0 {
+			return false
+		}
+	}
+	if eq {
+		// d == 0 would denote an empty polyhedron; keep it so emptiness
+		// is preserved, unless it is the zero row.
+		return v[0].Sign() == 0
+	}
+	return v[0].Sign() >= 0
+}

@@ -1,0 +1,125 @@
+package polyhedra
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linear"
+)
+
+// TestRandomizedSubstitution: Substitute computes the exact weakest
+// precondition of the assignment — pointwise: pt satisfies Subst(v, e, P)
+// iff pt[v := e(pt)] satisfies P.
+func TestRandomizedSubstitution(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	pts := allPoints(3)
+	for trial := 0; trial < 120; trial++ {
+		sys := randSystem(rng, 1+rng.Intn(3))
+		p := FromSystem(sys, 3)
+		if p.IsEmpty() {
+			continue
+		}
+		v := rng.Intn(3)
+		e := linear.ConstExpr(rng.Int63n(5) - 2)
+		for u := 0; u < 3; u++ {
+			if rng.Intn(2) == 0 {
+				e.AddTerm(u, rng.Int63n(5)-2)
+			}
+		}
+		sub := p.Substitute(v, e)
+		subSys := sub.System()
+		for _, pt := range pts {
+			bp := []*big.Int{big.NewInt(pt[0]), big.NewInt(pt[1]), big.NewInt(pt[2])}
+			img := pt
+			img[v] = e.Eval(bp).Int64()
+			want := satisfies(sys, img) // P holds after the assignment
+			got := !sub.IsEmpty() && satisfies(subSys, pt)
+			if want != got {
+				t.Fatalf("trial %d: wp wrong at %v (image %v): want %v got %v\nP: %s\nwp: %s",
+					trial, pt, img, want, got, sys.String(nil), subSys.String(nil))
+			}
+		}
+	}
+}
+
+// TestRandomizedHavocSound: every point reachable by changing the havocked
+// coordinate stays inside.
+func TestRandomizedHavocSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	pts := allPoints(2)
+	for trial := 0; trial < 100; trial++ {
+		sys := randSystem(rng, 1+rng.Intn(3))
+		p := FromSystem(sys, 3)
+		v := rng.Intn(3)
+		h := p.Havoc(v)
+		hSys := h.System()
+		for _, pt := range pts {
+			if !satisfies(sys, pt) {
+				continue
+			}
+			for delta := int64(-3); delta <= 3; delta++ {
+				img := pt
+				img[v] += delta
+				if h.IsEmpty() || !satisfies(hSys, img) {
+					t.Fatalf("trial %d: havoc lost point %v", trial, img)
+				}
+			}
+		}
+	}
+}
+
+// TestWidenSimpleTerminates: chains of WidenSimple strictly shrink the
+// constraint set, so a growing sequence stabilizes quickly.
+func TestWidenSimpleTerminates(t *testing.T) {
+	cur := FromSystem(linear.System{eq(0, 1, 0), eq(0, 1, 1), eq(0, 1, 2)}, 3)
+	for step := int64(1); step < 100; step++ {
+		next := FromSystem(linear.System{
+			eq(-step, 1, 0), eq(-2*step, 1, 1), eq(0, 1, 2),
+		}, 3)
+		w := cur.WidenSimple(cur.Join(next))
+		if w.Equal(cur) {
+			// Stabilized; the stable constraint survives.
+			if !w.Entails(eq(0, 1, 2)) {
+				t.Errorf("stable equality lost: %s", w.String(nil))
+			}
+			return
+		}
+		cur = w
+		if step > 10 {
+			t.Fatalf("WidenSimple did not stabilize after %d steps: %s", step, cur.String(nil))
+		}
+	}
+}
+
+// TestBoundsQueries: boundedness detection across rays and lines.
+func TestBoundsQueries(t *testing.T) {
+	// x >= 2, no upper bound; y unconstrained (line); z in [1, 3].
+	p := FromSystem(linear.System{
+		ge(-2, 1, 0),
+		ge(-1, 1, 2), ge(3, -1, 2),
+	}, 3)
+	lo, hi := p.Bounds(0)
+	if lo == nil || lo.Cmp(big.NewRat(2, 1)) != 0 || hi != nil {
+		t.Errorf("x bounds [%v, %v]", lo, hi)
+	}
+	lo, hi = p.Bounds(1)
+	if lo != nil || hi != nil {
+		t.Errorf("y should be unbounded: [%v, %v]", lo, hi)
+	}
+	lo, hi = p.Bounds(2)
+	if lo == nil || hi == nil || lo.Cmp(big.NewRat(1, 1)) != 0 || hi.Cmp(big.NewRat(3, 1)) != 0 {
+		t.Errorf("z bounds [%v, %v]", lo, hi)
+	}
+}
+
+// TestNumConstraintsMinimal: redundant inputs minimize.
+func TestNumConstraintsMinimal(t *testing.T) {
+	p := FromSystem(linear.System{
+		ge(0, 1, 0), ge(1, 1, 0), ge(2, 1, 0), // x >= 0 subsumes the rest
+	}, 1)
+	p.System() // force minimization
+	if n := p.NumConstraints(); n != 1 {
+		t.Errorf("minimized to %d constraints, want 1", n)
+	}
+}

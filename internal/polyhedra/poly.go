@@ -1,0 +1,582 @@
+package polyhedra
+
+import (
+	"math/big"
+	"strings"
+
+	"repro/internal/linear"
+)
+
+// DefaultMaxRays caps intermediate generator counts during conversion;
+// exceeding it drops constraints (a sound over-approximation).
+const DefaultMaxRays = 100000
+
+// Poly is a convex polyhedron over n integer-valued variables. The zero
+// value is not meaningful; use Universe, Bottom or FromSystem.
+//
+// Both representations are maintained lazily: cons from gens and gens from
+// cons via Chernikova conversion. All operations are sound
+// over-approximations of their concrete counterparts.
+type Poly struct {
+	n     int
+	empty bool
+	cons  []row   // nil when unknown
+	gens  *genset // nil when unknown
+	// minimized records that cons came from a dual conversion (and is
+	// therefore irredundant).
+	minimized bool
+}
+
+// Universe returns the unconstrained polyhedron over n variables.
+func Universe(n int) *Poly {
+	return &Poly{n: n, cons: []row{}}
+}
+
+// Bottom returns the empty polyhedron over n variables.
+func Bottom(n int) *Poly {
+	return &Poly{n: n, empty: true}
+}
+
+// Dim returns the number of variables.
+func (p *Poly) Dim() int { return p.n }
+
+// rowOf converts a linear.Constraint to a dense row.
+func rowOf(c linear.Constraint, n int) row {
+	v := newVec(n + 1)
+	v[0].Set(c.E.Const)
+	for _, i := range c.E.Vars() {
+		if i < n {
+			v[i+1].Set(c.E.Coef(i))
+		}
+	}
+	return row{v: v, eq: c.Rel == linear.Eq}
+}
+
+// rowToConstraint converts a dense row back to a linear.Constraint.
+func rowToConstraint(r row, n int) linear.Constraint {
+	e := linear.NewExpr()
+	e.Const.Set(r.v[0])
+	for i := 1; i <= n; i++ {
+		if r.v[i].Sign() != 0 {
+			e.SetCoef(i-1, r.v[i])
+		}
+	}
+	rel := linear.Ge
+	if r.eq {
+		rel = linear.Eq
+	}
+	return linear.Constraint{E: e, Rel: rel}
+}
+
+// FromSystem returns the polyhedron of the conjunction sys over n variables.
+func FromSystem(sys linear.System, n int) *Poly {
+	p := Universe(n)
+	return p.MeetSystem(sys)
+}
+
+// ensureGens computes the generator representation.
+func (p *Poly) ensureGens() {
+	if p.empty || p.gens != nil {
+		return
+	}
+	g, _ := gensOf(p.cons, p.n, DefaultMaxRays)
+	if !g.hasVertex() {
+		p.empty = true
+		p.gens = nil
+		p.cons = nil
+		return
+	}
+	p.gens = g
+}
+
+// ensureCons computes the (minimized) constraint representation.
+func (p *Poly) ensureCons() {
+	if p.empty || p.cons != nil {
+		return
+	}
+	p.cons = consOf(p.gens, p.n)
+	p.minimized = true
+}
+
+// IsEmpty reports whether the polyhedron contains no points.
+func (p *Poly) IsEmpty() bool {
+	if p.empty {
+		return true
+	}
+	p.ensureGens()
+	return p.empty
+}
+
+// IsUniverse reports whether the polyhedron is unconstrained.
+func (p *Poly) IsUniverse() bool {
+	if p.IsEmpty() {
+		return false
+	}
+	p.ensureCons()
+	return len(p.cons) == 0
+}
+
+// Clone returns an independent copy.
+func (p *Poly) Clone() *Poly {
+	c := &Poly{n: p.n, empty: p.empty, minimized: p.minimized}
+	if p.cons != nil {
+		c.cons = make([]row, len(p.cons))
+		for i, r := range p.cons {
+			c.cons[i] = r.clone()
+		}
+	}
+	if p.gens != nil {
+		c.gens = p.gens.clone()
+	}
+	return c
+}
+
+// MeetSystem intersects p with the constraints of sys, returning a new
+// polyhedron.
+func (p *Poly) MeetSystem(sys linear.System) *Poly {
+	if p.IsEmpty() {
+		return Bottom(p.n)
+	}
+	for _, c := range sys {
+		if c.IsContradiction() {
+			return Bottom(p.n)
+		}
+	}
+	out := &Poly{n: p.n}
+	p.ensureCons()
+	out.cons = make([]row, 0, len(p.cons)+len(sys))
+	for _, r := range p.cons {
+		out.cons = append(out.cons, r.clone())
+	}
+	for _, c := range sys {
+		if c.IsTautology() {
+			continue
+		}
+		out.cons = append(out.cons, rowOf(c, p.n))
+	}
+	return out
+}
+
+// Meet intersects two polyhedra.
+func (p *Poly) Meet(q *Poly) *Poly {
+	if p.IsEmpty() || q.IsEmpty() {
+		return Bottom(p.n)
+	}
+	p.ensureCons()
+	q.ensureCons()
+	out := &Poly{n: p.n}
+	for _, r := range p.cons {
+		out.cons = append(out.cons, r.clone())
+	}
+	for _, r := range q.cons {
+		out.cons = append(out.cons, r.clone())
+	}
+	return out
+}
+
+// Join returns the convex hull of p and q (the domain's best
+// over-approximation of union).
+func (p *Poly) Join(q *Poly) *Poly {
+	if p.IsEmpty() {
+		return q.Clone()
+	}
+	if q.IsEmpty() {
+		return p.Clone()
+	}
+	p.ensureGens()
+	q.ensureGens()
+	g := &genset{}
+	for _, l := range p.gens.lines {
+		g.lines = append(g.lines, l.clone())
+	}
+	for _, l := range q.gens.lines {
+		g.lines = append(g.lines, l.clone())
+	}
+	for _, r := range p.gens.rays {
+		g.rays = append(g.rays, r.clone())
+	}
+	for _, r := range q.gens.rays {
+		g.rays = append(g.rays, r.clone())
+	}
+	out := &Poly{n: p.n, gens: g}
+	// Minimize immediately through the dual so generator sets do not
+	// accumulate across joins.
+	out.ensureCons()
+	out.gens = nil
+	return out
+}
+
+// Includes reports whether q is contained in p.
+func (p *Poly) Includes(q *Poly) bool {
+	if q.IsEmpty() {
+		return true
+	}
+	if p.IsEmpty() {
+		return false
+	}
+	p.ensureCons()
+	q.ensureGens()
+	for _, r := range p.cons {
+		if !rowHoldsGens(r, q.gens) {
+			return false
+		}
+	}
+	return true
+}
+
+func rowHoldsGens(r row, g *genset) bool {
+	for _, l := range g.lines {
+		if dot(r.v, l).Sign() != 0 {
+			return false
+		}
+	}
+	for _, ray := range g.rays {
+		d := dot(r.v, ray)
+		if r.eq {
+			if d.Sign() != 0 {
+				return false
+			}
+		} else if d.Sign() < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether p and q contain the same points.
+func (p *Poly) Equal(q *Poly) bool {
+	return p.Includes(q) && q.Includes(p)
+}
+
+// Entails reports whether every point of p satisfies c.
+func (p *Poly) Entails(c linear.Constraint) bool {
+	if p.IsEmpty() {
+		return true
+	}
+	if c.IsTautology() {
+		return true
+	}
+	p.ensureGens()
+	return rowHoldsGens(rowOf(c, p.n), p.gens)
+}
+
+// EntailsAll reports whether p entails every constraint in sys.
+func (p *Poly) EntailsAll(sys linear.System) bool {
+	for _, c := range sys {
+		if !p.Entails(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// Assign over-approximates the transition v := e (a linear expression over
+// the current values). It maps every generator through the corresponding
+// homogeneous linear map.
+func (p *Poly) Assign(v int, e linear.Expr) *Poly {
+	if p.IsEmpty() {
+		return Bottom(p.n)
+	}
+	p.ensureGens()
+	out := &Poly{n: p.n, gens: &genset{}}
+	mapGen := func(g vec) vec {
+		r := g.clone()
+		// New value of coordinate v+1: e evaluated homogeneously.
+		nv := new(big.Int).Mul(e.Const, g[0])
+		t := new(big.Int)
+		for _, u := range e.Vars() {
+			t.Mul(e.Coef(u), g[u+1])
+			nv.Add(nv, t)
+		}
+		r[v+1] = nv
+		r.normalize()
+		return r
+	}
+	for _, l := range p.gens.lines {
+		m := mapGen(l)
+		if !m.isZero() {
+			out.gens.lines = append(out.gens.lines, m)
+		}
+	}
+	for _, r := range p.gens.rays {
+		m := mapGen(r)
+		if !m.isZero() {
+			out.gens.rays = append(out.gens.rays, m)
+		}
+	}
+	// Re-minimize through the dual.
+	out.ensureCons()
+	out.gens = nil
+	return out
+}
+
+// Havoc over-approximates v := unknown by making v unconstrained.
+func (p *Poly) Havoc(v int) *Poly {
+	if p.IsEmpty() {
+		return Bottom(p.n)
+	}
+	p.ensureGens()
+	out := &Poly{n: p.n, gens: p.gens.clone()}
+	l := newVec(p.n + 1)
+	l[v+1].SetInt64(1)
+	out.gens.lines = append(out.gens.lines, l)
+	out.ensureCons()
+	out.gens = nil
+	return out
+}
+
+// Substitute replaces v by e in every constraint: the result is the weakest
+// precondition of the assignment v := e with respect to p
+// (wp(v := e, p) = p[e/v]).
+func (p *Poly) Substitute(v int, e linear.Expr) *Poly {
+	if p.IsEmpty() {
+		return Bottom(p.n)
+	}
+	p.ensureCons()
+	out := &Poly{n: p.n}
+	for _, r := range p.cons {
+		c := rowToConstraint(r, p.n)
+		ne := c.E.Subst(v, e)
+		out.cons = append(out.cons, rowOf(linear.Constraint{E: ne, Rel: c.Rel}, p.n))
+	}
+	return out
+}
+
+// Forget returns p with every constraint mentioning v dropped (used for
+// universally quantified elimination in backward analysis). This differs
+// from Havoc only in that it works directly on the minimized constraints.
+func (p *Poly) Forget(v int) *Poly {
+	if p.IsEmpty() {
+		return Bottom(p.n)
+	}
+	p.ensureCons()
+	out := &Poly{n: p.n}
+	for _, r := range p.cons {
+		if r.v[v+1].Sign() == 0 {
+			out.cons = append(out.cons, r.clone())
+		}
+	}
+	return out
+}
+
+// System returns the minimized constraint system of p.
+func (p *Poly) System() linear.System {
+	if p.IsEmpty() {
+		e := linear.ConstExpr(-1)
+		return linear.System{linear.NewGe(e)} // -1 >= 0, unsatisfiable
+	}
+	p.ensureCons()
+	if !p.minimized {
+		p.ensureGens()
+		if p.empty {
+			return linear.System{linear.NewGe(linear.ConstExpr(-1))}
+		}
+		p.cons = consOf(p.gens, p.n)
+		p.minimized = true
+	}
+	sys := make(linear.System, 0, len(p.cons))
+	for _, r := range p.cons {
+		sys = append(sys, rowToConstraint(r, p.n))
+	}
+	return sys
+}
+
+// SystemOver returns the constraints of p that mention only variables for
+// which keep returns true, after havocking the others (a sound projection).
+func (p *Poly) SystemOver(keep func(int) bool) linear.System {
+	if p.IsEmpty() {
+		return p.System()
+	}
+	q := p.Clone()
+	for v := 0; v < p.n; v++ {
+		if !keep(v) {
+			q = q.Havoc(v)
+		}
+	}
+	return q.System()
+}
+
+// SamplePoint returns a rational point inside p (a vertex), or nil if p is
+// empty. The slice is indexed by variable.
+func (p *Poly) SamplePoint() []*big.Rat {
+	if p.IsEmpty() {
+		return nil
+	}
+	p.ensureGens()
+	for _, r := range p.gens.rays {
+		if r[0].Sign() > 0 {
+			pt := make([]*big.Rat, p.n)
+			for i := 1; i <= p.n; i++ {
+				pt[i-1] = new(big.Rat).SetFrac(r[i], r[0])
+			}
+			return pt
+		}
+	}
+	return nil
+}
+
+// Bounds returns the tightest [lo, hi] interval of variable v implied by p.
+// Nil pointers denote unboundedness.
+func (p *Poly) Bounds(v int) (lo, hi *big.Rat) {
+	if p.IsEmpty() {
+		return nil, nil
+	}
+	p.ensureGens()
+	for _, l := range p.gens.lines {
+		if l[v+1].Sign() != 0 {
+			return nil, nil
+		}
+	}
+	unboundedUp, unboundedDown := false, false
+	for _, r := range p.gens.rays {
+		if r[0].Sign() == 0 {
+			if r[v+1].Sign() > 0 {
+				unboundedUp = true
+			} else if r[v+1].Sign() < 0 {
+				unboundedDown = true
+			}
+		}
+	}
+	for _, r := range p.gens.rays {
+		if r[0].Sign() > 0 {
+			val := new(big.Rat).SetFrac(r[v+1], r[0])
+			if !unboundedDown && (lo == nil || val.Cmp(lo) < 0) {
+				lo = val
+			}
+			if !unboundedUp && (hi == nil || val.Cmp(hi) > 0) {
+				hi = val
+			}
+		}
+	}
+	return lo, hi
+}
+
+// Widen returns the CH78 widening of p (previous iterate) and q (next
+// iterate): the constraints of p satisfied by q, plus constraints of q that
+// saturate the same generators of p as some constraint of p does
+// (Halbwachs' representation-stability refinement).
+func (p *Poly) Widen(q *Poly) *Poly {
+	if p.IsEmpty() {
+		return q.Clone()
+	}
+	if q.IsEmpty() {
+		return p.Clone()
+	}
+	p.ensureCons()
+	p.ensureGens()
+	q.ensureCons()
+
+	out := &Poly{n: p.n}
+	kept := make([]row, 0, len(p.cons))
+	for _, r := range p.cons {
+		if rowHoldsGens(r, mustGens(q)) {
+			kept = append(kept, r.clone())
+		}
+	}
+	// Refinement: keep rows of q that are "mutually redundant" with a row
+	// of p (same saturation signature on p's generators). This can delay
+	// stabilization in rare cases; the engine escalates to WidenSimple when
+	// a node refuses to stabilize.
+	sigP := make([]string, len(p.cons))
+	for i, r := range p.cons {
+		sigP[i] = satSignature(r, p.gens)
+	}
+	for _, rq := range q.cons {
+		if rowHoldsGens(rq, p.gens) {
+			sq := satSignature(rq, p.gens)
+			for _, sp := range sigP {
+				if sq == sp {
+					out.cons = append(out.cons, rq.clone())
+					break
+				}
+			}
+		}
+	}
+	out.cons = append(out.cons, kept...)
+	out.cons = dedupRows(out.cons)
+	return out
+}
+
+// WidenSimple is the unrefined CH78 widening: only the constraints of p
+// satisfied by q survive. The result's constraint set is a subset of p's,
+// so chains of WidenSimple are always finite.
+func (p *Poly) WidenSimple(q *Poly) *Poly {
+	if p.IsEmpty() {
+		return q.Clone()
+	}
+	if q.IsEmpty() {
+		return p.Clone()
+	}
+	p.ensureCons()
+	out := &Poly{n: p.n}
+	for _, r := range p.cons {
+		if rowHoldsGens(r, mustGens(q)) {
+			out.cons = append(out.cons, r.clone())
+		}
+	}
+	return out
+}
+
+func mustGens(p *Poly) *genset {
+	p.ensureGens()
+	return p.gens
+}
+
+// satSignature encodes which generators of g the row saturates.
+func satSignature(r row, g *genset) string {
+	var sb strings.Builder
+	for _, l := range g.lines {
+		if dot(r.v, l).Sign() == 0 {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	sb.WriteByte('|')
+	for _, ray := range g.rays {
+		if dot(r.v, ray).Sign() == 0 {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+func dedupRows(rows []row) []row {
+	var out []row
+	for _, r := range rows {
+		r.v.normalize()
+		dup := false
+		for _, o := range out {
+			if o.eq == r.eq && o.v.equal(r.v) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// String renders the constraint system with the given variable space.
+func (p *Poly) String(sp *linear.Space) string {
+	if p.IsEmpty() {
+		return "false"
+	}
+	p.ensureCons()
+	if len(p.cons) == 0 {
+		return "true"
+	}
+	return p.System().String(sp)
+}
+
+// NumConstraints returns the size of the minimized constraint system.
+func (p *Poly) NumConstraints() int {
+	if p.IsEmpty() {
+		return 1
+	}
+	return len(p.System())
+}

@@ -1,0 +1,431 @@
+package polyhedra
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linear"
+)
+
+// expr builds a linear expression from coefficient/variable pairs plus a
+// constant: expr(c, k1, v1, k2, v2, ...) = c + k1*x_v1 + k2*x_v2 + ...
+func expr(c int64, terms ...int64) linear.Expr {
+	e := linear.ConstExpr(c)
+	for i := 0; i+1 < len(terms); i += 2 {
+		e.AddTerm(int(terms[i+1]), terms[i])
+	}
+	return e
+}
+
+func ge(c int64, terms ...int64) linear.Constraint { return linear.NewGe(expr(c, terms...)) }
+func eq(c int64, terms ...int64) linear.Constraint { return linear.NewEq(expr(c, terms...)) }
+
+func TestUniverseAndBottom(t *testing.T) {
+	u := Universe(3)
+	if u.IsEmpty() || !u.IsUniverse() {
+		t.Fatal("universe misclassified")
+	}
+	b := Bottom(3)
+	if !b.IsEmpty() {
+		t.Fatal("bottom not empty")
+	}
+	if !u.Includes(b) || b.Includes(u) {
+		t.Fatal("inclusion wrong for universe/bottom")
+	}
+}
+
+func TestMeetEmpty(t *testing.T) {
+	// x >= 1 and -x >= 0 is empty.
+	p := FromSystem(linear.System{ge(-1, 1, 0), ge(0, -1, 0)}, 1)
+	if !p.IsEmpty() {
+		t.Fatalf("expected empty, got %s", p.String(nil))
+	}
+}
+
+func TestSimpleBox(t *testing.T) {
+	// 0 <= x <= 4, 0 <= y <= 2.
+	p := FromSystem(linear.System{
+		ge(0, 1, 0), ge(4, -1, 0),
+		ge(0, 1, 1), ge(2, -1, 1),
+	}, 2)
+	if p.IsEmpty() {
+		t.Fatal("box empty")
+	}
+	lo, hi := p.Bounds(0)
+	if lo == nil || hi == nil || lo.Cmp(big.NewRat(0, 1)) != 0 || hi.Cmp(big.NewRat(4, 1)) != 0 {
+		t.Errorf("bounds x = [%v, %v], want [0, 4]", lo, hi)
+	}
+	if !p.Entails(ge(0, 1, 0)) {
+		t.Error("box should entail x >= 0")
+	}
+	if p.Entails(ge(-1, 1, 0)) {
+		t.Error("box should not entail x >= 1")
+	}
+	// x + y <= 6 holds; x + y <= 5 does not.
+	if !p.Entails(ge(6, -1, 0, -1, 1)) {
+		t.Error("should entail x + y <= 6")
+	}
+	if p.Entails(ge(5, -1, 0, -1, 1)) {
+		t.Error("should not entail x + y <= 5")
+	}
+}
+
+func TestEqualityPlane(t *testing.T) {
+	// x == y over 2 vars.
+	p := FromSystem(linear.System{eq(0, 1, 0, -1, 1)}, 2)
+	if p.IsEmpty() {
+		t.Fatal("plane empty")
+	}
+	if !p.Entails(eq(0, 1, 0, -1, 1)) {
+		t.Error("plane should entail its own equation")
+	}
+	if !p.Entails(ge(0, 1, 0, -1, 1)) {
+		t.Error("x == y should entail x >= y")
+	}
+	if p.Entails(ge(0, 1, 0)) {
+		t.Error("x == y should not bound x")
+	}
+}
+
+func TestJoinConvexHull(t *testing.T) {
+	// Hull of {x==0} and {x==4} in 1D is 0 <= x <= 4.
+	p := FromSystem(linear.System{eq(0, 1, 0)}, 1)
+	q := FromSystem(linear.System{eq(-4, 1, 0)}, 1)
+	j := p.Join(q)
+	lo, hi := j.Bounds(0)
+	if lo == nil || hi == nil || lo.Cmp(big.NewRat(0, 1)) != 0 || hi.Cmp(big.NewRat(4, 1)) != 0 {
+		t.Errorf("hull bounds = [%v, %v], want [0, 4]", lo, hi)
+	}
+	if !j.Includes(p) || !j.Includes(q) {
+		t.Error("hull must include both operands")
+	}
+}
+
+func TestJoinRelational(t *testing.T) {
+	// Hull of {x==0, y==0} and {x==2, y==4}: contains y == 2x relation.
+	p := FromSystem(linear.System{eq(0, 1, 0), eq(0, 1, 1)}, 2)
+	q := FromSystem(linear.System{eq(-2, 1, 0), eq(-4, 1, 1)}, 2)
+	j := p.Join(q)
+	if !j.Entails(eq(0, 2, 0, -1, 1)) {
+		t.Errorf("hull should entail y == 2x, got %s", j.String(nil))
+	}
+	if !j.Entails(ge(0, 1, 0)) || !j.Entails(ge(2, -1, 0)) {
+		t.Errorf("hull should bound 0 <= x <= 2, got %s", j.String(nil))
+	}
+}
+
+func TestAssignTranslation(t *testing.T) {
+	// From x == 3, assign x := x + 1 -> x == 4.
+	p := FromSystem(linear.System{eq(-3, 1, 0)}, 1)
+	e := expr(1, 1, 0) // x + 1
+	q := p.Assign(0, e)
+	if !q.Entails(eq(-4, 1, 0)) {
+		t.Errorf("after x := x+1 from x==3: %s, want x == 4", q.String(nil))
+	}
+}
+
+func TestAssignRelation(t *testing.T) {
+	// From 0 <= x <= 2 (y unconstrained), assign y := x + 5.
+	p := FromSystem(linear.System{ge(0, 1, 0), ge(2, -1, 0)}, 2)
+	q := p.Assign(1, expr(5, 1, 0))
+	if !q.Entails(eq(-5, -1, 0, 1, 1)) { // y - x == 5
+		t.Errorf("y := x + 5 should give y - x == 5, got %s", q.String(nil))
+	}
+	if !q.Entails(ge(-5, 1, 1)) || !q.Entails(ge(7, -1, 1)) {
+		t.Errorf("5 <= y <= 7 expected, got %s", q.String(nil))
+	}
+}
+
+func TestAssignNonInvertible(t *testing.T) {
+	// From x == 7, y == 1: x := 0. Old info about x must vanish, y kept.
+	p := FromSystem(linear.System{eq(-7, 1, 0), eq(-1, 1, 1)}, 2)
+	q := p.Assign(0, expr(0))
+	if !q.Entails(eq(0, 1, 0)) {
+		t.Errorf("x == 0 expected, got %s", q.String(nil))
+	}
+	if !q.Entails(eq(-1, 1, 1)) {
+		t.Errorf("y == 1 should be preserved, got %s", q.String(nil))
+	}
+	if q.Entails(eq(-7, 1, 0)) {
+		t.Error("stale x == 7 retained")
+	}
+}
+
+func TestHavoc(t *testing.T) {
+	p := FromSystem(linear.System{eq(-3, 1, 0), eq(0, 1, 0, -1, 1)}, 2) // x==3, x==y
+	q := p.Havoc(0)
+	if q.Entails(eq(-3, 1, 0)) {
+		t.Error("x constraint should be dropped")
+	}
+	if !q.Entails(eq(-3, 1, 1)) {
+		t.Errorf("y == 3 should survive havoc of x, got %s", q.String(nil))
+	}
+}
+
+func TestSubstitute(t *testing.T) {
+	// p: x >= 10. wp(x := y + 1, p) = y + 1 >= 10 = y >= 9.
+	p := FromSystem(linear.System{ge(-10, 1, 0)}, 2)
+	q := p.Substitute(0, expr(1, 1, 1))
+	if !q.Entails(ge(-9, 1, 1)) {
+		t.Errorf("substitution result %s, want y >= 9", q.String(nil))
+	}
+	if q.Entails(ge(-10, 1, 0)) {
+		t.Error("x constraint should be gone after substitution")
+	}
+}
+
+func TestForget(t *testing.T) {
+	p := FromSystem(linear.System{ge(0, 1, 0), ge(5, -1, 0, -1, 1)}, 2)
+	q := p.Forget(0)
+	if q.Entails(ge(0, 1, 0)) {
+		t.Error("constraint on x must be dropped")
+	}
+	// The x+y <= 5 constraint mentions x, so it is dropped too (Forget is
+	// syntactic, unlike Havoc).
+	if q.Entails(ge(5, -1, 1)) {
+		t.Errorf("forget should not derive projections, got %s", q.String(nil))
+	}
+}
+
+func TestWidenStabilizes(t *testing.T) {
+	// Classic loop: x == 0 widened with hull(x==0, x==1) must give x >= 0.
+	p0 := FromSystem(linear.System{eq(0, 1, 0)}, 1)
+	p1 := p0.Join(FromSystem(linear.System{eq(-1, 1, 0)}, 1)) // 0 <= x <= 1
+	w := p0.Widen(p1)
+	if !w.Entails(ge(0, 1, 0)) {
+		t.Errorf("widening lost x >= 0: %s", w.String(nil))
+	}
+	if w.Entails(ge(1, -1, 0)) {
+		t.Errorf("widening kept unstable upper bound: %s", w.String(nil))
+	}
+	// Further iterates are stable.
+	p2 := w.Join(FromSystem(linear.System{eq(-2, 1, 0)}, 1))
+	w2 := w.Widen(p2)
+	if !w2.Equal(w) {
+		t.Errorf("widening not stable: %s vs %s", w2.String(nil), w.String(nil))
+	}
+}
+
+func TestWidenKeepsStableRelation(t *testing.T) {
+	// i - j stays equal while both grow: widening should keep i == j.
+	p0 := FromSystem(linear.System{eq(0, 1, 0, -1, 1), eq(0, 1, 0)}, 2) // i==j, i==0
+	p1 := FromSystem(linear.System{eq(0, 1, 0, -1, 1), ge(0, 1, 0), ge(1, -1, 0)}, 2)
+	w := p0.Widen(p0.Join(p1))
+	if !w.Entails(eq(0, 1, 0, -1, 1)) {
+		t.Errorf("widening lost stable i == j: %s", w.String(nil))
+	}
+}
+
+func TestSamplePoint(t *testing.T) {
+	p := FromSystem(linear.System{ge(-2, 1, 0), ge(8, -1, 0), eq(-1, 1, 1)}, 2)
+	pt := p.SamplePoint()
+	if pt == nil {
+		t.Fatal("no sample point")
+	}
+	x := pt[0]
+	y := pt[1]
+	if x.Cmp(big.NewRat(2, 1)) < 0 || x.Cmp(big.NewRat(8, 1)) > 0 {
+		t.Errorf("sample x = %v out of [2,8]", x)
+	}
+	if y.Cmp(big.NewRat(1, 1)) != 0 {
+		t.Errorf("sample y = %v, want 1", y)
+	}
+}
+
+func TestSystemOver(t *testing.T) {
+	// x == y + 1, y == z. Keeping only {x, z} should yield x == z + 1.
+	p := FromSystem(linear.System{eq(-1, 1, 0, -1, 1), eq(0, 1, 1, -1, 2)}, 3)
+	sys := p.SystemOver(func(v int) bool { return v != 1 })
+	q := FromSystem(sys, 3)
+	if !q.Entails(eq(-1, 1, 0, -1, 2)) {
+		t.Errorf("projection lost x == z + 1: %s", sys.String(nil))
+	}
+	for _, c := range sys {
+		for _, v := range c.E.Vars() {
+			if v == 1 {
+				t.Errorf("projected system mentions eliminated variable: %s", sys.String(nil))
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Randomized differential testing against integer-point enumeration.
+
+type point3 [3]int64
+
+func allPoints(lim int64) []point3 {
+	var pts []point3
+	for x := -lim; x <= lim; x++ {
+		for y := -lim; y <= lim; y++ {
+			for z := -lim; z <= lim; z++ {
+				pts = append(pts, point3{x, y, z})
+			}
+		}
+	}
+	return pts
+}
+
+func satisfies(sys linear.System, p point3) bool {
+	pt := []*big.Int{big.NewInt(p[0]), big.NewInt(p[1]), big.NewInt(p[2])}
+	for _, c := range sys {
+		if !c.Holds(pt) {
+			return false
+		}
+	}
+	return true
+}
+
+func randSystem(rng *rand.Rand, ncons int) linear.System {
+	var sys linear.System
+	for i := 0; i < ncons; i++ {
+		e := linear.ConstExpr(rng.Int63n(9) - 4)
+		for v := 0; v < 3; v++ {
+			if rng.Intn(2) == 0 {
+				e.AddTerm(v, rng.Int63n(5)-2)
+			}
+		}
+		if rng.Intn(4) == 0 {
+			sys = append(sys, linear.NewEq(e))
+		} else {
+			sys = append(sys, linear.NewGe(e))
+		}
+	}
+	return sys
+}
+
+// TestRandomizedMinimization checks that conversion round-trips preserve the
+// integer points of the polyhedron.
+func TestRandomizedMinimization(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := allPoints(3)
+	for trial := 0; trial < 200; trial++ {
+		sys := randSystem(rng, 1+rng.Intn(5))
+		p := FromSystem(sys, 3)
+		min := p.System() // forces cons -> gens -> cons
+		for _, pt := range pts {
+			in := satisfies(sys, pt)
+			out := satisfies(min, pt)
+			if p.IsEmpty() {
+				if in {
+					t.Fatalf("trial %d: p empty but %v satisfies %s", trial, pt, sys.String(nil))
+				}
+				continue
+			}
+			if in != out {
+				t.Fatalf("trial %d: point %v: original=%v minimized=%v\norig: %s\nmin: %s",
+					trial, pt, in, out, sys.String(nil), min.String(nil))
+			}
+		}
+	}
+}
+
+// TestRandomizedJoinSound checks P subset join and Q subset join, and that the
+// join does not contain integer points far outside the hull vertices' box.
+func TestRandomizedJoinSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := allPoints(3)
+	for trial := 0; trial < 120; trial++ {
+		sysP := randSystem(rng, 1+rng.Intn(4))
+		sysQ := randSystem(rng, 1+rng.Intn(4))
+		p := FromSystem(sysP, 3)
+		q := FromSystem(sysQ, 3)
+		j := p.Join(q)
+		if !j.Includes(p) || !j.Includes(q) {
+			t.Fatalf("trial %d: join does not include operands", trial)
+		}
+		jsys := j.System()
+		for _, pt := range pts {
+			if (satisfies(sysP, pt) || satisfies(sysQ, pt)) && !j.IsEmpty() && !satisfies(jsys, pt) {
+				t.Fatalf("trial %d: point %v in operand but not join", trial, pt)
+			}
+		}
+	}
+}
+
+// TestRandomizedMeetExact checks meet against pointwise conjunction.
+func TestRandomizedMeetExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := allPoints(3)
+	for trial := 0; trial < 120; trial++ {
+		sysP := randSystem(rng, 1+rng.Intn(3))
+		sysQ := randSystem(rng, 1+rng.Intn(3))
+		p := FromSystem(sysP, 3)
+		q := FromSystem(sysQ, 3)
+		m := p.Meet(q)
+		msys := m.System()
+		for _, pt := range pts {
+			in := satisfies(sysP, pt) && satisfies(sysQ, pt)
+			out := !m.IsEmpty() && satisfies(msys, pt)
+			if in != out {
+				t.Fatalf("trial %d: meet wrong at %v: want %v got %v", trial, pt, in, out)
+			}
+		}
+	}
+}
+
+// TestRandomizedAssignSound checks that the image of every integer point of
+// p under an assignment lands inside Assign's result.
+func TestRandomizedAssignSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := allPoints(3)
+	for trial := 0; trial < 120; trial++ {
+		sys := randSystem(rng, 1+rng.Intn(3))
+		p := FromSystem(sys, 3)
+		v := rng.Intn(3)
+		e := linear.ConstExpr(rng.Int63n(7) - 3)
+		for u := 0; u < 3; u++ {
+			if rng.Intn(2) == 0 {
+				e.AddTerm(u, rng.Int63n(5)-2)
+			}
+		}
+		res := p.Assign(v, e)
+		rsys := res.System()
+		for _, pt := range pts {
+			if !satisfies(sys, pt) {
+				continue
+			}
+			bp := []*big.Int{big.NewInt(pt[0]), big.NewInt(pt[1]), big.NewInt(pt[2])}
+			nv := e.Eval(bp)
+			img := pt
+			img[v] = nv.Int64()
+			if res.IsEmpty() || !satisfies(rsys, img) {
+				t.Fatalf("trial %d: image %v of %v not in assign result %s (v=%d, e=%s)",
+					trial, img, pt, rsys.String(nil), v, e.String(nil))
+			}
+		}
+	}
+}
+
+// TestRandomizedWidenSound checks extensiveness of widening.
+func TestRandomizedWidenSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		p := FromSystem(randSystem(rng, 1+rng.Intn(3)), 3)
+		q := p.Join(FromSystem(randSystem(rng, 1+rng.Intn(3)), 3))
+		w := p.Widen(q)
+		if !w.Includes(p) || !w.Includes(q) {
+			t.Fatalf("trial %d: widening not extensive", trial)
+		}
+	}
+}
+
+// TestRandomizedInclusion cross-checks Includes against point enumeration.
+func TestRandomizedInclusion(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	pts := allPoints(2)
+	for trial := 0; trial < 150; trial++ {
+		sysP := randSystem(rng, 1+rng.Intn(3))
+		sysQ := randSystem(rng, 1+rng.Intn(3))
+		p := FromSystem(sysP, 3)
+		q := FromSystem(sysQ, 3)
+		if p.Includes(q) {
+			for _, pt := range pts {
+				if satisfies(sysQ, pt) && !satisfies(sysP, pt) && !q.IsEmpty() {
+					t.Fatalf("trial %d: Includes true but point %v in Q only", trial, pt)
+				}
+			}
+		}
+	}
+}

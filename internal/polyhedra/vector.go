@@ -1,0 +1,182 @@
+// Package polyhedra implements the convex-polyhedra abstract domain of
+// Cousot and Halbwachs [6,17] using the double-description (Chernikova)
+// method with exact big.Int arithmetic. It is the Go substitute for the
+// New Polka library the paper's prototype used [19].
+//
+// A polyhedron over n integer variables is represented by its homogenized
+// cone in R^(n+1): coordinate 0 is the homogenizing coordinate d, and
+// coordinates 1..n are the variables. A constraint row c means
+// c[0]*d + c[1]*x1 + ... + c[n]*xn >= 0 (or == 0); a point x of the
+// polyhedron corresponds to the ray (1, x). Both the constraint and the
+// generator representation are maintained lazily, each derived from the
+// other by the same conversion algorithm applied in the dual.
+package polyhedra
+
+import "math/big"
+
+type vec []*big.Int
+
+func newVec(n int) vec {
+	v := make(vec, n)
+	for i := range v {
+		v[i] = new(big.Int)
+	}
+	return v
+}
+
+func (v vec) clone() vec {
+	c := make(vec, len(v))
+	for i := range v {
+		c[i] = new(big.Int).Set(v[i])
+	}
+	return c
+}
+
+func (v vec) neg() vec {
+	c := make(vec, len(v))
+	for i := range v {
+		c[i] = new(big.Int).Neg(v[i])
+	}
+	return c
+}
+
+func dot(a, b vec) *big.Int {
+	s := new(big.Int)
+	t := new(big.Int)
+	for i := range a {
+		// Rows and generators are sparse; skipping zero factors avoids
+		// most big.Int work.
+		if a[i].Sign() == 0 || b[i].Sign() == 0 {
+			continue
+		}
+		t.Mul(a[i], b[i])
+		s.Add(s, t)
+	}
+	return s
+}
+
+// normalize divides v by the gcd of its entries (leaving sign intact).
+func (v vec) normalize() {
+	g := new(big.Int)
+	for i := range v {
+		if v[i].Sign() != 0 {
+			g.GCD(nil, nil, g.Abs(g), new(big.Int).Abs(v[i]))
+		}
+	}
+	if g.Sign() == 0 || g.Cmp(bigOne) == 0 {
+		return
+	}
+	for i := range v {
+		v[i].Quo(v[i], g)
+	}
+}
+
+// combine returns ka*a + kb*b, normalized.
+func combine(ka *big.Int, a vec, kb *big.Int, b vec) vec {
+	r := make(vec, len(a))
+	t := new(big.Int)
+	for i := range a {
+		az, bz := a[i].Sign() == 0, b[i].Sign() == 0
+		switch {
+		case az && bz:
+			r[i] = new(big.Int)
+		case bz:
+			r[i] = new(big.Int).Mul(ka, a[i])
+		case az:
+			r[i] = new(big.Int).Mul(kb, b[i])
+		default:
+			r[i] = new(big.Int).Mul(ka, a[i])
+			t.Mul(kb, b[i])
+			r[i].Add(r[i], t)
+		}
+	}
+	r.normalize()
+	return r
+}
+
+func (v vec) isZero() bool {
+	for i := range v {
+		if v[i].Sign() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (v vec) equal(w vec) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if v[i].Sign() != w[i].Sign() {
+			return false
+		}
+	}
+	for i := range v {
+		if v[i].Cmp(w[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+var (
+	bigOne = big.NewInt(1)
+)
+
+// bitset is a growable bit vector used for constraint-saturation tracking.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) clone() bitset { return append(bitset(nil), b...) }
+
+func (b *bitset) set(i int) {
+	for len(*b) <= i/64 {
+		*b = append(*b, 0)
+	}
+	(*b)[i/64] |= 1 << uint(i%64)
+}
+
+func (b bitset) get(i int) bool {
+	if i/64 >= len(b) {
+		return false
+	}
+	return b[i/64]&(1<<uint(i%64)) != 0
+}
+
+// and returns the intersection of b and c.
+func (b bitset) and(c bitset) bitset {
+	n := len(b)
+	if len(c) < n {
+		n = len(c)
+	}
+	r := make(bitset, n)
+	for i := 0; i < n; i++ {
+		r[i] = b[i] & c[i]
+	}
+	return r
+}
+
+// subsetOf reports whether every bit of b is set in c.
+func (b bitset) subsetOf(c bitset) bool {
+	for i := range b {
+		var ci uint64
+		if i < len(c) {
+			ci = c[i]
+		}
+		if b[i]&^ci != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (b bitset) equalUpTo(c bitset, n int) bool {
+	for i := 0; i < n; i++ {
+		if b.get(i) != c.get(i) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,90 @@
+package ppt
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestHeapSummaryRefinement: an allocation site outside every loop denotes
+// one region per invocation and is non-summary within the procedure's PPT;
+// a site inside a loop stays a summary.
+func TestHeapSummaryRefinement(t *testing.T) {
+	src := `
+void *malloc(int n);
+void once(void) {
+    char *p;
+    p = (char*)malloc(8);
+    *p = '\0';
+}
+void many(int k) {
+    char *p;
+    int i;
+    i = 0;
+    while (i < k) {
+        p = (char*)malloc(8);
+        *p = '\0';
+        i = i + 1;
+    }
+}
+`
+	pOnce, _ := buildFor(t, src, "once", Options{})
+	lv, _ := pOnce.Lv("p")
+	for _, r := range pOnce.Pt(lv) {
+		if pOnce.Loc(r).Summary {
+			t.Errorf("straight-line alloc site is summary: %s", pOnce.Loc(r).Name)
+		}
+	}
+	pMany, _ := buildFor(t, src, "many", Options{})
+	lv2, _ := pMany.Lv("p")
+	foundSummary := false
+	for _, r := range pMany.Pt(lv2) {
+		if pMany.Loc(r).Summary {
+			foundSummary = true
+		}
+	}
+	if !foundSummary {
+		t.Error("loop alloc site lost its summary marking")
+	}
+}
+
+// TestExactBaseMarks: merged and invented targets carry ExactBase.
+func TestExactBaseMarks(t *testing.T) {
+	p, _ := buildFor(t, skipLineMain, "SkipLine", Options{})
+	lv, _ := p.Lv("PtrEndText")
+	rvs := p.Pt(lv)
+	if len(rvs) != 1 || !p.Loc(rvs[0]).ExactBase {
+		t.Errorf("merged rv(PtrEndText) not ExactBase: %+v", p.Loc(rvs[0]))
+	}
+
+	solo := `
+void lib(char **pp) {
+    char *p;
+    p = *pp;
+}
+`
+	pl, _ := buildFor(t, solo, "lib", Options{})
+	lv2, _ := pl.Lv("pp")
+	rv2 := pl.Pt(lv2)
+	if len(rv2) != 1 || !pl.Loc(rv2[0]).ExactBase || !pl.Loc(rv2[0]).Invented {
+		t.Errorf("invented cell not ExactBase: %+v", pl.Loc(rv2[0]))
+	}
+	// The invented cell of a char** formal holds a 4-byte pointer.
+	if pl.Loc(rv2[0]).Size != 4 || !pl.Loc(rv2[0]).Scalar {
+		t.Errorf("invented cell shape: %+v", pl.Loc(rv2[0]))
+	}
+}
+
+// TestPPTString: the Fig. 6(b)-style rendering is stable enough for golden
+// checks.
+func TestPPTString(t *testing.T) {
+	p, _ := buildFor(t, skipLineMain, "SkipLine", Options{})
+	out := p.String()
+	for _, want := range []string{
+		"lv(PtrEndText) -> {rv(PtrEndText)}",
+		"rv(PtrEndText) -> {lv(main::buf)}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("PPT rendering missing %q:\n%s", want, out)
+		}
+	}
+}

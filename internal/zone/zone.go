@@ -1,0 +1,388 @@
+// Package zone implements the zone (difference-bound matrix) abstract
+// domain: conjunctions of constraints of the forms x - y <= c, x <= c and
+// -x <= c. It sits between intervals and polyhedra in the precision/cost
+// spectrum and exists for the paper's "any sound integer analysis can be
+// used" ablation (§3.5).
+package zone
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+
+	"repro/internal/linear"
+)
+
+// DBM is a difference-bound matrix over n variables plus the designated
+// zero variable (index 0): m[i][j] bounds x_i - x_j <= m[i][j], with x_0
+// identically 0. A nil entry is +infinity.
+type DBM struct {
+	n     int // number of program variables
+	m     [][]*big.Int
+	empty bool
+}
+
+// Universe returns the unconstrained zone.
+func Universe(n int) *DBM {
+	d := &DBM{n: n, m: make([][]*big.Int, n+1)}
+	for i := range d.m {
+		d.m[i] = make([]*big.Int, n+1)
+	}
+	return d
+}
+
+// Bottom returns the empty zone.
+func Bottom(n int) *DBM {
+	d := Universe(n)
+	d.empty = true
+	return d
+}
+
+// Clone returns a deep copy.
+func (d *DBM) Clone() *DBM {
+	c := Universe(d.n)
+	c.empty = d.empty
+	for i := range d.m {
+		for j := range d.m[i] {
+			if d.m[i][j] != nil {
+				c.m[i][j] = new(big.Int).Set(d.m[i][j])
+			}
+		}
+	}
+	return c
+}
+
+// IsEmpty reports whether the zone has no points.
+func (d *DBM) IsEmpty() bool {
+	if d.empty {
+		return true
+	}
+	d.close()
+	return d.empty
+}
+
+// close computes the shortest-path closure (canonical form) and detects
+// negative cycles (emptiness).
+func (d *DBM) close() {
+	if d.empty {
+		return
+	}
+	n := len(d.m)
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if d.m[i][k] == nil {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if d.m[k][j] == nil {
+					continue
+				}
+				sum := new(big.Int).Add(d.m[i][k], d.m[k][j])
+				if d.m[i][j] == nil || sum.Cmp(d.m[i][j]) < 0 {
+					d.m[i][j] = sum
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if d.m[i][i] != nil && d.m[i][i].Sign() < 0 {
+			d.empty = true
+			return
+		}
+	}
+}
+
+// setBound tightens x_i - x_j <= c (indices are 1-based for variables,
+// 0 for the zero var).
+func (d *DBM) setBound(i, j int, c *big.Int) {
+	if d.m[i][j] == nil || c.Cmp(d.m[i][j]) < 0 {
+		d.m[i][j] = new(big.Int).Set(c)
+	}
+}
+
+// MeetConstraint refines with a linear constraint when it has zone shape
+// (at most two unit-coefficient variables); other constraints are soundly
+// ignored.
+func (d *DBM) MeetConstraint(c linear.Constraint) *DBM {
+	out := d.Clone()
+	if out.empty {
+		return out
+	}
+	apply := func(e linear.Expr) {
+		vars := e.Vars()
+		switch len(vars) {
+		case 0:
+			if e.Const.Sign() < 0 {
+				out.empty = true
+			}
+		case 1:
+			v := vars[0]
+			k := e.Coef(v)
+			// k*x + c >= 0
+			if k.Cmp(big.NewInt(1)) == 0 {
+				// x >= -c: 0 - x <= c
+				out.setBound(0, v+1, e.Const)
+			} else if k.Cmp(big.NewInt(-1)) == 0 {
+				// x <= c
+				out.setBound(v+1, 0, e.Const)
+			}
+		case 2:
+			a, b := vars[0], vars[1]
+			ka, kb := e.Coef(a), e.Coef(b)
+			one, mone := big.NewInt(1), big.NewInt(-1)
+			switch {
+			case ka.Cmp(one) == 0 && kb.Cmp(mone) == 0:
+				// x_a - x_b + c >= 0: x_b - x_a <= c
+				out.setBound(b+1, a+1, e.Const)
+			case ka.Cmp(mone) == 0 && kb.Cmp(one) == 0:
+				out.setBound(a+1, b+1, e.Const)
+			}
+		}
+	}
+	apply(c.E)
+	if c.Rel == linear.Eq {
+		apply(c.E.Scale(-1))
+	}
+	out.close()
+	return out
+}
+
+// Join returns the pointwise maximum of closed forms.
+func (d *DBM) Join(o *DBM) *DBM {
+	if d.IsEmpty() {
+		return o.Clone()
+	}
+	if o.IsEmpty() {
+		return d.Clone()
+	}
+	d.close()
+	o.close()
+	out := Universe(d.n)
+	for i := range out.m {
+		for j := range out.m[i] {
+			if d.m[i][j] != nil && o.m[i][j] != nil {
+				if d.m[i][j].Cmp(o.m[i][j]) >= 0 {
+					out.m[i][j] = new(big.Int).Set(d.m[i][j])
+				} else {
+					out.m[i][j] = new(big.Int).Set(o.m[i][j])
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Widen drops bounds not stable between d (previous) and o (next).
+func (d *DBM) Widen(o *DBM) *DBM {
+	if d.IsEmpty() {
+		return o.Clone()
+	}
+	if o.IsEmpty() {
+		return d.Clone()
+	}
+	o.close()
+	out := Universe(d.n)
+	for i := range out.m {
+		for j := range out.m[i] {
+			if d.m[i][j] != nil && o.m[i][j] != nil && o.m[i][j].Cmp(d.m[i][j]) <= 0 {
+				out.m[i][j] = new(big.Int).Set(d.m[i][j])
+			}
+		}
+	}
+	return out
+}
+
+// Includes reports whether o is contained in d.
+func (d *DBM) Includes(o *DBM) bool {
+	if o.IsEmpty() {
+		return true
+	}
+	if d.IsEmpty() {
+		return false
+	}
+	d.close()
+	o.close()
+	for i := range d.m {
+		for j := range d.m[i] {
+			if d.m[i][j] == nil {
+				continue
+			}
+			if o.m[i][j] == nil || o.m[i][j].Cmp(d.m[i][j]) > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Havoc forgets variable v.
+func (d *DBM) Havoc(v int) *DBM {
+	out := d.Clone()
+	if out.empty {
+		return out
+	}
+	out.close()
+	if out.empty {
+		return out
+	}
+	i := v + 1
+	for j := range out.m {
+		out.m[i][j] = nil
+		out.m[j][i] = nil
+	}
+	return out
+}
+
+// Assign over-approximates v := e. Exact for v := w + c and v := c; other
+// right-hand sides degrade to havoc plus interval bounds when derivable.
+func (d *DBM) Assign(v int, e linear.Expr) *DBM {
+	if d.IsEmpty() {
+		return Bottom(d.n)
+	}
+	vars := e.Vars()
+	// v := v + c: shift bounds.
+	if len(vars) == 1 && vars[0] == v && e.Coef(v).Cmp(big.NewInt(1)) == 0 {
+		out := d.Clone()
+		out.close()
+		i := v + 1
+		for j := range out.m {
+			if j == i {
+				continue
+			}
+			if out.m[i][j] != nil {
+				out.m[i][j] = new(big.Int).Add(out.m[i][j], e.Const)
+			}
+			if out.m[j][i] != nil {
+				out.m[j][i] = new(big.Int).Sub(out.m[j][i], e.Const)
+			}
+		}
+		return out
+	}
+	// General: forget v, then constrain when the shape allows.
+	out := d.Havoc(v)
+	if len(vars) == 0 {
+		// v := c
+		out.setBound(v+1, 0, e.Const)
+		out.setBound(0, v+1, new(big.Int).Neg(e.Const))
+		out.close()
+		return out
+	}
+	if len(vars) == 1 && vars[0] != v && e.Coef(vars[0]).Cmp(big.NewInt(1)) == 0 {
+		// v := w + c: v - w <= c and w - v <= -c.
+		w := vars[0]
+		out.setBound(v+1, w+1, e.Const)
+		out.setBound(w+1, v+1, new(big.Int).Neg(e.Const))
+		out.close()
+		return out
+	}
+	return out
+}
+
+// Entails reports whether every point satisfies c (only zone-shaped
+// constraints can be entailed).
+func (d *DBM) Entails(c linear.Constraint) bool {
+	if d.IsEmpty() {
+		return true
+	}
+	if c.IsTautology() {
+		return true
+	}
+	d.close()
+	check := func(e linear.Expr) bool {
+		vars := e.Vars()
+		switch len(vars) {
+		case 0:
+			return e.Const.Sign() >= 0
+		case 1:
+			v := vars[0]
+			k := e.Coef(v)
+			if k.Cmp(big.NewInt(1)) == 0 {
+				// need x >= -c, i.e. 0 - x <= c entailed
+				return d.m[0][v+1] != nil && d.m[0][v+1].Cmp(e.Const) <= 0
+			}
+			if k.Cmp(big.NewInt(-1)) == 0 {
+				return d.m[v+1][0] != nil && d.m[v+1][0].Cmp(e.Const) <= 0
+			}
+		case 2:
+			a, b := vars[0], vars[1]
+			ka, kb := e.Coef(a), e.Coef(b)
+			one, mone := big.NewInt(1), big.NewInt(-1)
+			if ka.Cmp(one) == 0 && kb.Cmp(mone) == 0 {
+				return d.m[b+1][a+1] != nil && d.m[b+1][a+1].Cmp(e.Const) <= 0
+			}
+			if ka.Cmp(mone) == 0 && kb.Cmp(one) == 0 {
+				return d.m[a+1][b+1] != nil && d.m[a+1][b+1].Cmp(e.Const) <= 0
+			}
+		}
+		return false
+	}
+	if c.Rel == linear.Eq {
+		return check(c.E) && check(c.E.Scale(-1))
+	}
+	return check(c.E)
+}
+
+// System renders the closed zone as linear constraints.
+func (d *DBM) System() linear.System {
+	var sys linear.System
+	if d.IsEmpty() {
+		return linear.System{linear.NewGe(linear.ConstExpr(-1))}
+	}
+	d.close()
+	for i := range d.m {
+		for j := range d.m[i] {
+			if i == j || d.m[i][j] == nil {
+				continue
+			}
+			// x_i - x_j <= c  ==>  c - x_i + x_j >= 0
+			e := linear.NewExpr()
+			e.Const.Set(d.m[i][j])
+			if i > 0 {
+				e.AddTerm(i-1, -1)
+			}
+			if j > 0 {
+				e.AddTerm(j-1, 1)
+			}
+			sys = append(sys, linear.NewGe(e))
+		}
+	}
+	return sys
+}
+
+// Sample returns a contained point (greedy, using lower bounds).
+func (d *DBM) Sample() []*big.Rat {
+	if d.IsEmpty() {
+		return nil
+	}
+	d.close()
+	pt := make([]*big.Rat, d.n)
+	for v := 0; v < d.n; v++ {
+		switch {
+		case d.m[0][v+1] != nil: // 0 - x <= c: x >= -c
+			pt[v] = new(big.Rat).SetInt(new(big.Int).Neg(d.m[0][v+1]))
+		case d.m[v+1][0] != nil: // x <= c
+			pt[v] = new(big.Rat).SetInt(d.m[v+1][0])
+		default:
+			pt[v] = new(big.Rat)
+		}
+	}
+	return pt
+}
+
+// String renders the zone.
+func (d *DBM) String(sp *linear.Space) string {
+	if d.IsEmpty() {
+		return "false"
+	}
+	sys := d.System()
+	if len(sys) == 0 {
+		return "true"
+	}
+	var parts []string
+	for _, c := range sys {
+		parts = append(parts, c.String(sp))
+	}
+	return strings.Join(parts, " && ")
+}
+
+var _ = fmt.Sprintf
