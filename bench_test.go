@@ -77,6 +77,56 @@ func BenchmarkTable5(b *testing.B) {
 	}
 }
 
+// BenchmarkCascade is BenchmarkTable5 under Config{Cascade: true}: the
+// tiered interval -> zone -> polyhedra discharge analyzing, at each tier,
+// only the slice of the still-unproven checks. Sub-benchmark names match
+// BenchmarkTable5 so the two are directly comparable with benchstat; the
+// residual* metrics show how much of the IP still reaches the polyhedra
+// tier (0 when the cheap tiers discharged everything).
+func BenchmarkCascade(b *testing.B) {
+	suites := []struct{ name, path string }{
+		{"airbus", "testdata/airbus/airbus.c"},
+		{"fixwrites", "testdata/fixwrites/fixwrites.c"},
+	}
+	for _, s := range suites {
+		src := mustRead(b, s.path)
+		rep, err := Analyze(s.path, src, Config{Cascade: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, proc := range rep.Procedures {
+			proc := proc
+			b.Run(s.name+"/"+proc.Name, func(b *testing.B) {
+				var last *Procedure
+				for i := 0; i < b.N; i++ {
+					r, err := Analyze(s.path, src, Config{
+						Cascade:    true,
+						Procedures: []string{proc.Name},
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = &r.Procedures[0]
+				}
+				b.ReportMetric(float64(last.IPVars), "IPvars")
+				b.ReportMetric(float64(last.IPSize), "IPstmts")
+				b.ReportMetric(float64(len(last.Messages)), "messages")
+				if cs := last.Cascade; cs != nil {
+					b.ReportMetric(float64(cs.ResidualVars), "residualvars")
+					b.ReportMetric(float64(cs.ResidualStmts), "residualstmts")
+					cheap := 0
+					for _, t := range cs.Tiers {
+						if t.Domain != "polyhedra" {
+							cheap += t.Discharged
+						}
+					}
+					b.ReportMetric(float64(cheap), "cheapdischarged")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkHeadline regenerates the §1.3 headline totals: messages over the
 // whole Airbus-style suite (all false alarms) and the fixwrites-style suite
 // (8 errors + 2 false alarms).

@@ -30,6 +30,8 @@ func main() {
 		naive     = flag.Bool("naive-c2ip", false, "use the O(S*V^2) translation of [13]")
 		stats     = flag.Bool("stats", false, "print per-procedure statistics (Table 5 columns)")
 		dumpIP    = flag.Bool("dump-ip", false, "print the generated integer programs")
+		cascade   = flag.Bool("cascade", false, "discharge checks in tiers (interval, zone, then the selected domain on the sliced residual)")
+		dumpRed   = flag.Bool("dump-reduced-ip", false, "print the residual integer program the final cascade tier analyzed (implies -cascade)")
 		quiet     = flag.Bool("q", false, "suppress warnings")
 	)
 	flag.Parse()
@@ -45,6 +47,7 @@ func main() {
 		Contracts:         *contracts,
 		DisablePPTMerging: *noMerge,
 		NaiveC2IP:         *naive,
+		Cascade:           *cascade || *dumpRed,
 	}
 	if *procs != "" {
 		cfg.Procedures = strings.Split(*procs, ",")
@@ -65,6 +68,29 @@ func main() {
 		}
 		if *dumpIP {
 			fmt.Println(p.IntegerProgram)
+		}
+		if p.Cascade != nil {
+			if *stats {
+				for _, t := range p.Cascade.Tiers {
+					fmt.Printf("%s: cascade %s: %dx%d IP, discharged %d/%d, cpu=%s\n",
+						p.Name, t.Domain, t.IPVars, t.IPSize, t.Discharged, t.Asserts,
+						t.CPU.Round(1e6))
+				}
+				fmt.Printf("%s: cascade residual: %d vars x %d stmts (full IP %d x %d)\n",
+					p.Name, p.Cascade.ResidualVars, p.Cascade.ResidualStmts,
+					p.IPVars, p.IPSize)
+				for _, c := range p.Cascade.Checks {
+					verdict := "proved by " + c.Tier
+					if c.Violated {
+						verdict = "violated in " + c.Tier
+					}
+					fmt.Printf("%s: check %s (%s): %s on %dx%d\n",
+						p.Name, c.Check, c.Pos, verdict, c.IPVars, c.IPSize)
+				}
+			}
+			if *dumpRed {
+				fmt.Println(p.Cascade.ReducedProgram)
+			}
 		}
 		if !*quiet {
 			for _, w := range p.Warnings {

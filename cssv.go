@@ -42,6 +42,7 @@ import (
 	"repro/internal/c2ip"
 	"repro/internal/core"
 	"repro/internal/derive"
+	"repro/internal/linear"
 	"repro/internal/ppt"
 )
 
@@ -72,6 +73,14 @@ type Config struct {
 	NoLibc bool
 	// WideningDelay defers widening at loop heads (default 1).
 	WideningDelay int
+	// Cascade discharges checks in tiers: the integer program is reduced
+	// (unreachable-node pruning, constant/copy propagation, per-assertion
+	// backward slicing), the interval domain proves what it can, the zone
+	// domain takes the residue, and the configured Domain (polyhedra by
+	// default) analyzes only the slice of the checks the cheap tiers could
+	// not prove. Reported messages are unchanged; per-tier statistics
+	// appear in Procedure.Cascade.
+	Cascade bool
 }
 
 // Message is one potential string error.
@@ -109,6 +118,53 @@ type Procedure struct {
 	DerivedEnsures  string
 	// IntegerProgram is the pretty-printed C2IP output.
 	IntegerProgram string
+	// Cascade holds the tier statistics and per-check provenance under
+	// Config.Cascade (nil otherwise).
+	Cascade *CascadeStats
+}
+
+// CascadeStats describes how the tiered cascade discharged a procedure's
+// checks.
+type CascadeStats struct {
+	// Tiers ran cheapest first; each analyzed only the slice of the checks
+	// the previous tiers could not prove.
+	Tiers []CascadeTier
+	// Checks gives per-assert provenance in program order.
+	Checks []CheckOrigin
+	// ResidualVars and ResidualStmts are the dimensions of the sliced
+	// sub-program that reached the final (polyhedra) tier; both are 0 when
+	// the cheap tiers discharged every check.
+	ResidualVars, ResidualStmts int
+	// ReducedProgram is the pretty-printed residual integer program.
+	ReducedProgram string
+}
+
+// CascadeTier is one tier of the cascade.
+type CascadeTier struct {
+	// Domain names the tier's abstract domain.
+	Domain string
+	// IPVars and IPSize measure the sliced sub-program this tier analyzed.
+	IPVars, IPSize int
+	// Asserts entered the tier; Discharged were proven by it.
+	Asserts, Discharged int
+	// CPU is the tier's fixpoint time.
+	CPU time.Duration
+}
+
+// CheckOrigin records which tier decided one check.
+type CheckOrigin struct {
+	// Pos is the blamed source position.
+	Pos string
+	// Check describes the verified property.
+	Check string
+	// Tier is the domain that discharged the check ("unreachable" when
+	// pruning removed it), or the final domain when Violated.
+	Tier string
+	// Violated marks checks reported as messages.
+	Violated bool
+	// IPVars and IPSize are the dimensions of the sub-program in which the
+	// check was decided.
+	IPVars, IPSize int
 }
 
 // Report is the result of one analysis run.
@@ -166,7 +222,11 @@ func DeriveContracts(filename, source, proc string) (requires, ensures string, e
 }
 
 func (cfg Config) driverOptions() (core.Options, error) {
+	if cfg.WideningDelay < 0 {
+		return core.Options{}, fmt.Errorf("cssv: WideningDelay must be >= 0, got %d", cfg.WideningDelay)
+	}
 	opts := core.Options{
+		Cascade:       cfg.Cascade,
 		Procs:         cfg.Procedures,
 		NoLibc:        cfg.NoLibc,
 		WideningDelay: cfg.WideningDelay,
@@ -216,13 +276,17 @@ func convertProc(pr *core.ProcReport) Procedure {
 		CPU:    pr.CPU,
 		Space:  pr.Space,
 	}
+	// The IP can be nil when a pipeline stage upstream of C2IP produced the
+	// violations; formatting must not dereference it.
+	var space *linear.Space
 	if pr.IP != nil {
 		p.IntegerProgram = pr.IP.String()
+		space = pr.IP.Space
 	}
 	for _, v := range pr.Violations {
 		m := Message{
 			Pos:          v.Pos.String(),
-			Text:         analysis.FormatViolation(v, pr.IP.Space),
+			Text:         analysis.FormatViolation(v, space),
 			Unverifiable: v.Unverifiable,
 		}
 		if len(v.CounterExample) > 0 {
@@ -244,6 +308,28 @@ func convertProc(pr *core.ProcReport) Procedure {
 	if pr.Derived != nil {
 		p.DerivedRequires = pr.Derived.RequiresText
 		p.DerivedEnsures = pr.Derived.EnsuresText
+	}
+	if pr.Cascade != nil {
+		cs := &CascadeStats{
+			ResidualVars:  pr.Cascade.ResidualVars,
+			ResidualStmts: pr.Cascade.ResidualStmts,
+		}
+		if pr.Cascade.Residual != nil {
+			cs.ReducedProgram = pr.Cascade.Residual.String()
+		}
+		for _, t := range pr.Cascade.Tiers {
+			cs.Tiers = append(cs.Tiers, CascadeTier{
+				Domain: t.Domain, IPVars: t.Vars, IPSize: t.Stmts,
+				Asserts: t.Asserts, Discharged: t.Discharged, CPU: t.CPU,
+			})
+		}
+		for _, c := range pr.Cascade.Checks {
+			cs.Checks = append(cs.Checks, CheckOrigin{
+				Pos: c.Pos.String(), Check: c.Msg, Tier: c.Tier,
+				Violated: c.Violated, IPVars: c.Vars, IPSize: c.Stmts,
+			})
+		}
+		p.Cascade = cs
 	}
 	return p
 }

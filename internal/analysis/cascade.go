@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"time"
+
+	"repro/internal/clex"
+	"repro/internal/ip"
+	"repro/internal/reduce"
+)
+
+// TierStat reports one tier of the cascade.
+type TierStat struct {
+	// Domain is the tier's abstract domain name.
+	Domain string
+	// Vars and Stmts measure the sliced sub-program the tier analyzed.
+	Vars, Stmts int
+	// Asserts is the number of residual checks entering the tier;
+	// Discharged how many the tier proved.
+	Asserts, Discharged int
+	// Iterations and CPU are the tier's fixpoint cost.
+	Iterations int
+	CPU        time.Duration
+}
+
+// CheckProvenance records, for one assert, which tier decided it and on
+// how small a sub-program.
+type CheckProvenance struct {
+	// Index is the statement index in the analyzed (original) program.
+	Index int
+	Pos   clex.Pos
+	Msg   string
+	// Tier is the domain that discharged the check, or the final domain
+	// when Violated.
+	Tier string
+	// Violated marks checks the final tier could not prove (reported as
+	// messages).
+	Violated bool
+	// Vars and Stmts are the dimensions of the sliced sub-program in which
+	// the check was decided.
+	Vars, Stmts int
+}
+
+// CascadeResult is the outcome of a tiered analysis.
+type CascadeResult struct {
+	// Violations is the final message set, with indices relative to the
+	// original program. StateSystem and counter-examples are computed in
+	// the residual slice; counter-example variables keep their original
+	// names.
+	Violations []Violation
+	// Iterations sums the worklist steps of every tier.
+	Iterations int
+	// Tiers describes each tier that ran, cheapest first.
+	Tiers []TierStat
+	// Checks records per-assert provenance in program order.
+	Checks []CheckProvenance
+	// Residual is the sliced sub-program the final tier analyzed (nil when
+	// the cheap tiers discharged everything); ResidualVars/ResidualStmts
+	// are its dimensions.
+	Residual      *ip.Program
+	ResidualVars  int
+	ResidualStmts int
+}
+
+// AnalyzeCascade runs the tiered check discharge of the reduction design:
+// the IP is pruned of unreachable nodes, then analyzed by the interval
+// domain first, the zone domain second, and the configured final domain
+// (polyhedra by default) last. Each tier sees only the backward slice of
+// the asserts every cheaper tier failed to prove, with constant/copy
+// propagation additionally applied in the cheap tiers. Soundness: every
+// tier is sound and every reduction over-approximates, so a check
+// discharged early truly holds; precision: the final domain remains the
+// authority on the residual checks, which it analyzes without propagation
+// so that messages and counter-examples match a plain Analyze run.
+func AnalyzeCascade(p *ip.Program, opts Options) (*CascadeResult, error) {
+	opts.fill()
+	if err := p.Resolve(); err != nil {
+		return nil, err
+	}
+	pruned, pm, err := reduce.PruneUnreachable(p)
+	if err != nil {
+		return nil, err
+	}
+	propagated, err := reduce.Propagate(pruned)
+	if err != nil {
+		return nil, err
+	}
+
+	final := opts.Domain
+	var tiers []Domain
+	for _, d := range []Domain{IntervalDomain{}, ZoneDomain{}} {
+		if d.Name() != final.Name() {
+			tiers = append(tiers, d)
+		}
+	}
+	tiers = append(tiers, final)
+
+	out := &CascadeResult{}
+	decided := map[int]CheckProvenance{} // keyed by pruned-program index
+	residual := pruned.Asserts()
+	for ti, dom := range tiers {
+		isFinal := ti == len(tiers)-1
+		if len(residual) == 0 {
+			break
+		}
+		base := propagated
+		if isFinal {
+			base = pruned
+		}
+		sliced, sm, err := reduce.Slice(base, residual)
+		if err != nil {
+			return nil, err
+		}
+		checkOnly := map[int]bool{}
+		for _, a := range residual {
+			checkOnly[sm.StmtOf[a]] = true
+		}
+		start := time.Now()
+		res, err := Analyze(sliced, Options{
+			Domain:          dom,
+			WideningDelay:   opts.WideningDelay,
+			NarrowingPasses: opts.NarrowingPasses,
+			CheckOnly:       checkOnly,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tierCPU := time.Since(start)
+		out.Iterations += res.Iterations
+
+		violated := map[int]bool{}
+		for _, v := range res.Violations {
+			violated[v.Index] = true
+		}
+		var next []int
+		for _, a := range residual {
+			if violated[sm.StmtOf[a]] {
+				next = append(next, a)
+				continue
+			}
+			ast := pruned.Stmts[a].(*ip.Assert)
+			decided[a] = CheckProvenance{
+				Index: pm[a], Pos: ast.Pos, Msg: ast.Msg,
+				Tier: dom.Name(), Vars: sliced.NumVars(), Stmts: sliced.Size(),
+			}
+		}
+		out.Tiers = append(out.Tiers, TierStat{
+			Domain:     dom.Name(),
+			Vars:       sliced.NumVars(),
+			Stmts:      sliced.Size(),
+			Asserts:    len(residual),
+			Discharged: len(residual) - len(next),
+			Iterations: res.Iterations,
+			CPU:        tierCPU,
+		})
+		if isFinal {
+			out.Residual = sliced
+			out.ResidualVars = sliced.NumVars()
+			out.ResidualStmts = sliced.Size()
+			for _, v := range res.Violations {
+				prunedIdx := sm.Stmt[v.Index]
+				ast := pruned.Stmts[prunedIdx].(*ip.Assert)
+				decided[prunedIdx] = CheckProvenance{
+					Index: pm[prunedIdx], Pos: ast.Pos, Msg: ast.Msg,
+					Tier: dom.Name(), Violated: true,
+					Vars: sliced.NumVars(), Stmts: sliced.Size(),
+				}
+				v.Index = pm[prunedIdx]
+				out.Violations = append(out.Violations, v)
+			}
+		}
+		residual = next
+	}
+
+	// Provenance in program order; unreachable asserts (pruned away) are
+	// recorded as discharged by the pruning pass.
+	for _, idx := range p.Asserts() {
+		found := false
+		for pi, orig := range pm {
+			if orig == idx {
+				if prov, ok := decided[pi]; ok {
+					out.Checks = append(out.Checks, prov)
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			ast := p.Stmts[idx].(*ip.Assert)
+			out.Checks = append(out.Checks, CheckProvenance{
+				Index: idx, Pos: ast.Pos, Msg: ast.Msg, Tier: "unreachable",
+			})
+		}
+	}
+	return out, nil
+}

@@ -46,6 +46,11 @@ type State interface {
 	// polyhedra domain produces exact vertices; weaker domains may return
 	// any contained point.
 	Sample() []*big.Rat
+	// Bounds returns the tightest [lo, hi] interval of variable v implied
+	// by the state; nil pointers denote unboundedness. Bounds is canonical
+	// — it depends only on the concretization, not on the representation —
+	// which the counter-example construction relies on.
+	Bounds(v int) (lo, hi *big.Rat)
 	// String renders the state with variable names.
 	String(sp *linear.Space) string
 }
@@ -98,6 +103,7 @@ func (s polyState) IsEmpty() bool                    { return s.p.IsEmpty() }
 func (s polyState) Entails(c linear.Constraint) bool { return s.p.Entails(c) }
 func (s polyState) System() linear.System            { return s.p.System() }
 func (s polyState) Sample() []*big.Rat               { return s.p.SamplePoint() }
+func (s polyState) Bounds(v int) (lo, hi *big.Rat)   { return s.p.Bounds(v) }
 func (s polyState) String(sp *linear.Space) string   { return s.p.String(sp) }
 
 // Poly exposes the underlying polyhedron (used by derivation).

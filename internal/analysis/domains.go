@@ -41,6 +41,7 @@ func (s boxState) IsEmpty() bool                     { return s.b.IsEmpty() }
 func (s boxState) Entails(c linear.Constraint) bool  { return s.b.Entails(c) }
 func (s boxState) System() linear.System             { return s.b.System() }
 func (s boxState) Sample() []*big.Rat                { return s.b.Sample() }
+func (s boxState) Bounds(v int) (lo, hi *big.Rat)    { return s.b.Bounds(v) }
 func (s boxState) String(sp *linear.Space) string    { return s.b.String(sp) }
 
 // ZoneDomain is the difference-bound-matrix domain (the middle of the
@@ -76,4 +77,5 @@ func (s zoneState) IsEmpty() bool                     { return s.d.IsEmpty() }
 func (s zoneState) Entails(c linear.Constraint) bool  { return s.d.Entails(c) }
 func (s zoneState) System() linear.System             { return s.d.System() }
 func (s zoneState) Sample() []*big.Rat                { return s.d.Sample() }
+func (s zoneState) Bounds(v int) (lo, hi *big.Rat)    { return s.d.Bounds(v) }
 func (s zoneState) String(sp *linear.Space) string    { return s.d.String(sp) }

@@ -23,6 +23,11 @@ type Options struct {
 	// NarrowingPasses is the number of decreasing passes after
 	// stabilization.
 	NarrowingPasses int
+	// CheckOnly, when non-nil, restricts assert checking to the given
+	// statement indices; all asserts still refine the state downstream.
+	// The cascade uses it to keep already-discharged asserts as transfer
+	// functions without re-reporting them.
+	CheckOnly map[int]bool
 }
 
 func (o *Options) fill() {
@@ -80,19 +85,11 @@ func Analyze(p *ip.Program, opts Options) (*Result, error) {
 	n := len(p.Stmts)
 	nvars := p.NumVars()
 
-	succ := make([][]cfgEdge, n+1) // node n = exit
-	for i, s := range p.Stmts {
-		next := i + 1
-		switch s := s.(type) {
-		case *ip.Goto:
-			succ[i] = []cfgEdge{{to: p.TargetOf(s.Target)}}
-		case *ip.IfGoto:
-			succ[i] = []cfgEdge{
-				{to: p.TargetOf(s.Target), cond: s.C},
-				{to: next, cond: s.FallthroughCond()},
-			}
-		default:
-			succ[i] = []cfgEdge{{to: next}}
+	ipSucc := p.CFG() // node n = exit
+	succ := make([][]cfgEdge, n+1)
+	for i, edges := range ipSucc {
+		for _, e := range edges {
+			succ[i] = append(succ[i], cfgEdge{to: e.To, cond: e.Cond})
 		}
 	}
 
@@ -221,6 +218,9 @@ func Analyze(p *ip.Program, opts Options) (*Result, error) {
 	res := &Result{Prog: p, Iterations: iterations, States: in}
 	// Assert checking.
 	for _, idx := range p.Asserts() {
+		if opts.CheckOnly != nil && !opts.CheckOnly[idx] {
+			continue
+		}
 		a := p.Stmts[idx].(*ip.Assert)
 		st := in[idx]
 		if st.IsEmpty() {
@@ -277,26 +277,67 @@ func checkAssert(st State, a *ip.Assert, sp *linear.Space, dom Domain, nvars int
 			Pos:         a.Pos,
 			StateSystem: st.System(),
 		}
-		if pt := bad.Sample(); pt != nil {
-			v.CounterExample = map[string]*big.Rat{}
-			// Restrict the report to the variables the assertion mentions.
-			mentioned := map[int]bool{}
-			for _, cj := range a.C {
-				for _, c := range cj {
-					for _, vr := range c.E.Vars() {
-						mentioned[vr] = true
-					}
+		// Restrict the report to the variables the assertion mentions, and
+		// pick the lexicographically smallest corner of the bad region over
+		// them (ordered by variable name). The choice is canonical: it
+		// depends only on the region's projection onto the mentioned
+		// variables, so a run over a sliced sub-program reports the same
+		// counter-example as a run over the full program.
+		mentioned := map[int]bool{}
+		for _, cj := range a.C {
+			for _, c := range cj {
+				for _, vr := range c.E.Vars() {
+					mentioned[vr] = true
 				}
 			}
-			for vr := range mentioned {
-				if vr < len(pt) && pt[vr] != nil {
-					v.CounterExample[sp.Name(vr)] = pt[vr]
-				}
-			}
+		}
+		if ce := lexMinCorner(bad, mentioned, sp); len(ce) > 0 {
+			v.CounterExample = ce
 		}
 		return v, true
 	}
 	return Violation{}, false
+}
+
+// lexMinCorner fixes the mentioned variables, in name order, each to the
+// smallest value the region (so far) allows — the lexicographically least
+// attainable corner. A coordinate unbounded below has no minimum; it gets
+// the canonical negative representative min(-1, hi), which both witnesses
+// the unboundedness (the paper's §2.3 scenario hinges on the
+// counter-example showing a *negative* NbLine) and depends only on the
+// region's projection, so sliced and full runs agree.
+func lexMinCorner(region State, mentioned map[int]bool, sp *linear.Space) map[string]*big.Rat {
+	var order []int
+	for vr := range mentioned {
+		order = append(order, vr)
+	}
+	sort.Slice(order, func(i, j int) bool { return sp.Name(order[i]) < sp.Name(order[j]) })
+	out := map[string]*big.Rat{}
+	for _, vr := range order {
+		lo, hi := region.Bounds(vr)
+		val := big.NewRat(-1, 1)
+		switch {
+		case lo != nil:
+			val = lo
+		case hi != nil && hi.Cmp(val) < 0:
+			val = hi
+		}
+		out[sp.Name(vr)] = val
+		// Pin vr = val (den*vr - num == 0) before choosing the next
+		// coordinate, so the corner is a genuine point of the region.
+		e := linear.NewExpr()
+		e.SetCoef(vr, val.Denom())
+		e.Const.Neg(val.Num())
+		pinned := region.MeetSystem(linear.System{linear.NewEq(e)})
+		if pinned.IsEmpty() {
+			// The bound is not attained in this domain's representation;
+			// keep the reported value (it is within the region's closure)
+			// but stop pinning through an empty state.
+			continue
+		}
+		region = pinned
+	}
+	return out
 }
 
 // FormatViolation renders a Fig. 8-style report.

@@ -32,6 +32,10 @@ type Options struct {
 	// WideningDelay / NarrowingPasses forward to the fixpoint engine.
 	WideningDelay   int
 	NarrowingPasses int
+	// Cascade runs the tiered check discharge (interval, then zone, then
+	// the configured domain on the sliced residual) instead of a single
+	// fixpoint in the configured domain.
+	Cascade bool
 	// NoSideEffectCheck disables the modifies-clause verification.
 	NoSideEffectCheck bool
 	// Procs restricts analysis to these procedures (default: all defined
@@ -75,6 +79,9 @@ type ProcReport struct {
 	Iterations int
 	// IP retains the generated program (printing, derivation, tests).
 	IP *ip.Program
+	// Cascade carries the per-tier statistics and check provenance when
+	// Options.Cascade is set.
+	Cascade *analysis.CascadeResult
 	// Inlined is the analyzed (inlined + normalized) procedure.
 	Inlined *cast.FuncDecl
 	// PPT is the procedural points-to state used.
@@ -258,17 +265,29 @@ func analyzeProc(orig *cast.File, prog *corec.Program, name string, opts Options
 	pr.IPVars = res.Prog.NumVars()
 	pr.IPSize = res.Prog.Size()
 
-	// Phase 4: integer analysis.
-	ares, err := analysis.Analyze(res.Prog, analysis.Options{
+	// Phase 4: integer analysis — a single fixpoint in the configured
+	// domain, or the tiered cascade over reduced sub-programs.
+	aopts := analysis.Options{
 		Domain:          opts.Domain,
 		WideningDelay:   opts.WideningDelay,
 		NarrowingPasses: opts.NarrowingPasses,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("analysis: %w", err)
 	}
-	pr.Violations = ares.Violations
-	pr.Iterations = ares.Iterations
+	if opts.Cascade {
+		cres, err := analysis.AnalyzeCascade(res.Prog, aopts)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		pr.Violations = cres.Violations
+		pr.Iterations = cres.Iterations
+		pr.Cascade = cres
+	} else {
+		ares, err := analysis.Analyze(res.Prog, aopts)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		pr.Violations = ares.Violations
+		pr.Iterations = ares.Iterations
+	}
 
 	// Side-effect verification (the modifies clause is part of the
 	// contract and is checked like the pre/postconditions).

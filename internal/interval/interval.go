@@ -298,6 +298,22 @@ func (b *Box) System() linear.System {
 	return sys
 }
 
+// Bounds returns the tightest [lo, hi] interval of variable v; nil
+// pointers denote unboundedness.
+func (b *Box) Bounds(v int) (lo, hi *big.Rat) {
+	if b.empty || v < 0 || v >= len(b.vars) {
+		return nil, nil
+	}
+	iv := b.vars[v]
+	if iv.Lo != nil {
+		lo = new(big.Rat).SetInt(iv.Lo)
+	}
+	if iv.Hi != nil {
+		hi = new(big.Rat).SetInt(iv.Hi)
+	}
+	return lo, hi
+}
+
 // Sample returns a contained point (preferring bounds, else zero).
 func (b *Box) Sample() []*big.Rat {
 	if b.empty {

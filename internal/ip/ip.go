@@ -312,6 +312,35 @@ func (p *Program) Resolve() error {
 // TargetOf returns the statement index of a label.
 func (p *Program) TargetOf(label string) int { return p.labels[label] }
 
+// Edge is a control-flow edge to statement To, guarded by the condition
+// assumed along it (nil = true).
+type Edge struct {
+	To   int
+	Cond DNF
+}
+
+// CFG returns the successor edges of every statement; node len(Stmts) is
+// the exit. Resolve must have been called.
+func (p *Program) CFG() [][]Edge {
+	n := len(p.Stmts)
+	succ := make([][]Edge, n+1)
+	for i, s := range p.Stmts {
+		next := i + 1
+		switch s := s.(type) {
+		case *Goto:
+			succ[i] = []Edge{{To: p.TargetOf(s.Target)}}
+		case *IfGoto:
+			succ[i] = []Edge{
+				{To: p.TargetOf(s.Target), Cond: s.C},
+				{To: next, Cond: s.FallthroughCond()},
+			}
+		default:
+			succ[i] = []Edge{{To: next}}
+		}
+	}
+	return succ
+}
+
 // NumVars returns the number of constraint variables.
 func (p *Program) NumVars() int { return p.Space.Dim() }
 

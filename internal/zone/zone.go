@@ -349,6 +349,22 @@ func (d *DBM) System() linear.System {
 	return sys
 }
 
+// Bounds returns the tightest [lo, hi] interval of variable v; nil
+// pointers denote unboundedness.
+func (d *DBM) Bounds(v int) (lo, hi *big.Rat) {
+	if d.IsEmpty() || v < 0 || v >= d.n {
+		return nil, nil
+	}
+	d.close()
+	if d.m[0][v+1] != nil { // 0 - x <= c: x >= -c
+		lo = new(big.Rat).SetInt(new(big.Int).Neg(d.m[0][v+1]))
+	}
+	if d.m[v+1][0] != nil { // x <= c
+		hi = new(big.Rat).SetInt(d.m[v+1][0])
+	}
+	return lo, hi
+}
+
 // Sample returns a contained point (greedy, using lower bounds).
 func (d *DBM) Sample() []*big.Rat {
 	if d.IsEmpty() {
