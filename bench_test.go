@@ -17,6 +17,7 @@ package cssv
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -125,6 +126,91 @@ func BenchmarkCascade(b *testing.B) {
 			})
 		}
 	}
+}
+
+// benchSuiteParallel measures whole-suite wall clock under a given worker
+// count. Sub-benchmark names (workers=1 vs workers=N) make the parallel
+// speedup directly visible with benchstat; the reports are bit-identical
+// across worker counts (TestParallelDeterminism).
+func benchSuiteParallel(b *testing.B, cfg Config) {
+	suites := []struct{ name, path string }{
+		{"airbus", "testdata/airbus/airbus.c"},
+		{"fixwrites", "testdata/fixwrites/fixwrites.c"},
+	}
+	workerCounts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		workerCounts = append(workerCounts, n)
+	} else {
+		// Still exercise the pool itself on single-CPU machines.
+		workerCounts = append(workerCounts, 8)
+	}
+	for _, s := range suites {
+		src := mustRead(b, s.path)
+		for _, w := range workerCounts {
+			cfg := cfg
+			cfg.Workers = w
+			b.Run(fmt.Sprintf("%s/workers=%d", s.name, w), func(b *testing.B) {
+				msgs := 0
+				for i := 0; i < b.N; i++ {
+					rep, err := Analyze(s.path, src, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					msgs = len(rep.Messages())
+					b.ReportMetric(float64(rep.Stats.SequentialCPU)/float64(rep.Stats.Wall), "speedup")
+				}
+				b.ReportMetric(float64(msgs), "messages")
+			})
+		}
+	}
+}
+
+// BenchmarkTable5Parallel is the whole-suite Table 5 workload under the
+// parallel driver: one Analyze call per iteration fans the per-procedure
+// pipelines out over the worker pool.
+func BenchmarkTable5Parallel(b *testing.B) { benchSuiteParallel(b, Config{}) }
+
+// BenchmarkCascadeParallel composes the PR 1 cascade (cheap per-procedure
+// discharge) with the worker pool (cross-procedure parallelism).
+func BenchmarkCascadeParallel(b *testing.B) { benchSuiteParallel(b, Config{Cascade: true}) }
+
+// BenchmarkLibcPrelude quantifies the cached contract-header parse: "parse"
+// is the per-run cost before the cache existed (lex + parse of the full
+// header), "cached" is what every AnalyzeSource and Prepare call pays now.
+func BenchmarkLibcPrelude(b *testing.B) {
+	b.Run("parse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cparse.ParsePrelude(libc.HeaderName, libc.Header); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := libc.Prelude(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// End-to-end: repeated single-procedure runs, the workload the header
+	// cache and pointer-analysis memo were built for (contrast with a
+	// cold-cache run of the same workload).
+	src := mustRead(b, "testdata/running/skipline.c")
+	b.Run("repeated-single-proc/warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Analyze("skipline.c", src, Config{Procedures: []string{"SkipLine"}}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("repeated-single-proc/cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.FlushCaches()
+			if _, err := Analyze("skipline.c", src, Config{Procedures: []string{"SkipLine"}}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkHeadline regenerates the §1.3 headline totals: messages over the

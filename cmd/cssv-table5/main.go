@@ -22,9 +22,11 @@ func main() {
 	summaryOnly := flag.Bool("summary", false, "print only the per-suite headline summary")
 	airbus := flag.String("airbus", "testdata/airbus/airbus.c", "path to the Airbus-style suite")
 	fixwrites := flag.String("fixwrites", "testdata/fixwrites/fixwrites.c", "path to the fixwrites-style suite")
+	jobs := flag.Int("j", 0, "procedures analyzed in parallel (0 = all CPUs, 1 = sequential; the Space column is only measured at 1)")
 	flag.Parse()
 
 	opts := table5.Options{SkipDerivation: *fast}
+	opts.Driver.Workers = *jobs
 	var rows []table5.Row
 	for _, s := range []struct{ name, path string }{
 		{"airbus", *airbus},

@@ -32,6 +32,7 @@ func main() {
 		dumpIP    = flag.Bool("dump-ip", false, "print the generated integer programs")
 		cascade   = flag.Bool("cascade", false, "discharge checks in tiers (interval, zone, then the selected domain on the sliced residual)")
 		dumpRed   = flag.Bool("dump-reduced-ip", false, "print the residual integer program the final cascade tier analyzed (implies -cascade)")
+		jobs      = flag.Int("j", 0, "procedures analyzed in parallel (0 = all CPUs, 1 = sequential)")
 		quiet     = flag.Bool("q", false, "suppress warnings")
 	)
 	flag.Parse()
@@ -48,6 +49,11 @@ func main() {
 		DisablePPTMerging: *noMerge,
 		NaiveC2IP:         *naive,
 		Cascade:           *cascade || *dumpRed,
+		Workers:           *jobs,
+	}
+	if *jobs < 0 {
+		fmt.Fprintln(os.Stderr, "cssv: -j must be >= 0")
+		os.Exit(2)
 	}
 	if *procs != "" {
 		cfg.Procedures = strings.Split(*procs, ",")
@@ -57,6 +63,17 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cssv:", err)
 		os.Exit(2)
+	}
+
+	if *stats {
+		s := rep.Stats
+		speedup := 1.0
+		if s.Wall > 0 {
+			speedup = float64(s.SequentialCPU) / float64(s.Wall)
+		}
+		fmt.Printf("run: workers=%d wall=%s cpu=%s speedup=%.1fx ptcache=%d/%d libc-header-cached=%v\n",
+			s.Workers, s.Wall.Round(1e6), s.SequentialCPU.Round(1e6), speedup,
+			s.PointerCacheHits, s.PointerCacheHits+s.PointerCacheMisses, s.LibcHeaderReused)
 	}
 
 	messages := 0

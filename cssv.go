@@ -71,6 +71,14 @@ type Config struct {
 	StrictZeroStore bool
 	// NoLibc disables the built-in standard-library contract models.
 	NoLibc bool
+	// Workers bounds how many procedures are analyzed concurrently. CSSV
+	// verifies each procedure separately against contracts, so the
+	// per-procedure pipelines are independent and fan out over a bounded
+	// worker pool; results are deterministic (input order, identical
+	// messages) for every worker count. 0 uses all CPUs
+	// (runtime.GOMAXPROCS); 1 forces the sequential driver, which is also
+	// the only mode in which Procedure.Space is measured.
+	Workers int
 	// WideningDelay defers widening at loop heads (default 1).
 	WideningDelay int
 	// Cascade discharges checks in tiers: the integer program is reduced
@@ -105,7 +113,10 @@ type Procedure struct {
 	// IPVars and IPSize: constraint variables and statements of the
 	// generated integer program.
 	IPVars, IPSize int
-	// CPU and Space: analysis cost.
+	// CPU is the elapsed time of the procedure's pipeline. Space is the
+	// process-wide heap-allocation delta around it, measured only under
+	// Workers == 1 (0 otherwise: a global counter cannot attribute
+	// allocations to one procedure while others run concurrently).
 	CPU   time.Duration
 	Space uint64
 	// Messages are the reported potential errors; Warnings are
@@ -170,6 +181,23 @@ type CheckOrigin struct {
 // Report is the result of one analysis run.
 type Report struct {
 	Procedures []Procedure
+	// Stats aggregates whole-run cost and cache effectiveness.
+	Stats RunStats
+}
+
+// RunStats describes one analysis run.
+type RunStats struct {
+	// Workers is the pool size actually used.
+	Workers int
+	// Wall is the run's elapsed time; SequentialCPU sums the per-procedure
+	// pipeline times (what a Workers=1 run would need, modulo caches).
+	Wall          time.Duration
+	SequentialCPU time.Duration
+	// PointerCacheHits / PointerCacheMisses count memoized whole-program
+	// pointer analyses; LibcHeaderReused reports whether the parsed libc
+	// contract header was already cached when the run started.
+	PointerCacheHits, PointerCacheMisses int
+	LibcHeaderReused                     bool
 }
 
 // Messages returns all messages across procedures.
@@ -191,7 +219,7 @@ func Analyze(filename, source string, cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &Report{}
+	out := &Report{Stats: RunStats(rep.Stats)}
 	for i := range rep.Procs {
 		out.Procedures = append(out.Procedures, convertProc(&rep.Procs[i]))
 	}
@@ -225,10 +253,14 @@ func (cfg Config) driverOptions() (core.Options, error) {
 	if cfg.WideningDelay < 0 {
 		return core.Options{}, fmt.Errorf("cssv: WideningDelay must be >= 0, got %d", cfg.WideningDelay)
 	}
+	if cfg.Workers < 0 {
+		return core.Options{}, fmt.Errorf("cssv: Workers must be >= 0, got %d", cfg.Workers)
+	}
 	opts := core.Options{
 		Cascade:       cfg.Cascade,
 		Procs:         cfg.Procedures,
 		NoLibc:        cfg.NoLibc,
+		Workers:       cfg.Workers,
 		WideningDelay: cfg.WideningDelay,
 		PPT:           ppt.Options{DisableMerging: cfg.DisablePPTMerging},
 		C2IP: c2ip.Options{

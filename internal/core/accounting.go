@@ -1,0 +1,19 @@
+package core
+
+import "runtime/metrics"
+
+// heapAllocBytes reads the process-wide cumulative heap allocation counter.
+// Unlike runtime.ReadMemStats it does not stop the world, and unlike a
+// TotalAlloc delta it is explicitly documented as monotone, so a delta
+// around a computation is exactly the bytes the process allocated while it
+// ran. Attribution to one procedure is only meaningful when that procedure
+// runs exclusively: the driver measures Space with Workers == 1 and reports
+// 0 under concurrency (see ProcReport.Space).
+func heapAllocBytes() uint64 {
+	s := [1]metrics.Sample{{Name: "/gc/heap/allocs:bytes"}}
+	metrics.Read(s[:])
+	if s[0].Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return s[0].Value.Uint64()
+}

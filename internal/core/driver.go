@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/analysis"
@@ -23,6 +24,14 @@ import (
 type Options struct {
 	// PointerMode selects the whole-program points-to algorithm.
 	PointerMode pointer.Mode
+	// Workers bounds how many procedures are analyzed concurrently. The
+	// per-procedure pipelines are independent by construction (the paper's
+	// central design point: each procedure is verified separately against
+	// contracts), so they fan out over a bounded pool. 0 means
+	// runtime.GOMAXPROCS(0); 1 reproduces the sequential driver exactly.
+	// Reports are deterministic — input order, bit-identical messages —
+	// regardless of the worker count.
+	Workers int
 	// Domain selects the numeric domain (default polyhedra).
 	Domain analysis.Domain
 	// PPT tunes procedural points-to construction.
@@ -69,9 +78,16 @@ type ProcReport struct {
 	// IPVars / IPSize: constraint variables and statements of the C2IP
 	// output.
 	IPVars, IPSize int
-	// CPU and Space (total bytes allocated) for the whole per-procedure
-	// pipeline.
-	CPU   time.Duration
+	// CPU is the elapsed time of the whole per-procedure pipeline. Under
+	// Workers > 1 it includes time the worker goroutine spent descheduled,
+	// so the sum over procedures ("sequential-equivalent CPU") can exceed
+	// the run's wall clock.
+	CPU time.Duration
+	// Space is the process-wide heap allocation delta (runtime/metrics
+	// "/gc/heap/allocs:bytes") around the pipeline. It is measured only
+	// when the procedure ran exclusively (Workers == 1): with concurrent
+	// workers a global counter cannot attribute allocations to one
+	// procedure, so the driver reports 0 rather than noise.
 	Space uint64
 	// Violations are the reported messages; Warnings the non-error notes.
 	Violations []analysis.Violation
@@ -96,6 +112,28 @@ func (r *ProcReport) Messages() int { return len(r.Violations) }
 // Report is a whole-run result.
 type Report struct {
 	Procs []ProcReport
+	// Stats aggregates whole-run cost and cache effectiveness.
+	Stats RunStats
+}
+
+// RunStats describes one AnalyzeSource run.
+type RunStats struct {
+	// Workers is the pool size actually used (after defaulting and
+	// clamping to the procedure count).
+	Workers int
+	// Wall is the elapsed time of the whole run; SequentialCPU is the sum
+	// of the per-procedure pipeline times — an estimate of the wall clock
+	// a Workers == 1 run would need. When workers oversubscribe the
+	// available CPUs the per-procedure times include descheduled time, so
+	// the estimate (and the speedup derived from it) reads high.
+	Wall          time.Duration
+	SequentialCPU time.Duration
+	// PointerCacheHits / PointerCacheMisses count the memoized
+	// whole-program pointer analyses consumed by this run.
+	PointerCacheHits, PointerCacheMisses int
+	// LibcHeaderReused reports whether the parsed libc contract header was
+	// already cached when this run started.
+	LibcHeaderReused bool
 }
 
 // TotalMessages sums messages over all procedures.
@@ -117,38 +155,57 @@ func (r *Report) Proc(name string) *ProcReport {
 	return nil
 }
 
+// parseUnit parses (with the libc contract header unless noLibc) and
+// normalizes a translation unit. The header is lexed and parsed at most
+// once per process (libc.Prelude) and its declarations are shared,
+// immutable, across runs.
+func parseUnit(filename, src string, noLibc bool) (*cast.File, *corec.Program, error) {
+	var pre *cparse.Prelude
+	if !noLibc {
+		p, err := libc.Prelude()
+		if err != nil {
+			return nil, nil, err
+		}
+		pre = p
+	}
+	file, err := cparse.ParseFilesWith(pre, []cparse.NamedSource{{Name: filename, Src: src}})
+	if err != nil {
+		return nil, nil, err
+	}
+	prog, err := corec.Normalize(file)
+	if err != nil {
+		return nil, nil, err
+	}
+	return file, prog, nil
+}
+
 // Prepare parses and normalizes a translation unit (with the libc contract
 // header unless noLibc), for callers that drive individual phases (e.g.
 // contract derivation).
 func Prepare(filename, src string, noLibc bool) (*corec.Program, error) {
-	sources := []cparse.NamedSource{{Name: filename, Src: src}}
-	if !noLibc {
-		sources = []cparse.NamedSource{
-			{Name: "<libc contracts>", Src: libc.Header},
-			{Name: filename, Src: src},
-		}
-	}
-	file, err := cparse.ParseFiles(sources)
-	if err != nil {
-		return nil, err
-	}
-	return corec.Normalize(file)
+	_, prog, err := parseUnit(filename, src, noLibc)
+	return prog, err
+}
+
+// runCounters aggregates per-worker cache statistics.
+type runCounters struct {
+	ptHits, ptMisses atomic.Int64
 }
 
 // AnalyzeSource runs CSSV on a single translation unit given as text.
+//
+// Procedures are analyzed independently (possibly concurrently, see
+// Options.Workers) against shared immutable inputs: the parsed AST, the
+// normalized program, and memoized pure results (parsed libc header,
+// whole-program pointer analysis). Report.Procs is always in input order
+// and its contents are identical for every worker count; on failure the
+// first error in procedure order wins (when several procedures fail
+// concurrently, the lowest-index failure that was observed) and in-flight
+// workers are cancelled at their next phase boundary.
 func AnalyzeSource(filename, src string, opts Options) (*Report, error) {
-	sources := []cparse.NamedSource{{Name: filename, Src: src}}
-	if !opts.NoLibc {
-		sources = []cparse.NamedSource{
-			{Name: "<libc contracts>", Src: libc.Header},
-			{Name: filename, Src: src},
-		}
-	}
-	file, err := cparse.ParseFiles(sources)
-	if err != nil {
-		return nil, err
-	}
-	prog, err := corec.Normalize(file)
+	start := time.Now()
+	libcCached := !opts.NoLibc && libc.PreludeCached()
+	file, prog, err := parseUnit(filename, src, opts.NoLibc)
 	if err != nil {
 		return nil, err
 	}
@@ -163,14 +220,45 @@ func AnalyzeSource(filename, src string, opts Options) (*Report, error) {
 		sort.Strings(procs)
 	}
 
-	rep := &Report{}
-	for _, name := range procs {
-		pr, err := analyzeProc(file, prog, name, opts)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", name, err)
-		}
-		rep.Procs = append(rep.Procs, *pr)
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers > len(procs) {
+		workers = len(procs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	exclusive := workers == 1
+
+	rc := &runCounters{}
+	results := make([]*ProcReport, len(procs))
+	err = runPool(workers, len(procs), func(i int, done <-chan struct{}) error {
+		pr, err := analyzeProc(file, prog, procs[i], opts, rc, exclusive, done)
+		if err != nil {
+			if err == errCancelled {
+				return err
+			}
+			return fmt.Errorf("%s: %w", procs[i], err)
+		}
+		results[i] = pr
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{}
+	for _, pr := range results {
+		rep.Procs = append(rep.Procs, *pr)
+		rep.Stats.SequentialCPU += pr.CPU
+	}
+	rep.Stats.Workers = workers
+	rep.Stats.Wall = time.Since(start)
+	rep.Stats.PointerCacheHits = int(rc.ptHits.Load())
+	rep.Stats.PointerCacheMisses = int(rc.ptMisses.Load())
+	rep.Stats.LibcHeaderReused = libcCached
 	return rep, nil
 }
 
@@ -198,15 +286,26 @@ func withContract(prog *corec.Program, proc string, ct *cast.Contract) *corec.Pr
 	return &corec.Program{File: out, Strings: prog.Strings}
 }
 
-// analyzeProc runs the per-procedure pipeline of Fig. 1.
-func analyzeProc(orig *cast.File, prog *corec.Program, name string, opts Options) (*ProcReport, error) {
-	var msBefore runtime.MemStats
-	runtime.ReadMemStats(&msBefore)
+// analyzeProc runs the per-procedure pipeline of Fig. 1. It only reads the
+// shared orig/prog ASTs (every rewriting phase clones first), so any number
+// of instances may run concurrently; done is polled at phase boundaries so
+// a failing sibling cancels the pipeline promptly. exclusive marks that no
+// sibling runs concurrently, enabling the Space measurement.
+func analyzeProc(orig *cast.File, prog *corec.Program, name string, opts Options,
+	rc *runCounters, exclusive bool, done <-chan struct{}) (*ProcReport, error) {
+	var allocBefore uint64
+	if exclusive {
+		allocBefore = heapAllocBytes()
+	}
 	start := time.Now()
 
 	pr := &ProcReport{Name: name}
 	if fd := orig.Lookup(name); fd != nil && fd.Body != nil {
 		pr.LOC = cast.CountLines(cast.FuncString(fd))
+	}
+
+	if cancelled(done) {
+		return nil, errCancelled
 	}
 
 	// Contract-mode preprocessing: replace P's own pre/postcondition.
@@ -250,10 +349,26 @@ func analyzeProc(orig *cast.File, prog *corec.Program, name string, opts Options
 	pr.SLOC = cast.CountLines(cast.FuncString(fd))
 	pr.Inlined = fd
 
-	// Phase 2: whole-program flow-insensitive pointer analysis + PPT.
-	g := pointer.Analyze(nprog, opts.PointerMode)
+	if cancelled(done) {
+		return nil, errCancelled
+	}
+
+	// Phase 2: whole-program flow-insensitive pointer analysis + PPT. The
+	// pointer result is memoized process-wide (read-only for all
+	// consumers), so procedures whose inlining leaves the global points-to
+	// input unchanged — and repeated runs — share one analysis.
+	g, hit := cachedPointerAnalyze(nprog, opts.PointerMode)
+	if hit {
+		rc.ptHits.Add(1)
+	} else {
+		rc.ptMisses.Add(1)
+	}
 	pt := ppt.Build(nprog, fd, g, opts.PPT)
 	pr.PPT = pt
+
+	if cancelled(done) {
+		return nil, errCancelled
+	}
 
 	// Phase 3: C2IP.
 	res, err := c2ip.Transform(nprog, fd, pt, opts.C2IP)
@@ -264,6 +379,10 @@ func analyzeProc(orig *cast.File, prog *corec.Program, name string, opts Options
 	pr.Warnings = res.Warnings
 	pr.IPVars = res.Prog.NumVars()
 	pr.IPSize = res.Prog.Size()
+
+	if cancelled(done) {
+		return nil, errCancelled
+	}
 
 	// Phase 4: integer analysis — a single fixpoint in the configured
 	// domain, or the tiered cascade over reduced sub-programs.
@@ -299,8 +418,8 @@ func analyzeProc(orig *cast.File, prog *corec.Program, name string, opts Options
 	}
 
 	pr.CPU = time.Since(start)
-	var msAfter runtime.MemStats
-	runtime.ReadMemStats(&msAfter)
-	pr.Space = msAfter.TotalAlloc - msBefore.TotalAlloc
+	if exclusive {
+		pr.Space = heapAllocBytes() - allocBefore
+	}
 	return pr, nil
 }

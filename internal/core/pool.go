@@ -1,0 +1,91 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// errCancelled is returned by a pipeline that observed the pool's done
+// channel and stopped early. The pool treats it as a silent exit: it never
+// becomes the run's error (the failure that closed the channel does).
+var errCancelled = errors.New("analysis cancelled")
+
+// cancelled reports whether the pool's done channel is closed.
+func cancelled(done <-chan struct{}) bool {
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
+// runPool runs fn(0), ..., fn(n-1) on up to workers goroutines. Indices are
+// claimed in order, so with workers == 1 the pool degenerates to the exact
+// sequential loop (run inline, no goroutines). On failure the pool
+// propagates one error — when several workers fail concurrently, the one
+// with the lowest index wins, which for a single failing index is exactly
+// the sequential error — and cancels the rest: idle workers stop claiming
+// indices and in-flight calls can poll the done channel at convenient
+// boundaries, returning errCancelled to bow out silently.
+func runPool(workers, n int, fn func(i int, done <-chan struct{}) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		done := make(chan struct{}) // never closed: nothing to cancel
+		for i := 0; i < n; i++ {
+			if err := fn(i, done); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next      atomic.Int64
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		firstErr  error
+		firstIdx  = n
+		done      = make(chan struct{})
+		closeOnce sync.Once
+	)
+	cancel := func() { closeOnce.Do(func() { close(done) }) }
+	worker := func() {
+		defer wg.Done()
+		for {
+			if cancelled(done) {
+				return
+			}
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			err := fn(i, done)
+			if err == nil {
+				continue
+			}
+			if errors.Is(err, errCancelled) {
+				return
+			}
+			mu.Lock()
+			if i < firstIdx {
+				firstIdx, firstErr = i, err
+			}
+			mu.Unlock()
+			cancel()
+			return
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go worker()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunPoolCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const n = 37
+			var ran [n]atomic.Int32
+			err := runPool(workers, n, func(i int, done <-chan struct{}) error {
+				ran[i].Add(1)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range ran {
+				if got := ran[i].Load(); got != 1 {
+					t.Errorf("index %d ran %d times, want 1", i, got)
+				}
+			}
+		})
+	}
+}
+
+func TestRunPoolSequentialStopsAtFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran []int
+	err := runPool(1, 10, func(i int, done <-chan struct{}) error {
+		ran = append(ran, i)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if len(ran) != 4 {
+		t.Fatalf("ran %v, want exactly [0 1 2 3]", ran)
+	}
+}
+
+func TestRunPoolFirstErrorWinsAndCancels(t *testing.T) {
+	const n = 100
+	boom := errors.New("boom")
+	var claimed atomic.Int32
+	err := runPool(4, n, func(i int, done <-chan struct{}) error {
+		claimed.Add(1)
+		if i == 0 {
+			return fmt.Errorf("proc %d: %w", i, boom)
+		}
+		// Simulate in-flight work that polls the done channel.
+		for k := 0; k < 50; k++ {
+			if cancelled(done) {
+				return errCancelled
+			}
+			time.Sleep(time.Millisecond)
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped %v", err, boom)
+	}
+	if got := claimed.Load(); got >= n {
+		t.Errorf("all %d indices were claimed; cancellation did not stop the pool", got)
+	}
+}
+
+func TestRunPoolLowestErrorIndexWins(t *testing.T) {
+	// Both failing indices are claimed before either error is recorded
+	// (the sleep serializes claims ahead of failures), so the pool must
+	// pick the lower index deterministically.
+	err := runPool(2, 2, func(i int, done <-chan struct{}) error {
+		time.Sleep(10 * time.Millisecond)
+		return fmt.Errorf("fail%d", i)
+	})
+	if err == nil || err.Error() != "fail0" {
+		t.Fatalf("err = %v, want fail0", err)
+	}
+}
+
+func TestRunPoolCancelledIsSilent(t *testing.T) {
+	// errCancelled returned without a prior real failure must not surface
+	// as the run error (it cannot happen in the driver, but the pool's
+	// contract is that cancellation is never an error of its own).
+	err := runPool(2, 4, func(i int, done <-chan struct{}) error {
+		if i == 1 {
+			return errCancelled
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("err = %v, want nil", err)
+	}
+}

@@ -1,0 +1,92 @@
+// Shared-phase caching for the parallel driver. The whole-program
+// flow-insensitive pointer analysis (paper §3.3.2) depends only on the
+// renormalized program text and the analysis mode, and its result is
+// treated as read-only by every consumer (ppt.Build copies what it
+// refines), so it can be memoized process-wide: procedures whose contract
+// inlining leaves the global points-to input unchanged — and repeated runs
+// over the same translation unit — share one pointer.Analyze result.
+package core
+
+import (
+	"crypto/sha256"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/cast"
+	"repro/internal/corec"
+	"repro/internal/pointer"
+)
+
+// ptKey identifies a pointer-analysis input: the mode plus a structural
+// hash of the renormalized program (rendered declarations including
+// contracts and bodies, plus the string-literal table). Rendering is
+// deterministic, so structurally equal programs collide on purpose.
+type ptKey struct {
+	mode pointer.Mode
+	hash [sha256.Size]byte
+}
+
+// ptCacheMax bounds the cache. On overflow the whole map is dropped (a
+// simple, documented policy: entries are cheap to recompute and the cache
+// exists for the common repeated-run and per-procedure-fan-out cases, which
+// never approach the bound).
+const ptCacheMax = 128
+
+type ptEntry struct {
+	once sync.Once
+	res  *pointer.Result
+}
+
+var ptCache = struct {
+	sync.Mutex
+	m map[ptKey]*ptEntry
+}{m: map[ptKey]*ptEntry{}}
+
+func pointerKey(prog *corec.Program, mode pointer.Mode) ptKey {
+	h := sha256.New()
+	io.WriteString(h, cast.Fprint(prog.File))
+	names := make([]string, 0, len(prog.Strings))
+	for name := range prog.Strings {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		io.WriteString(h, name)
+		h.Write([]byte{0})
+		io.WriteString(h, prog.Strings[name])
+		h.Write([]byte{0})
+	}
+	k := ptKey{mode: mode}
+	h.Sum(k.hash[:0])
+	return k
+}
+
+// cachedPointerAnalyze memoizes pointer.Analyze on (program shape, mode).
+// Concurrent calls with the same key block on one computation instead of
+// duplicating it. The second result reports whether this was a cache hit.
+func cachedPointerAnalyze(prog *corec.Program, mode pointer.Mode) (*pointer.Result, bool) {
+	k := pointerKey(prog, mode)
+	ptCache.Lock()
+	e, hit := ptCache.m[k]
+	if !hit {
+		if len(ptCache.m) >= ptCacheMax {
+			ptCache.m = map[ptKey]*ptEntry{}
+		}
+		e = &ptEntry{}
+		ptCache.m[k] = e
+	}
+	ptCache.Unlock()
+	e.once.Do(func() { e.res = pointer.Analyze(prog, mode) })
+	return e.res, hit
+}
+
+// FlushCaches empties the process-wide memoization caches (currently the
+// pointer-analysis memo; the parsed libc header is a handful of prototypes
+// and is kept). Long-running embedders can call it to bound memory, and
+// benchmarks use it to measure cold-cache cost.
+func FlushCaches() {
+	ptCache.Lock()
+	ptCache.m = map[ptKey]*ptEntry{}
+	ptCache.Unlock()
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/pointer"
+)
+
+const ptcacheSrc = `
+char g[8];
+void f(char *s) requires (is_nullt(s)) { char *p; p = g; }
+void h(void) { char *q; q = g; }
+`
+
+func TestCachedPointerAnalyzeSharesResults(t *testing.T) {
+	FlushCaches()
+	prog, err := Prepare("t.c", ptcacheSrc, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, hit1 := cachedPointerAnalyze(prog, pointer.Inclusion)
+	if hit1 {
+		t.Errorf("first analysis reported a cache hit")
+	}
+	r2, hit2 := cachedPointerAnalyze(prog, pointer.Inclusion)
+	if !hit2 {
+		t.Errorf("second analysis missed the cache")
+	}
+	if r1 != r2 {
+		t.Errorf("cache returned a different result object for the same input")
+	}
+	// A different mode is a different key.
+	r3, hit3 := cachedPointerAnalyze(prog, pointer.Unification)
+	if hit3 {
+		t.Errorf("different mode reported a cache hit")
+	}
+	if r3 == r1 {
+		t.Errorf("different mode shared the inclusion result")
+	}
+	// A structurally different program is a different key.
+	prog2, err := Prepare("t.c", ptcacheSrc+"\nvoid k(void) { char *r; r = g; }", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, hit := cachedPointerAnalyze(prog2, pointer.Inclusion); hit {
+		t.Errorf("different program reported a cache hit")
+	}
+	FlushCaches()
+	if _, hit := cachedPointerAnalyze(prog, pointer.Inclusion); hit {
+		t.Errorf("FlushCaches did not empty the memo")
+	}
+}
+
+func TestRunStatsAccounting(t *testing.T) {
+	FlushCaches()
+	// Sequential run: Space measured, stats filled in.
+	rep, err := AnalyzeSource("t.c", ptcacheSrc, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.Workers != 1 {
+		t.Errorf("Workers = %d, want 1", rep.Stats.Workers)
+	}
+	if rep.Stats.Wall <= 0 || rep.Stats.SequentialCPU <= 0 {
+		t.Errorf("timings not measured: %+v", rep.Stats)
+	}
+	if got := rep.Stats.PointerCacheHits + rep.Stats.PointerCacheMisses; got != len(rep.Procs) {
+		t.Errorf("pointer cache counters %d, want one per procedure (%d)", got, len(rep.Procs))
+	}
+	for i := range rep.Procs {
+		if rep.Procs[i].Space == 0 {
+			t.Errorf("%s: Space not measured under Workers=1", rep.Procs[i].Name)
+		}
+	}
+	// Concurrent run: Space reported as 0 (documented fallback).
+	rep2, err := AnalyzeSource("t.c", ptcacheSrc, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Stats.Workers != 2 {
+		t.Errorf("Workers = %d, want 2", rep2.Stats.Workers)
+	}
+	for i := range rep2.Procs {
+		if rep2.Procs[i].Space != 0 {
+			t.Errorf("%s: Space = %d under Workers=2, want 0", rep2.Procs[i].Name, rep2.Procs[i].Space)
+		}
+	}
+	// The libc header is certainly cached by now.
+	if !rep2.Stats.LibcHeaderReused {
+		t.Errorf("LibcHeaderReused = false on a repeated run")
+	}
+}

@@ -91,15 +91,10 @@ type NamedSource struct {
 // .h-plus-.c convention): declarations and contracts from earlier files are
 // visible in later ones, and every token keeps its own file's positions.
 func ParseFiles(files []NamedSource) (*cast.File, error) {
-	var toks []clex.Token
-	for _, f := range files {
-		ts, err := clex.Tokenize(f.Name, clex.Preprocess(f.Src))
-		if err != nil {
-			return nil, err
-		}
-		toks = append(toks, ts[:len(ts)-1]...) // drop the intermediate EOF
+	toks, err := tokenizeAll(files)
+	if err != nil {
+		return nil, err
 	}
-	toks = append(toks, clex.Token{Kind: clex.EOF})
 	return parseTokens(files[len(files)-1].Name, toks)
 }
 

@@ -1,0 +1,116 @@
+package cparse
+
+import (
+	"repro/internal/cast"
+	"repro/internal/clex"
+	"repro/internal/ctypes"
+)
+
+// Prelude is a header parsed once and reused across translation units: the
+// declarations it produced plus the parser state (typedefs, struct tags,
+// function contracts, global typings) later files need to resolve against
+// it. A Prelude is immutable after ParsePrelude returns — ParseFilesWith
+// copies the state tables before parsing, and every later pipeline phase
+// clones AST nodes before rewriting them — so one Prelude may back any
+// number of concurrent parses.
+type Prelude struct {
+	file     *cast.File
+	typedefs map[string]ctypes.Type
+	structs  map[string]*ctypes.Struct
+	funcs    map[string]*cast.FuncDecl
+	globals  map[string]ctypes.Type
+}
+
+// File returns the parsed header. Callers must treat it as read-only.
+func (p *Prelude) File() *cast.File { return p.file }
+
+// ParsePrelude parses a header in isolation, capturing the resulting parser
+// state so ParseFilesWith can continue where it left off.
+func ParsePrelude(name, src string) (*Prelude, error) {
+	toks, err := tokenizeAll([]NamedSource{{Name: name, Src: src}})
+	if err != nil {
+		return nil, err
+	}
+	g := &scope{vars: map[string]ctypes.Type{}}
+	p := &parser{
+		toks:     toks,
+		typedefs: map[string]ctypes.Type{},
+		structs:  map[string]*ctypes.Struct{},
+		funcs:    map[string]*cast.FuncDecl{},
+		globals:  g,
+		scope:    g,
+	}
+	file := &cast.File{Name: name}
+	for p.peek().Kind != clex.EOF {
+		decls, err := p.topDecl()
+		if err != nil {
+			return nil, err
+		}
+		file.Decls = append(file.Decls, decls...)
+	}
+	return &Prelude{
+		file:     file,
+		typedefs: p.typedefs,
+		structs:  p.structs,
+		funcs:    p.funcs,
+		globals:  g.vars,
+	}, nil
+}
+
+// ParseFilesWith parses files as one translation unit that begins with the
+// given prelude, exactly as if the prelude's source had been the first
+// element of files: prelude declarations and contracts are visible, and the
+// returned file starts with the prelude's declarations (shared, not
+// re-parsed). A nil prelude makes it equivalent to ParseFiles.
+func ParseFilesWith(pre *Prelude, files []NamedSource) (*cast.File, error) {
+	if pre == nil {
+		return ParseFiles(files)
+	}
+	toks, err := tokenizeAll(files)
+	if err != nil {
+		return nil, err
+	}
+	// Seed the parser with copies of the prelude state: later declarations
+	// may shadow or extend the tables, and the prelude must stay reusable.
+	g := &scope{vars: copyMap(pre.globals)}
+	p := &parser{
+		toks:     toks,
+		typedefs: copyMap(pre.typedefs),
+		structs:  copyMap(pre.structs),
+		funcs:    copyMap(pre.funcs),
+		globals:  g,
+		scope:    g,
+	}
+	file := &cast.File{Name: files[len(files)-1].Name}
+	file.Decls = append(make([]cast.Decl, 0, len(pre.file.Decls)+16), pre.file.Decls...)
+	for p.peek().Kind != clex.EOF {
+		decls, err := p.topDecl()
+		if err != nil {
+			return nil, err
+		}
+		file.Decls = append(file.Decls, decls...)
+	}
+	return file, nil
+}
+
+// tokenizeAll lexes several sources into one token stream (the paper's
+// .h-plus-.c convention), keeping per-file positions.
+func tokenizeAll(files []NamedSource) ([]clex.Token, error) {
+	var toks []clex.Token
+	for _, f := range files {
+		ts, err := clex.Tokenize(f.Name, clex.Preprocess(f.Src))
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, ts[:len(ts)-1]...) // drop the intermediate EOF
+	}
+	return append(toks, clex.Token{Kind: clex.EOF}), nil
+}
+
+func copyMap[K comparable, V any](m map[K]V) map[K]V {
+	out := make(map[K]V, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package cparse
+
+import (
+	"testing"
+
+	"repro/internal/cast"
+)
+
+const preludeHdr = `
+typedef int size_t;
+struct pair { int a; int b; };
+void *malloc(int n)
+    requires (n >= 0);
+int strlen(char *s)
+    requires (is_nullt(s))
+    ensures (return_value == strlen(s) && return_value >= 0);
+char *strcpy(char *dst, char *src)
+    requires (is_nullt(src) && alloc(dst) > strlen(src))
+    modifies (dst)
+    ensures (is_nullt(dst) && strlen(dst) == pre(strlen(src)));
+int g_limit;
+`
+
+const preludeUser = `
+char buf[16];
+int use(char *src)
+    requires (is_nullt(src) && alloc(src) > 0)
+{
+    size_t n;
+    struct pair p;
+    n = strlen(src);
+    p.a = n;
+    if (n < 16) { strcpy(buf, src); }
+    return g_limit + p.a;
+}
+`
+
+// TestPreludeEquivalence checks that parsing a header once (ParsePrelude)
+// and reusing it (ParseFilesWith) yields a translation unit identical to
+// the single-stream parse of both sources.
+func TestPreludeEquivalence(t *testing.T) {
+	combined, err := ParseFiles([]NamedSource{
+		{Name: "hdr.h", Src: preludeHdr},
+		{Name: "user.c", Src: preludeUser},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := ParsePrelude("hdr.h", preludeHdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := ParseFilesWith(pre, []NamedSource{{Name: "user.c", Src: preludeUser}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, got := cast.Fprint(combined), cast.Fprint(split)
+	if want != got {
+		t.Errorf("prelude parse differs from single-stream parse\n-- combined --\n%s\n-- with prelude --\n%s", want, got)
+	}
+	if combined.Name != split.Name {
+		t.Errorf("file name %q, want %q", split.Name, combined.Name)
+	}
+}
+
+// TestPreludeReuse checks that one prelude backs several parses without
+// being modified: a user file may shadow a prelude function, and the next
+// parse must still see the original contract declaration.
+func TestPreludeReuse(t *testing.T) {
+	pre, err := ParsePrelude("hdr.h", preludeHdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := cast.Fprint(pre.File())
+	shadow := `
+int strlen(char *s)
+    requires (is_nullt(s))
+{ return 0; }
+`
+	f1, err := ParseFilesWith(pre, []NamedSource{{Name: "shadow.c", Src: shadow}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fd := f1.Lookup("strlen"); fd == nil || fd.Body == nil {
+		t.Fatalf("shadowing definition of strlen not found")
+	}
+	if after := cast.Fprint(pre.File()); after != before {
+		t.Errorf("prelude mutated by a parse that shadows one of its functions")
+	}
+	f2, err := ParseFilesWith(pre, []NamedSource{{Name: "user.c", Src: preludeUser}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fd := f2.Lookup("strlen"); fd == nil || fd.Body != nil || fd.Contract == nil {
+		t.Fatalf("second parse no longer sees the prelude's contract prototype")
+	}
+	if nil == f2.Lookup("use") {
+		t.Fatalf("second parse lost the user code")
+	}
+}

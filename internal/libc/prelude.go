@@ -1,0 +1,36 @@
+package libc
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cparse"
+)
+
+// HeaderName is the file name under which the contract header is parsed, so
+// positions inside contract clauses blame the models rather than user code.
+const HeaderName = "<libc contracts>"
+
+var (
+	preludeOnce   sync.Once
+	prelude       *cparse.Prelude
+	preludeErr    error
+	preludeParsed atomic.Bool
+)
+
+// Prelude returns the contract header parsed as a cparse.Prelude, lexing
+// and parsing it at most once per process. The returned value is shared and
+// immutable: the driver hands it to every parse, and downstream phases
+// clone AST nodes before rewriting them (see Prelude's contract in cparse).
+func Prelude() (*cparse.Prelude, error) {
+	preludeOnce.Do(func() {
+		prelude, preludeErr = cparse.ParsePrelude(HeaderName, Header)
+		preludeParsed.Store(true)
+	})
+	return prelude, preludeErr
+}
+
+// PreludeCached reports whether the header has already been parsed, i.e.
+// whether the next Prelude call is a cache hit. Drivers use it to report
+// cache effectiveness.
+func PreludeCached() bool { return preludeParsed.Load() }
