@@ -23,10 +23,13 @@ func main() {
 	airbus := flag.String("airbus", "testdata/airbus/airbus.c", "path to the Airbus-style suite")
 	fixwrites := flag.String("fixwrites", "testdata/fixwrites/fixwrites.c", "path to the fixwrites-style suite")
 	jobs := flag.Int("j", 0, "procedures analyzed in parallel (0 = all CPUs, 1 = sequential; the Space column is only measured at 1)")
+	certify := flag.Bool("certify", false, "verify invariant certificates and replay messages to witnesses; adds the Cert/CFail/Wit/Pot columns")
 	flag.Parse()
 
 	opts := table5.Options{SkipDerivation: *fast}
 	opts.Driver.Workers = *jobs
+	opts.Driver.Certify = *certify
+	opts.Driver.Cascade = *certify // certificates record the discharging tier
 	var rows []table5.Row
 	for _, s := range []struct{ name, path string }{
 		{"airbus", *airbus},
@@ -41,7 +44,7 @@ func main() {
 	}
 
 	if !*summaryOnly {
-		fmt.Print(table5.Format(rows, !*fast))
+		fmt.Print(table5.Format(rows, !*fast, *certify))
 		fmt.Println()
 	}
 	fmt.Print(table5.FormatSummary(table5.Summarize(rows)))

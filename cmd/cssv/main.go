@@ -31,6 +31,7 @@ func main() {
 		stats     = flag.Bool("stats", false, "print per-procedure statistics (Table 5 columns)")
 		dumpIP    = flag.Bool("dump-ip", false, "print the generated integer programs")
 		cascade   = flag.Bool("cascade", false, "discharge checks in tiers (interval, zone, then the selected domain on the sliced residual)")
+		certify   = flag.Bool("certify", false, "verify invariant certificates for discharged checks (independent Fourier-Motzkin checker) and replay reported messages to concrete witnesses")
 		dumpRed   = flag.Bool("dump-reduced-ip", false, "print the residual integer program the final cascade tier analyzed (implies -cascade)")
 		jobs      = flag.Int("j", 0, "procedures analyzed in parallel (0 = all CPUs, 1 = sequential)")
 		quiet     = flag.Bool("q", false, "suppress warnings")
@@ -49,6 +50,7 @@ func main() {
 		DisablePPTMerging: *noMerge,
 		NaiveC2IP:         *naive,
 		Cascade:           *cascade || *dumpRed,
+		Certify:           *certify,
 		Workers:           *jobs,
 	}
 	if *jobs < 0 {
@@ -77,6 +79,7 @@ func main() {
 	}
 
 	messages := 0
+	certFailed := 0
 	for _, p := range rep.Procedures {
 		if *stats {
 			fmt.Printf("%s: LOC=%d SLOC=%d IPVars=%d IPSize=%d CPU=%s space=%.1fMB msgs=%d\n",
@@ -109,6 +112,22 @@ func main() {
 				fmt.Println(p.Cascade.ReducedProgram)
 			}
 		}
+		if p.Certification != nil {
+			c := p.Certification
+			for _, ck := range c.Checks {
+				line := fmt.Sprintf("%s: certify %s (%s): %s", p.Name, ck.Check, ck.Pos, ck.Status)
+				if ck.Tier != "" {
+					line += " [" + ck.Tier + "]"
+				}
+				if ck.Detail != "" && (ck.Status == "certificate-failed" || !*quiet) {
+					line += ": " + ck.Detail
+				}
+				fmt.Println(line)
+			}
+			fmt.Printf("%s: certification: %d certified, %d failed, %d witnessed, %d potential\n",
+				p.Name, c.Certified, c.Failed, c.Witnessed, c.Potential)
+			certFailed += c.Failed
+		}
 		if !*quiet {
 			for _, w := range p.Warnings {
 				fmt.Printf("warning: %s\n", w)
@@ -122,6 +141,12 @@ func main() {
 			fmt.Printf("%s: derived requires (%s)\n", p.Name, orTrue(p.DerivedRequires))
 			fmt.Printf("%s: derived ensures  (%s)\n", p.Name, orTrue(p.DerivedEnsures))
 		}
+	}
+	if certFailed > 0 {
+		// A rejected certificate means the analyzer (or the certificate
+		// exporter) is wrong — more severe than any reported message.
+		fmt.Printf("cssv: %d certificate(s) FAILED verification\n", certFailed)
+		os.Exit(2)
 	}
 	if messages == 0 {
 		fmt.Println("cssv: no string manipulation errors detected")

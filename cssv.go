@@ -89,6 +89,14 @@ type Config struct {
 	// not prove. Reported messages are unchanged; per-tier statistics
 	// appear in Procedure.Cascade.
 	Cascade bool
+	// Certify validates the analysis a posteriori. Every discharged check
+	// yields an invariant certificate that an independent Fourier–Motzkin
+	// checker (exact rational arithmetic, no polyhedra code) re-proves, and
+	// every reported message is replayed through a deterministic directed
+	// interpreter of the integer program and classified "witnessed" (a
+	// concrete trace reaches the failing check) or "potential" (possible
+	// false alarm). Results appear in Procedure.Certification.
+	Certify bool
 }
 
 // Message is one potential string error.
@@ -132,6 +140,39 @@ type Procedure struct {
 	// Cascade holds the tier statistics and per-check provenance under
 	// Config.Cascade (nil otherwise).
 	Cascade *CascadeStats
+	// Certification holds the per-check certification outcome under
+	// Config.Certify (nil otherwise).
+	Certification *CertificationStats
+}
+
+// CertificationStats summarizes one procedure's a-posteriori validation.
+type CertificationStats struct {
+	// Checks in program order: every discharged check with its certificate
+	// verdict, every reported message with its replay verdict.
+	Checks []CheckCertification
+	// Certified counts checks whose certificate the independent checker
+	// re-proved; Failed counts rejected certificates (an analyzer or
+	// exporter bug — never expected in a release build). Witnessed counts
+	// messages replayed to a concrete failing trace (true errors);
+	// Potential the rest (possible false alarms).
+	Certified, Failed, Witnessed, Potential int
+}
+
+// CheckCertification is the certification outcome for one check.
+type CheckCertification struct {
+	// Pos is the blamed source position; Check describes the property.
+	Pos   string
+	Check string
+	// Tier is the domain that decided the check ("unreachable" when CFG
+	// pruning removed it).
+	Tier string
+	// Status is "certified", "certificate-failed", "witnessed", or
+	// "potential".
+	Status string
+	// Detail explains the status (verification error, replay note).
+	Detail string
+	// TraceLen is the length of the witnessing trace (witnessed only).
+	TraceLen int
 }
 
 // CascadeStats describes how the tiered cascade discharged a procedure's
@@ -258,6 +299,7 @@ func (cfg Config) driverOptions() (core.Options, error) {
 	}
 	opts := core.Options{
 		Cascade:       cfg.Cascade,
+		Certify:       cfg.Certify,
 		Procs:         cfg.Procedures,
 		NoLibc:        cfg.NoLibc,
 		Workers:       cfg.Workers,
@@ -362,6 +404,22 @@ func convertProc(pr *core.ProcReport) Procedure {
 			})
 		}
 		p.Cascade = cs
+	}
+	if pr.Certification != nil {
+		st := &CertificationStats{
+			Certified: pr.Certification.Certified,
+			Failed:    pr.Certification.Failed,
+			Witnessed: pr.Certification.Witnessed,
+			Potential: pr.Certification.Potential,
+		}
+		for _, c := range pr.Certification.Checks {
+			st.Checks = append(st.Checks, CheckCertification{
+				Pos: c.Pos.String(), Check: c.Msg, Tier: c.Tier,
+				Status: string(c.Status), Detail: c.Detail,
+				TraceLen: c.TraceLen,
+			})
+		}
+		p.Certification = st
 	}
 	return p
 }

@@ -3,8 +3,10 @@ package analysis
 import (
 	"time"
 
+	"repro/internal/certify"
 	"repro/internal/clex"
 	"repro/internal/ip"
+	"repro/internal/linear"
 	"repro/internal/reduce"
 )
 
@@ -59,6 +61,13 @@ type CascadeResult struct {
 	Residual      *ip.Program
 	ResidualVars  int
 	ResidualStmts int
+	// Certificates carries, under Options.Certify, one certificate per
+	// discharged check: the discharging tier's per-point invariant systems
+	// over its sliced sub-program, with statement indices mapped back to
+	// the original program, ready for the independent Fourier–Motzkin
+	// verifier (certify.Certificate.Verify). Checks removed by CFG pruning
+	// get an unreachability certificate over the original program.
+	Certificates []*certify.Certificate
 }
 
 // AnalyzeCascade runs the tiered check discharge of the reduction design:
@@ -131,6 +140,20 @@ func AnalyzeCascade(p *ip.Program, opts Options) (*CascadeResult, error) {
 		for _, v := range res.Violations {
 			violated[v.Index] = true
 		}
+		// Certificate payload, shared by every check this tier discharged:
+		// the tier's per-point invariants over its sliced sub-program, with
+		// statement indices mapped back to the original program.
+		var certInv []linear.System
+		var certOrig []int
+		var certNames []string
+		if opts.Certify {
+			certInv = invariantSystems(res.States)
+			certOrig = make([]int, len(sm.Stmt))
+			for i, mid := range sm.Stmt {
+				certOrig[i] = pm[mid]
+			}
+			certNames = sliced.Space.Names()
+		}
 		var next []int
 		for _, a := range residual {
 			if violated[sm.StmtOf[a]] {
@@ -141,6 +164,19 @@ func AnalyzeCascade(p *ip.Program, opts Options) (*CascadeResult, error) {
 			decided[a] = CheckProvenance{
 				Index: pm[a], Pos: ast.Pos, Msg: ast.Msg,
 				Tier: dom.Name(), Vars: sliced.NumVars(), Stmts: sliced.Size(),
+			}
+			if opts.Certify {
+				out.Certificates = append(out.Certificates, &certify.Certificate{
+					Check: certify.Check{
+						OrigIndex: pm[a], Pos: ast.Pos, Msg: ast.Msg,
+						Tier: dom.Name(),
+					},
+					Prog:      sliced,
+					AssertIdx: sm.StmtOf[a],
+					Inv:       certInv,
+					OrigStmt:  certOrig,
+					VarNames:  certNames,
+				})
 			}
 		}
 		out.Tiers = append(out.Tiers, TierStat{
@@ -189,6 +225,19 @@ func AnalyzeCascade(p *ip.Program, opts Options) (*CascadeResult, error) {
 			out.Checks = append(out.Checks, CheckProvenance{
 				Index: idx, Pos: ast.Pos, Msg: ast.Msg, Tier: "unreachable",
 			})
+			if opts.Certify {
+				// Pruning discharged the check as CFG-unreachable; the
+				// verifier re-derives reachability on the original program.
+				out.Certificates = append(out.Certificates, &certify.Certificate{
+					Check: certify.Check{
+						OrigIndex: idx, Pos: ast.Pos, Msg: ast.Msg,
+						Tier: "unreachable",
+					},
+					Prog:        p,
+					AssertIdx:   idx,
+					Unreachable: true,
+				})
+			}
 		}
 	}
 	return out, nil

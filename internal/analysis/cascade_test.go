@@ -16,7 +16,8 @@ func TestCascadeSoundVsInterpreter(t *testing.T) {
 		p := genIP(rng)
 		concrete := map[int]bool{}
 		for run := 0; run < 40; run++ {
-			for _, idx := range p.Exec(rng, 500) {
+			violated, _ := p.Exec(rng, 500)
+			for _, idx := range violated {
 				concrete[idx] = true
 			}
 		}

@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"repro/internal/certify"
+	"repro/internal/ip"
+	"repro/internal/linear"
+)
+
+// invariantSystems exports the engine's per-point abstract states as plain
+// constraint systems — the payload of a certificate. Empty states export
+// an unsatisfiable system (-1 >= 0), marking proven-unreachable points.
+func invariantSystems(states []State) []linear.System {
+	out := make([]linear.System, len(states))
+	for i, st := range states {
+		out[i] = st.System()
+	}
+	return out
+}
+
+// CertifyResult builds a certificate for every check a plain Analyze run
+// discharged (reachable, verifiable asserts with no reported violation,
+// restricted to opts.CheckOnly when set). The carrier program is the
+// analyzed program itself, so the certificates carry no mapping and the
+// reduction passes are not in the trust chain.
+func CertifyResult(res *Result, opts Options) []*certify.Certificate {
+	opts.fill()
+	violated := map[int]bool{}
+	for _, v := range res.Violations {
+		violated[v.Index] = true
+	}
+	inv := invariantSystems(res.States)
+	names := res.Prog.Space.Names()
+	var certs []*certify.Certificate
+	for _, idx := range res.Prog.Asserts() {
+		if opts.CheckOnly != nil && !opts.CheckOnly[idx] {
+			continue
+		}
+		if violated[idx] {
+			continue
+		}
+		a := res.Prog.Stmts[idx].(*ip.Assert)
+		if a.Unverifiable {
+			continue // always reported, never discharged; defensive
+		}
+		certs = append(certs, &certify.Certificate{
+			Check: certify.Check{
+				OrigIndex: idx, Pos: a.Pos, Msg: a.Msg,
+				Tier: opts.Domain.Name(),
+			},
+			Prog:      res.Prog,
+			AssertIdx: idx,
+			Inv:       inv,
+			VarNames:  names,
+		})
+	}
+	return certs
+}

@@ -88,7 +88,8 @@ func TestEngineSoundVsInterpreter(t *testing.T) {
 		// Concrete runs.
 		concrete := map[int]bool{}
 		for run := 0; run < 40; run++ {
-			for _, idx := range p.Exec(rng, 500) {
+			violated, _ := p.Exec(rng, 500)
+			for _, idx := range violated {
 				concrete[idx] = true
 			}
 		}

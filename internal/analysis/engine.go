@@ -28,6 +28,11 @@ type Options struct {
 	// The cascade uses it to keep already-discharged asserts as transfer
 	// functions without re-reporting them.
 	CheckOnly map[int]bool
+	// Certify makes AnalyzeCascade export a certificate (per-point
+	// invariant systems over the discharging tier's sliced sub-program) for
+	// every check it discharges, in CascadeResult.Certificates. For plain
+	// Analyze runs use CertifyResult instead.
+	Certify bool
 }
 
 func (o *Options) fill() {
@@ -52,6 +57,12 @@ type Violation struct {
 	// CounterExample assigns values to constraint variables under which
 	// the assertion fails (paper Fig. 8); nil when unavailable.
 	CounterExample map[string]*big.Rat
+	// CounterExampleIntegral reports that the counter-example is a genuine
+	// integral point of the bad region (each coordinate snapped to an
+	// integer and re-checked by pinning). When false, only rational points
+	// were found: program variables are integers, so the violation is at
+	// best "potential" from this witness and replay hints are unusable.
+	CounterExampleIntegral bool
 	// StateSystem is the invariant the analysis derived just before the
 	// assert, for the Fig. 8(a)-style report.
 	StateSystem linear.System
@@ -291,8 +302,9 @@ func checkAssert(st State, a *ip.Assert, sp *linear.Space, dom Domain, nvars int
 				}
 			}
 		}
-		if ce := lexMinCorner(bad, mentioned, sp); len(ce) > 0 {
+		if ce, integral := lexMinCorner(bad, mentioned, sp); len(ce) > 0 {
 			v.CounterExample = ce
+			v.CounterExampleIntegral = integral
 		}
 		return v, true
 	}
@@ -306,38 +318,88 @@ func checkAssert(st State, a *ip.Assert, sp *linear.Space, dom Domain, nvars int
 // the unboundedness (the paper's §2.3 scenario hinges on the
 // counter-example showing a *negative* NbLine) and depends only on the
 // region's projection, so sliced and full runs agree.
-func lexMinCorner(region State, mentioned map[int]bool, sp *linear.Space) map[string]*big.Rat {
+//
+// Program variables are integers, so a fractional bound is snapped to the
+// nearest integers inside the region (two tried, toward the interior)
+// before falling back to the rational value; the choice stays canonical
+// because it depends only on Bounds. The second result reports whether
+// every coordinate is an integer pinned inside the region — when false,
+// only rational points were exhibited and the violation cannot be
+// concretely replayed from this witness.
+func lexMinCorner(region State, mentioned map[int]bool, sp *linear.Space) (map[string]*big.Rat, bool) {
 	var order []int
 	for vr := range mentioned {
 		order = append(order, vr)
 	}
 	sort.Slice(order, func(i, j int) bool { return sp.Name(order[i]) < sp.Name(order[j]) })
 	out := map[string]*big.Rat{}
+	integral := true
 	for _, vr := range order {
 		lo, hi := region.Bounds(vr)
 		val := big.NewRat(-1, 1)
+		fromLo := false
 		switch {
 		case lo != nil:
 			val = lo
+			fromLo = true
 		case hi != nil && hi.Cmp(val) < 0:
 			val = hi
 		}
-		out[sp.Name(vr)] = val
-		// Pin vr = val (den*vr - num == 0) before choosing the next
-		// coordinate, so the corner is a genuine point of the region.
-		e := linear.NewExpr()
-		e.SetCoef(vr, val.Denom())
-		e.Const.Neg(val.Num())
-		pinned := region.MeetSystem(linear.System{linear.NewEq(e)})
+		// pin intersects the region with vr = x (den*vr - num == 0).
+		pin := func(x *big.Rat) State {
+			e := linear.NewExpr()
+			e.SetCoef(vr, x.Denom())
+			e.Const.Neg(x.Num())
+			return region.MeetSystem(linear.System{linear.NewEq(e)})
+		}
+		chosen, pinned := val, pin(val)
+		if !val.IsInt() {
+			first := ratFloor(val)
+			if fromLo {
+				first = ratCeil(val)
+			}
+			for k := int64(0); k < 2; k++ {
+				c := new(big.Int).Set(first)
+				if fromLo {
+					c.Add(c, big.NewInt(k))
+				} else {
+					c.Sub(c, big.NewInt(k))
+				}
+				cand := new(big.Rat).SetInt(c)
+				if fromLo && hi != nil && cand.Cmp(hi) > 0 {
+					break
+				}
+				if ps := pin(cand); !ps.IsEmpty() {
+					chosen, pinned = cand, ps
+					break
+				}
+			}
+		}
+		out[sp.Name(vr)] = chosen
+		if !chosen.IsInt() || pinned.IsEmpty() {
+			integral = false
+		}
 		if pinned.IsEmpty() {
-			// The bound is not attained in this domain's representation;
+			// The value is not attained in this domain's representation;
 			// keep the reported value (it is within the region's closure)
 			// but stop pinning through an empty state.
 			continue
 		}
 		region = pinned
 	}
-	return out
+	return out, integral
+}
+
+// ratCeil returns the smallest integer >= x.
+func ratCeil(x *big.Rat) *big.Int {
+	q := new(big.Int).Sub(x.Denom(), big.NewInt(1))
+	q.Add(q, x.Num())
+	return q.Div(q, x.Denom())
+}
+
+// ratFloor returns the largest integer <= x.
+func ratFloor(x *big.Rat) *big.Int {
+	return new(big.Int).Div(x.Num(), x.Denom())
 }
 
 // FormatViolation renders a Fig. 8-style report.

@@ -1,0 +1,286 @@
+package certify
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/clex"
+	"repro/internal/ip"
+	"repro/internal/linear"
+)
+
+// Check identifies one discharged assert in the original integer program.
+type Check struct {
+	// OrigIndex is the assert's statement index in the original IP.
+	OrigIndex int
+	Pos       clex.Pos
+	Msg       string
+	// Tier names the abstract domain that discharged the check
+	// ("unreachable" when CFG pruning removed it).
+	Tier string
+}
+
+// Certificate is a self-contained proof that one discharged check holds:
+// the per-program-point invariant systems of the analysis run that closed
+// the check, over the carrier program that run analyzed (the tier's sliced
+// sub-program under the cascade, the full program otherwise). Verify
+// re-establishes that the invariant is inductive and implies the assert
+// using only Fourier–Motzkin elimination — no abstract domain is consulted.
+type Certificate struct {
+	Check Check
+
+	// Prog is the carrier program the invariant lives on.
+	Prog *ip.Program
+	// AssertIdx is the index of the certified assert in Prog.
+	AssertIdx int
+	// Inv[i] is the invariant holding at the entry of Prog.Stmts[i];
+	// Inv[len(Prog.Stmts)] is the exit invariant. An unsatisfiable system
+	// (e.g. -1 >= 0) marks a point the analysis proved unreachable.
+	Inv []linear.System
+
+	// OrigStmt maps carrier statement indices to original-program indices
+	// (reduce.StmtMap/SliceMap composed); nil means the carrier is the
+	// original program. It is reporting metadata: verification runs on the
+	// carrier, and the reduction passes that produced it are part of the
+	// documented trust argument (DESIGN.md).
+	OrigStmt []int
+	// VarNames are the carrier's variable names (original names preserved
+	// by the slicer), for rendering invariants in reports.
+	VarNames []string
+
+	// Unreachable marks a check discharged because CFG pruning removed it;
+	// Prog is the original program, Inv is nil, and Verify recomputes graph
+	// reachability instead of checking invariant obligations.
+	Unreachable bool
+}
+
+// InvariantAt returns the certified invariant mapped back to an original
+// program point: the strongest Inv[i] whose carrier statement maps to
+// origIdx (false when the point was cut from the carrier).
+func (cert *Certificate) InvariantAt(origIdx int) (linear.System, bool) {
+	if cert.Inv == nil {
+		return nil, false
+	}
+	if cert.OrigStmt == nil {
+		if origIdx < 0 || origIdx >= len(cert.Inv) {
+			return nil, false
+		}
+		return cert.Inv[origIdx], true
+	}
+	for i, o := range cert.OrigStmt {
+		if o == origIdx && i < len(cert.Inv) {
+			return cert.Inv[i], true
+		}
+	}
+	return nil, false
+}
+
+// Verify checks the certificate with the independent Fourier–Motzkin
+// engine: initiation (the entry invariant is trivially true), consecution
+// (every CFG edge's exact rational post-state is included in the successor
+// invariant), and implication (the invariant at the assert excludes every
+// integer state violating the condition). A nil error means the check is
+// certified.
+func (cert *Certificate) Verify() error {
+	if cert.Prog == nil {
+		return fmt.Errorf("certify: certificate has no program")
+	}
+	if err := cert.Prog.Resolve(); err != nil {
+		return fmt.Errorf("certify: carrier program: %w", err)
+	}
+	if cert.Unreachable {
+		return cert.verifyUnreachable()
+	}
+	p := cert.Prog
+	n := p.Size()
+	nv := p.NumVars()
+	if len(cert.Inv) != n+1 {
+		return fmt.Errorf("certify: invariant map has %d points, program has %d", len(cert.Inv), n+1)
+	}
+	if cert.AssertIdx < 0 || cert.AssertIdx >= n {
+		return fmt.Errorf("certify: assert index %d out of range", cert.AssertIdx)
+	}
+	a, ok := p.Stmts[cert.AssertIdx].(*ip.Assert)
+	if !ok {
+		return fmt.Errorf("certify: statement %d is not an assert", cert.AssertIdx)
+	}
+	if a.Unverifiable {
+		return fmt.Errorf("certify: unverifiable assert cannot be certified")
+	}
+
+	// Initiation: the entry invariant must hold of every initial state,
+	// i.e. be entailed by the empty premise.
+	if c, bad := FirstUnentailed(nil, cert.Inv[0], nv); bad {
+		return fmt.Errorf("certify: initiation: entry invariant %q is not trivial",
+			constraintString(c, cert.VarNames))
+	}
+
+	// Consecution: for every statement and every outgoing CFG edge, the
+	// exact rational strongest post of the invariant through the statement
+	// and the edge condition must entail the successor invariant.
+	succ := p.CFG()
+	for i := range p.Stmts {
+		for _, e := range succ[i] {
+			if err := cert.checkEdge(i, e); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Implication: no integer point of the invariant at the assert violates
+	// the condition. The integer negation (ip.DNF.Negate) is exact over
+	// integer states; rational infeasibility of each negated disjunct is
+	// therefore sound.
+	inv := cert.Inv[cert.AssertIdx]
+	for _, nd := range a.C.Negate() {
+		sys := append(inv.Clone(), nd...)
+		if !Unsat(sys, nv) {
+			return fmt.Errorf("certify: implication: invariant at %d does not exclude violation of %q",
+				cert.AssertIdx, a.Msg)
+		}
+	}
+	return nil
+}
+
+// verifyUnreachable re-derives, by plain graph search, that the assert is
+// not CFG-reachable from the entry — the same (over-approximate) notion the
+// pruning pass uses, recomputed independently.
+func (cert *Certificate) verifyUnreachable() error {
+	p := cert.Prog
+	n := p.Size()
+	if cert.AssertIdx < 0 || cert.AssertIdx >= n {
+		return fmt.Errorf("certify: assert index %d out of range", cert.AssertIdx)
+	}
+	if _, ok := p.Stmts[cert.AssertIdx].(*ip.Assert); !ok {
+		return fmt.Errorf("certify: statement %d is not an assert", cert.AssertIdx)
+	}
+	succ := p.CFG()
+	reach := make([]bool, n+1)
+	stack := []int{0}
+	if n > 0 {
+		reach[0] = true
+	}
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if i >= n {
+			continue
+		}
+		for _, e := range succ[i] {
+			if !reach[e.To] {
+				reach[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	if reach[cert.AssertIdx] {
+		return fmt.Errorf("certify: assert %d is CFG-reachable, unreachability claim refuted", cert.AssertIdx)
+	}
+	return nil
+}
+
+// checkEdge discharges the consecution obligation of one CFG edge. The
+// statement transfer and the edge condition are decomposed into disjuncts
+// (matching the engine's per-disjunct join); each (transfer-disjunct,
+// edge-disjunct) pair yields one premise whose exact rational post must
+// entail the successor invariant. Since every sound abstract transfer
+// over-approximates this exact post, a correct fixpoint always passes.
+func (cert *Certificate) checkEdge(i int, e ip.Edge) error {
+	p := cert.Prog
+	nv := p.NumVars()
+	pre := cert.Inv[i]
+	post := cert.Inv[e.To]
+
+	// The assigned/havocked variable, if any, is modeled with a primed
+	// variable at index nv; the successor invariant is rewritten over it.
+	primed := -1 // variable replaced by index nv in the target
+	var extra linear.System
+	transferDisjuncts := ip.DNF{nil} // one trivially-true disjunct
+
+	switch s := p.Stmts[i].(type) {
+	case *ip.Assign:
+		primed = s.V
+		// x' = e  (over the unprimed pre-state).
+		d := linear.NewExpr()
+		d = d.Add(s.E)
+		d.AddTerm(nv, -1) // e - x' == 0
+		extra = linear.System{linear.NewEq(d)}
+	case *ip.Havoc:
+		primed = s.V
+	case *ip.Assume:
+		transferDisjuncts = normDNF(s.C)
+	case *ip.Assert:
+		// Downstream of an assert the instrumented semantics guarantees the
+		// condition (execution halts at the first error), so the condition
+		// joins the premise. Unverifiable asserts contribute nothing.
+		if !s.Unverifiable {
+			transferDisjuncts = normDNF(s.C)
+		}
+	}
+
+	// Edge conditions only occur on IfGoto edges, whose transfer is the
+	// identity, so they always constrain the unprimed state.
+	edgeDisjuncts := normDNF(e.Cond)
+
+	dim := nv
+	target := post
+	if primed >= 0 {
+		dim = nv + 1
+		target = renameVar(post, primed, nv)
+	}
+
+	for _, td := range transferDisjuncts {
+		for _, ed := range edgeDisjuncts {
+			premise := make(linear.System, 0, len(pre)+len(extra)+len(td)+len(ed))
+			premise = append(premise, pre...)
+			premise = append(premise, extra...)
+			premise = append(premise, td...)
+			premise = append(premise, ed...)
+			if c, bad := FirstUnentailed(premise, target, dim); bad {
+				return fmt.Errorf("certify: consecution: edge %d->%d does not preserve %q",
+					i, e.To, constraintString(c, cert.VarNames))
+			}
+		}
+	}
+	return nil
+}
+
+// normDNF normalizes a condition for obligation enumeration: nil (true)
+// becomes a single empty disjunct; false stays empty (no obligation — the
+// edge is infeasible).
+func normDNF(d ip.DNF) ip.DNF {
+	if d.IsTrue() {
+		return ip.DNF{nil}
+	}
+	if d.IsFalse() {
+		return ip.DNF{}
+	}
+	return d
+}
+
+// renameVar rewrites every occurrence of variable v as variable w.
+func renameVar(sys linear.System, v, w int) linear.System {
+	out := make(linear.System, len(sys))
+	for i, c := range sys {
+		e := c.E.Clone()
+		k := e.Coef(v)
+		if k.Sign() != 0 {
+			e.SetCoef(w, k)
+			e.SetCoef(v, new(big.Int))
+		}
+		out[i] = linear.Constraint{E: e, Rel: c.Rel}
+	}
+	return out
+}
+
+func constraintString(c linear.Constraint, names []string) string {
+	sp := linear.NewSpace()
+	for _, n := range names {
+		sp.Var(n)
+	}
+	// The primed next-state variable, if present, prints as <name>'.
+	for sp.Dim() <= maxVar(linear.System{c}) {
+		sp.Var(fmt.Sprintf("v%d'", sp.Dim()))
+	}
+	return c.String(sp)
+}

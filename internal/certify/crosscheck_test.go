@@ -1,0 +1,214 @@
+// Cross-checks of the Fourier–Motzkin engine against the Chernikova-based
+// polyhedra package. The two implementations share no code (the guard test
+// below enforces that certify never imports polyhedra), so agreement on
+// random systems is strong evidence both are right — and any disagreement
+// pinpoints a bug in one of the two decision procedures the analyzer's
+// soundness rests on.
+package certify_test
+
+import (
+	"go/parser"
+	"go/token"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/certify"
+	"repro/internal/linear"
+	"repro/internal/polyhedra"
+)
+
+// randomSystem draws up to maxCons constraints over n variables with small
+// coefficients; the same seed always yields the same corpus.
+func randomSystem(rng *rand.Rand, n, maxCons int) linear.System {
+	var sys linear.System
+	for i, k := 0, rng.Intn(maxCons+1); i < k; i++ {
+		e := linear.NewExpr()
+		for v := 0; v < n; v++ {
+			if rng.Intn(2) == 0 {
+				e.AddTerm(v, int64(rng.Intn(7)-3))
+			}
+		}
+		e.AddConst(int64(rng.Intn(21) - 10))
+		if rng.Intn(4) == 0 {
+			sys = append(sys, linear.NewEq(e))
+		} else {
+			sys = append(sys, linear.NewGe(e))
+		}
+	}
+	return sys
+}
+
+func randomConstraint(rng *rand.Rand, n int) linear.Constraint {
+	s := randomSystem(rng, n, 1)
+	if len(s) == 1 {
+		return s[0]
+	}
+	return linear.NewGe(linear.ConstExpr(0))
+}
+
+func TestUnsatAgreesWithPolyhedra(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		n := 1 + rng.Intn(4)
+		sys := randomSystem(rng, n, 6)
+		fm := certify.Unsat(sys, n)
+		ch := polyhedra.FromSystem(sys, n).IsEmpty()
+		if fm != ch {
+			t.Fatalf("case %d: Unsat=%v, polyhedra empty=%v for %s",
+				i, fm, ch, certify.FormatSystem(sys, nil))
+		}
+	}
+}
+
+func TestEntailsAgreesWithPolyhedra(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		n := 1 + rng.Intn(4)
+		sys := randomSystem(rng, n, 5)
+		c := randomConstraint(rng, n)
+		fm := certify.Entails(sys, c, n)
+		ch := polyhedra.FromSystem(sys, n).Entails(c)
+		if fm != ch {
+			t.Fatalf("case %d: Entails=%v, polyhedra=%v for %s |= %s",
+				i, fm, ch, certify.FormatSystem(sys, nil), c.String(nil))
+		}
+	}
+}
+
+func TestEntailsSystemAgreesWithIncludes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		n := 1 + rng.Intn(3)
+		q := randomSystem(rng, n, 4)
+		p := randomSystem(rng, n, 4)
+		// q |= p  iff  points(q) ⊆ points(p)  iff  poly(p).Includes(poly(q)).
+		fm := certify.EntailsSystem(q, p, n)
+		ch := polyhedra.FromSystem(p, n).Includes(polyhedra.FromSystem(q, n))
+		if fm != ch {
+			t.Fatalf("case %d: EntailsSystem=%v, Includes=%v\n  q: %s\n  p: %s",
+				i, fm, ch, certify.FormatSystem(q, nil), certify.FormatSystem(p, nil))
+		}
+	}
+}
+
+// TestNoPolyhedraImport enforces the independence claim of the trust
+// argument: the certificate checker must not link the code it checks. It
+// parses every non-test source file of the certify package and rejects any
+// import of the polyhedra, analysis, zone, or interval packages.
+func TestNoPolyhedraImport(t *testing.T) {
+	banned := []string{
+		"repro/internal/polyhedra",
+		"repro/internal/analysis",
+		"repro/internal/zone",
+		"repro/internal/interval",
+	}
+	files, err := filepath.Glob("*.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	for _, f := range files {
+		if strings.HasSuffix(f, "_test.go") {
+			continue
+		}
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		file, err := parser.ParseFile(fset, f, src, parser.ImportsOnly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, imp := range file.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			for _, b := range banned {
+				if path == b {
+					t.Errorf("%s imports %s: the checker must stay independent of the analysis it certifies", f, path)
+				}
+			}
+		}
+	}
+}
+
+// decodeFuzzSystem deterministically maps a byte string to a small system
+// plus a candidate constraint (3 variables, coefficients in [-3, 3]).
+func decodeFuzzSystem(data []byte) (linear.System, linear.Constraint) {
+	const n = 3
+	next := func() (int64, bool) {
+		if len(data) == 0 {
+			return 0, false
+		}
+		b := data[0]
+		data = data[1:]
+		return int64(b%15) - 7, true
+	}
+	readCons := func() (linear.Constraint, bool) {
+		e := linear.NewExpr()
+		any := false
+		for v := 0; v < n; v++ {
+			k, ok := next()
+			if !ok {
+				break
+			}
+			any = true
+			e.AddTerm(v, k%4)
+		}
+		k, ok := next()
+		if ok {
+			e.AddConst(k)
+		}
+		if !any && !ok {
+			return linear.Constraint{}, false
+		}
+		rel, ok := next()
+		if ok && rel%2 == 0 {
+			return linear.NewEq(e), true
+		}
+		return linear.NewGe(e), true
+	}
+	var sys linear.System
+	for len(sys) < 6 {
+		c, ok := readCons()
+		if !ok {
+			break
+		}
+		sys = append(sys, c)
+	}
+	if len(sys) == 0 {
+		return nil, linear.NewGe(linear.ConstExpr(0))
+	}
+	c := sys[len(sys)-1]
+	return sys[:len(sys)-1], c
+}
+
+// FuzzEntails cross-checks the Fourier–Motzkin engine against the
+// Chernikova-based polyhedra on arbitrary byte-derived systems. Run with
+// `go test -fuzz=FuzzEntails ./internal/certify` to search beyond the seed
+// corpus (testdata/fuzz/FuzzEntails).
+func FuzzEntails(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5})
+	f.Add([]byte{7, 7, 7, 0, 0, 14, 3, 9, 1, 12, 6})
+	f.Add([]byte{0, 15, 30, 45, 60, 75, 90, 105, 120, 135})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 64 {
+			return // keep eliminations small
+		}
+		const n = 3
+		sys, c := decodeFuzzSystem(data)
+		fmUnsat := certify.Unsat(sys, n)
+		p := polyhedra.FromSystem(sys, n)
+		if chUnsat := p.IsEmpty(); fmUnsat != chUnsat {
+			t.Fatalf("Unsat=%v, polyhedra empty=%v for %s",
+				fmUnsat, chUnsat, certify.FormatSystem(sys, nil))
+		}
+		fmEnt := certify.Entails(sys, c, n)
+		if chEnt := p.Entails(c); fmEnt != chEnt {
+			t.Fatalf("Entails=%v, polyhedra=%v for %s |= %s",
+				fmEnt, chEnt, certify.FormatSystem(sys, nil), c.String(nil))
+		}
+	})
+}

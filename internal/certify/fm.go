@@ -1,0 +1,360 @@
+// Package certify validates the results of the abstract-interpretation
+// engine a posteriori. For every check the analysis discharges it exports a
+// certificate — the per-program-point invariant systems of the run that
+// closed the check — and re-proves the three obligations of an inductive
+// invariant (initiation, consecution along every CFG edge, and the assert
+// implication) with a small self-contained Fourier–Motzkin elimination
+// engine over exact rational arithmetic. The checker never calls the
+// Chernikova-based polyhedra package (or any abstract domain), so a bug in
+// the fixpoint engine or in the polyhedra library cannot self-certify: the
+// trusted base is this package, the IP program representation, and big.Rat.
+//
+// For reported violations the package replays the analysis counter-example
+// through the deterministic directed mode of the concrete IP interpreter
+// and classifies each message "witnessed" (a concrete trace reaches the
+// failing assert) or "potential" (possibly imprecision).
+package certify
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"repro/internal/linear"
+)
+
+// row is one linear inequality sum(c_i * x_i) + k >= 0 (or > 0 when
+// strict) over rational coefficients. Equalities are split into opposite
+// inequalities before solving.
+type row struct {
+	c      []*big.Rat
+	k      *big.Rat
+	strict bool
+}
+
+func newRow(n int) *row {
+	r := &row{c: make([]*big.Rat, n), k: new(big.Rat)}
+	for i := range r.c {
+		r.c[i] = new(big.Rat)
+	}
+	return r
+}
+
+// rowFromExpr builds expr + 0 >= 0 in dimension n, dropping nothing:
+// variables beyond n are a caller bug and panic via index.
+func rowFromExpr(e linear.Expr, n int, negate, strict bool) *row {
+	r := newRow(n)
+	for _, v := range e.Vars() {
+		r.c[v].SetInt(e.Coef(v))
+		if negate {
+			r.c[v].Neg(r.c[v])
+		}
+	}
+	k := new(big.Int).Set(e.Eval(nil)) // constant term (Eval of zero point)
+	r.k.SetInt(k)
+	if negate {
+		r.k.Neg(r.k)
+	}
+	r.strict = strict
+	return r
+}
+
+// rowsFromSystem converts a conjunction of constraints to inequality rows.
+func rowsFromSystem(sys linear.System, n int) []*row {
+	var rows []*row
+	for _, c := range sys {
+		switch c.Rel {
+		case linear.Eq:
+			rows = append(rows, rowFromExpr(c.E, n, false, false))
+			rows = append(rows, rowFromExpr(c.E, n, true, false))
+		default:
+			rows = append(rows, rowFromExpr(c.E, n, false, false))
+		}
+	}
+	return rows
+}
+
+// isConst reports whether the row has no variable terms.
+func (r *row) isConst() bool {
+	for _, c := range r.c {
+		if c.Sign() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// constFails reports whether a constant row is violated (k < 0, or k == 0
+// for a strict row).
+func (r *row) constFails() bool {
+	if r.k.Sign() < 0 {
+		return true
+	}
+	return r.strict && r.k.Sign() == 0
+}
+
+// normalize scales the row so its first nonzero coefficient (or, for
+// constant rows, the constant) has absolute value 1; used for dedup.
+func (r *row) normalize() {
+	var lead *big.Rat
+	for _, c := range r.c {
+		if c.Sign() != 0 {
+			lead = c
+			break
+		}
+	}
+	if lead == nil {
+		if r.k.Sign() == 0 {
+			return
+		}
+		lead = r.k
+	}
+	inv := new(big.Rat).Abs(lead)
+	inv.Inv(inv)
+	for _, c := range r.c {
+		c.Mul(c, inv)
+	}
+	r.k.Mul(r.k, inv)
+}
+
+func (r *row) key() string {
+	r.normalize()
+	s := ""
+	for _, c := range r.c {
+		s += c.RatString() + ","
+	}
+	s += r.k.RatString()
+	if r.strict {
+		s += ">"
+	}
+	return s
+}
+
+// maxRows bounds the working set so a pathological elimination cannot run
+// away; hitting it makes the checker answer "not proven" (sound for a
+// verifier: a true obligation is reported unverified, never the reverse).
+const maxRows = 250000
+
+// unsatRows decides, by Fourier–Motzkin elimination, whether the
+// conjunction of rows has no rational solution. It is exact: true is
+// returned iff the system is infeasible over the rationals (and therefore
+// over the integers). The only incompleteness is the maxRows cap, which
+// returns false ("could not prove unsat").
+func unsatRows(rows []*row, n int) bool {
+	// Dedup and eagerly decide constant rows.
+	sift := func(in []*row) ([]*row, bool) {
+		seen := map[string]bool{}
+		var out []*row
+		for _, r := range in {
+			if r.isConst() {
+				if r.constFails() {
+					return nil, true
+				}
+				continue
+			}
+			k := r.key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			out = append(out, r)
+		}
+		return out, false
+	}
+	rows, unsat := sift(rows)
+	if unsat {
+		return true
+	}
+	remaining := make([]bool, n)
+	for i := range remaining {
+		remaining[i] = true
+	}
+	for {
+		if len(rows) == 0 {
+			return false // feasible (all constraints discharged)
+		}
+		// Pick the remaining variable minimizing |pos|*|neg| products.
+		best, bestCost := -1, 0
+		for v := 0; v < n; v++ {
+			if !remaining[v] {
+				continue
+			}
+			pos, neg, used := 0, 0, false
+			for _, r := range rows {
+				switch r.c[v].Sign() {
+				case 1:
+					pos++
+					used = true
+				case -1:
+					neg++
+					used = true
+				}
+			}
+			if !used {
+				remaining[v] = false
+				continue
+			}
+			cost := pos * neg
+			if best == -1 || cost < bestCost {
+				best, bestCost = v, cost
+			}
+		}
+		if best == -1 {
+			// No variable left: rows are constant (handled by sift) — the
+			// system is feasible.
+			return false
+		}
+		v := best
+		remaining[v] = false
+		var pos, neg, rest []*row
+		for _, r := range rows {
+			switch r.c[v].Sign() {
+			case 1:
+				pos = append(pos, r)
+			case -1:
+				neg = append(neg, r)
+			default:
+				rest = append(rest, r)
+			}
+		}
+		if len(pos) == 0 || len(neg) == 0 {
+			// v is unbounded on one side: every row mentioning it is
+			// satisfiable independently; drop them.
+			rows = rest
+			continue
+		}
+		if len(rest)+len(pos)*len(neg) > maxRows {
+			return false // give up: report unproven
+		}
+		out := rest
+		for _, p := range pos {
+			for _, q := range neg {
+				// p: c_v > 0 gives a lower bound, q: c_v < 0 an upper bound.
+				// Combine with positive multipliers to cancel v:
+				//   (-q.c[v]) * p  +  (p.c[v]) * q
+				a := new(big.Rat).Neg(q.c[v]) // > 0
+				b := new(big.Rat).Set(p.c[v]) // > 0
+				nr := newRow(n)
+				for i := 0; i < n; i++ {
+					nr.c[i].Add(
+						new(big.Rat).Mul(a, p.c[i]),
+						new(big.Rat).Mul(b, q.c[i]),
+					)
+				}
+				nr.k.Add(new(big.Rat).Mul(a, p.k), new(big.Rat).Mul(b, q.k))
+				nr.strict = p.strict || q.strict
+				out = append(out, nr)
+			}
+		}
+		rows, unsat = sift(out)
+		if unsat {
+			return true
+		}
+	}
+}
+
+// Unsat reports whether the conjunction of constraints has no rational
+// solution (which implies it has no integer solution either).
+func Unsat(sys linear.System, n int) bool {
+	return unsatRows(rowsFromSystem(sys, n), n)
+}
+
+// Sat reports whether the conjunction has a rational solution. It is the
+// exact complement of Unsat except at the maxRows cap, where both report
+// the unproven direction.
+func Sat(sys linear.System, n int) bool { return !Unsat(sys, n) }
+
+// Entails reports whether every rational point satisfying sys satisfies c:
+// sys ∧ ¬c is infeasible, with the negation taken over the rationals
+// (e >= 0 negates to the strict -e > 0, e == 0 to either strict side).
+// Entailment over the rationals implies entailment over the integers, so a
+// "true" answer is sound for the integer IP semantics.
+func Entails(sys linear.System, c linear.Constraint, n int) bool {
+	if c.IsTautology() {
+		return true
+	}
+	base := rowsFromSystem(sys, n)
+	check := func(neg *row) bool {
+		rows := make([]*row, len(base), len(base)+1)
+		for i, r := range base {
+			nr := newRow(n)
+			for j := range r.c {
+				nr.c[j].Set(r.c[j])
+			}
+			nr.k.Set(r.k)
+			nr.strict = r.strict
+			rows[i] = nr
+		}
+		rows = append(rows, neg)
+		return unsatRows(rows, n)
+	}
+	switch c.Rel {
+	case linear.Eq:
+		// sys |= e == 0  iff  sys ∧ e > 0 unsat  and  sys ∧ -e > 0 unsat.
+		return check(rowFromExpr(c.E, n, true, true)) &&
+			check(rowFromExpr(c.E, n, false, true))
+	default:
+		// sys |= e >= 0  iff  sys ∧ -e > 0 unsat.
+		return check(rowFromExpr(c.E, n, true, true))
+	}
+}
+
+// EntailsSystem reports whether sys entails every constraint of target.
+func EntailsSystem(sys, target linear.System, n int) bool {
+	for _, c := range target {
+		if !Entails(sys, c, n) {
+			return false
+		}
+	}
+	return true
+}
+
+// FirstUnentailed returns the first constraint of target that sys does not
+// entail, for error reporting; ok is false when every constraint is
+// entailed.
+func FirstUnentailed(sys, target linear.System, n int) (linear.Constraint, bool) {
+	for _, c := range target {
+		if !Entails(sys, c, n) {
+			return c, true
+		}
+	}
+	return linear.Constraint{}, false
+}
+
+// maxVar returns the largest variable index mentioned by the system.
+func maxVar(sys linear.System) int {
+	m := -1
+	for _, c := range sys {
+		for _, v := range c.E.Vars() {
+			if v > m {
+				m = v
+			}
+		}
+	}
+	return m
+}
+
+// FormatSystem renders a system with positional variable names, a debugging
+// helper for verification failures.
+func FormatSystem(sys linear.System, names []string) string {
+	sp := linear.NewSpace()
+	for _, n := range names {
+		sp.Var(n)
+	}
+	need := maxVar(sys)
+	for sp.Dim() <= need {
+		sp.Var(fmt.Sprintf("v%d", sp.Dim()))
+	}
+	return sys.String(sp)
+}
+
+// sortedNames returns the keys of m in sorted order (tiny helper shared by
+// the replay code).
+func sortedNames[T any](m map[string]T) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"os"
+	"reflect"
+	"testing"
+
+	"repro/internal/certify"
+)
+
+// runCertify analyzes one example file with certification on.
+func runCertify(t *testing.T, path string, workers int) *Report {
+	t.Helper()
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := AnalyzeSource(path, string(src), Options{
+		Cascade: true,
+		Certify: true,
+		Workers: workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestCertifyExamplesEndToEnd: over the three example programs, every
+// discharged check produces a certificate the independent checker accepts
+// (zero failures), every reported message is classified, and the outcome is
+// bit-identical between the sequential and the concurrent driver.
+func TestCertifyExamplesEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end certification is slow")
+	}
+	paths := []string{
+		"../../testdata/running/skipline.c",
+		"../../testdata/airbus/airbus.c",
+		"../../testdata/fixwrites/fixwrites.c",
+	}
+	for _, path := range paths {
+		seq := runCertify(t, path, 1)
+		par := runCertify(t, path, 8)
+		for i := range seq.Procs {
+			sp, pp := &seq.Procs[i], &par.Procs[i]
+			if sp.Name != pp.Name {
+				t.Fatalf("%s: procedure order differs: %s vs %s", path, sp.Name, pp.Name)
+			}
+			c := sp.Certification
+			if c == nil {
+				t.Fatalf("%s: %s has no certification outcome", path, sp.Name)
+			}
+			if c.Failed != 0 {
+				for _, ck := range c.Checks {
+					if ck.Status == certify.StatusFailed {
+						t.Errorf("%s: %s: certificate for %q FAILED: %s",
+							path, sp.Name, ck.Msg, ck.Detail)
+					}
+				}
+			}
+			// Every discharged check is certified; every message classified.
+			if got := c.Certified + c.Failed + c.Witnessed + c.Potential; got != len(c.Checks) {
+				t.Errorf("%s: %s: counters %d do not cover %d checks",
+					path, sp.Name, got, len(c.Checks))
+			}
+			if c.Witnessed+c.Potential != len(sp.Violations) {
+				t.Errorf("%s: %s: %d witnessed + %d potential != %d messages",
+					path, sp.Name, c.Witnessed, c.Potential, len(sp.Violations))
+			}
+			// Workers must not change the outcome (replay and verification
+			// are deterministic).
+			if !reflect.DeepEqual(c, pp.Certification) {
+				t.Errorf("%s: %s: certification differs between workers 1 and 8:\n%+v\nvs\n%+v",
+					path, sp.Name, c, pp.Certification)
+			}
+		}
+	}
+}
+
+// TestCertifyRunningExampleSplit pins the witnessed/potential split of the
+// paper's running example: the off-by-one at the second SkipLine call is a
+// real error and must be witnessed by a concrete trace.
+func TestCertifyRunningExampleSplit(t *testing.T) {
+	rep, err := AnalyzeSource("skipline.c", runningExample, Options{
+		Cascade: true,
+		Certify: true,
+		Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := rep.Proc("main")
+	if pr == nil || pr.Certification == nil {
+		t.Fatal("main has no certification outcome")
+	}
+	c := pr.Certification
+	if c.Witnessed != 1 || c.Failed != 0 {
+		t.Errorf("main: want 1 witnessed, 0 failed; got %+v", c)
+	}
+	sk := rep.Proc("SkipLine")
+	if sk == nil || sk.Certification == nil {
+		t.Fatal("SkipLine has no certification outcome")
+	}
+	if sk.Certification.Certified == 0 || sk.Certification.Failed != 0 {
+		t.Errorf("SkipLine: want all checks certified; got %+v", sk.Certification)
+	}
+}
+
+// TestCertifyPlainRun: certification also works without the cascade (one
+// fixpoint in the configured domain).
+func TestCertifyPlainRun(t *testing.T) {
+	rep, err := AnalyzeSource("skipline.c", runningExample, Options{
+		Certify: true,
+		Workers: 1,
+		Procs:   []string{"SkipLine"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rep.Procs[0].Certification
+	if c == nil {
+		t.Fatal("no certification outcome")
+	}
+	if c.Failed != 0 || c.Certified != len(c.Checks)-c.Witnessed-c.Potential {
+		t.Errorf("plain-run certification: %+v", c)
+	}
+	if c.Certified == 0 {
+		t.Errorf("no checks certified in a fully-verified procedure")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/c2ip"
 	"repro/internal/cast"
+	"repro/internal/certify"
 	"repro/internal/corec"
 	"repro/internal/cparse"
 	"repro/internal/derive"
@@ -45,6 +46,14 @@ type Options struct {
 	// the configured domain on the sliced residual) instead of a single
 	// fixpoint in the configured domain.
 	Cascade bool
+	// Certify validates the analysis a posteriori: every discharged check
+	// is re-proved from an exported invariant certificate by an independent
+	// Fourier–Motzkin checker (no polyhedra code in the loop), and every
+	// reported violation is replayed through the deterministic directed
+	// interpreter and classified witnessed (a concrete trace reaches the
+	// failing assert first) or potential. Results land in
+	// ProcReport.Certification.
+	Certify bool
 	// NoSideEffectCheck disables the modifies-clause verification.
 	NoSideEffectCheck bool
 	// Procs restricts analysis to these procedures (default: all defined
@@ -98,6 +107,9 @@ type ProcReport struct {
 	// Cascade carries the per-tier statistics and check provenance when
 	// Options.Cascade is set.
 	Cascade *analysis.CascadeResult
+	// Certification carries, under Options.Certify, the per-check outcome
+	// of certificate verification and counter-example replay.
+	Certification *certify.Outcome
 	// Inlined is the analyzed (inlined + normalized) procedure.
 	Inlined *cast.FuncDecl
 	// PPT is the procedural points-to state used.
@@ -390,7 +402,9 @@ func analyzeProc(orig *cast.File, prog *corec.Program, name string, opts Options
 		Domain:          opts.Domain,
 		WideningDelay:   opts.WideningDelay,
 		NarrowingPasses: opts.NarrowingPasses,
+		Certify:         opts.Certify,
 	}
+	var certs []*certify.Certificate
 	if opts.Cascade {
 		cres, err := analysis.AnalyzeCascade(res.Prog, aopts)
 		if err != nil {
@@ -399,6 +413,7 @@ func analyzeProc(orig *cast.File, prog *corec.Program, name string, opts Options
 		pr.Violations = cres.Violations
 		pr.Iterations = cres.Iterations
 		pr.Cascade = cres
+		certs = cres.Certificates
 	} else {
 		ares, err := analysis.Analyze(res.Prog, aopts)
 		if err != nil {
@@ -406,6 +421,38 @@ func analyzeProc(orig *cast.File, prog *corec.Program, name string, opts Options
 		}
 		pr.Violations = ares.Violations
 		pr.Iterations = ares.Iterations
+		if opts.Certify {
+			certs = analysis.CertifyResult(ares, aopts)
+		}
+	}
+
+	// Phase 4b: a-posteriori certification — verify every discharged
+	// check's certificate with the independent Fourier–Motzkin checker and
+	// replay every violation through the directed interpreter. Replay runs
+	// against the original IP: slices over-approximate executions, so only
+	// a trace of the full program is a genuine witness. This happens before
+	// the side-effect check appends its (IP-less) violations.
+	if opts.Certify {
+		if cancelled(done) {
+			return nil, errCancelled
+		}
+		tierOf := map[int]string{}
+		if pr.Cascade != nil {
+			for _, c := range pr.Cascade.Checks {
+				if c.Violated {
+					tierOf[c.Index] = c.Tier
+				}
+			}
+		} else {
+			dom := opts.Domain
+			if dom == nil {
+				dom = analysis.PolyDomain{}
+			}
+			for _, v := range pr.Violations {
+				tierOf[v.Index] = dom.Name()
+			}
+		}
+		pr.Certification = certifyProc(res.Prog, certs, pr.Violations, tierOf)
 	}
 
 	// Side-effect verification (the modifies clause is part of the

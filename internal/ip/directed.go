@@ -1,0 +1,330 @@
+package ip
+
+import (
+	"math/big"
+	"sort"
+
+	"repro/internal/linear"
+)
+
+// DirectedOptions tunes the deterministic directed interpreter.
+type DirectedOptions struct {
+	// MaxDepth bounds the statements executed along one path (default 800).
+	MaxDepth int
+	// Budget bounds the statements executed across the whole search
+	// (default 200000); the search is reported Truncated when it runs out.
+	Budget int
+	// Values are the candidate values tried, in order, for havocs and for
+	// variables read before being written (after any per-variable hint).
+	// Default: 0, 1, -1, 2.
+	Values []int64
+}
+
+func (o *DirectedOptions) fill() {
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 800
+	}
+	if o.Budget <= 0 {
+		o.Budget = 200000
+	}
+	if o.Values == nil {
+		o.Values = []int64{0, 1, -1, 2}
+	}
+}
+
+// DirectedResult is the outcome of a directed search.
+type DirectedResult struct {
+	// Found reports that a concrete execution was found whose first
+	// violated assert is the target.
+	Found bool
+	// Trace is the statement-index sequence of the found execution.
+	Trace []int
+	// Truncated reports that the search space was not exhausted (budget or
+	// depth limit hit), so Found == false is inconclusive.
+	Truncated bool
+	// Steps counts the statements executed across all explored paths.
+	Steps int
+}
+
+// ExecDirected searches deterministically for a concrete execution whose
+// first violated assert is the target statement. Unlike Exec, which
+// resolves nondeterminism randomly, ExecDirected explores the choice tree
+// — initial values and havocs range over a small candidate list (hints
+// first), nondeterministic branches try both edges — by depth-first search
+// under a global step budget. The result is a genuine witness: every
+// assume held, every earlier assert passed, and the target's condition
+// evaluated false on integer values.
+//
+// hints maps variable indices to preferred values (typically the analysis
+// counter-example); they are tried first at every choice point for that
+// variable. The search is fully deterministic: identical inputs explore
+// identical trees.
+func (p *Program) ExecDirected(target int, hints map[int]*big.Int, opts DirectedOptions) DirectedResult {
+	opts.fill()
+	res := DirectedResult{}
+	if err := p.Resolve(); err != nil {
+		return res
+	}
+	if target < 0 || target >= len(p.Stmts) {
+		return res
+	}
+	if _, ok := p.Stmts[target].(*Assert); !ok {
+		return res
+	}
+
+	env := make([]*big.Int, p.NumVars())
+	var trace []int
+
+	// candidates lists the values tried for v, in order: the hint, values
+	// solved from the constraints the binding must satisfy, the generic
+	// pool.
+	candidates := func(v int, solved []*big.Int) []*big.Int {
+		var out []*big.Int
+		seen := map[string]bool{}
+		add := func(x *big.Int) {
+			if x == nil || seen[x.String()] {
+				return
+			}
+			seen[x.String()] = true
+			out = append(out, x)
+		}
+		add(hints[v])
+		for _, x := range solved {
+			add(x)
+		}
+		for _, k := range opts.Values {
+			add(big.NewInt(k))
+		}
+		return out
+	}
+
+	// solveFor derives candidate values for v from the constraints of d in
+	// which v is the only unbound variable: the exact solution of an
+	// equality, and the boundary of an inequality together with its
+	// just-violating neighbor (boundaries are where asserts tip over).
+	// Without this, assume(x = 4) deadends unless 4 happens to be in the
+	// generic pool.
+	solveFor := func(d DNF, v int, env []*big.Int) []*big.Int {
+		var out []*big.Int
+		for _, conj := range d {
+			for _, c := range conj {
+				k := c.E.Coef(v)
+				if k.Sign() == 0 {
+					continue
+				}
+				single := true
+				for _, u := range c.E.Vars() {
+					if u != v && env[u] == nil {
+						single = false
+						break
+					}
+				}
+				if !single {
+					continue
+				}
+				// c.E = k*x + rest; env[v] == nil, so Eval yields rest.
+				a := new(big.Int).Neg(c.E.Eval(env)) // solve k*x = a
+				if c.Rel == linear.Eq {
+					q, r := new(big.Int).QuoRem(a, k, new(big.Int))
+					if r.Sign() == 0 {
+						out = append(out, q)
+					}
+					continue
+				}
+				// k*x >= a: tightest x is ceil(a/k) for k > 0 and
+				// floor(a/k) for k < 0 (big.Int.Div floors for a positive
+				// divisor).
+				var b *big.Int
+				if k.Sign() > 0 {
+					num := new(big.Int).Add(a, k)
+					num.Sub(num, big.NewInt(1))
+					b = num.Div(num, k)
+					out = append(out, b, new(big.Int).Sub(b, big.NewInt(1)))
+				} else {
+					num := new(big.Int).Neg(a)
+					b = num.Div(num, new(big.Int).Neg(k))
+					out = append(out, b, new(big.Int).Add(b, big.NewInt(1)))
+				}
+			}
+		}
+		return out
+	}
+
+	// stmtSolved derives candidate values for binding v before executing
+	// the statement, from every constraint set the statement evaluates.
+	stmtSolved := func(s Stmt, v int, env []*big.Int) []*big.Int {
+		switch s := s.(type) {
+		case *Assume:
+			return solveFor(s.C, v, env)
+		case *Assert:
+			return solveFor(s.C, v, env)
+		case *IfGoto:
+			out := solveFor(s.C, v, env)
+			return append(out, solveFor(s.FallthroughCond(), v, env)...)
+		}
+		return nil
+	}
+
+	// undefinedVar returns the first variable of e (in index order) that
+	// has no value yet, or -1.
+	undefinedVar := func(e interface{ Vars() []int }) int {
+		vs := e.Vars()
+		sort.Ints(vs)
+		for _, v := range vs {
+			if env[v] == nil {
+				return v
+			}
+		}
+		return -1
+	}
+	undefinedInDNF := func(d DNF) int {
+		best := -1
+		for _, conj := range d {
+			for _, c := range conj {
+				if v := undefinedVar(c.E); v >= 0 && (best < 0 || v < best) {
+					best = v
+				}
+			}
+		}
+		return best
+	}
+
+	type status int
+	const (
+		deadend status = iota
+		found
+		exhausted // budget ran out: abort the whole search
+	)
+
+	var run func(pc, depth int) status
+	// withValue binds env[v] = val for the recursive continuation.
+	withValue := func(v int, val *big.Int, cont func() status) status {
+		old := env[v]
+		env[v] = val
+		st := cont()
+		env[v] = old
+		return st
+	}
+	// choose tries every candidate value for v before re-running pc.
+	choose := func(v, pc, depth int) status {
+		for _, val := range candidates(v, stmtSolved(p.Stmts[pc], v, env)) {
+			st := withValue(v, val, func() status { return run(pc, depth) })
+			if st != deadend {
+				return st
+			}
+		}
+		return deadend
+	}
+
+	// needsVar returns the first variable the statement reads that has no
+	// value yet, or -1.
+	needsVar := func(s Stmt) int {
+		switch s := s.(type) {
+		case *Assign:
+			return undefinedVar(s.E)
+		case *Assume:
+			return undefinedInDNF(s.C)
+		case *Assert:
+			if s.Unverifiable {
+				return -1
+			}
+			return undefinedInDNF(s.C)
+		case *IfGoto:
+			if v := undefinedInDNF(s.C); v >= 0 {
+				return v
+			}
+			return undefinedInDNF(s.FallthroughCond())
+		}
+		return -1
+	}
+
+	run = func(pc, depth int) status {
+		if pc >= len(p.Stmts) {
+			return deadend // normal exit: no violation on this path
+		}
+		if depth >= opts.MaxDepth {
+			res.Truncated = true
+			return deadend
+		}
+		if res.Steps >= opts.Budget {
+			res.Truncated = true
+			return exhausted
+		}
+		// Bind every undefined variable the statement reads before
+		// executing it (initial values are lazy choice points).
+		if v := needsVar(p.Stmts[pc]); v >= 0 {
+			return choose(v, pc, depth)
+		}
+		res.Steps++
+		trace = append(trace, pc)
+		defer func() { trace = trace[:len(trace)-1] }()
+
+		next := func() status { return run(pc+1, depth+1) }
+
+		switch s := p.Stmts[pc].(type) {
+		case *Assign:
+			return withValue(s.V, s.E.Eval(env), next)
+		case *Havoc:
+			// Havocked variables are typically constrained by the assume
+			// that follows (x := unknown; assume(...)): solve it for s.V so
+			// the candidates include the values that matter.
+			var solved []*big.Int
+			if pc+1 < len(p.Stmts) {
+				if a, ok := p.Stmts[pc+1].(*Assume); ok {
+					old := env[s.V]
+					env[s.V] = nil
+					solved = solveFor(a.C, s.V, env)
+					env[s.V] = old
+				}
+			}
+			for _, val := range candidates(s.V, solved) {
+				if st := withValue(s.V, val, next); st != deadend {
+					return st
+				}
+			}
+			return deadend
+		case *Assume:
+			if !evalDNF(s.C, env) {
+				return deadend // blocked
+			}
+			return next()
+		case *Assert:
+			violated := s.Unverifiable || !evalDNF(s.C, env)
+			if violated {
+				if pc == target && !s.Unverifiable {
+					res.Found = true
+					res.Trace = append([]int(nil), trace...)
+					return found
+				}
+				return deadend // first error is a different assert: halt
+			}
+			return next()
+		case *Goto:
+			return run(p.TargetOf(s.Target), depth+1)
+		case *IfGoto:
+			if s.C == nil {
+				// Nondeterministic branch: taken edge first, then the
+				// fall-through.
+				if st := run(p.TargetOf(s.Target), depth+1); st != deadend {
+					return st
+				}
+				return next()
+			}
+			if evalDNF(s.C, env) {
+				return run(p.TargetOf(s.Target), depth+1)
+			}
+			if !evalDNF(s.FallthroughCond(), env) {
+				return deadend // infeasible fall-through: blocked
+			}
+			return next()
+		default: // *Label
+			return next()
+		}
+	}
+
+	run(0, 0)
+	if res.Found {
+		res.Truncated = false
+	}
+	return res
+}

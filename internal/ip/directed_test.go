@@ -1,0 +1,219 @@
+package ip
+
+import (
+	"math/big"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/linear"
+)
+
+// geC builds sum(terms[i]*x_i) + k >= 0 from positional coefficients.
+func geC(k int64, terms ...int64) linear.Constraint {
+	e := linear.ConstExpr(k)
+	for v, c := range terms {
+		if c != 0 {
+			e.AddTerm(v, c)
+		}
+	}
+	return linear.NewGe(e)
+}
+
+func eqC(k int64, terms ...int64) linear.Constraint {
+	c := geC(k, terms...)
+	return linear.NewEq(c.E)
+}
+
+func TestExecDirectedFindsWitness(t *testing.T) {
+	// x := unknown; assume(x >= 0); assert(x >= 1): x = 0 violates.
+	p := New("w")
+	x := p.Space.Var("x")
+	p.Emit(&Havoc{V: x})
+	p.Emit(&Assume{C: Single(geC(0, 1))})
+	p.Emit(&Assert{C: Single(geC(-1, 1)), Msg: "x >= 1"})
+	res := p.ExecDirected(2, nil, DirectedOptions{})
+	if !res.Found {
+		t.Fatalf("witness not found: %+v", res)
+	}
+	if want := []int{0, 1, 2}; !reflect.DeepEqual(res.Trace, want) {
+		t.Errorf("trace = %v, want %v", res.Trace, want)
+	}
+}
+
+func TestExecDirectedNoWitness(t *testing.T) {
+	// assume(x >= 1); assert(x >= 0) always holds: exhaustive search over
+	// the finite candidate list finds nothing and is not truncated.
+	p := New("safe")
+	p.Space.Var("x")
+	p.Emit(&Assume{C: Single(geC(-1, 1))})
+	p.Emit(&Assert{C: Single(geC(0, 1)), Msg: "x >= 0"})
+	res := p.ExecDirected(1, nil, DirectedOptions{})
+	if res.Found {
+		t.Fatalf("found impossible witness: trace %v", res.Trace)
+	}
+	if res.Truncated {
+		t.Errorf("tiny search reported truncated")
+	}
+}
+
+// TestExecDirectedSolvesConstants checks constraint-directed value
+// selection: assume(x = 4) requires the solver to propose 4, which is not
+// in the generic candidate pool.
+func TestExecDirectedSolvesConstants(t *testing.T) {
+	p := New("const")
+	p.Space.Var("x")
+	y := p.Space.Var("y")
+	p.Emit(&Assume{C: Conj(eqC(-4, 1))})                     // x = 4
+	p.Emit(&Havoc{V: y})                                     // y := unknown
+	p.Emit(&Assume{C: Conj(eqC(0, 1, -1))})                  // y = x
+	p.Emit(&Assert{C: Single(geC(-5, 0, 1)), Msg: "y >= 5"}) // fails: y = 4
+	res := p.ExecDirected(3, nil, DirectedOptions{})
+	if !res.Found {
+		t.Fatalf("constraint-solved witness not found: %+v", res)
+	}
+}
+
+// TestExecDirectedBoundary checks that inequality boundaries (and their
+// just-violating neighbors) are proposed: the only failing value of
+// assert(x <= 99) under assume(x <= 100) is far outside the generic pool.
+func TestExecDirectedBoundary(t *testing.T) {
+	p := New("bound")
+	p.Space.Var("x")
+	p.Emit(&Assume{C: Conj(geC(0, 1), geC(100, -1))}) // 0 <= x <= 100
+	p.Emit(&Assert{C: Single(geC(99, -1)), Msg: "x <= 99"})
+	res := p.ExecDirected(1, nil, DirectedOptions{})
+	if !res.Found {
+		t.Fatalf("boundary witness (x = 100) not found: %+v", res)
+	}
+}
+
+func TestExecDirectedHints(t *testing.T) {
+	// Without a hint the witness x = 77 is unreachable; with one it is
+	// found immediately.
+	p := New("hint")
+	x := p.Space.Var("x")
+	p.Emit(&Havoc{V: x})
+	neq := DNF{
+		{geC(-78, 1)}, // x >= 78
+		{geC(76, -1)}, // x <= 76
+	}
+	p.Emit(&Assert{C: neq, Msg: "x != 77"})
+	if res := p.ExecDirected(1, nil, DirectedOptions{}); res.Found {
+		t.Fatalf("witness found without hint: %v", res.Trace)
+	}
+	hints := map[int]*big.Int{x: big.NewInt(77)}
+	if res := p.ExecDirected(1, hints, DirectedOptions{}); !res.Found {
+		t.Fatalf("hinted witness not found")
+	}
+}
+
+func TestExecDirectedFirstErrorSemantics(t *testing.T) {
+	// Both asserts fail on x = 0, but the first one halts the path: the
+	// second is not witnessable.
+	p := New("first")
+	x := p.Space.Var("x")
+	p.Emit(&Havoc{V: x})
+	p.Emit(&Assume{C: Single(eqC(0, 1))})                 // x = 0
+	p.Emit(&Assert{C: Single(geC(-1, 1)), Msg: "x >= 1"}) // fails first
+	p.Emit(&Assert{C: Single(geC(-2, 1)), Msg: "x >= 2"}) // shadowed
+	if res := p.ExecDirected(3, nil, DirectedOptions{}); res.Found {
+		t.Errorf("shadowed assert witnessed: %v", res.Trace)
+	}
+	if res := p.ExecDirected(2, nil, DirectedOptions{}); !res.Found {
+		t.Errorf("first assert not witnessed")
+	}
+}
+
+func TestExecDirectedBranches(t *testing.T) {
+	// The violation hides behind the non-taken edge of a nondeterministic
+	// branch.
+	p := New("branch")
+	x := p.Space.Var("x")
+	p.Emit(&Assign{V: x, E: linear.ConstExpr(0)})
+	p.Emit(&IfGoto{Target: "skip"}) // if (unknown)
+	p.Emit(&Assign{V: x, E: linear.ConstExpr(5)})
+	p.Emit(&Label{Name: "skip"})
+	p.Emit(&Assert{C: Single(geC(-1, 1)), Msg: "x >= 1"}) // fails when skipped
+	res := p.ExecDirected(4, nil, DirectedOptions{})
+	if !res.Found {
+		t.Fatalf("branch witness not found")
+	}
+}
+
+func TestExecDirectedUnverifiableNeverTarget(t *testing.T) {
+	p := New("unv")
+	p.Space.Var("x")
+	p.Emit(&Assert{Unverifiable: true, Msg: "opaque"})
+	if res := p.ExecDirected(0, nil, DirectedOptions{}); res.Found {
+		t.Errorf("unverifiable assert must not be witnessable")
+	}
+}
+
+func TestExecDirectedDeterministic(t *testing.T) {
+	p := New("det")
+	x := p.Space.Var("x")
+	y := p.Space.Var("y")
+	p.Emit(&Havoc{V: x})
+	p.Emit(&Havoc{V: y})
+	p.Emit(&Assume{C: Single(geC(0, 1, 1))})
+	p.Emit(&Assert{C: Single(geC(0, 1, -1)), Msg: "x >= y"})
+	first := p.ExecDirected(3, nil, DirectedOptions{})
+	for i := 0; i < 5; i++ {
+		again := p.ExecDirected(3, nil, DirectedOptions{})
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("run %d differs: %+v vs %+v", i, first, again)
+		}
+	}
+}
+
+func TestExecDirectedBudgetTruncates(t *testing.T) {
+	// An infinite loop ahead of the target exhausts any finite budget.
+	p := New("loop")
+	x := p.Space.Var("x")
+	p.Emit(&Assign{V: x, E: linear.ConstExpr(0)})
+	p.Emit(&Label{Name: "L"})
+	p.Emit(&Goto{Target: "L"})
+	p.Emit(&Assert{C: Single(geC(-1, 1)), Msg: "dead"})
+	res := p.ExecDirected(3, nil, DirectedOptions{Budget: 100})
+	if res.Found {
+		t.Fatalf("witness found through an infinite loop")
+	}
+	if !res.Truncated {
+		t.Errorf("budget exhaustion not reported as truncated")
+	}
+}
+
+func TestExecTruncatedFlag(t *testing.T) {
+	p := New("loop")
+	x := p.Space.Var("x")
+	p.Emit(&Assign{V: x, E: linear.ConstExpr(0)})
+	p.Emit(&Label{Name: "L"})
+	p.Emit(&Goto{Target: "L"})
+	if err := p.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	violated, truncated := p.Exec(rng, 50)
+	if len(violated) != 0 {
+		t.Errorf("violations in a loop with no asserts: %v", violated)
+	}
+	if !truncated {
+		t.Errorf("infinite loop not reported truncated")
+	}
+
+	q := New("straight")
+	y := q.Space.Var("y")
+	q.Emit(&Assign{V: y, E: linear.ConstExpr(1)})
+	q.Emit(&Assert{C: Single(geC(0, 1)), Msg: "y >= 0"})
+	if err := q.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	violated, truncated = q.Exec(rng, 0) // 0 = DefaultMaxSteps
+	if truncated {
+		t.Errorf("straight-line program reported truncated")
+	}
+	if len(violated) != 0 {
+		t.Errorf("unexpected violations: %v", violated)
+	}
+}

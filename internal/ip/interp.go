@@ -5,24 +5,41 @@ import (
 	"math/rand"
 )
 
+// DefaultMaxSteps is the step budget Exec uses when maxSteps <= 0. It is
+// generous relative to the benchmark programs (tens to hundreds of
+// statements with small loop bounds): a random walk that has not violated
+// an assert within 4096 steps is overwhelmingly likely looping soundly.
+const DefaultMaxSteps = 4096
+
 // Exec runs the integer program concretely, resolving every nondeterminism
 // (havocs, if(unknown)) with rng, and returns the index of the first
 // violated assert statement, if any. Execution blocks at a failed assume
 // and — like the paper's instrumented semantics — halts at the first
-// error; it aborts after maxSteps.
+// error.
+//
+// The run aborts after maxSteps statements (DefaultMaxSteps when
+// maxSteps <= 0); truncated reports that the budget was exhausted before
+// the program terminated or blocked, so "no violation" cannot be concluded
+// from an empty result.
 //
 // Exec is the testing oracle for the abstract engine: an assert a concrete
 // run violates first must be flagged by the (sound) analysis.
-func (p *Program) Exec(rng *rand.Rand, maxSteps int) (violated []int) {
+func (p *Program) Exec(rng *rand.Rand, maxSteps int) (violated []int, truncated bool) {
 	if err := p.Resolve(); err != nil {
-		return nil
+		return nil, false
+	}
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps
 	}
 	env := make([]*big.Int, p.NumVars())
 	for i := range env {
 		env[i] = big.NewInt(rng.Int63n(9) - 4)
 	}
 	pc := 0
-	for steps := 0; pc < len(p.Stmts) && steps < maxSteps; steps++ {
+	for steps := 0; pc < len(p.Stmts); steps++ {
+		if steps >= maxSteps {
+			return violated, true
+		}
 		switch s := p.Stmts[pc].(type) {
 		case *Assign:
 			env[s.V] = s.E.Eval(env)
@@ -30,11 +47,11 @@ func (p *Program) Exec(rng *rand.Rand, maxSteps int) (violated []int) {
 			env[s.V] = big.NewInt(rng.Int63n(17) - 8)
 		case *Assume:
 			if !evalDNF(s.C, env) {
-				return violated // blocked execution
+				return violated, false // blocked execution
 			}
 		case *Assert:
 			if s.Unverifiable || !evalDNF(s.C, env) {
-				return append(violated, pc)
+				return append(violated, pc), false
 			}
 		case *Goto:
 			pc = p.TargetOf(s.Target)
@@ -55,14 +72,14 @@ func (p *Program) Exec(rng *rand.Rand, maxSteps int) (violated []int) {
 			// or leave gaps, so treat an infeasible fall-through as a
 			// blocked execution.
 			if !evalDNF(s.FallthroughCond(), env) {
-				return violated
+				return violated, false
 			}
 		case *Label:
 			// no-op
 		}
 		pc++
 	}
-	return violated
+	return violated, false
 }
 
 func evalDNF(d DNF, env []*big.Int) bool {

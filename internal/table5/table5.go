@@ -80,6 +80,15 @@ type Row struct {
 	DeriveSpace uint64
 	VacuousMsgs int
 	AutoMsgs    int
+	// Certification columns (under Driver.Certify): Certified counts
+	// discharged checks whose invariant certificate the independent
+	// Fourier–Motzkin checker re-proved; CertFailed counts rejected
+	// certificates; Witnessed counts messages replayed to a concrete
+	// failing trace; Potential the remaining messages.
+	Certified  int
+	CertFailed int
+	Witnessed  int
+	Potential  int
 }
 
 // Options tunes the harness run.
@@ -134,6 +143,13 @@ func RunSuiteSource(suite, filename, src string, opts Options) ([]Row, error) {
 		}
 		row.FalseAlarms = row.Msgs - row.Errors
 
+		if pr.Certification != nil {
+			row.Certified = pr.Certification.Certified
+			row.CertFailed = pr.Certification.Failed
+			row.Witnessed = pr.Certification.Witnessed
+			row.Potential = pr.Certification.Potential
+		}
+
 		if !opts.SkipDerivation {
 			vac := dopts
 			vac.Procs = []string{pr.Name}
@@ -158,35 +174,48 @@ func RunSuiteSource(suite, filename, src string, opts Options) ([]Row, error) {
 	return rows, nil
 }
 
-// Format renders rows as the paper's Table 5.
-func Format(rows []Row, withDerive bool) string {
+// Format renders rows as the paper's Table 5. withCertify adds the
+// certification columns (certified/failed certificates, witnessed/potential
+// messages); pass it when the rows were produced under Driver.Certify.
+func Format(rows []Row, withDerive bool, withCertify ...bool) string {
+	certify := len(withCertify) > 0 && withCertify[0]
 	var sb strings.Builder
 	if withDerive {
-		fmt.Fprintf(&sb, "%-10s %-22s %5s %5s %-6s | %6s %7s %9s %9s | %4s %4s %5s | %9s %4s %4s\n",
-			"Suite", "Function", "LOC", "SLOC", "Contr",
-			"IPVars", "IPSize", "CPU", "Space",
-			"Msg", "Err", "False",
-			"DerCPU", "Vac", "Auto")
-	} else {
-		fmt.Fprintf(&sb, "%-10s %-22s %5s %5s %-6s | %6s %7s %9s %9s | %4s %4s %5s\n",
+		fmt.Fprintf(&sb, "%-10s %-22s %5s %5s %-6s | %6s %7s %9s %9s | %4s %4s %5s",
 			"Suite", "Function", "LOC", "SLOC", "Contr",
 			"IPVars", "IPSize", "CPU", "Space",
 			"Msg", "Err", "False")
-	}
-	sb.WriteString(strings.Repeat("-", 118) + "\n")
-	for _, r := range rows {
-		if withDerive {
-			fmt.Fprintf(&sb, "%-10s %-22s %5d %5d %-6s | %6d %7d %9s %8.1fM | %4d %4d %5d | %9s %4d %4d\n",
-				r.Suite, r.Function, r.LOC, r.SLOC, r.Contract,
-				r.IPVars, r.IPSize, fmtDur(r.CPU), float64(r.Space)/1e6,
-				r.Msgs, r.Errors, r.FalseAlarms,
-				fmtDur(r.DeriveCPU), r.VacuousMsgs, r.AutoMsgs)
-		} else {
-			fmt.Fprintf(&sb, "%-10s %-22s %5d %5d %-6s | %6d %7d %9s %8.1fM | %4d %4d %5d\n",
-				r.Suite, r.Function, r.LOC, r.SLOC, r.Contract,
-				r.IPVars, r.IPSize, fmtDur(r.CPU), float64(r.Space)/1e6,
-				r.Msgs, r.Errors, r.FalseAlarms)
+		if certify {
+			fmt.Fprintf(&sb, " | %4s %4s %4s %4s", "Cert", "CFail", "Wit", "Pot")
 		}
+		fmt.Fprintf(&sb, " | %9s %4s %4s\n", "DerCPU", "Vac", "Auto")
+	} else {
+		fmt.Fprintf(&sb, "%-10s %-22s %5s %5s %-6s | %6s %7s %9s %9s | %4s %4s %5s",
+			"Suite", "Function", "LOC", "SLOC", "Contr",
+			"IPVars", "IPSize", "CPU", "Space",
+			"Msg", "Err", "False")
+		if certify {
+			fmt.Fprintf(&sb, " | %4s %4s %4s %4s", "Cert", "CFail", "Wit", "Pot")
+		}
+		sb.WriteString("\n")
+	}
+	width := 118
+	if certify {
+		width += 23
+	}
+	sb.WriteString(strings.Repeat("-", width) + "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s %-22s %5d %5d %-6s | %6d %7d %9s %8.1fM | %4d %4d %5d",
+			r.Suite, r.Function, r.LOC, r.SLOC, r.Contract,
+			r.IPVars, r.IPSize, fmtDur(r.CPU), float64(r.Space)/1e6,
+			r.Msgs, r.Errors, r.FalseAlarms)
+		if certify {
+			fmt.Fprintf(&sb, " | %4d %5d %4d %4d", r.Certified, r.CertFailed, r.Witnessed, r.Potential)
+		}
+		if withDerive {
+			fmt.Fprintf(&sb, " | %9s %4d %4d", fmtDur(r.DeriveCPU), r.VacuousMsgs, r.AutoMsgs)
+		}
+		sb.WriteString("\n")
 	}
 	return sb.String()
 }
