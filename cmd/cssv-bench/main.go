@@ -1,0 +1,243 @@
+// Command cssv-bench runs the numeric-kernel benchmark suite and emits
+// machine-readable results, establishing the recorded perf trajectory of
+// the analyzer (BENCH_numeric.json at the repository root).
+//
+// Usage:
+//
+//	cssv-bench [-out BENCH_numeric.json] [-baseline old.json] [-quick] [-benchtime 500ms]
+//
+// The suite mirrors the hot benchmarks of the in-repo `go test -bench`
+// harness — the polyhedra substrate primitives (BenchmarkPolyhedra/*), a
+// zone-domain closure workload, and the whole-suite headline runs
+// (BenchmarkHeadline) — but runs them through a self-contained timing loop
+// so results serialize to JSON without parsing `go test` output.
+//
+// With -baseline, the previous results are embedded in the output and a
+// geometric-mean speedup over the matching benchmarks is computed, so each
+// PR can record before/after numbers on the same machine:
+//
+//	go run ./cmd/cssv-bench -out /tmp/before.json            # at the old commit
+//	go run ./cmd/cssv-bench -baseline /tmp/before.json -out BENCH_numeric.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"repro"
+	"repro/internal/linear"
+	"repro/internal/polyhedra"
+	"repro/internal/zone"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// File is the serialized benchmark report.
+type File struct {
+	// GeneratedUnix stamps the run; Go and CPUs describe the machine.
+	GeneratedUnix int64    `json:"generated_unix"`
+	Go            string   `json:"go"`
+	CPUs          int      `json:"cpus"`
+	Benchtime     string   `json:"benchtime"`
+	Results       []Result `json:"results"`
+	// Baseline carries the previous run (its own baseline stripped), and
+	// SpeedupGeomean the geometric-mean ns/op ratio baseline/current over
+	// the benchmarks present in both.
+	Baseline       *File   `json:"baseline,omitempty"`
+	SpeedupGeomean float64 `json:"speedup_geomean_vs_baseline,omitempty"`
+}
+
+// measure runs fn in a timing loop until the run lasts at least target
+// (always exactly once under quick mode), reporting per-op time and
+// allocation figures.
+func measure(name string, target time.Duration, quick bool, fn func()) Result {
+	run := func(n int) (time.Duration, uint64, uint64) {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			fn()
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		return elapsed, after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc
+	}
+	n := 1
+	elapsed, mallocs, bytes := run(n)
+	if !quick {
+		for elapsed < target && n < 1<<24 {
+			// Grow toward the target, the same way testing.B predicts.
+			next := n * 2
+			if elapsed > 0 {
+				predicted := int(float64(n) * 1.2 * float64(target) / float64(elapsed))
+				if predicted > next {
+					next = predicted
+				}
+			}
+			n = next
+			elapsed, mallocs, bytes = run(n)
+		}
+	}
+	return Result{
+		Name:        name,
+		Iters:       n,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(n),
+		AllocsPerOp: float64(mallocs) / float64(n),
+		BytesPerOp:  float64(bytes) / float64(n),
+	}
+}
+
+// polyPair builds the BenchmarkPolyhedra workload: a box polyhedron and a
+// chain-ordering polyhedron over dim variables.
+func polyPair(dim int) (*polyhedra.Poly, *polyhedra.Poly) {
+	var sysA, sysB linear.System
+	for v := 0; v < dim; v++ {
+		e := linear.VarExpr(v)
+		sysA = append(sysA, linear.NewGe(e)) // x >= 0
+		f := linear.ConstExpr(int64(10 + v)).Sub(linear.VarExpr(v))
+		sysA = append(sysA, linear.NewGe(f)) // x <= 10+v
+		if v > 0 {
+			g := linear.VarExpr(v).Sub(linear.VarExpr(v - 1))
+			sysB = append(sysB, linear.NewGe(g)) // x_v >= x_{v-1}
+		}
+	}
+	return polyhedra.FromSystem(sysA, dim), polyhedra.FromSystem(sysB, dim)
+}
+
+// zoneChain builds a DBM workload: x_0 <= x_1 <= ... <= x_{n-1}, with
+// x_0 >= 0 and x_{n-1} <= 100.
+func zoneChain(n int) *zone.DBM {
+	d := zone.Universe(n)
+	for v := 1; v < n; v++ {
+		e := linear.VarExpr(v).Sub(linear.VarExpr(v - 1))
+		d = d.MeetConstraint(linear.NewGe(e))
+	}
+	d = d.MeetConstraint(linear.NewGe(linear.VarExpr(0)))
+	last := linear.ConstExpr(100).Sub(linear.VarExpr(n - 1))
+	d = d.MeetConstraint(linear.NewGe(last))
+	return d
+}
+
+func main() {
+	var (
+		out      = flag.String("out", "BENCH_numeric.json", "output JSON path")
+		baseline = flag.String("baseline", "", "previous results to embed for before/after comparison")
+		quick    = flag.Bool("quick", false, "single iteration per benchmark (CI smoke)")
+		bt       = flag.Duration("benchtime", 500*time.Millisecond, "minimum measured time per benchmark")
+	)
+	flag.Parse()
+
+	rep := &File{
+		GeneratedUnix: time.Now().Unix(),
+		Go:            runtime.Version(),
+		CPUs:          runtime.GOMAXPROCS(0),
+		Benchtime:     bt.String(),
+	}
+	if *quick {
+		rep.Benchtime = "1x"
+	}
+
+	add := func(name string, fn func()) {
+		r := measure(name, *bt, *quick, fn)
+		rep.Results = append(rep.Results, r)
+		fmt.Printf("%-40s %10d iters  %14.0f ns/op  %12.0f allocs/op\n",
+			r.Name, r.Iters, r.NsPerOp, r.AllocsPerOp)
+	}
+
+	for _, dim := range []int{4, 6, 8} {
+		p, q := polyPair(dim)
+		add(fmt.Sprintf("polyhedra/join/dim=%d", dim), func() { p.Clone().Join(q) })
+		add(fmt.Sprintf("polyhedra/meet+empty/dim=%d", dim), func() { p.Clone().Meet(q).IsEmpty() })
+		j := p.Clone().Join(q)
+		add(fmt.Sprintf("polyhedra/widen/dim=%d", dim), func() { p.Widen(j) })
+	}
+
+	for _, n := range []int{8, 16} {
+		d := zoneChain(n)
+		e := zoneChain(n).Havoc(n / 2)
+		add(fmt.Sprintf("zone/join+close/n=%d", n), func() { d.Clone().Join(e).IsEmpty() })
+	}
+
+	for _, s := range []struct{ name, path string }{
+		{"airbus", "testdata/airbus/airbus.c"},
+		{"fixwrites", "testdata/fixwrites/fixwrites.c"},
+	} {
+		src, err := os.ReadFile(s.path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cssv-bench: skipping headline/%s: %v\n", s.name, err)
+			continue
+		}
+		text := string(src)
+		path := s.path
+		add("headline/"+s.name, func() {
+			if _, err := cssv.Analyze(path, text, cssv.Config{}); err != nil {
+				fmt.Fprintln(os.Stderr, "cssv-bench:", err)
+				os.Exit(1)
+			}
+		})
+	}
+
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cssv-bench:", err)
+			os.Exit(1)
+		}
+		var base File
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fmt.Fprintln(os.Stderr, "cssv-bench: bad baseline:", err)
+			os.Exit(1)
+		}
+		base.Baseline = nil // keep one level of history
+		rep.Baseline = &base
+		rep.SpeedupGeomean = geomeanSpeedup(base.Results, rep.Results)
+		if rep.SpeedupGeomean > 0 {
+			fmt.Printf("geomean speedup vs baseline: %.2fx\n", rep.SpeedupGeomean)
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cssv-bench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "cssv-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", *out)
+}
+
+// geomeanSpeedup computes the geometric mean of before/after ns-per-op
+// ratios over benchmarks present in both result sets.
+func geomeanSpeedup(before, after []Result) float64 {
+	prev := map[string]float64{}
+	for _, r := range before {
+		prev[r.Name] = r.NsPerOp
+	}
+	sum, n := 0.0, 0
+	for _, r := range after {
+		if p, ok := prev[r.Name]; ok && p > 0 && r.NsPerOp > 0 {
+			sum += math.Log(p / r.NsPerOp)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}

@@ -73,9 +73,10 @@ func main() {
 		if s.Wall > 0 {
 			speedup = float64(s.SequentialCPU) / float64(s.Wall)
 		}
-		fmt.Printf("run: workers=%d wall=%s cpu=%s speedup=%.1fx ptcache=%d/%d libc-header-cached=%v\n",
+		fmt.Printf("run: workers=%d wall=%s cpu=%s speedup=%.1fx ptcache=%d/%d libc-header-cached=%v precision-drops=%d\n",
 			s.Workers, s.Wall.Round(1e6), s.SequentialCPU.Round(1e6), speedup,
-			s.PointerCacheHits, s.PointerCacheHits+s.PointerCacheMisses, s.LibcHeaderReused)
+			s.PointerCacheHits, s.PointerCacheHits+s.PointerCacheMisses, s.LibcHeaderReused,
+			s.PrecisionDrops)
 	}
 
 	messages := 0

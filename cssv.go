@@ -239,6 +239,10 @@ type RunStats struct {
 	// contract header was already cached when the run started.
 	PointerCacheHits, PointerCacheMisses int
 	LibcHeaderReused                     bool
+	// PrecisionDrops counts constraints the polyhedra substrate dropped at
+	// its ray cap during this run (each is a sound over-approximation, but
+	// nonzero means precision was lost).
+	PrecisionDrops int
 }
 
 // Messages returns all messages across procedures.

@@ -62,6 +62,25 @@ type Domain interface {
 	Bottom(n int) State
 }
 
+// stateKeyer is implemented by states that can produce a canonical
+// value-based key of their current representation (see polyhedra.Poly.Key
+// and zone.DBM.Key). Equal keys imply identical representations — hence the
+// same concretization — so the engine may replay a cached Includes answer
+// without losing bit-identical results. The second result is false when no
+// key is available cheaply; the engine then skips the cache.
+type stateKeyer interface {
+	StateKey() (string, bool)
+}
+
+func stateKeyOf(s State) string {
+	if k, ok := s.(stateKeyer); ok {
+		if key, avail := k.StateKey(); avail {
+			return key
+		}
+	}
+	return ""
+}
+
 // ---------------------------------------------------------------------------
 // Polyhedra adapter
 
@@ -105,6 +124,9 @@ func (s polyState) System() linear.System            { return s.p.System() }
 func (s polyState) Sample() []*big.Rat               { return s.p.SamplePoint() }
 func (s polyState) Bounds(v int) (lo, hi *big.Rat)   { return s.p.Bounds(v) }
 func (s polyState) String(sp *linear.Space) string   { return s.p.String(sp) }
+
+// StateKey implements stateKeyer.
+func (s polyState) StateKey() (string, bool) { return s.p.Key() }
 
 // Poly exposes the underlying polyhedron (used by derivation).
 func (s polyState) Poly() *polyhedra.Poly { return s.p }

@@ -79,3 +79,6 @@ func (s zoneState) System() linear.System             { return s.d.System() }
 func (s zoneState) Sample() []*big.Rat                { return s.d.Sample() }
 func (s zoneState) Bounds(v int) (lo, hi *big.Rat)    { return s.d.Bounds(v) }
 func (s zoneState) String(sp *linear.Space) string    { return s.d.String(sp) }
+
+// StateKey implements stateKeyer.
+func (s zoneState) StateKey() (string, bool) { return s.d.Key() }

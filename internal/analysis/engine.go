@@ -155,6 +155,7 @@ func Analyze(p *ip.Program, opts Options) (*Result, error) {
 	const maxIterations = 2_000_000
 	const wideningEscalation = 12
 	debugEvery := osGetenvInt("CSSV_DEBUG_ITER")
+	memo := includesMemo{}
 	for work.Len() > 0 {
 		iterations++
 		if debugEvery > 0 && iterations%debugEvery == 0 {
@@ -189,7 +190,7 @@ func Analyze(p *ip.Program, opts Options) (*Result, error) {
 					joined = in[e.to].Widen(joined)
 				}
 			}
-			if in[e.to].Includes(joined) {
+			if memo.includes(in[e.to], joined) {
 				continue
 			}
 			in[e.to] = joined
@@ -220,7 +221,7 @@ func Analyze(p *ip.Program, opts Options) (*Result, error) {
 			// Keep only refinements (soundness: the narrowed value must
 			// stay above the true fixpoint; intersecting a post-fixpoint
 			// with a recomputed value is safe).
-			if in[j].Includes(acc) {
+			if memo.includes(in[j], acc) {
 				in[j] = acc
 			}
 		}
@@ -255,6 +256,33 @@ func Analyze(p *ip.Program, opts Options) (*Result, error) {
 
 func osGetenvInt(k string) int {
 	v, _ := strconv.Atoi(os.Getenv(k))
+	return v
+}
+
+// includesMemo caches Includes answers across fixpoint iterations: the
+// worklist re-tests the same (invariant, candidate) pairs every time a node
+// is revisited without its inputs changing. Entries are keyed by the
+// canonical representation keys of both operands (length-prefixed to keep
+// the concatenation unambiguous); equal keys mean identical representations
+// and therefore the same answer, so the cache cannot change results. States
+// without a cheap key bypass the cache.
+type includesMemo map[string]bool
+
+func (m includesMemo) includes(a, b State) bool {
+	ak := stateKeyOf(a)
+	if ak == "" {
+		return a.Includes(b)
+	}
+	bk := stateKeyOf(b)
+	if bk == "" {
+		return a.Includes(b)
+	}
+	key := strconv.Itoa(len(ak)) + ":" + ak + bk
+	if v, ok := m[key]; ok {
+		return v
+	}
+	v := a.Includes(b)
+	m[key] = v
 	return v
 }
 

@@ -104,6 +104,10 @@ func TestNoPolyhedraImport(t *testing.T) {
 		"repro/internal/analysis",
 		"repro/internal/zone",
 		"repro/internal/interval",
+		// The hybrid-kernel fast-path helpers: the checker's big.Rat
+		// arithmetic must not share overflow-checked code with the
+		// analysis it validates.
+		"repro/internal/numkernel",
 	}
 	files, err := filepath.Glob("*.go")
 	if err != nil {

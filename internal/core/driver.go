@@ -18,6 +18,7 @@ import (
 	"repro/internal/ip"
 	"repro/internal/libc"
 	"repro/internal/pointer"
+	"repro/internal/polyhedra"
 	"repro/internal/ppt"
 )
 
@@ -146,6 +147,11 @@ type RunStats struct {
 	// LibcHeaderReused reports whether the parsed libc contract header was
 	// already cached when this run started.
 	LibcHeaderReused bool
+	// PrecisionDrops counts constraints the polyhedra substrate dropped at
+	// its ray cap during this run. Each drop is a sound over-approximation,
+	// but a nonzero count means precision was lost — surfaced here (and on
+	// the cssv -stats line) instead of silently.
+	PrecisionDrops int
 }
 
 // TotalMessages sums messages over all procedures.
@@ -216,6 +222,7 @@ type runCounters struct {
 // workers are cancelled at their next phase boundary.
 func AnalyzeSource(filename, src string, opts Options) (*Report, error) {
 	start := time.Now()
+	dropsBefore := polyhedra.DroppedConstraints()
 	libcCached := !opts.NoLibc && libc.PreludeCached()
 	file, prog, err := parseUnit(filename, src, opts.NoLibc)
 	if err != nil {
@@ -271,6 +278,7 @@ func AnalyzeSource(filename, src string, opts Options) (*Report, error) {
 	rep.Stats.PointerCacheHits = int(rc.ptHits.Load())
 	rep.Stats.PointerCacheMisses = int(rc.ptMisses.Load())
 	rep.Stats.LibcHeaderReused = libcCached
+	rep.Stats.PrecisionDrops = int(polyhedra.DroppedConstraints() - dropsBefore)
 	return rep, nil
 }
 

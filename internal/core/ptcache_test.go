@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/pointer"
+	"repro/internal/polyhedra"
 )
 
 const ptcacheSrc = `
@@ -88,5 +89,46 @@ func TestRunStatsAccounting(t *testing.T) {
 	// The libc header is certainly cached by now.
 	if !rep2.Stats.LibcHeaderReused {
 		t.Errorf("LibcHeaderReused = false on a repeated run")
+	}
+}
+
+// precisionDropSrc reaches a state whose polyhedron is a 3-cube over the
+// parameters: converting it to generators under a ray cap of 1 must drop
+// constraints.
+const precisionDropSrc = `
+void f(int a, int b, int c) {
+    int s;
+    if (a < 0) goto done;
+    if (a > 5) goto done;
+    if (b < 0) goto done;
+    if (b > 5) goto done;
+    if (c < 0) goto done;
+    if (c > 5) goto done;
+    s = a + b;
+    s = s + c;
+done:
+    s = 0;
+}
+`
+
+func TestPrecisionDropsSurfaced(t *testing.T) {
+	FlushCaches()
+	rep, err := AnalyzeSource("t.c", precisionDropSrc, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.PrecisionDrops != 0 {
+		t.Errorf("uncapped run reported %d precision drops, want 0", rep.Stats.PrecisionDrops)
+	}
+	old := polyhedra.MaxRays
+	polyhedra.MaxRays = 1
+	defer func() { polyhedra.MaxRays = old }()
+	FlushCaches()
+	rep2, err := AnalyzeSource("t.c", precisionDropSrc, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Stats.PrecisionDrops == 0 {
+		t.Errorf("capped run reported no precision drops; the cap must be surfaced in Stats")
 	}
 }

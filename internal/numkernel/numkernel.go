@@ -1,0 +1,121 @@
+// Package numkernel provides the overflow-checked machine-word arithmetic
+// underlying the hybrid int64/big.Int numeric kernel of the polyhedra and
+// zone substrates. Every helper either returns an exact int64 result with
+// ok == true, or reports ok == false so the caller can promote the
+// computation to the exact (big.Int) tier. Promotion never loses
+// information: the checked helpers are exact whenever they succeed, so a
+// computation that mixes tiers is bit-identical to one performed entirely
+// in arbitrary precision.
+//
+// The package also hosts the canonical value-based byte encodings both
+// substrates use to key dedup tables and memo caches: the encodings depend
+// only on the numeric value, never on the tier holding it.
+//
+// The certificate checker (internal/certify) must not import this package:
+// its trust argument requires exact big.Rat arithmetic with no fast-path
+// code shared with the analysis it validates (enforced by
+// certify.TestNoPolyhedraImport).
+package numkernel
+
+import (
+	"math"
+	"math/big"
+	"math/bits"
+)
+
+// AddOK returns a+b and whether the sum fits in an int64.
+func AddOK(a, b int64) (int64, bool) {
+	s := a + b
+	// Overflow iff the operands share a sign that the sum does not.
+	return s, (a^s)&(b^s) >= 0
+}
+
+// SubOK returns a-b and whether the difference fits in an int64.
+func SubOK(a, b int64) (int64, bool) {
+	d := a - b
+	return d, (a^b)&(a^d) >= 0
+}
+
+// MulOK returns a*b and whether the product fits in an int64.
+func MulOK(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	neg := (a < 0) != (b < 0)
+	hi, lo := bits.Mul64(AbsU64(a), AbsU64(b))
+	if hi != 0 {
+		return 0, false
+	}
+	if neg {
+		if lo > 1<<63 {
+			return 0, false
+		}
+		if lo == 1<<63 {
+			return math.MinInt64, true
+		}
+		return -int64(lo), true
+	}
+	if lo > math.MaxInt64 {
+		return 0, false
+	}
+	return int64(lo), true
+}
+
+// NegOK returns -a and whether the negation fits in an int64 (it does not
+// for math.MinInt64).
+func NegOK(a int64) (int64, bool) {
+	if a == math.MinInt64 {
+		return 0, false
+	}
+	return -a, true
+}
+
+// AbsU64 returns |x| as a uint64; unlike an int64 absolute value it is
+// total (|math.MinInt64| = 1<<63 is representable).
+func AbsU64(x int64) uint64 {
+	if x < 0 {
+		return uint64(-x) // wraps to 1<<63 for MinInt64, which is correct
+	}
+	return uint64(x)
+}
+
+// Gcd64 returns gcd(a, b) with Gcd64(0, x) == x.
+func Gcd64(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Canonical value encodings. An int64-representable value always uses the
+// compact form, whether it lives on the machine tier or in a big.Int, so
+// equal values encode equally regardless of tier. The leading tag bytes
+// keep the compact and wide forms from colliding.
+const (
+	keyTagInt64 = 0x02
+	keyTagBig   = 0x03
+	keyTermBig  = 0xfe
+)
+
+// AppendKeyInt64 appends the canonical encoding of x to key.
+func AppendKeyInt64(key []byte, x int64) []byte {
+	u := uint64(x)
+	return append(key, keyTagInt64,
+		byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+		byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+}
+
+// AppendKeyBig appends the canonical encoding of x to key. Values that fit
+// an int64 take the same compact form AppendKeyInt64 produces.
+func AppendKeyBig(key []byte, x *big.Int) []byte {
+	if x.IsInt64() {
+		return AppendKeyInt64(key, x.Int64())
+	}
+	key = append(key, keyTagBig, byte(x.Sign()+1))
+	for _, w := range x.Bits() {
+		key = append(key,
+			byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+	}
+	return append(key, keyTermBig)
+}

@@ -1,0 +1,106 @@
+package numkernel
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// TestCheckedOpsAgainstBig: the checked helpers agree with big.Int exactly —
+// ok == true iff the exact result fits, and then the values match.
+func TestCheckedOpsAgainstBig(t *testing.T) {
+	interesting := []int64{
+		0, 1, -1, 2, -2, 63, -63,
+		math.MaxInt32, math.MinInt32,
+		math.MaxInt64, math.MinInt64,
+		math.MaxInt64 - 1, math.MinInt64 + 1,
+		1 << 31, 1 << 32, 1 << 62, -(1 << 62),
+	}
+	rng := rand.New(rand.NewSource(7))
+	vals := append([]int64(nil), interesting...)
+	for i := 0; i < 200; i++ {
+		vals = append(vals, rng.Int63()-rng.Int63())
+	}
+	lo := big.NewInt(math.MinInt64)
+	hi := big.NewInt(math.MaxInt64)
+	fits := func(x *big.Int) bool { return x.Cmp(lo) >= 0 && x.Cmp(hi) <= 0 }
+	for _, a := range vals {
+		for _, b := range vals {
+			ba, bb := big.NewInt(a), big.NewInt(b)
+			checks := []struct {
+				name  string
+				got   int64
+				ok    bool
+				exact *big.Int
+			}{
+				{"add", 0, false, new(big.Int).Add(ba, bb)},
+				{"sub", 0, false, new(big.Int).Sub(ba, bb)},
+				{"mul", 0, false, new(big.Int).Mul(ba, bb)},
+			}
+			checks[0].got, checks[0].ok = AddOK(a, b)
+			checks[1].got, checks[1].ok = SubOK(a, b)
+			checks[2].got, checks[2].ok = MulOK(a, b)
+			for _, c := range checks {
+				if c.ok != fits(c.exact) {
+					t.Fatalf("%s(%d, %d): ok=%v, want %v", c.name, a, b, c.ok, fits(c.exact))
+				}
+				if c.ok && big.NewInt(c.got).Cmp(c.exact) != 0 {
+					t.Fatalf("%s(%d, %d) = %d, want %s", c.name, a, b, c.got, c.exact)
+				}
+			}
+		}
+	}
+}
+
+func TestNegAbs(t *testing.T) {
+	if _, ok := NegOK(math.MinInt64); ok {
+		t.Error("NegOK(MinInt64) must overflow")
+	}
+	if v, ok := NegOK(math.MaxInt64); !ok || v != math.MinInt64+1 {
+		t.Errorf("NegOK(MaxInt64) = %d, %v", v, ok)
+	}
+	if got := AbsU64(math.MinInt64); got != 1<<63 {
+		t.Errorf("AbsU64(MinInt64) = %d, want 2^63", got)
+	}
+	if got := AbsU64(-5); got != 5 {
+		t.Errorf("AbsU64(-5) = %d", got)
+	}
+}
+
+func TestGcd64(t *testing.T) {
+	cases := []struct{ a, b, want uint64 }{
+		{0, 0, 0}, {0, 7, 7}, {7, 0, 7}, {12, 18, 6},
+		{1 << 63, 2, 2}, {1 << 63, 1 << 63, 1 << 63}, {17, 13, 1},
+	}
+	for _, c := range cases {
+		if got := Gcd64(c.a, c.b); got != c.want {
+			t.Errorf("Gcd64(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestKeyEncodingCanonical: the compact and wide encodings agree on every
+// int64-representable value and never collide across distinct values.
+func TestKeyEncodingCanonical(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	seen := map[string]string{}
+	record := func(key []byte, val string) {
+		if prev, ok := seen[string(key)]; ok && prev != val {
+			t.Fatalf("key collision: %q vs %q", prev, val)
+		}
+		seen[string(key)] = val
+	}
+	for i := 0; i < 500; i++ {
+		x := rng.Int63() - rng.Int63()
+		a := AppendKeyInt64(nil, x)
+		b := AppendKeyBig(nil, big.NewInt(x))
+		if string(a) != string(b) {
+			t.Fatalf("tier-dependent encoding for %d", x)
+		}
+		record(a, big.NewInt(x).String())
+		// Wide values must also be uniquely encoded.
+		w := new(big.Int).Lsh(big.NewInt(x), uint(64+rng.Intn(3)))
+		record(AppendKeyBig(nil, w), w.String())
+	}
+}

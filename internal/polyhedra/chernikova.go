@@ -1,6 +1,16 @@
 package polyhedra
 
-import "math/big"
+import "sync/atomic"
+
+// droppedTotal counts constraints dropped process-wide because an
+// intermediate ray count exceeded the cap. The core driver snapshots it
+// around a run to surface per-run precision loss in Report.Stats instead of
+// dropping silently.
+var droppedTotal atomic.Int64
+
+// DroppedConstraints returns the process-wide number of constraints dropped
+// at the ray cap since start; callers measure deltas.
+func DroppedConstraints() int64 { return droppedTotal.Load() }
 
 // genset is the generator representation of a homogenized cone: lines
 // (bidirectional) and rays. Rays with a positive coordinate 0 are vertices
@@ -26,7 +36,7 @@ func (g *genset) clone() *genset {
 // i.e. the dehomogenized polyhedron is non-empty.
 func (g *genset) hasVertex() bool {
 	for _, r := range g.rays {
-		if r[0].Sign() > 0 {
+		if r.sign(0) > 0 {
 			return true
 		}
 	}
@@ -69,11 +79,11 @@ func universePolyCone(n, maxRays int) *cone {
 	c := &cone{dim: n + 1, maxRays: maxRays, ncons: 1}
 	for i := 1; i <= n; i++ {
 		l := newVec(n + 1)
-		l[i].SetInt64(1)
+		l.setInt64(i, 1)
 		c.lines = append(c.lines, l)
 	}
 	r := newVec(n + 1)
-	r[0].SetInt64(1)
+	r.setInt64(0, 1)
 	c.rays = append(c.rays, satRay{v: r, sat: newBitset(1)})
 	return c
 }
@@ -84,7 +94,7 @@ func universeCone(m, maxRays int) *cone {
 	c := &cone{dim: m, maxRays: maxRays}
 	for i := 0; i < m; i++ {
 		l := newVec(m)
-		l[i].SetInt64(1)
+		l.setInt64(i, 1)
 		c.lines = append(c.lines, l)
 	}
 	return c
@@ -110,30 +120,30 @@ func (c *cone) add(r row) bool {
 	// shift every other generator onto the hyperplane.
 	for i, l := range c.lines {
 		p := dot(r.v, l)
-		if p.Sign() == 0 {
+		if p.sign() == 0 {
 			continue
 		}
-		if p.Sign() < 0 {
+		if p.sign() < 0 {
 			l = l.neg()
-			p.Neg(p)
+			p = p.neg()
 		}
 		c.lines = append(c.lines[:i], c.lines[i+1:]...)
 		for j, l2 := range c.lines {
 			p2 := dot(r.v, l2)
-			if p2.Sign() != 0 {
-				c.lines[j] = combine(p, l2, new(big.Int).Neg(p2), l)
+			if p2.sign() != 0 {
+				c.lines[j] = combine(p, l2, p2.neg(), l)
 			}
 		}
 		for j := range c.rays {
 			p2 := dot(r.v, c.rays[j].v)
-			if p2.Sign() != 0 {
-				c.rays[j].v = combine(p, c.rays[j].v, new(big.Int).Neg(p2), l)
+			if p2.sign() != 0 {
+				c.rays[j].v = combine(p, c.rays[j].v, p2.neg(), l)
 			}
 			c.rays[j].sat.set(idx)
 		}
 		if !r.eq {
 			// The line itself becomes the ray on the positive side.
-			l.normalize()
+			l = l.normalize()
 			c.rays = append(c.rays, satRay{v: l, sat: satAllPrev(idx)})
 		}
 		return true
@@ -144,13 +154,13 @@ func (c *cone) add(r row) bool {
 	type classified struct {
 		idx int // index into c.rays, for the adjacency test
 		ray satRay
-		p   *big.Int
+		p   scalar
 	}
 	var plus, minus []classified
 	var keep []satRay
 	for i, ry := range c.rays {
 		p := dot(r.v, ry.v)
-		switch p.Sign() {
+		switch p.sign() {
 		case 0:
 			ry.sat.set(idx)
 			keep = append(keep, ry)
@@ -174,6 +184,7 @@ func (c *cone) add(r row) bool {
 		// for the forward analysis).
 		c.ncons--
 		c.dropped++
+		droppedTotal.Add(1)
 		return false
 	}
 
@@ -191,7 +202,7 @@ func (c *cone) add(r row) bool {
 				continue
 			}
 			// w = p_plus * minus - p_minus * plus (positive combination).
-			w := combine(pl.p, mi.ray.v, new(big.Int).Neg(mi.p), pl.ray.v)
+			w := combine(pl.p, mi.ray.v, mi.p.neg(), pl.ray.v)
 			if w.isZero() {
 				continue
 			}
@@ -219,28 +230,22 @@ func adjacent(i1, i2 int, all []satRay) bool {
 	return true
 }
 
+// dedupRays normalizes every ray and drops duplicates, keyed by the
+// canonical (tier-independent) value encoding of the normalized row.
 func dedupRays(rays []satRay) []satRay {
-	var out []satRay
+	out := rays[:0]
 	seen := make(map[string]bool, len(rays))
-	var key []byte
-	for _, r := range rays {
-		r.v.normalize()
-		key = key[:0]
-		for _, x := range r.v {
-			key = append(key, byte(x.Sign()+1))
-			for _, w := range x.Bits() {
-				key = append(key,
-					byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
-					byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
-			}
-			key = append(key, 0xfe)
-		}
-		k := string(key)
+	sc := getScratch()
+	for i := range rays {
+		rays[i].v = rays[i].v.normalize()
+		sc.key = rays[i].v.appendKey(sc.key[:0])
+		k := string(sc.key)
 		if !seen[k] {
 			seen[k] = true
-			out = append(out, r)
+			out = append(out, rays[i])
 		}
 	}
+	putScratch(sc)
 	return out
 }
 
@@ -248,8 +253,7 @@ func dedupRays(rays []satRay) []satRay {
 func (c *cone) result() *genset {
 	g := &genset{}
 	for _, l := range c.lines {
-		l.normalize()
-		g.lines = append(g.lines, l)
+		g.lines = append(g.lines, l.normalize())
 	}
 	for _, r := range c.rays {
 		g.rays = append(g.rays, r.v)
@@ -311,15 +315,16 @@ func consOf(g *genset, n int) []row {
 // (a nonnegative multiple of e0) or zero, neither of which constrains the
 // dehomogenized polyhedron.
 func trivialRow(v vec, eq bool) bool {
-	for i := 1; i < len(v); i++ {
-		if v[i].Sign() != 0 {
+	n := v.dim()
+	for i := 1; i < n; i++ {
+		if v.sign(i) != 0 {
 			return false
 		}
 	}
 	if eq {
 		// d == 0 would denote an empty polyhedron; keep it so emptiness
 		// is preserved, unless it is the zero row.
-		return v[0].Sign() == 0
+		return v.sign(0) == 0
 	}
-	return v[0].Sign() >= 0
+	return v.sign(0) >= 0
 }

@@ -1,12 +1,216 @@
 package polyhedra
 
 import (
+	"fmt"
 	"math/big"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/linear"
 )
+
+// ---------------------------------------------------------------------------
+// Differential testing of the hybrid kernel against a pure-big.Int build.
+
+// kernelMu serializes tests that flip pureBigKernel.
+var kernelMu sync.Mutex
+
+// hybridCoef maps a fuzz byte to a coefficient. Most values are small (the
+// common case the machine tier serves); the top values are huge, forcing
+// per-row promotion in dot products, combinations and normalization.
+func hybridCoef(b byte) int64 {
+	switch b % 16 {
+	case 15:
+		return 1 << 62
+	case 14:
+		return -(1 << 62)
+	case 13:
+		return 3037000500 // ~sqrt(MaxInt64); products of two overflow
+	default:
+		return int64(b%16) - 6
+	}
+}
+
+// runHybridScript interprets data as a small program over the kernel ops
+// (Meet/Join/Widen/Assign/Havoc/Includes/Entails/Bounds) and returns the
+// observable transcript. The transcript must be identical whichever tier
+// the kernel picks internally.
+func runHybridScript(data []byte) []string {
+	const dim = 3
+	pos := 0
+	next := func() byte {
+		if pos >= len(data) {
+			return 0
+		}
+		b := data[pos]
+		pos++
+		return b
+	}
+	constraint := func() linear.Constraint {
+		e := linear.ConstExpr(hybridCoef(next()))
+		for v := 0; v < dim; v++ {
+			if next()%2 == 0 {
+				e.AddTerm(v, hybridCoef(next()))
+			}
+		}
+		if next()%4 == 0 {
+			return linear.NewEq(e)
+		}
+		return linear.NewGe(e)
+	}
+	system := func() linear.System {
+		n := 1 + int(next()%3)
+		var sys linear.System
+		for i := 0; i < n; i++ {
+			sys = append(sys, constraint())
+		}
+		return sys
+	}
+	cur := Universe(dim)
+	var trace []string
+	emit := func(format string, args ...any) {
+		trace = append(trace, fmt.Sprintf(format, args...))
+	}
+	for step := 0; step < 16 && pos < len(data); step++ {
+		switch next() % 7 {
+		case 0:
+			cur = cur.MeetSystem(system())
+		case 1:
+			cur = cur.Join(FromSystem(system(), dim))
+		case 2:
+			cur = cur.Widen(cur.Join(FromSystem(system(), dim)))
+		case 3:
+			e := linear.ConstExpr(hybridCoef(next()))
+			for v := 0; v < dim; v++ {
+				if next()%2 == 0 {
+					e.AddTerm(v, hybridCoef(next()))
+				}
+			}
+			cur = cur.Assign(int(next())%dim, e)
+		case 4:
+			cur = cur.Havoc(int(next()) % dim)
+		case 5:
+			q := FromSystem(system(), dim)
+			emit("includes=%v reverse=%v", cur.Includes(q), q.Includes(cur))
+		case 6:
+			c := constraint()
+			v := int(next()) % dim
+			lo, hi := cur.Bounds(v)
+			emit("entails=%v bounds(%d)=[%v,%v]", cur.Entails(c), v, lo, hi)
+		}
+		emit("state=%s empty=%v n=%d", cur.System().String(nil), cur.IsEmpty(), cur.NumConstraints())
+	}
+	return trace
+}
+
+// diffHybrid runs the script on the hybrid kernel and on the pure-big.Int
+// reference and fails on the first transcript mismatch.
+func diffHybrid(t *testing.T, data []byte) {
+	t.Helper()
+	kernelMu.Lock()
+	defer kernelMu.Unlock()
+	pureBigKernel = false
+	got := runHybridScript(data)
+	pureBigKernel = true
+	want := runHybridScript(data)
+	pureBigKernel = false
+	if len(got) != len(want) {
+		t.Fatalf("transcript lengths differ: hybrid %d vs reference %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("transcripts diverge at step %d:\nhybrid:    %s\nreference: %s", i, got[i], want[i])
+		}
+	}
+}
+
+// FuzzHybridOps: randomized op sequences must be bit-identical between the
+// hybrid kernel and the pure-big.Int reference.
+func FuzzHybridOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add([]byte{13, 13, 13, 14, 14, 15, 15, 15, 13, 14, 15, 0, 1, 5, 6})
+	f.Add([]byte{5, 255, 254, 253, 3, 250, 249, 248, 5, 247, 6, 246, 245})
+	f.Add([]byte{2, 15, 1, 15, 2, 15, 1, 15, 2, 15, 5, 15, 6, 15})
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 8; i++ {
+		seed := make([]byte, 8+rng.Intn(40))
+		rng.Read(seed)
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		diffHybrid(t, data)
+	})
+}
+
+// TestHybridDifferentialRandom is the deterministic always-on slice of the
+// fuzz target, with coefficient patterns chosen to exercise promotion.
+func TestHybridDifferentialRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 150; trial++ {
+		data := make([]byte, 10+rng.Intn(50))
+		rng.Read(data)
+		diffHybrid(t, data)
+	}
+}
+
+// TestHybridPromotionOccurs: with huge coefficients the hybrid kernel must
+// actually leave the machine tier (guarding against a silently-dead big
+// path) and still normalize correctly.
+func TestHybridPromotionOccurs(t *testing.T) {
+	kernelMu.Lock()
+	defer kernelMu.Unlock()
+	pureBigKernel = false
+	huge := int64(3037000500)
+	e := linear.ConstExpr(0)
+	e.AddTerm(0, huge)
+	p := FromSystem(linear.System{linear.NewGe(e)}, 1) // huge*x >= 0
+	q := p.Assign(0, scaleExpr(huge))                  // x := huge*x, bound becomes huge^2*x >= 0 pre-normalize
+	if q.IsEmpty() {
+		t.Fatal("assign emptied the polyhedron")
+	}
+	// x >= 0 must still be entailed (normalization divides the huge gcd).
+	if !q.Entails(ge(0, 1, 0)) {
+		t.Errorf("x >= 0 lost after promoted assign: %s", q.String(nil))
+	}
+}
+
+func scaleExpr(k int64) linear.Expr {
+	e := linear.ConstExpr(0)
+	e.AddTerm(0, k)
+	return e
+}
+
+// TestMaxRaysCapCounted: lowering the ray cap forces conversions to drop
+// constraints, and every drop is visible through DroppedConstraints.
+func TestMaxRaysCapCounted(t *testing.T) {
+	old := MaxRays
+	MaxRays = 1
+	defer func() { MaxRays = old }()
+	before := DroppedConstraints()
+	// A 3-cube: once the lines are consumed, each further face splits the
+	// ray set and the combination count exceeds the cap of 1.
+	cube := linear.System{
+		ge(0, 1, 0), ge(5, -1, 0),
+		ge(0, 1, 1), ge(5, -1, 1),
+		ge(0, 1, 2), ge(5, -1, 2),
+	}
+	p := FromSystem(cube, 3)
+	if p.IsEmpty() {
+		t.Fatal("cube should not be empty")
+	}
+	drops := DroppedConstraints() - before
+	if drops == 0 {
+		t.Fatal("expected the MaxRays=1 cap to drop constraints")
+	}
+	// Dropping constraints only grows the set: the capped polyhedron must
+	// still include the exact cube.
+	MaxRays = old
+	exact := FromSystem(cube, 3)
+	if !p.Includes(exact) {
+		t.Error("capped conversion is not an over-approximation")
+	}
+}
 
 // TestRandomizedSubstitution: Substitute computes the exact weakest
 // precondition of the assignment — pointwise: pt satisfies Subst(v, e, P)

@@ -5,11 +5,17 @@ import (
 	"strings"
 
 	"repro/internal/linear"
+	"repro/internal/numkernel"
 )
 
 // DefaultMaxRays caps intermediate generator counts during conversion;
 // exceeding it drops constraints (a sound over-approximation).
 const DefaultMaxRays = 100000
+
+// MaxRays is the cap actually applied by conversions. It defaults to
+// DefaultMaxRays; tests lower it to exercise the drop path. Every dropped
+// constraint is counted in DroppedConstraints.
+var MaxRays = DefaultMaxRays
 
 // Poly is a convex polyhedron over n integer-valued variables. The zero
 // value is not meaningful; use Universe, Bottom or FromSystem.
@@ -43,10 +49,10 @@ func (p *Poly) Dim() int { return p.n }
 // rowOf converts a linear.Constraint to a dense row.
 func rowOf(c linear.Constraint, n int) row {
 	v := newVec(n + 1)
-	v[0].Set(c.E.Const)
+	v.setBig(0, c.E.Const)
 	for _, i := range c.E.Vars() {
 		if i < n {
-			v[i+1].Set(c.E.Coef(i))
+			v.setBig(i+1, c.E.Coef(i))
 		}
 	}
 	return row{v: v, eq: c.Rel == linear.Eq}
@@ -55,10 +61,10 @@ func rowOf(c linear.Constraint, n int) row {
 // rowToConstraint converts a dense row back to a linear.Constraint.
 func rowToConstraint(r row, n int) linear.Constraint {
 	e := linear.NewExpr()
-	e.Const.Set(r.v[0])
+	e.Const.Set(r.v.bigAt(0))
 	for i := 1; i <= n; i++ {
-		if r.v[i].Sign() != 0 {
-			e.SetCoef(i-1, r.v[i])
+		if r.v.sign(i) != 0 {
+			e.SetCoef(i-1, r.v.bigAt(i))
 		}
 	}
 	rel := linear.Ge
@@ -79,7 +85,7 @@ func (p *Poly) ensureGens() {
 	if p.empty || p.gens != nil {
 		return
 	}
-	g, _ := gensOf(p.cons, p.n, DefaultMaxRays)
+	g, _ := gensOf(p.cons, p.n, MaxRays)
 	if !g.hasVertex() {
 		p.empty = true
 		p.gens = nil
@@ -129,6 +135,36 @@ func (p *Poly) Clone() *Poly {
 		c.gens = p.gens.clone()
 	}
 	return c
+}
+
+// Key returns a canonical byte-string encoding of p's current constraint
+// representation and whether one is available without further conversion
+// work. Keys are value-based and tier-independent: equal keys imply the
+// same constraint rows in the same order, hence the same polyhedron, so a
+// cached answer keyed by it is exact. Two equal polyhedra with different
+// representations may key differently — that only costs a cache miss.
+func (p *Poly) Key() (string, bool) {
+	if p.empty {
+		return "empty", true
+	}
+	if p.cons == nil {
+		return "", false
+	}
+	sc := getScratch()
+	key := numkernel.AppendKeyInt64(sc.key[:0], int64(p.n))
+	for _, r := range p.cons {
+		b := byte(0)
+		if r.eq {
+			b = 1
+		}
+		key = append(key, b)
+		key = r.v.appendKey(key)
+		key = append(key, 0xff)
+	}
+	sc.key = key
+	s := string(key)
+	putScratch(sc)
+	return s, true
 }
 
 // MeetSystem intersects p with the constraints of sys, returning a new
@@ -226,17 +262,17 @@ func (p *Poly) Includes(q *Poly) bool {
 
 func rowHoldsGens(r row, g *genset) bool {
 	for _, l := range g.lines {
-		if dot(r.v, l).Sign() != 0 {
+		if dot(r.v, l).sign() != 0 {
 			return false
 		}
 	}
 	for _, ray := range g.rays {
 		d := dot(r.v, ray)
 		if r.eq {
-			if d.Sign() != 0 {
+			if d.sign() != 0 {
 				return false
 			}
-		} else if d.Sign() < 0 {
+		} else if d.sign() < 0 {
 			return false
 		}
 	}
@@ -270,6 +306,42 @@ func (p *Poly) EntailsAll(sys linear.System) bool {
 	return true
 }
 
+// evalHom evaluates e homogeneously on generator g: e.Const*g[0] +
+// Σ e.Coef(u)*g[u+1], on the machine tier when everything fits.
+func evalHom(e linear.Expr, g vec) scalar {
+	if g.xs == nil && e.Const.IsInt64() {
+		acc, ok := numkernel.MulOK(e.Const.Int64(), g.w[0])
+		if ok {
+			for _, u := range e.Vars() {
+				c := e.Coef(u)
+				if !c.IsInt64() {
+					ok = false
+					break
+				}
+				var p int64
+				if p, ok = numkernel.MulOK(c.Int64(), g.w[u+1]); !ok {
+					break
+				}
+				if acc, ok = numkernel.AddOK(acc, p); !ok {
+					break
+				}
+			}
+			if ok {
+				return scalar{w: acc}
+			}
+		}
+	}
+	sc := getScratch()
+	defer putScratch(sc)
+	t, tv := sc.t[0], sc.t[1]
+	nv := new(big.Int).Mul(e.Const, g.bigRef(0, tv))
+	for _, u := range e.Vars() {
+		t.Mul(e.Coef(u), g.bigRef(u+1, tv))
+		nv.Add(nv, t)
+	}
+	return scalar{b: nv}
+}
+
 // Assign over-approximates the transition v := e (a linear expression over
 // the current values). It maps every generator through the corresponding
 // homogeneous linear map.
@@ -282,15 +354,8 @@ func (p *Poly) Assign(v int, e linear.Expr) *Poly {
 	mapGen := func(g vec) vec {
 		r := g.clone()
 		// New value of coordinate v+1: e evaluated homogeneously.
-		nv := new(big.Int).Mul(e.Const, g[0])
-		t := new(big.Int)
-		for _, u := range e.Vars() {
-			t.Mul(e.Coef(u), g[u+1])
-			nv.Add(nv, t)
-		}
-		r[v+1] = nv
-		r.normalize()
-		return r
+		r.setScalar(v+1, evalHom(e, g))
+		return r.normalize()
 	}
 	for _, l := range p.gens.lines {
 		m := mapGen(l)
@@ -318,7 +383,7 @@ func (p *Poly) Havoc(v int) *Poly {
 	p.ensureGens()
 	out := &Poly{n: p.n, gens: p.gens.clone()}
 	l := newVec(p.n + 1)
-	l[v+1].SetInt64(1)
+	l.setInt64(v+1, 1)
 	out.gens.lines = append(out.gens.lines, l)
 	out.ensureCons()
 	out.gens = nil
@@ -352,7 +417,7 @@ func (p *Poly) Forget(v int) *Poly {
 	p.ensureCons()
 	out := &Poly{n: p.n}
 	for _, r := range p.cons {
-		if r.v[v+1].Sign() == 0 {
+		if r.v.sign(v+1) == 0 {
 			out.cons = append(out.cons, r.clone())
 		}
 	}
@@ -404,10 +469,10 @@ func (p *Poly) SamplePoint() []*big.Rat {
 	}
 	p.ensureGens()
 	for _, r := range p.gens.rays {
-		if r[0].Sign() > 0 {
+		if r.sign(0) > 0 {
 			pt := make([]*big.Rat, p.n)
 			for i := 1; i <= p.n; i++ {
-				pt[i-1] = new(big.Rat).SetFrac(r[i], r[0])
+				pt[i-1] = new(big.Rat).SetFrac(r.bigAt(i), r.bigAt(0))
 			}
 			return pt
 		}
@@ -423,23 +488,23 @@ func (p *Poly) Bounds(v int) (lo, hi *big.Rat) {
 	}
 	p.ensureGens()
 	for _, l := range p.gens.lines {
-		if l[v+1].Sign() != 0 {
+		if l.sign(v+1) != 0 {
 			return nil, nil
 		}
 	}
 	unboundedUp, unboundedDown := false, false
 	for _, r := range p.gens.rays {
-		if r[0].Sign() == 0 {
-			if r[v+1].Sign() > 0 {
+		if r.sign(0) == 0 {
+			if r.sign(v+1) > 0 {
 				unboundedUp = true
-			} else if r[v+1].Sign() < 0 {
+			} else if r.sign(v+1) < 0 {
 				unboundedDown = true
 			}
 		}
 	}
 	for _, r := range p.gens.rays {
-		if r[0].Sign() > 0 {
-			val := new(big.Rat).SetFrac(r[v+1], r[0])
+		if r.sign(0) > 0 {
+			val := new(big.Rat).SetFrac(r.bigAt(v+1), r.bigAt(0))
 			if !unboundedDown && (lo == nil || val.Cmp(lo) < 0) {
 				lo = val
 			}
@@ -526,7 +591,7 @@ func mustGens(p *Poly) *genset {
 func satSignature(r row, g *genset) string {
 	var sb strings.Builder
 	for _, l := range g.lines {
-		if dot(r.v, l).Sign() == 0 {
+		if dot(r.v, l).sign() == 0 {
 			sb.WriteByte('1')
 		} else {
 			sb.WriteByte('0')
@@ -534,7 +599,7 @@ func satSignature(r row, g *genset) string {
 	}
 	sb.WriteByte('|')
 	for _, ray := range g.rays {
-		if dot(r.v, ray).Sign() == 0 {
+		if dot(r.v, ray).sign() == 0 {
 			sb.WriteByte('1')
 		} else {
 			sb.WriteByte('0')
@@ -543,21 +608,29 @@ func satSignature(r row, g *genset) string {
 	return sb.String()
 }
 
+// dedupRows normalizes every row and drops duplicates, keyed by the
+// canonical value encoding of the normalized row (the old implementation
+// compared rows pairwise, quadratic in the system size).
 func dedupRows(rows []row) []row {
-	var out []row
-	for _, r := range rows {
-		r.v.normalize()
-		dup := false
-		for _, o := range out {
-			if o.eq == r.eq && o.v.equal(r.v) {
-				dup = true
-				break
-			}
+	out := rows[:0]
+	seen := make(map[string]bool, len(rows))
+	sc := getScratch()
+	for i := range rows {
+		rows[i].v = rows[i].v.normalize()
+		key := sc.key[:0]
+		if rows[i].eq {
+			key = append(key, 1)
+		} else {
+			key = append(key, 0)
 		}
-		if !dup {
-			out = append(out, r)
+		sc.key = rows[i].v.appendKey(key)
+		k := string(sc.key)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, rows[i])
 		}
 	}
+	putScratch(sc)
 	return out
 }
 

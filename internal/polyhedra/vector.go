@@ -1,7 +1,7 @@
 // Package polyhedra implements the convex-polyhedra abstract domain of
 // Cousot and Halbwachs [6,17] using the double-description (Chernikova)
-// method with exact big.Int arithmetic. It is the Go substitute for the
-// New Polka library the paper's prototype used [19].
+// method with exact arithmetic. It is the Go substitute for the New Polka
+// library the paper's prototype used [19].
 //
 // A polyhedron over n integer variables is represented by its homogenized
 // cone in R^(n+1): coordinate 0 is the homogenizing coordinate d, and
@@ -10,119 +10,424 @@
 // polyhedron corresponds to the ray (1, x). Both the constraint and the
 // generator representation are maintained lazily, each derived from the
 // other by the same conversion algorithm applied in the dual.
+//
+// Arithmetic is exact but two-tiered, the trick New Polka itself uses:
+// coefficient vectors live on a machine-word (int64) tier with
+// overflow-checked operations, and promote — per row, not per polyhedron —
+// to big.Int exactly when an operation would overflow. Promotion preserves
+// values bit-for-bit, and normalization demotes exact-tier rows whose
+// entries fit a machine word again, so results are identical to a pure
+// big.Int kernel (enforced by the differential tests in ops_test.go).
 package polyhedra
 
-import "math/big"
+import (
+	"math"
+	"math/big"
+	"sync"
 
-type vec []*big.Int
+	"repro/internal/numkernel"
+)
+
+// pureBigKernel forces every new vector onto the exact tier and disables
+// demotion. The differential tests flip it to obtain a pure big.Int
+// reference kernel; it must never be set in production code.
+var pureBigKernel = false
+
+// vec is a hybrid coefficient vector. Exactly one tier is active: the
+// machine tier w (when xs == nil) or the exact tier xs.
+type vec struct {
+	w  []int64
+	xs []*big.Int
+}
 
 func newVec(n int) vec {
-	v := make(vec, n)
-	for i := range v {
-		v[i] = new(big.Int)
+	if pureBigKernel {
+		xs := make([]*big.Int, n)
+		for i := range xs {
+			xs[i] = new(big.Int)
+		}
+		return vec{xs: xs}
 	}
-	return v
+	return vec{w: make([]int64, n)}
+}
+
+func (v vec) dim() int {
+	if v.xs != nil {
+		return len(v.xs)
+	}
+	return len(v.w)
+}
+
+func (v vec) isBig() bool { return v.xs != nil }
+
+// promoted returns an exact-tier vector with the same values. Machine-tier
+// input yields fresh, independent storage; exact-tier input is returned
+// as-is (shared).
+func (v vec) promoted() vec {
+	if v.xs != nil {
+		return v
+	}
+	xs := make([]*big.Int, len(v.w))
+	for i, x := range v.w {
+		xs[i] = big.NewInt(x)
+	}
+	return vec{xs: xs}
+}
+
+// demoted moves v back to the machine tier when every entry fits an int64;
+// otherwise (or under the reference kernel) v is returned unchanged.
+func (v vec) demoted() vec {
+	if v.xs == nil || pureBigKernel {
+		return v
+	}
+	for _, x := range v.xs {
+		if !x.IsInt64() {
+			return v
+		}
+	}
+	w := make([]int64, len(v.xs))
+	for i, x := range v.xs {
+		w[i] = x.Int64()
+	}
+	return vec{w: w}
 }
 
 func (v vec) clone() vec {
-	c := make(vec, len(v))
-	for i := range v {
-		c[i] = new(big.Int).Set(v[i])
+	if v.xs != nil {
+		c := make([]*big.Int, len(v.xs))
+		for i := range v.xs {
+			c[i] = new(big.Int).Set(v.xs[i])
+		}
+		return vec{xs: c}
 	}
-	return c
+	return vec{w: append([]int64(nil), v.w...)}
+}
+
+func (v vec) sign(i int) int {
+	if v.xs != nil {
+		return v.xs[i].Sign()
+	}
+	switch {
+	case v.w[i] > 0:
+		return 1
+	case v.w[i] < 0:
+		return -1
+	}
+	return 0
+}
+
+// setInt64 stores x at index i (both tiers hold any int64).
+func (v vec) setInt64(i int, x int64) {
+	if v.xs != nil {
+		v.xs[i].SetInt64(x)
+		return
+	}
+	v.w[i] = x
+}
+
+// setBig stores x at index i, promoting the vector when x does not fit the
+// machine tier.
+func (v *vec) setBig(i int, x *big.Int) {
+	if v.xs == nil {
+		if x.IsInt64() {
+			v.w[i] = x.Int64()
+			return
+		}
+		*v = v.promoted()
+	}
+	v.xs[i].Set(x)
+}
+
+// setScalar stores s at index i, promoting the vector when s is on the
+// exact tier and does not fit a machine word.
+func (v *vec) setScalar(i int, s scalar) {
+	if s.b != nil {
+		v.setBig(i, s.b)
+		return
+	}
+	v.setInt64(i, s.w)
+}
+
+// bigAt returns the exact value at index i; machine-tier reads allocate.
+// Callers must treat the result as read-only.
+func (v vec) bigAt(i int) *big.Int {
+	if v.xs != nil {
+		return v.xs[i]
+	}
+	return big.NewInt(v.w[i])
+}
+
+// bigRef is bigAt without allocation: machine-tier reads are materialized
+// into tmp.
+func (v vec) bigRef(i int, tmp *big.Int) *big.Int {
+	if v.xs != nil {
+		return v.xs[i]
+	}
+	return tmp.SetInt64(v.w[i])
 }
 
 func (v vec) neg() vec {
-	c := make(vec, len(v))
-	for i := range v {
-		c[i] = new(big.Int).Neg(v[i])
+	if v.xs == nil {
+		c := make([]int64, len(v.w))
+		for i, x := range v.w {
+			if x == math.MinInt64 {
+				return v.promoted().neg()
+			}
+			c[i] = -x
+		}
+		return vec{w: c}
 	}
-	return c
+	c := make([]*big.Int, len(v.xs))
+	for i := range v.xs {
+		c[i] = new(big.Int).Neg(v.xs[i])
+	}
+	return vec{xs: c}
 }
 
-func dot(a, b vec) *big.Int {
+func (v vec) isZero() bool {
+	if v.xs == nil {
+		for _, x := range v.w {
+			if x != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	for _, x := range v.xs {
+		if x.Sign() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// appendKey appends the canonical value-based encoding of every entry to
+// key. Equal vectors encode equally regardless of tier.
+func (v vec) appendKey(key []byte) []byte {
+	if v.xs == nil {
+		for _, x := range v.w {
+			key = numkernel.AppendKeyInt64(key, x)
+		}
+		return key
+	}
+	for _, x := range v.xs {
+		key = numkernel.AppendKeyBig(key, x)
+	}
+	return key
+}
+
+// scalar is a hybrid integer: the machine value w when b == nil, the exact
+// value b otherwise.
+type scalar struct {
+	w int64
+	b *big.Int
+}
+
+func (s scalar) sign() int {
+	if s.b != nil {
+		return s.b.Sign()
+	}
+	switch {
+	case s.w > 0:
+		return 1
+	case s.w < 0:
+		return -1
+	}
+	return 0
+}
+
+func (s scalar) neg() scalar {
+	if s.b == nil {
+		if n, ok := numkernel.NegOK(s.w); ok {
+			return scalar{w: n}
+		}
+		return scalar{b: new(big.Int).Neg(big.NewInt(s.w))}
+	}
+	return scalar{b: new(big.Int).Neg(s.b)}
+}
+
+// bigRef materializes the scalar into tmp when it is on the machine tier.
+func (s scalar) bigRef(tmp *big.Int) *big.Int {
+	if s.b != nil {
+		return s.b
+	}
+	return tmp.SetInt64(s.w)
+}
+
+// dot returns the inner product of a and b, promoting to the exact tier on
+// overflow.
+func dot(a, b vec) scalar {
+	if a.xs == nil && b.xs == nil {
+		var acc int64
+		for i, x := range a.w {
+			y := b.w[i]
+			if x == 0 || y == 0 {
+				continue
+			}
+			p, ok := numkernel.MulOK(x, y)
+			if !ok {
+				return scalar{b: dotBig(a, b)}
+			}
+			if acc, ok = numkernel.AddOK(acc, p); !ok {
+				return scalar{b: dotBig(a, b)}
+			}
+		}
+		return scalar{w: acc}
+	}
+	return scalar{b: dotBig(a, b)}
+}
+
+// dotBig is the exact-tier inner product; per-element temporaries come from
+// the pooled scratch space.
+func dotBig(a, b vec) *big.Int {
+	sc := getScratch()
+	defer putScratch(sc)
+	t, ta, tb := sc.t[0], sc.t[1], sc.t[2]
 	s := new(big.Int)
-	t := new(big.Int)
-	for i := range a {
+	n := a.dim()
+	for i := 0; i < n; i++ {
 		// Rows and generators are sparse; skipping zero factors avoids
-		// most big.Int work.
-		if a[i].Sign() == 0 || b[i].Sign() == 0 {
+		// most of the work.
+		if a.sign(i) == 0 || b.sign(i) == 0 {
 			continue
 		}
-		t.Mul(a[i], b[i])
+		t.Mul(a.bigRef(i, ta), b.bigRef(i, tb))
 		s.Add(s, t)
 	}
 	return s
 }
 
-// normalize divides v by the gcd of its entries (leaving sign intact).
-func (v vec) normalize() {
-	g := new(big.Int)
-	for i := range v {
-		if v[i].Sign() != 0 {
-			g.GCD(nil, nil, g.Abs(g), new(big.Int).Abs(v[i]))
+// normalize divides v by the gcd of its entries (leaving sign intact) and
+// returns the canonical-tier result: exact-tier rows whose entries all fit
+// a machine word are demoted, so equal rows always land on the same tier.
+func (v vec) normalize() vec {
+	if v.xs == nil {
+		var g uint64
+		for _, x := range v.w {
+			if x != 0 {
+				g = numkernel.Gcd64(g, numkernel.AbsU64(x))
+				if g == 1 {
+					return v
+				}
+			}
+		}
+		if g == 0 {
+			return v
+		}
+		if g > math.MaxInt64 {
+			// Every nonzero entry is MinInt64 (|MinInt64| = 2^63): the
+			// quotient is -1.
+			for i := range v.w {
+				if v.w[i] != 0 {
+					v.w[i] = -1
+				}
+			}
+			return v
+		}
+		d := int64(g)
+		for i := range v.w {
+			v.w[i] /= d
+		}
+		return v
+	}
+	sc := getScratch()
+	g, t := sc.t[0], sc.t[1]
+	g.SetInt64(0)
+	for i := range v.xs {
+		if v.xs[i].Sign() != 0 {
+			g.GCD(nil, nil, g.Abs(g), t.Abs(v.xs[i]))
 		}
 	}
-	if g.Sign() == 0 || g.Cmp(bigOne) == 0 {
-		return
+	if g.Sign() != 0 && g.Cmp(bigOne) != 0 {
+		for i := range v.xs {
+			v.xs[i].Quo(v.xs[i], g)
+		}
 	}
-	for i := range v {
-		v[i].Quo(v[i], g)
-	}
+	putScratch(sc)
+	return v.demoted()
 }
 
 // combine returns ka*a + kb*b, normalized.
-func combine(ka *big.Int, a vec, kb *big.Int, b vec) vec {
-	r := make(vec, len(a))
-	t := new(big.Int)
-	for i := range a {
-		az, bz := a[i].Sign() == 0, b[i].Sign() == 0
+func combine(ka scalar, a vec, kb scalar, b vec) vec {
+	if ka.b == nil && kb.b == nil && a.xs == nil && b.xs == nil {
+		r := make([]int64, len(a.w))
+		ok := true
+		for i, av := range a.w {
+			bv := b.w[i]
+			var x, y int64
+			if av != 0 {
+				if x, ok = numkernel.MulOK(ka.w, av); !ok {
+					break
+				}
+			}
+			if bv != 0 {
+				if y, ok = numkernel.MulOK(kb.w, bv); !ok {
+					break
+				}
+			}
+			if r[i], ok = numkernel.AddOK(x, y); !ok {
+				break
+			}
+		}
+		if ok {
+			return vec{w: r}.normalize()
+		}
+	}
+	return combineBig(ka, a, kb, b)
+}
+
+// combineBig is the exact-tier linear combination.
+func combineBig(ka scalar, a vec, kb scalar, b vec) vec {
+	sc := getScratch()
+	bka := ka.bigRef(sc.t[0])
+	bkb := kb.bigRef(sc.t[1])
+	t, tv := sc.t[2], sc.t[3]
+	n := a.dim()
+	r := make([]*big.Int, n)
+	for i := 0; i < n; i++ {
+		az, bz := a.sign(i) == 0, b.sign(i) == 0
 		switch {
 		case az && bz:
 			r[i] = new(big.Int)
 		case bz:
-			r[i] = new(big.Int).Mul(ka, a[i])
+			r[i] = new(big.Int).Mul(bka, a.bigRef(i, tv))
 		case az:
-			r[i] = new(big.Int).Mul(kb, b[i])
+			r[i] = new(big.Int).Mul(bkb, b.bigRef(i, tv))
 		default:
-			r[i] = new(big.Int).Mul(ka, a[i])
-			t.Mul(kb, b[i])
+			r[i] = new(big.Int).Mul(bka, a.bigRef(i, tv))
+			t.Mul(bkb, b.bigRef(i, tv))
 			r[i].Add(r[i], t)
 		}
 	}
-	r.normalize()
-	return r
-}
-
-func (v vec) isZero() bool {
-	for i := range v {
-		if v[i].Sign() != 0 {
-			return false
-		}
-	}
-	return true
-}
-
-func (v vec) equal(w vec) bool {
-	if len(v) != len(w) {
-		return false
-	}
-	for i := range v {
-		if v[i].Sign() != w[i].Sign() {
-			return false
-		}
-	}
-	for i := range v {
-		if v[i].Cmp(w[i]) != 0 {
-			return false
-		}
-	}
-	return true
+	putScratch(sc)
+	return vec{xs: r}.normalize()
 }
 
 var (
 	bigOne = big.NewInt(1)
 )
+
+// scratch is pooled working storage for the exact-tier paths and the dedup
+// key builders, so the hot loops allocate only their results.
+type scratch struct {
+	t   [4]*big.Int
+	key []byte
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	s := &scratch{}
+	for i := range s.t {
+		s.t[i] = new(big.Int)
+	}
+	return s
+}}
+
+func getScratch() *scratch { return scratchPool.Get().(*scratch) }
+
+func putScratch(s *scratch) {
+	s.key = s.key[:0]
+	scratchPool.Put(s)
+}
 
 // bitset is a growable bit vector used for constraint-saturation tracking.
 type bitset []uint64

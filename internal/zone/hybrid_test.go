@@ -1,0 +1,180 @@
+package zone
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linear"
+)
+
+// zoneCoef maps a fuzz byte to a bound constant. Most values are small;
+// the top cases are near the int64 edge, forcing whole-matrix promotion in
+// the closure and the shift-assign paths.
+func zoneCoef(b byte) int64 {
+	switch b % 16 {
+	case 15:
+		return 1 << 62
+	case 14:
+		return -(1 << 62)
+	case 13:
+		return (1 << 62) + 12345
+	default:
+		return int64(b%16) - 6
+	}
+}
+
+// runZoneScript interprets data as a small DBM program and returns the
+// observable transcript.
+func runZoneScript(data []byte) []string {
+	const dim = 3
+	pos := 0
+	next := func() byte {
+		if pos >= len(data) {
+			return 0
+		}
+		b := data[pos]
+		pos++
+		return b
+	}
+	constraint := func() linear.Constraint {
+		c := zoneCoef(next())
+		a := int(next()) % dim
+		b := int(next()) % dim
+		var g linear.Constraint
+		switch next() % 4 {
+		case 0:
+			g = ge(c, 1, int64(a)) // x_a >= -c
+		case 1:
+			g = ge(c, -1, int64(a)) // x_a <= c
+		case 2:
+			g = ge(c, 1, int64(a), -1, int64(b)) // x_a - x_b >= -c
+		default:
+			g = ge(c, -1, int64(a), 1, int64(b))
+		}
+		if next()%5 == 0 {
+			g.Rel = linear.Eq
+		}
+		return g
+	}
+	cur := Universe(dim)
+	var trace []string
+	emit := func(format string, args ...any) {
+		trace = append(trace, fmt.Sprintf(format, args...))
+	}
+	for step := 0; step < 16 && pos < len(data); step++ {
+		switch next() % 7 {
+		case 0:
+			cur = cur.MeetConstraint(constraint())
+		case 1:
+			o := Universe(dim).MeetConstraint(constraint()).MeetConstraint(constraint())
+			cur = cur.Join(o)
+		case 2:
+			o := cur.Join(Universe(dim).MeetConstraint(constraint()))
+			cur = cur.Widen(o)
+		case 3:
+			v := int(next()) % dim
+			e := linear.ConstExpr(zoneCoef(next()))
+			switch next() % 3 {
+			case 0:
+				e.AddTerm(v, 1) // v := v + c
+			case 1:
+				e.AddTerm((v+1)%dim, 1) // v := w + c
+			}
+			cur = cur.Assign(v, e)
+		case 4:
+			cur = cur.Havoc(int(next()) % dim)
+		case 5:
+			o := Universe(dim).MeetConstraint(constraint())
+			emit("includes=%v reverse=%v", cur.Includes(o), o.Includes(cur))
+		case 6:
+			v := int(next()) % dim
+			lo, hi := cur.Bounds(v)
+			emit("entails=%v bounds(%d)=[%v,%v]", cur.Entails(constraint()), v, lo, hi)
+		}
+		emit("state=%s empty=%v", cur.System().String(nil), cur.IsEmpty())
+	}
+	return trace
+}
+
+// diffZone runs the script on the hybrid DBM and on the pure-big.Int
+// reference and fails on the first transcript mismatch.
+func diffZone(t *testing.T, data []byte) {
+	t.Helper()
+	pureBigKernel = false
+	got := runZoneScript(data)
+	pureBigKernel = true
+	want := runZoneScript(data)
+	pureBigKernel = false
+	if len(got) != len(want) {
+		t.Fatalf("transcript lengths differ: hybrid %d vs reference %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("transcripts diverge at step %d:\nhybrid:    %s\nreference: %s", i, got[i], want[i])
+		}
+	}
+}
+
+// FuzzHybridDBM: randomized DBM op sequences must be bit-identical between
+// the hybrid matrix and the pure-big.Int reference.
+func FuzzHybridDBM(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add([]byte{13, 13, 14, 14, 15, 15, 13, 14, 15, 3, 13, 3, 14, 3, 15})
+	f.Add([]byte{3, 255, 254, 3, 253, 252, 3, 251, 250, 5, 249, 6, 248})
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 6; i++ {
+		seed := make([]byte, 8+rng.Intn(40))
+		rng.Read(seed)
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		diffZone(t, data)
+	})
+}
+
+// TestZoneHybridDifferential is the deterministic always-on slice of the
+// fuzz target.
+func TestZoneHybridDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 200; trial++ {
+		data := make([]byte, 10+rng.Intn(50))
+		rng.Read(data)
+		diffZone(t, data)
+	}
+}
+
+// TestZonePromotionRoundTrip: bounds near the int64 edge promote the whole
+// matrix and demote back once they cancel, with no value drift.
+func TestZonePromotionRoundTrip(t *testing.T) {
+	huge := int64(1) << 62
+	d := Universe(2)
+	d = d.MeetConstraint(ge(huge, -1, 0)) // x <= huge
+	d = d.MeetConstraint(ge(0, 1, 0))     // x >= 0
+	// x := x + huge: upper bound becomes 2^63 > MaxInt64, promoting.
+	e := linear.ConstExpr(huge)
+	e.AddTerm(0, 1)
+	d = d.Assign(0, e)
+	if d.mx == nil {
+		t.Fatal("expected the shifted DBM to live on the exact tier")
+	}
+	lo, hi := d.Bounds(0)
+	if lo == nil || lo.Num().Int64() != huge {
+		t.Errorf("lo = %v, want %d", lo, huge)
+	}
+	want := "9223372036854775808" // 2^63
+	if hi == nil || hi.Num().String() != want {
+		t.Errorf("hi = %v, want %s", hi, want)
+	}
+	// Shifting back down must demote again.
+	e2 := linear.ConstExpr(-huge)
+	e2.AddTerm(0, 1)
+	d = d.Assign(0, e2)
+	if d.mw == nil {
+		t.Errorf("expected demotion back to the machine tier")
+	}
+	lo, hi = d.Bounds(0)
+	if lo == nil || hi == nil || lo.Num().Int64() != 0 || hi.Num().Int64() != huge {
+		t.Errorf("bounds after round trip [%v, %v]", lo, hi)
+	}
+}

@@ -3,30 +3,62 @@
 // -x <= c. It sits between intervals and polyhedra in the precision/cost
 // spectrum and exists for the paper's "any sound integer analysis can be
 // used" ablation (§3.5).
+//
+// Like the polyhedra substrate, the DBM is two-tiered: bounds live in an
+// int64 matrix (with math.MaxInt64 as the +infinity sentinel) and the whole
+// matrix promotes to the exact big.Int tier when an operation would
+// overflow — or produce the sentinel value — so results are bit-identical
+// to pure arbitrary-precision arithmetic. Closures computed on the exact
+// tier demote back when every bound fits a machine word again.
 package zone
 
 import (
-	"fmt"
+	"math"
 	"math/big"
 	"strings"
 
 	"repro/internal/linear"
+	"repro/internal/numkernel"
 )
 
+// noBound is the machine-tier +infinity sentinel. A genuine bound equal to
+// math.MaxInt64 forces promotion to the exact tier, keeping the sentinel
+// unambiguous; conveniently, the sentinel is the maximum, so pointwise
+// min/max and comparisons treat it as +infinity with no special casing.
+const noBound = math.MaxInt64
+
+// pureBigKernel forces the exact tier everywhere and disables demotion; the
+// differential tests flip it to obtain a pure big.Int reference kernel.
+var pureBigKernel = false
+
 // DBM is a difference-bound matrix over n variables plus the designated
-// zero variable (index 0): m[i][j] bounds x_i - x_j <= m[i][j], with x_0
-// identically 0. A nil entry is +infinity.
+// zero variable (index 0): the matrix bounds x_i - x_j <= m[i][j], with x_0
+// identically 0. Exactly one tier is active: mw (machine, noBound = +inf)
+// when mx == nil, otherwise mx (exact, nil entry = +inf).
 type DBM struct {
 	n     int // number of program variables
-	m     [][]*big.Int
+	mw    [][]int64
+	mx    [][]*big.Int
 	empty bool
 }
 
 // Universe returns the unconstrained zone.
 func Universe(n int) *DBM {
-	d := &DBM{n: n, m: make([][]*big.Int, n+1)}
-	for i := range d.m {
-		d.m[i] = make([]*big.Int, n+1)
+	d := &DBM{n: n}
+	if pureBigKernel {
+		d.mx = make([][]*big.Int, n+1)
+		for i := range d.mx {
+			d.mx[i] = make([]*big.Int, n+1)
+		}
+		return d
+	}
+	d.mw = make([][]int64, n+1)
+	for i := range d.mw {
+		r := make([]int64, n+1)
+		for j := range r {
+			r[j] = noBound
+		}
+		d.mw[i] = r
 	}
 	return d
 }
@@ -38,16 +70,72 @@ func Bottom(n int) *DBM {
 	return d
 }
 
-// Clone returns a deep copy.
-func (d *DBM) Clone() *DBM {
-	c := Universe(d.n)
-	c.empty = d.empty
-	for i := range d.m {
-		for j := range d.m[i] {
-			if d.m[i][j] != nil {
-				c.m[i][j] = new(big.Int).Set(d.m[i][j])
+// promote moves d onto the exact tier (no-op if already there).
+func (d *DBM) promote() {
+	if d.mx != nil {
+		return
+	}
+	d.mx = make([][]*big.Int, len(d.mw))
+	for i, r := range d.mw {
+		br := make([]*big.Int, len(r))
+		for j, x := range r {
+			if x != noBound {
+				br[j] = big.NewInt(x)
 			}
 		}
+		d.mx[i] = br
+	}
+	d.mw = nil
+}
+
+// demote moves d back to the machine tier when every bound fits (a bound
+// exactly equal to the sentinel value must stay exact).
+func (d *DBM) demote() {
+	if d.mx == nil || pureBigKernel {
+		return
+	}
+	for _, r := range d.mx {
+		for _, x := range r {
+			if x != nil && (!x.IsInt64() || x.Int64() == noBound) {
+				return
+			}
+		}
+	}
+	mw := make([][]int64, len(d.mx))
+	for i, r := range d.mx {
+		wr := make([]int64, len(r))
+		for j, x := range r {
+			if x == nil {
+				wr[j] = noBound
+			} else {
+				wr[j] = x.Int64()
+			}
+		}
+		mw[i] = wr
+	}
+	d.mw = mw
+	d.mx = nil
+}
+
+// Clone returns a deep copy.
+func (d *DBM) Clone() *DBM {
+	c := &DBM{n: d.n, empty: d.empty}
+	if d.mw != nil {
+		c.mw = make([][]int64, len(d.mw))
+		for i, r := range d.mw {
+			c.mw[i] = append([]int64(nil), r...)
+		}
+		return c
+	}
+	c.mx = make([][]*big.Int, len(d.mx))
+	for i, r := range d.mx {
+		br := make([]*big.Int, len(r))
+		for j, x := range r {
+			if x != nil {
+				br[j] = new(big.Int).Set(x)
+			}
+		}
+		c.mx[i] = br
 	}
 	return c
 }
@@ -67,37 +155,131 @@ func (d *DBM) close() {
 	if d.empty {
 		return
 	}
-	n := len(d.m)
+	if d.mw != nil {
+		if d.closeFast() {
+			for i := range d.mw {
+				if d.mw[i][i] < 0 {
+					d.empty = true
+					return
+				}
+			}
+			return
+		}
+		// An intermediate sum overflowed the machine tier. The partial
+		// tightenings already written are valid path bounds, so re-running
+		// the closure on the exact tier converges to the same canonical
+		// shortest-path matrix.
+		d.promote()
+	}
+	n := len(d.mx)
 	for k := 0; k < n; k++ {
 		for i := 0; i < n; i++ {
-			if d.m[i][k] == nil {
+			if d.mx[i][k] == nil {
 				continue
 			}
 			for j := 0; j < n; j++ {
-				if d.m[k][j] == nil {
+				if d.mx[k][j] == nil {
 					continue
 				}
-				sum := new(big.Int).Add(d.m[i][k], d.m[k][j])
-				if d.m[i][j] == nil || sum.Cmp(d.m[i][j]) < 0 {
-					d.m[i][j] = sum
+				sum := new(big.Int).Add(d.mx[i][k], d.mx[k][j])
+				if d.mx[i][j] == nil || sum.Cmp(d.mx[i][j]) < 0 {
+					d.mx[i][j] = sum
 				}
 			}
 		}
 	}
 	for i := 0; i < n; i++ {
-		if d.m[i][i] != nil && d.m[i][i].Sign() < 0 {
+		if d.mx[i][i] != nil && d.mx[i][i].Sign() < 0 {
 			d.empty = true
 			return
 		}
 	}
+	d.demote()
+}
+
+// closeFast is the machine-tier Floyd–Warshall loop; it reports false when
+// a sum overflows (or collides with the sentinel) and the caller must
+// promote.
+func (d *DBM) closeFast() bool {
+	n := len(d.mw)
+	for k := 0; k < n; k++ {
+		krow := d.mw[k]
+		for i := 0; i < n; i++ {
+			ik := d.mw[i][k]
+			if ik == noBound {
+				continue
+			}
+			irow := d.mw[i]
+			for j := 0; j < n; j++ {
+				kj := krow[j]
+				if kj == noBound {
+					continue
+				}
+				sum, ok := numkernel.AddOK(ik, kj)
+				if !ok || sum == noBound {
+					return false
+				}
+				// The sentinel is the maximum int64, so this also replaces
+				// +infinity entries.
+				if sum < irow[j] {
+					irow[j] = sum
+				}
+			}
+		}
+	}
+	return true
 }
 
 // setBound tightens x_i - x_j <= c (indices are 1-based for variables,
 // 0 for the zero var).
 func (d *DBM) setBound(i, j int, c *big.Int) {
-	if d.m[i][j] == nil || c.Cmp(d.m[i][j]) < 0 {
-		d.m[i][j] = new(big.Int).Set(c)
+	if d.mw != nil {
+		if c.IsInt64() {
+			if cv := c.Int64(); cv != noBound {
+				if cv < d.mw[i][j] {
+					d.mw[i][j] = cv
+				}
+				return
+			}
+		} else if c.Sign() > 0 {
+			// Looser than any machine bound: only tightens if the cell is
+			// +infinity, and then it cannot be stored exactly.
+			if d.mw[i][j] != noBound {
+				return
+			}
+		}
+		d.promote()
 	}
+	if d.mx[i][j] == nil || c.Cmp(d.mx[i][j]) < 0 {
+		d.mx[i][j] = new(big.Int).Set(c)
+	}
+}
+
+// cellBig returns the exact value of a cell, or nil for +infinity. The
+// result must be treated as read-only; machine-tier reads allocate.
+func (d *DBM) cellBig(i, j int) *big.Int {
+	if d.mw != nil {
+		if d.mw[i][j] == noBound {
+			return nil
+		}
+		return big.NewInt(d.mw[i][j])
+	}
+	return d.mx[i][j]
+}
+
+// cellLE reports whether the cell is a finite bound <= c.
+func (d *DBM) cellLE(i, j int, c *big.Int) bool {
+	if d.mw != nil {
+		x := d.mw[i][j]
+		if x == noBound {
+			return false
+		}
+		if c.IsInt64() {
+			return x <= c.Int64()
+		}
+		return c.Sign() > 0 // |c| > MaxInt64, so x <= c iff c is positive
+	}
+	return d.mx[i][j] != nil && d.mx[i][j].Cmp(c) <= 0
 }
 
 // MeetConstraint refines with a linear constraint when it has zone shape
@@ -119,22 +301,21 @@ func (d *DBM) MeetConstraint(c linear.Constraint) *DBM {
 			v := vars[0]
 			k := e.Coef(v)
 			// k*x + c >= 0
-			if k.Cmp(big.NewInt(1)) == 0 {
+			if k.Cmp(bigOne) == 0 {
 				// x >= -c: 0 - x <= c
 				out.setBound(0, v+1, e.Const)
-			} else if k.Cmp(big.NewInt(-1)) == 0 {
+			} else if k.Cmp(bigMinusOne) == 0 {
 				// x <= c
 				out.setBound(v+1, 0, e.Const)
 			}
 		case 2:
 			a, b := vars[0], vars[1]
 			ka, kb := e.Coef(a), e.Coef(b)
-			one, mone := big.NewInt(1), big.NewInt(-1)
 			switch {
-			case ka.Cmp(one) == 0 && kb.Cmp(mone) == 0:
+			case ka.Cmp(bigOne) == 0 && kb.Cmp(bigMinusOne) == 0:
 				// x_a - x_b + c >= 0: x_b - x_a <= c
 				out.setBound(b+1, a+1, e.Const)
-			case ka.Cmp(mone) == 0 && kb.Cmp(one) == 0:
+			case ka.Cmp(bigMinusOne) == 0 && kb.Cmp(bigOne) == 0:
 				out.setBound(a+1, b+1, e.Const)
 			}
 		}
@@ -147,6 +328,11 @@ func (d *DBM) MeetConstraint(c linear.Constraint) *DBM {
 	return out
 }
 
+var (
+	bigOne      = big.NewInt(1)
+	bigMinusOne = big.NewInt(-1)
+)
+
 // Join returns the pointwise maximum of closed forms.
 func (d *DBM) Join(o *DBM) *DBM {
 	if d.IsEmpty() {
@@ -157,18 +343,37 @@ func (d *DBM) Join(o *DBM) *DBM {
 	}
 	d.close()
 	o.close()
-	out := Universe(d.n)
-	for i := range out.m {
-		for j := range out.m[i] {
-			if d.m[i][j] != nil && o.m[i][j] != nil {
-				if d.m[i][j].Cmp(o.m[i][j]) >= 0 {
-					out.m[i][j] = new(big.Int).Set(d.m[i][j])
+	if d.mw != nil && o.mw != nil {
+		out := Universe(d.n)
+		for i := range out.mw {
+			dr, or, outr := d.mw[i], o.mw[i], out.mw[i]
+			for j := range outr {
+				// max treats the sentinel (maximum value) as +infinity.
+				if dr[j] >= or[j] {
+					outr[j] = dr[j]
 				} else {
-					out.m[i][j] = new(big.Int).Set(o.m[i][j])
+					outr[j] = or[j]
+				}
+			}
+		}
+		return out
+	}
+	d.promote()
+	o.promote()
+	out := Universe(d.n)
+	out.promote()
+	for i := range out.mx {
+		for j := range out.mx[i] {
+			if d.mx[i][j] != nil && o.mx[i][j] != nil {
+				if d.mx[i][j].Cmp(o.mx[i][j]) >= 0 {
+					out.mx[i][j] = new(big.Int).Set(d.mx[i][j])
+				} else {
+					out.mx[i][j] = new(big.Int).Set(o.mx[i][j])
 				}
 			}
 		}
 	}
+	out.demote()
 	return out
 }
 
@@ -181,14 +386,32 @@ func (d *DBM) Widen(o *DBM) *DBM {
 		return d.Clone()
 	}
 	o.close()
+	if d.mw != nil && o.mw != nil {
+		out := Universe(d.n)
+		for i := range out.mw {
+			dr, or, outr := d.mw[i], o.mw[i], out.mw[i]
+			for j := range outr {
+				// o <= d with d finite implies o is finite too (the
+				// sentinel is the maximum value).
+				if dr[j] != noBound && or[j] <= dr[j] {
+					outr[j] = dr[j]
+				}
+			}
+		}
+		return out
+	}
+	d.promote()
+	o.promote()
 	out := Universe(d.n)
-	for i := range out.m {
-		for j := range out.m[i] {
-			if d.m[i][j] != nil && o.m[i][j] != nil && o.m[i][j].Cmp(d.m[i][j]) <= 0 {
-				out.m[i][j] = new(big.Int).Set(d.m[i][j])
+	out.promote()
+	for i := range out.mx {
+		for j := range out.mx[i] {
+			if d.mx[i][j] != nil && o.mx[i][j] != nil && o.mx[i][j].Cmp(d.mx[i][j]) <= 0 {
+				out.mx[i][j] = new(big.Int).Set(d.mx[i][j])
 			}
 		}
 	}
+	out.demote()
 	return out
 }
 
@@ -202,12 +425,27 @@ func (d *DBM) Includes(o *DBM) bool {
 	}
 	d.close()
 	o.close()
-	for i := range d.m {
-		for j := range d.m[i] {
-			if d.m[i][j] == nil {
+	if d.mw != nil && o.mw != nil {
+		for i := range d.mw {
+			dr, or := d.mw[i], o.mw[i]
+			for j := range dr {
+				// o's bound must be at least as tight; a sentinel in o
+				// compares greater than any finite bound of d.
+				if dr[j] != noBound && or[j] > dr[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	d.promote()
+	o.promote()
+	for i := range d.mx {
+		for j := range d.mx[i] {
+			if d.mx[i][j] == nil {
 				continue
 			}
-			if o.m[i][j] == nil || o.m[i][j].Cmp(d.m[i][j]) > 0 {
+			if o.mx[i][j] == nil || o.mx[i][j].Cmp(d.mx[i][j]) > 0 {
 				return false
 			}
 		}
@@ -226,9 +464,16 @@ func (d *DBM) Havoc(v int) *DBM {
 		return out
 	}
 	i := v + 1
-	for j := range out.m {
-		out.m[i][j] = nil
-		out.m[j][i] = nil
+	if out.mw != nil {
+		for j := range out.mw {
+			out.mw[i][j] = noBound
+			out.mw[j][i] = noBound
+		}
+		return out
+	}
+	for j := range out.mx {
+		out.mx[i][j] = nil
+		out.mx[j][i] = nil
 	}
 	return out
 }
@@ -241,21 +486,60 @@ func (d *DBM) Assign(v int, e linear.Expr) *DBM {
 	}
 	vars := e.Vars()
 	// v := v + c: shift bounds.
-	if len(vars) == 1 && vars[0] == v && e.Coef(v).Cmp(big.NewInt(1)) == 0 {
+	if len(vars) == 1 && vars[0] == v && e.Coef(v).Cmp(bigOne) == 0 {
 		out := d.Clone()
 		out.close()
 		i := v + 1
-		for j := range out.m {
+		if out.mw != nil && e.Const.IsInt64() {
+			c := e.Const.Int64()
+			ok := true
+			// Verify no shift overflows before mutating, so a promotion
+			// replays the whole row/column on untouched values.
+			for j := range out.mw {
+				if j == i {
+					continue
+				}
+				if x := out.mw[i][j]; x != noBound {
+					if s, o := numkernel.AddOK(x, c); !o || s == noBound {
+						ok = false
+						break
+					}
+				}
+				if x := out.mw[j][i]; x != noBound {
+					if s, o := numkernel.SubOK(x, c); !o || s == noBound {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok {
+				for j := range out.mw {
+					if j == i {
+						continue
+					}
+					if out.mw[i][j] != noBound {
+						out.mw[i][j] += c
+					}
+					if out.mw[j][i] != noBound {
+						out.mw[j][i] -= c
+					}
+				}
+				return out
+			}
+		}
+		out.promote()
+		for j := range out.mx {
 			if j == i {
 				continue
 			}
-			if out.m[i][j] != nil {
-				out.m[i][j] = new(big.Int).Add(out.m[i][j], e.Const)
+			if out.mx[i][j] != nil {
+				out.mx[i][j] = new(big.Int).Add(out.mx[i][j], e.Const)
 			}
-			if out.m[j][i] != nil {
-				out.m[j][i] = new(big.Int).Sub(out.m[j][i], e.Const)
+			if out.mx[j][i] != nil {
+				out.mx[j][i] = new(big.Int).Sub(out.mx[j][i], e.Const)
 			}
 		}
+		out.demote()
 		return out
 	}
 	// General: forget v, then constrain when the shape allows.
@@ -267,7 +551,7 @@ func (d *DBM) Assign(v int, e linear.Expr) *DBM {
 		out.close()
 		return out
 	}
-	if len(vars) == 1 && vars[0] != v && e.Coef(vars[0]).Cmp(big.NewInt(1)) == 0 {
+	if len(vars) == 1 && vars[0] != v && e.Coef(vars[0]).Cmp(bigOne) == 0 {
 		// v := w + c: v - w <= c and w - v <= -c.
 		w := vars[0]
 		out.setBound(v+1, w+1, e.Const)
@@ -296,22 +580,21 @@ func (d *DBM) Entails(c linear.Constraint) bool {
 		case 1:
 			v := vars[0]
 			k := e.Coef(v)
-			if k.Cmp(big.NewInt(1)) == 0 {
+			if k.Cmp(bigOne) == 0 {
 				// need x >= -c, i.e. 0 - x <= c entailed
-				return d.m[0][v+1] != nil && d.m[0][v+1].Cmp(e.Const) <= 0
+				return d.cellLE(0, v+1, e.Const)
 			}
-			if k.Cmp(big.NewInt(-1)) == 0 {
-				return d.m[v+1][0] != nil && d.m[v+1][0].Cmp(e.Const) <= 0
+			if k.Cmp(bigMinusOne) == 0 {
+				return d.cellLE(v+1, 0, e.Const)
 			}
 		case 2:
 			a, b := vars[0], vars[1]
 			ka, kb := e.Coef(a), e.Coef(b)
-			one, mone := big.NewInt(1), big.NewInt(-1)
-			if ka.Cmp(one) == 0 && kb.Cmp(mone) == 0 {
-				return d.m[b+1][a+1] != nil && d.m[b+1][a+1].Cmp(e.Const) <= 0
+			if ka.Cmp(bigOne) == 0 && kb.Cmp(bigMinusOne) == 0 {
+				return d.cellLE(b+1, a+1, e.Const)
 			}
-			if ka.Cmp(mone) == 0 && kb.Cmp(one) == 0 {
-				return d.m[a+1][b+1] != nil && d.m[a+1][b+1].Cmp(e.Const) <= 0
+			if ka.Cmp(bigMinusOne) == 0 && kb.Cmp(bigOne) == 0 {
+				return d.cellLE(a+1, b+1, e.Const)
 			}
 		}
 		return false
@@ -322,6 +605,40 @@ func (d *DBM) Entails(c linear.Constraint) bool {
 	return check(c.E)
 }
 
+// Key returns a canonical byte-string encoding of d's current matrix and
+// whether one is available. Encodings are value-based and tier-independent
+// (an exact-tier bound that fits a machine word encodes identically to its
+// machine-tier form), so equal keys imply identical bound matrices and a
+// memoized answer keyed by them is exact.
+func (d *DBM) Key() (string, bool) {
+	if d.empty {
+		return "empty", true
+	}
+	key := numkernel.AppendKeyInt64(nil, int64(d.n))
+	if d.mw != nil {
+		for _, r := range d.mw {
+			for _, x := range r {
+				if x == noBound {
+					key = append(key, 0x01)
+				} else {
+					key = numkernel.AppendKeyInt64(key, x)
+				}
+			}
+		}
+		return string(key), true
+	}
+	for _, r := range d.mx {
+		for _, x := range r {
+			if x == nil {
+				key = append(key, 0x01)
+			} else {
+				key = numkernel.AppendKeyBig(key, x)
+			}
+		}
+	}
+	return string(key), true
+}
+
 // System renders the closed zone as linear constraints.
 func (d *DBM) System() linear.System {
 	var sys linear.System
@@ -329,14 +646,16 @@ func (d *DBM) System() linear.System {
 		return linear.System{linear.NewGe(linear.ConstExpr(-1))}
 	}
 	d.close()
-	for i := range d.m {
-		for j := range d.m[i] {
-			if i == j || d.m[i][j] == nil {
+	n := d.n + 1
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			c := d.cellBig(i, j)
+			if i == j || c == nil {
 				continue
 			}
 			// x_i - x_j <= c  ==>  c - x_i + x_j >= 0
 			e := linear.NewExpr()
-			e.Const.Set(d.m[i][j])
+			e.Const.Set(c)
 			if i > 0 {
 				e.AddTerm(i-1, -1)
 			}
@@ -356,11 +675,11 @@ func (d *DBM) Bounds(v int) (lo, hi *big.Rat) {
 		return nil, nil
 	}
 	d.close()
-	if d.m[0][v+1] != nil { // 0 - x <= c: x >= -c
-		lo = new(big.Rat).SetInt(new(big.Int).Neg(d.m[0][v+1]))
+	if c := d.cellBig(0, v+1); c != nil { // 0 - x <= c: x >= -c
+		lo = new(big.Rat).SetInt(new(big.Int).Neg(c))
 	}
-	if d.m[v+1][0] != nil { // x <= c
-		hi = new(big.Rat).SetInt(d.m[v+1][0])
+	if c := d.cellBig(v+1, 0); c != nil { // x <= c
+		hi = new(big.Rat).SetInt(c)
 	}
 	return lo, hi
 }
@@ -374,10 +693,10 @@ func (d *DBM) Sample() []*big.Rat {
 	pt := make([]*big.Rat, d.n)
 	for v := 0; v < d.n; v++ {
 		switch {
-		case d.m[0][v+1] != nil: // 0 - x <= c: x >= -c
-			pt[v] = new(big.Rat).SetInt(new(big.Int).Neg(d.m[0][v+1]))
-		case d.m[v+1][0] != nil: // x <= c
-			pt[v] = new(big.Rat).SetInt(d.m[v+1][0])
+		case d.cellBig(0, v+1) != nil: // 0 - x <= c: x >= -c
+			pt[v] = new(big.Rat).SetInt(new(big.Int).Neg(d.cellBig(0, v+1)))
+		case d.cellBig(v+1, 0) != nil: // x <= c
+			pt[v] = new(big.Rat).SetInt(d.cellBig(v+1, 0))
 		default:
 			pt[v] = new(big.Rat)
 		}
@@ -400,5 +719,3 @@ func (d *DBM) String(sp *linear.Space) string {
 	}
 	return strings.Join(parts, " && ")
 }
-
-var _ = fmt.Sprintf
