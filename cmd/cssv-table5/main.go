@@ -24,12 +24,16 @@ func main() {
 	fixwrites := flag.String("fixwrites", "testdata/fixwrites/fixwrites.c", "path to the fixwrites-style suite")
 	jobs := flag.Int("j", 0, "procedures analyzed in parallel (0 = all CPUs, 1 = sequential; the Space column is only measured at 1)")
 	certify := flag.Bool("certify", false, "verify invariant certificates and replay messages to witnesses; adds the Cert/CFail/Wit/Pot columns")
+	timeout := flag.Duration("proc-timeout", 0, "wall-clock budget per procedure (0 = unlimited); expired procedures report unresolved checks")
+	steps := flag.Int("step-budget", 0, "fixpoint iteration budget per procedure (0 = unlimited)")
 	flag.Parse()
 
 	opts := table5.Options{SkipDerivation: *fast}
 	opts.Driver.Workers = *jobs
 	opts.Driver.Certify = *certify
 	opts.Driver.Cascade = *certify // certificates record the discharging tier
+	opts.Driver.ProcDeadline = *timeout
+	opts.Driver.StepBudget = *steps
 	var rows []table5.Row
 	for _, s := range []struct{ name, path string }{
 		{"airbus", *airbus},

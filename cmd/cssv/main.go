@@ -35,6 +35,8 @@ func main() {
 		dumpRed   = flag.Bool("dump-reduced-ip", false, "print the residual integer program the final cascade tier analyzed (implies -cascade)")
 		jobs      = flag.Int("j", 0, "procedures analyzed in parallel (0 = all CPUs, 1 = sequential)")
 		quiet     = flag.Bool("q", false, "suppress warnings")
+		timeout   = flag.Duration("proc-timeout", 0, "wall-clock budget per procedure (0 = unlimited); on expiry remaining checks are reported unresolved")
+		steps     = flag.Int("step-budget", 0, "fixpoint iteration budget per procedure (0 = unlimited); deterministic counterpart of -proc-timeout")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -52,6 +54,8 @@ func main() {
 		Cascade:           *cascade || *dumpRed,
 		Certify:           *certify,
 		Workers:           *jobs,
+		ProcTimeout:       *timeout,
+		StepBudget:        *steps,
 	}
 	if *jobs < 0 {
 		fmt.Fprintln(os.Stderr, "cssv: -j must be >= 0")
@@ -73,10 +77,10 @@ func main() {
 		if s.Wall > 0 {
 			speedup = float64(s.SequentialCPU) / float64(s.Wall)
 		}
-		fmt.Printf("run: workers=%d wall=%s cpu=%s speedup=%.1fx ptcache=%d/%d libc-header-cached=%v precision-drops=%d\n",
+		fmt.Printf("run: workers=%d wall=%s cpu=%s speedup=%.1fx ptcache=%d/%d libc-header-cached=%v precision-drops=%d degraded=%d unresolved=%d\n",
 			s.Workers, s.Wall.Round(1e6), s.SequentialCPU.Round(1e6), speedup,
 			s.PointerCacheHits, s.PointerCacheHits+s.PointerCacheMisses, s.LibcHeaderReused,
-			s.PrecisionDrops)
+			s.PrecisionDrops, s.DegradedProcs, s.UnresolvedChecks)
 	}
 
 	messages := 0
@@ -128,6 +132,9 @@ func main() {
 			fmt.Printf("%s: certification: %d certified, %d failed, %d witnessed, %d potential\n",
 				p.Name, c.Certified, c.Failed, c.Witnessed, c.Potential)
 			certFailed += c.Failed
+		}
+		if p.Degraded != nil {
+			fmt.Printf("%s: degraded (%s): %s\n", p.Name, p.Degraded.Cause, p.Degraded.Detail)
 		}
 		if !*quiet {
 			for _, w := range p.Warnings {

@@ -97,6 +97,20 @@ type Config struct {
 	// concrete trace reaches the failing check) or "potential" (possible
 	// false alarm). Results appear in Procedure.Certification.
 	Certify bool
+	// ProcTimeout bounds the wall-clock time of each procedure's pipeline
+	// (0 = unlimited). On expiry the analysis degrades gracefully: the
+	// procedure's remaining checks are reported as unresolved potential
+	// errors (never silently "safe"), Procedure.Degraded records the
+	// cause, and the run completes.
+	ProcTimeout time.Duration
+	// StepBudget bounds the fixpoint iterations per procedure
+	// (0 = unlimited). Exhaustion degrades exactly like ProcTimeout but
+	// is fully deterministic.
+	StepBudget int
+	// MaxRays overrides the polyhedra ray cap per run (0 = default,
+	// negative = unlimited); drops at the cap are counted in
+	// RunStats.PrecisionDrops.
+	MaxRays int
 }
 
 // Message is one potential string error.
@@ -110,6 +124,10 @@ type Message struct {
 	CounterExample map[string]string
 	// Unverifiable marks conditions outside linear arithmetic.
 	Unverifiable bool
+	// Unresolved marks checks the analysis gave up on (budget exhausted
+	// or the procedure's pipeline panicked); they are conservatively
+	// reported as potential errors.
+	Unresolved bool
 }
 
 // Procedure is the per-procedure result (one row of the paper's Table 5).
@@ -143,6 +161,23 @@ type Procedure struct {
 	// Certification holds the per-check certification outcome under
 	// Config.Certify (nil otherwise).
 	Certification *CertificationStats
+	// Degraded is non-nil when this procedure's analysis did not run to
+	// completion (budget exhausted or panic isolated); its unresolved
+	// checks appear in Messages.
+	Degraded *Degradation
+}
+
+// Degradation explains why a procedure's analysis fell short of a full
+// run.
+type Degradation struct {
+	// Cause is "deadline", "step-budget", or "panic".
+	Cause string
+	// Detail is a human-readable description.
+	Detail string
+	// Stack is the goroutine stack for panics (empty otherwise).
+	Stack string
+	// Unresolved counts checks reported as unresolved potential errors.
+	Unresolved int
 }
 
 // CertificationStats summarizes one procedure's a-posteriori validation.
@@ -243,6 +278,11 @@ type RunStats struct {
 	// its ray cap during this run (each is a sound over-approximation, but
 	// nonzero means precision was lost).
 	PrecisionDrops int
+	// DegradedProcs counts procedures cut short by a budget or isolated
+	// after a panic; UnresolvedChecks counts their checks conservatively
+	// reported as potential errors.
+	DegradedProcs    int
+	UnresolvedChecks int
 }
 
 // Messages returns all messages across procedures.
@@ -301,6 +341,12 @@ func (cfg Config) driverOptions() (core.Options, error) {
 	if cfg.Workers < 0 {
 		return core.Options{}, fmt.Errorf("cssv: Workers must be >= 0, got %d", cfg.Workers)
 	}
+	if cfg.ProcTimeout < 0 {
+		return core.Options{}, fmt.Errorf("cssv: ProcTimeout must be >= 0, got %v", cfg.ProcTimeout)
+	}
+	if cfg.StepBudget < 0 {
+		return core.Options{}, fmt.Errorf("cssv: StepBudget must be >= 0, got %d", cfg.StepBudget)
+	}
 	opts := core.Options{
 		Cascade:       cfg.Cascade,
 		Certify:       cfg.Certify,
@@ -308,6 +354,9 @@ func (cfg Config) driverOptions() (core.Options, error) {
 		NoLibc:        cfg.NoLibc,
 		Workers:       cfg.Workers,
 		WideningDelay: cfg.WideningDelay,
+		ProcDeadline:  cfg.ProcTimeout,
+		StepBudget:    cfg.StepBudget,
+		MaxRays:       cfg.MaxRays,
 		PPT:           ppt.Options{DisableMerging: cfg.DisablePPTMerging},
 		C2IP: c2ip.Options{
 			Naive:           cfg.NaiveC2IP,
@@ -366,6 +415,7 @@ func convertProc(pr *core.ProcReport) Procedure {
 			Pos:          v.Pos.String(),
 			Text:         analysis.FormatViolation(v, space),
 			Unverifiable: v.Unverifiable,
+			Unresolved:   v.Unresolved,
 		}
 		if len(v.CounterExample) > 0 {
 			m.CounterExample = map[string]string{}
@@ -408,6 +458,14 @@ func convertProc(pr *core.ProcReport) Procedure {
 			})
 		}
 		p.Cascade = cs
+	}
+	if pr.Degraded != nil {
+		p.Degraded = &Degradation{
+			Cause:      pr.Degraded.Cause,
+			Detail:     pr.Degraded.Detail,
+			Stack:      pr.Degraded.Stack,
+			Unresolved: pr.Degraded.Unresolved,
+		}
 	}
 	if pr.Certification != nil {
 		st := &CertificationStats{

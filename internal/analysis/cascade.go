@@ -68,6 +68,12 @@ type CascadeResult struct {
 	// verifier (certify.Certificate.Verify). Checks removed by CFG pruning
 	// get an unreachability certificate over the original program.
 	Certificates []*certify.Certificate
+	// Exhausted names the budget that ran out mid-cascade, or is empty.
+	// Checks still residual at that point are reported as unresolved
+	// violations (provenance tier "unresolved"); checks already
+	// discharged by completed cheaper tiers keep their verdicts — those
+	// tiers ran to a sound fixpoint.
+	Exhausted string
 }
 
 // AnalyzeCascade runs the tiered check discharge of the reduction design:
@@ -96,7 +102,7 @@ func AnalyzeCascade(p *ip.Program, opts Options) (*CascadeResult, error) {
 
 	final := opts.Domain
 	var tiers []Domain
-	for _, d := range []Domain{IntervalDomain{}, ZoneDomain{}} {
+	for _, d := range []Domain{IntervalDomain{}, ZoneDomain{Config: opts.ZoneConfig}} {
 		if d.Name() != final.Name() {
 			tiers = append(tiers, d)
 		}
@@ -106,9 +112,29 @@ func AnalyzeCascade(p *ip.Program, opts Options) (*CascadeResult, error) {
 	out := &CascadeResult{}
 	decided := map[int]CheckProvenance{} // keyed by pruned-program index
 	residual := pruned.Asserts()
+	// markUnresolved conservatively reports every still-residual check as
+	// a potential error once the budget is exhausted.
+	markUnresolved := func(cause string) {
+		out.Exhausted = cause
+		for _, a := range residual {
+			ast := pruned.Stmts[a].(*ip.Assert)
+			decided[a] = CheckProvenance{
+				Index: pm[a], Pos: ast.Pos, Msg: ast.Msg,
+				Tier: "unresolved", Violated: true,
+			}
+			out.Violations = append(out.Violations, Violation{
+				Index: pm[a], Msg: ast.Msg, Pos: ast.Pos, Unresolved: true,
+			})
+		}
+		residual = nil
+	}
 	for ti, dom := range tiers {
 		isFinal := ti == len(tiers)-1
 		if len(residual) == 0 {
+			break
+		}
+		if opts.Token.Exhausted() {
+			markUnresolved(opts.Token.Cause())
 			break
 		}
 		base := propagated
@@ -129,9 +155,17 @@ func AnalyzeCascade(p *ip.Program, opts Options) (*CascadeResult, error) {
 			WideningDelay:   opts.WideningDelay,
 			NarrowingPasses: opts.NarrowingPasses,
 			CheckOnly:       checkOnly,
+			Token:           opts.Token,
 		})
 		if err != nil {
 			return nil, err
+		}
+		if res.Exhausted != "" {
+			// The aborted tier's partial work (including its iteration
+			// count, which depends on where the deadline landed) is
+			// discarded; everything still residual becomes unresolved.
+			markUnresolved(res.Exhausted)
+			break
 		}
 		tierCPU := time.Since(start)
 		out.Iterations += res.Iterations

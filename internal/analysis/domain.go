@@ -84,17 +84,21 @@ func stateKeyOf(s State) string {
 // ---------------------------------------------------------------------------
 // Polyhedra adapter
 
-// PolyDomain is the convex-polyhedra domain (the paper's choice).
-type PolyDomain struct{}
+// PolyDomain is the convex-polyhedra domain (the paper's choice). Config,
+// when non-nil, carries the run's ray cap, budget token and drop counter;
+// the zero value is the default-configured domain.
+type PolyDomain struct {
+	Config *polyhedra.Config
+}
 
 // Name implements Domain.
 func (PolyDomain) Name() string { return "polyhedra" }
 
 // Universe implements Domain.
-func (PolyDomain) Universe(n int) State { return polyState{polyhedra.Universe(n)} }
+func (d PolyDomain) Universe(n int) State { return polyState{d.Config.Universe(n)} }
 
 // Bottom implements Domain.
-func (PolyDomain) Bottom(n int) State { return polyState{polyhedra.Bottom(n)} }
+func (d PolyDomain) Bottom(n int) State { return polyState{d.Config.Bottom(n)} }
 
 type polyState struct{ p *polyhedra.Poly }
 

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/interval"
 	"repro/internal/linear"
+	"repro/internal/polyhedra"
 	"repro/internal/zone"
 )
 
@@ -45,17 +46,36 @@ func (s boxState) Bounds(v int) (lo, hi *big.Rat)    { return s.b.Bounds(v) }
 func (s boxState) String(sp *linear.Space) string    { return s.b.String(sp) }
 
 // ZoneDomain is the difference-bound-matrix domain (the middle of the
-// ablation).
-type ZoneDomain struct{}
+// ablation). Config, when non-nil, carries the run's budget token; the
+// zero value is the default-configured domain.
+type ZoneDomain struct {
+	Config *zone.Config
+}
 
 // Name implements Domain.
 func (ZoneDomain) Name() string { return "zone" }
 
 // Universe implements Domain.
-func (ZoneDomain) Universe(n int) State { return zoneState{zone.Universe(n)} }
+func (d ZoneDomain) Universe(n int) State { return zoneState{d.Config.Universe(n)} }
 
 // Bottom implements Domain.
-func (ZoneDomain) Bottom(n int) State { return zoneState{zone.Bottom(n)} }
+func (d ZoneDomain) Bottom(n int) State { return zoneState{d.Config.Bottom(n)} }
+
+// WithSubstrate returns d reconfigured with the given per-run substrate
+// configs: a PolyDomain (or nil, the default) becomes PolyDomain{pc}, a
+// ZoneDomain becomes ZoneDomain{zc}; any other domain — intervals, custom
+// test domains — is returned unchanged.
+func WithSubstrate(d Domain, pc *polyhedra.Config, zc *zone.Config) Domain {
+	switch d.(type) {
+	case nil:
+		return PolyDomain{Config: pc}
+	case PolyDomain:
+		return PolyDomain{Config: pc}
+	case ZoneDomain:
+		return ZoneDomain{Config: zc}
+	}
+	return d
+}
 
 type zoneState struct{ d *zone.DBM }
 

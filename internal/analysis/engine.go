@@ -8,9 +8,11 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/budget"
 	"repro/internal/clex"
 	"repro/internal/ip"
 	"repro/internal/linear"
+	"repro/internal/zone"
 )
 
 // Options tunes the fixpoint iteration.
@@ -33,6 +35,15 @@ type Options struct {
 	// every check it discharges, in CascadeResult.Certificates. For plain
 	// Analyze runs use CertifyResult instead.
 	Certify bool
+	// Token, when non-nil, bounds the analysis: each worklist iteration
+	// consumes one budget step, and the deadline is polled alongside.
+	// On exhaustion the analysis degrades soundly — every check it was
+	// asked about is reported as an unresolved Violation (a potential
+	// error, never silently "safe") and Result.Exhausted names the cause.
+	Token *budget.Token
+	// ZoneConfig configures the zone tier AnalyzeCascade constructs
+	// internally (the final domain arrives pre-configured via Domain).
+	ZoneConfig *zone.Config
 }
 
 func (o *Options) fill() {
@@ -54,6 +65,11 @@ type Violation struct {
 	Pos   clex.Pos
 	// Unverifiable marks assertions C2IP could not express.
 	Unverifiable bool
+	// Unresolved marks checks the analysis gave up on because its
+	// resource budget was exhausted (or the procedure's analysis
+	// panicked). Unresolved checks are conservatively reported as
+	// potential errors; they carry no state system or counter-example.
+	Unresolved bool
 	// CounterExample assigns values to constraint variables under which
 	// the assertion fails (paper Fig. 8); nil when unavailable.
 	CounterExample map[string]*big.Rat
@@ -79,6 +95,13 @@ type Result struct {
 	ExitState State
 	// in-states per statement (used by derivation and tests).
 	States []State
+	// Exhausted names the budget that ran out ("deadline" or
+	// "step-budget"), or is empty for a completed analysis. An exhausted
+	// result carries no invariants: the iterate states are pre-fixpoint
+	// and unsound as invariants, so States is nil, ExitState is the
+	// universe, and every requested check appears as an unresolved
+	// Violation.
+	Exhausted string
 }
 
 // cfgEdge is a control-flow edge with the condition assumed along it.
@@ -164,6 +187,9 @@ func Analyze(p *ip.Program, opts Options) (*Result, error) {
 		if iterations > maxIterations {
 			return nil, fmt.Errorf("analysis: fixpoint iteration budget exceeded")
 		}
+		if !opts.Token.Step(1) {
+			return exhaustedResult(p, opts, dom, nvars, iterations), nil
+		}
 		i := work.pop()
 		inWork[i] = false
 		if i >= n {
@@ -210,6 +236,13 @@ func Analyze(p *ip.Program, opts Options) (*Result, error) {
 	}
 	for pass := 0; pass < opts.NarrowingPasses; pass++ {
 		for j := 1; j <= n; j++ {
+			if opts.Token.Exhausted() {
+				// Partially narrowed states are sound but which nodes got
+				// the refinement depends on timing; discard everything so
+				// an exhausted run always reports the same (unresolved)
+				// outcome.
+				return exhaustedResult(p, opts, dom, nvars, iterations), nil
+			}
 			acc := dom.Bottom(nvars)
 			for _, pe := range preds[j] {
 				s := transfer(pe.to, in[pe.to])
@@ -251,7 +284,41 @@ func Analyze(p *ip.Program, opts Options) (*Result, error) {
 		}
 	}
 	res.ExitState = in[n]
+	if opts.Token.Exhausted() {
+		// The deadline may have passed mid-check: some verdicts above were
+		// computed on budget-degraded substrate states. Normalize to the
+		// canonical exhausted outcome so reports stay deterministic.
+		return exhaustedResult(p, opts, dom, nvars, iterations), nil
+	}
 	return res, nil
+}
+
+// exhaustedResult is the canonical outcome of a budget-exhausted analysis:
+// no invariants (the iterates are pre-fixpoint, hence unsound as
+// invariants), a universe exit state, and one unresolved Violation per
+// requested check. It depends only on the program and the options, never
+// on how far the aborted iteration got, so exhausted runs are
+// deterministic across worker counts.
+func exhaustedResult(p *ip.Program, opts Options, dom Domain, nvars, iterations int) *Result {
+	res := &Result{
+		Prog:       p,
+		Iterations: iterations,
+		ExitState:  dom.Universe(nvars),
+		Exhausted:  opts.Token.Cause(),
+	}
+	if res.Exhausted == "" {
+		res.Exhausted = budget.CauseDeadline
+	}
+	for _, idx := range p.Asserts() {
+		if opts.CheckOnly != nil && !opts.CheckOnly[idx] {
+			continue
+		}
+		a := p.Stmts[idx].(*ip.Assert)
+		res.Violations = append(res.Violations, Violation{
+			Index: idx, Msg: a.Msg, Pos: a.Pos, Unresolved: true,
+		})
+	}
+	return res
 }
 
 func osGetenvInt(k string) int {
@@ -432,8 +499,17 @@ func ratFloor(x *big.Rat) *big.Int {
 
 // FormatViolation renders a Fig. 8-style report.
 func FormatViolation(v Violation, sp *linear.Space) string {
+	if v.Unresolved && v.Index < 0 {
+		// Driver-synthesized diagnostic (e.g. a panic isolated to one
+		// procedure): Msg is the whole message and there is no position.
+		return "error: " + v.Msg
+	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s: error: %s may be violated", v.Pos, v.Msg)
+	if v.Unresolved {
+		sb.WriteString(" (unresolved: analysis budget exhausted)")
+		return sb.String()
+	}
 	if v.Unverifiable {
 		sb.WriteString(" (not expressible in linear arithmetic)")
 	}

@@ -1,0 +1,99 @@
+// Package budget provides a cooperative cancellation token combining a
+// wall-clock deadline with a fixpoint step budget.
+//
+// A Token is threaded from the core driver through the analysis engine,
+// cascade tiers and the numeric substrates (polyhedra, zone). Consumers
+// poll it at safe points; on exhaustion they degrade soundly — give up
+// precision, never verdicts. A nil *Token is valid and means "unlimited":
+// every method has a nil-receiver fast path so default runs pay nothing.
+package budget
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Exhaustion causes reported by Cause.
+const (
+	CauseDeadline = "deadline"
+	CauseSteps    = "step-budget"
+)
+
+// Token is a cooperative cancellation token. It is safe for concurrent
+// use; the step counter is shared across every consumer holding the
+// token (engine iterations are the only consumers that call Step, so
+// step accounting stays deterministic across worker counts).
+type Token struct {
+	deadline time.Time // zero = no deadline
+	limit    int64     // 0 = no step limit
+	used     atomic.Int64
+	// trip latches the first observed exhaustion cause so that Cause
+	// stays stable even if e.g. the deadline also passes later.
+	trip atomic.Int32 // 0 = live, 1 = deadline, 2 = steps
+}
+
+// New returns a token enforcing the given deadline (zero time = none)
+// and step limit (<= 0 = none). When neither is set it returns nil,
+// the unlimited token.
+func New(deadline time.Time, steps int) *Token {
+	if deadline.IsZero() && steps <= 0 {
+		return nil
+	}
+	t := &Token{deadline: deadline}
+	if steps > 0 {
+		t.limit = int64(steps)
+	}
+	return t
+}
+
+// Step consumes n budget steps and reports whether work may continue.
+// Once it returns false it keeps returning false.
+func (t *Token) Step(n int) bool {
+	if t == nil {
+		return true
+	}
+	if t.trip.Load() != 0 {
+		return false
+	}
+	if t.limit > 0 && t.used.Add(int64(n)) > t.limit {
+		t.trip.CompareAndSwap(0, 2)
+		return false
+	}
+	if !t.deadline.IsZero() && time.Now().After(t.deadline) {
+		t.trip.CompareAndSwap(0, 1)
+		return false
+	}
+	return true
+}
+
+// Exhausted polls the token without consuming steps. Substrate
+// operations (Chernikova conversion, DBM closure) use this so that
+// only engine iterations spend the deterministic step budget.
+func (t *Token) Exhausted() bool {
+	if t == nil {
+		return false
+	}
+	if t.trip.Load() != 0 {
+		return true
+	}
+	if !t.deadline.IsZero() && time.Now().After(t.deadline) {
+		t.trip.CompareAndSwap(0, 1)
+		return true
+	}
+	return false
+}
+
+// Cause returns why the token tripped: CauseDeadline, CauseSteps, or
+// "" while the token is live (or nil).
+func (t *Token) Cause() string {
+	if t == nil {
+		return ""
+	}
+	switch t.trip.Load() {
+	case 1:
+		return CauseDeadline
+	case 2:
+		return CauseSteps
+	}
+	return ""
+}

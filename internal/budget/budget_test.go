@@ -1,0 +1,69 @@
+package budget
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNilTokenIsUnlimited(t *testing.T) {
+	var tok *Token
+	if !tok.Step(1 << 30) {
+		t.Error("nil token refused a step")
+	}
+	if tok.Exhausted() {
+		t.Error("nil token reports exhausted")
+	}
+	if c := tok.Cause(); c != "" {
+		t.Errorf("nil token cause = %q, want empty", c)
+	}
+	if New(time.Time{}, 0) != nil {
+		t.Error("New with no limits should return nil")
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	tok := New(time.Time{}, 3)
+	for i := 0; i < 3; i++ {
+		if !tok.Step(1) {
+			t.Fatalf("step %d refused before limit", i)
+		}
+	}
+	if tok.Step(1) {
+		t.Fatal("step allowed past limit")
+	}
+	if !tok.Exhausted() {
+		t.Error("token not exhausted after tripping")
+	}
+	if c := tok.Cause(); c != CauseSteps {
+		t.Errorf("cause = %q, want %q", c, CauseSteps)
+	}
+	// Latched: stays tripped.
+	if tok.Step(1) {
+		t.Error("tripped token accepted another step")
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	tok := New(time.Now().Add(-time.Second), 0)
+	if !tok.Exhausted() {
+		t.Fatal("past deadline not detected")
+	}
+	if c := tok.Cause(); c != CauseDeadline {
+		t.Errorf("cause = %q, want %q", c, CauseDeadline)
+	}
+	if tok.Step(1) {
+		t.Error("step allowed past deadline")
+	}
+}
+
+func TestCauseLatchesFirstTrip(t *testing.T) {
+	// Trip on steps with a deadline that then passes: cause stays steps.
+	tok := New(time.Now().Add(time.Hour), 1)
+	tok.Step(1)
+	if tok.Step(1) {
+		t.Fatal("expected step trip")
+	}
+	if c := tok.Cause(); c != CauseSteps {
+		t.Errorf("cause = %q, want %q", c, CauseSteps)
+	}
+}

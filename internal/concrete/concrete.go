@@ -111,6 +111,22 @@ type Interp struct {
 	// StepLimit bounds execution (loops in generated programs).
 	StepLimit int
 	steps     int
+	// pos is the source position of the statement being executed, kept
+	// current so internal panics can be attributed to a program point.
+	pos string
+}
+
+// PanicError wraps a non-RuntimeError panic escaping the interpreter with
+// the position of the statement that was executing, so a crash inside the
+// interpreter is attributable to a program point. The original panic
+// value is preserved in Val.
+type PanicError struct {
+	Pos string
+	Val any
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("%s: internal interpreter panic: %v", e.Pos, e.Val)
 }
 
 // New prepares an interpreter for the program.
@@ -176,7 +192,14 @@ func (in *Interp) Call(name string, args ...value) (ret value, rerr *RuntimeErro
 				rerr = re
 				return
 			}
-			panic(r)
+			if _, ok := r.(*PanicError); ok {
+				panic(r) // a nested Call already attached the position
+			}
+			pos := in.pos
+			if pos == "" {
+				pos = "?"
+			}
+			panic(&PanicError{Pos: pos, Val: r})
 		}
 	}()
 	ret = in.call(name, args)
@@ -236,8 +259,9 @@ func (in *Interp) exec(fr *frame) value {
 	pc := 0
 	for pc < len(stmts) {
 		in.steps++
+		in.pos = posOf(stmts[pc])
 		if in.steps > in.StepLimit {
-			errf(ErrOther, posOf(stmts[pc]), "step limit exceeded")
+			errf(ErrOther, in.pos, "step limit exceeded")
 		}
 		switch s := stmts[pc].(type) {
 		case *cast.DeclStmt, *cast.Empty, *cast.Labeled, *cast.Verify:

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/cast"
 	"repro/internal/corec"
 	"repro/internal/cparse"
 	"repro/internal/libc"
@@ -247,4 +248,45 @@ func TestInterpErrorStrings(t *testing.T) {
 	if !strings.Contains(e.Error(), "out-of-bounds") {
 		t.Errorf("error string: %s", e)
 	}
+}
+
+// TestInterpPanicCarriesPosition: an internal panic (here provoked by a
+// malformed AST) escapes Call wrapped in a PanicError naming the statement
+// that was executing, instead of a bare, position-less panic.
+func TestInterpPanicCarriesPosition(t *testing.T) {
+	in := prep(t, `
+int broken(int x) {
+    if (x > 0) goto done;
+    x = 0 - x;
+done:
+    return x;
+}
+`)
+	fd := in.prog.File.Lookup("broken")
+	var ifPos string
+	for _, s := range fd.Body.Stmts {
+		if iff, ok := s.(*cast.If); ok {
+			ifPos = iff.Pos().String()
+			iff.Then = &cast.Empty{} // malformed: exec asserts *cast.Goto
+			break
+		}
+	}
+	if ifPos == "" {
+		t.Fatal("no If statement in normalized body")
+	}
+	defer func() {
+		r := recover()
+		pe, ok := r.(*PanicError)
+		if !ok {
+			t.Fatalf("escaped panic = %#v, want *PanicError", r)
+		}
+		if pe.Pos != ifPos {
+			t.Errorf("PanicError.Pos = %q, want %q", pe.Pos, ifPos)
+		}
+		if !strings.Contains(pe.Error(), "internal interpreter panic") {
+			t.Errorf("Error() = %q", pe.Error())
+		}
+	}()
+	in.CallInts("broken", 1)
+	t.Fatal("malformed If did not panic")
 }

@@ -3,11 +3,13 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/budget"
 	"repro/internal/c2ip"
 	"repro/internal/cast"
 	"repro/internal/certify"
@@ -20,6 +22,7 @@ import (
 	"repro/internal/pointer"
 	"repro/internal/polyhedra"
 	"repro/internal/ppt"
+	"repro/internal/zone"
 )
 
 // Options configures a CSSV run.
@@ -57,6 +60,21 @@ type Options struct {
 	Certify bool
 	// NoSideEffectCheck disables the modifies-clause verification.
 	NoSideEffectCheck bool
+	// ProcDeadline bounds the wall-clock time of each procedure's
+	// pipeline (0 = unlimited). When the deadline passes, the fixpoint
+	// engine and the numeric substrates degrade gracefully: remaining
+	// checks are reported as unresolved potential errors and the
+	// procedure's report carries a Degradation record — the run itself
+	// always completes.
+	ProcDeadline time.Duration
+	// StepBudget bounds the number of fixpoint worklist iterations per
+	// procedure (0 = unlimited; cascade tiers share the budget). Unlike
+	// the wall-clock deadline, step exhaustion is fully deterministic.
+	StepBudget int
+	// MaxRays overrides the polyhedra ray cap for this run (0 = the
+	// package default, negative = unlimited). Replaces the old mutable
+	// polyhedra.MaxRays package global.
+	MaxRays int
 	// Procs restricts analysis to these procedures (default: all defined
 	// procedures that are not libc models).
 	Procs []string
@@ -117,6 +135,28 @@ type ProcReport struct {
 	PPT *ppt.PPT
 	// Derived carries the auto-derived contract under AutoContracts.
 	Derived *derive.Result
+	// Degraded is non-nil when the procedure's analysis did not run to
+	// completion — its budget was exhausted or it panicked. The
+	// procedure's unresolved checks are conservatively present in
+	// Violations (never silently "safe").
+	Degraded *Degradation
+}
+
+// Degradation records why and how a procedure's analysis fell short of a
+// full-precision run.
+type Degradation struct {
+	// Cause is "deadline", "step-budget", or "panic".
+	Cause string
+	// Detail is a human-readable description (for panics, the panic
+	// value).
+	Detail string
+	// Stack is the goroutine stack at the point of a panic; empty for
+	// budget exhaustion. Timing- and scheduler-dependent, so it is
+	// excluded from determinism comparisons.
+	Stack string
+	// Unresolved counts the checks reported as unresolved potential
+	// errors because of this degradation.
+	Unresolved int
 }
 
 // Messages returns the number of reported messages.
@@ -150,8 +190,15 @@ type RunStats struct {
 	// PrecisionDrops counts constraints the polyhedra substrate dropped at
 	// its ray cap during this run. Each drop is a sound over-approximation,
 	// but a nonzero count means precision was lost — surfaced here (and on
-	// the cssv -stats line) instead of silently.
+	// the cssv -stats line) instead of silently. The counter is per-run
+	// (threaded through polyhedra.Config), so concurrent AnalyzeSource
+	// calls in one process cannot cross-contaminate each other.
 	PrecisionDrops int
+	// DegradedProcs counts procedures whose analysis was cut short by a
+	// budget or isolated after a panic; UnresolvedChecks counts their
+	// checks conservatively reported as potential errors.
+	DegradedProcs    int
+	UnresolvedChecks int
 }
 
 // TotalMessages sums messages over all procedures.
@@ -205,9 +252,12 @@ func Prepare(filename, src string, noLibc bool) (*corec.Program, error) {
 	return prog, err
 }
 
-// runCounters aggregates per-worker cache statistics.
+// runCounters aggregates per-worker cache statistics and the run's
+// precision-drop count (replacing the former process-global counter in
+// internal/polyhedra).
 type runCounters struct {
 	ptHits, ptMisses atomic.Int64
+	drops            atomic.Int64
 }
 
 // AnalyzeSource runs CSSV on a single translation unit given as text.
@@ -222,7 +272,6 @@ type runCounters struct {
 // workers are cancelled at their next phase boundary.
 func AnalyzeSource(filename, src string, opts Options) (*Report, error) {
 	start := time.Now()
-	dropsBefore := polyhedra.DroppedConstraints()
 	libcCached := !opts.NoLibc && libc.PreludeCached()
 	file, prog, err := parseUnit(filename, src, opts.NoLibc)
 	if err != nil {
@@ -254,7 +303,7 @@ func AnalyzeSource(filename, src string, opts Options) (*Report, error) {
 	rc := &runCounters{}
 	results := make([]*ProcReport, len(procs))
 	err = runPool(workers, len(procs), func(i int, done <-chan struct{}) error {
-		pr, err := analyzeProc(file, prog, procs[i], opts, rc, exclusive, done)
+		pr, err := guardedAnalyzeProc(file, prog, procs[i], opts, rc, exclusive, done)
 		if err != nil {
 			if err == errCancelled {
 				return err
@@ -272,14 +321,55 @@ func AnalyzeSource(filename, src string, opts Options) (*Report, error) {
 	for _, pr := range results {
 		rep.Procs = append(rep.Procs, *pr)
 		rep.Stats.SequentialCPU += pr.CPU
+		if pr.Degraded != nil {
+			rep.Stats.DegradedProcs++
+			rep.Stats.UnresolvedChecks += pr.Degraded.Unresolved
+		}
 	}
 	rep.Stats.Workers = workers
 	rep.Stats.Wall = time.Since(start)
 	rep.Stats.PointerCacheHits = int(rc.ptHits.Load())
 	rep.Stats.PointerCacheMisses = int(rc.ptMisses.Load())
 	rep.Stats.LibcHeaderReused = libcCached
-	rep.Stats.PrecisionDrops = int(polyhedra.DroppedConstraints() - dropsBefore)
+	rep.Stats.PrecisionDrops = int(rc.drops.Load())
 	return rep, nil
+}
+
+// guardedAnalyzeProc isolates a panicking per-procedure pipeline: the
+// worker recovers, and the procedure is reported as degraded with one
+// synthesized unresolved violation, so the run completes (with a nonzero
+// message count) instead of crashing. Sibling procedures are unaffected.
+func guardedAnalyzeProc(orig *cast.File, prog *corec.Program, name string, opts Options,
+	rc *runCounters, exclusive bool, done <-chan struct{}) (pr *ProcReport, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			pr, err = panicReport(name, r, debug.Stack()), nil
+		}
+	}()
+	return analyzeProc(orig, prog, name, opts, rc, exclusive, done)
+}
+
+// panicReport builds the conservative report for a procedure whose
+// analysis panicked: its checks are unknown, so the procedure is never
+// silently "safe" — a single unresolved violation stands in for them.
+func panicReport(name string, r any, stack []byte) *ProcReport {
+	detail := fmt.Sprint(r)
+	return &ProcReport{
+		Name: name,
+		Violations: []analysis.Violation{{
+			Index: -1,
+			Msg: fmt.Sprintf("internal error analyzing %s (panic: %s); "+
+				"every check of this procedure is unresolved and reported as a potential error",
+				name, detail),
+			Unresolved: true,
+		}},
+		Degraded: &Degradation{
+			Cause:      "panic",
+			Detail:     detail,
+			Stack:      string(stack),
+			Unresolved: 1,
+		},
+	}
 }
 
 // vacuousOf keeps only the side-effect clause of a contract.
@@ -405,14 +495,28 @@ func analyzeProc(orig *cast.File, prog *corec.Program, name string, opts Options
 	}
 
 	// Phase 4: integer analysis — a single fixpoint in the configured
-	// domain, or the tiered cascade over reduced sub-programs.
+	// domain, or the tiered cascade over reduced sub-programs. The budget
+	// token (wall-clock deadline measured from the start of this
+	// procedure's pipeline, plus the deterministic step budget) and the
+	// per-run substrate configs are threaded through the engine and the
+	// numeric kernels; a nil token is free.
+	var deadline time.Time
+	if opts.ProcDeadline > 0 {
+		deadline = start.Add(opts.ProcDeadline)
+	}
+	tok := budget.New(deadline, opts.StepBudget)
+	pcfg := &polyhedra.Config{MaxRays: opts.MaxRays, Token: tok}
+	zcfg := &zone.Config{Token: tok}
 	aopts := analysis.Options{
-		Domain:          opts.Domain,
+		Domain:          analysis.WithSubstrate(opts.Domain, pcfg, zcfg),
 		WideningDelay:   opts.WideningDelay,
 		NarrowingPasses: opts.NarrowingPasses,
 		Certify:         opts.Certify,
+		Token:           tok,
+		ZoneConfig:      zcfg,
 	}
 	var certs []*certify.Certificate
+	var exhausted string
 	if opts.Cascade {
 		cres, err := analysis.AnalyzeCascade(res.Prog, aopts)
 		if err != nil {
@@ -422,6 +526,7 @@ func analyzeProc(orig *cast.File, prog *corec.Program, name string, opts Options
 		pr.Iterations = cres.Iterations
 		pr.Cascade = cres
 		certs = cres.Certificates
+		exhausted = cres.Exhausted
 	} else {
 		ares, err := analysis.Analyze(res.Prog, aopts)
 		if err != nil {
@@ -432,6 +537,27 @@ func analyzeProc(orig *cast.File, prog *corec.Program, name string, opts Options
 		if opts.Certify {
 			certs = analysis.CertifyResult(ares, aopts)
 		}
+		exhausted = ares.Exhausted
+	}
+	// Ray-cap drops are counted per run; budget-induced constraint drops
+	// are timing-dependent and deliberately uncounted (determinism).
+	rc.drops.Add(pcfg.DroppedConstraints())
+	if exhausted != "" {
+		unresolved := 0
+		for _, v := range pr.Violations {
+			if v.Unresolved {
+				unresolved++
+			}
+		}
+		pr.Degraded = &Degradation{
+			Cause: exhausted,
+			Detail: fmt.Sprintf("analysis budget exhausted (%s); %d check(s) unresolved",
+				exhausted, unresolved),
+			Unresolved: unresolved,
+		}
+		// Certificates from an exhausted run may be partial; skip
+		// certification rather than certify against pre-fixpoint iterates.
+		certs = nil
 	}
 
 	// Phase 4b: a-posteriori certification — verify every discharged
@@ -439,8 +565,10 @@ func analyzeProc(orig *cast.File, prog *corec.Program, name string, opts Options
 	// replay every violation through the directed interpreter. Replay runs
 	// against the original IP: slices over-approximate executions, so only
 	// a trace of the full program is a genuine witness. This happens before
-	// the side-effect check appends its (IP-less) violations.
-	if opts.Certify {
+	// the side-effect check appends its (IP-less) violations. A degraded
+	// procedure is not certified: its unresolved checks have no
+	// certificates and its counter-examples were never computed.
+	if opts.Certify && pr.Degraded == nil {
 		if cancelled(done) {
 			return nil, errCancelled
 		}

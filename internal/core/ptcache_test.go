@@ -4,7 +4,6 @@ import (
 	"testing"
 
 	"repro/internal/pointer"
-	"repro/internal/polyhedra"
 )
 
 const ptcacheSrc = `
@@ -120,11 +119,8 @@ func TestPrecisionDropsSurfaced(t *testing.T) {
 	if rep.Stats.PrecisionDrops != 0 {
 		t.Errorf("uncapped run reported %d precision drops, want 0", rep.Stats.PrecisionDrops)
 	}
-	old := polyhedra.MaxRays
-	polyhedra.MaxRays = 1
-	defer func() { polyhedra.MaxRays = old }()
 	FlushCaches()
-	rep2, err := AnalyzeSource("t.c", precisionDropSrc, Options{Workers: 1})
+	rep2, err := AnalyzeSource("t.c", precisionDropSrc, Options{Workers: 1, MaxRays: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,16 +1,6 @@
 package polyhedra
 
-import "sync/atomic"
-
-// droppedTotal counts constraints dropped process-wide because an
-// intermediate ray count exceeded the cap. The core driver snapshots it
-// around a run to surface per-run precision loss in Report.Stats instead of
-// dropping silently.
-var droppedTotal atomic.Int64
-
-// DroppedConstraints returns the process-wide number of constraints dropped
-// at the ray cap since start; callers measure deltas.
-func DroppedConstraints() int64 { return droppedTotal.Load() }
+import "repro/internal/budget"
 
 // genset is the generator representation of a homogenized cone: lines
 // (bidirectional) and rays. Rays with a positive coordinate 0 are vertices
@@ -68,6 +58,13 @@ type cone struct {
 	maxRays int
 	// dropped counts constraints skipped due to the cap (over-approximation).
 	dropped int
+	// pure forces new vectors onto the exact tier (reference kernel).
+	pure bool
+	// token, when non-nil, is polled before the combination step: an
+	// exhausted budget drops the remaining constraints (sound
+	// over-approximation, not counted in dropped — budget drops are
+	// timing-dependent and must not surface in deterministic stats).
+	token *budget.Token
 }
 
 // universePolyCone returns the cone of the universe polyhedron over n
@@ -75,14 +72,14 @@ type cone struct {
 // positivity constraint d >= 0 is registered as constraint index 0 so that
 // saturation-based adjacency tests account for it: the initial ray e0 does
 // not saturate it, while every line (d = 0) does.
-func universePolyCone(n, maxRays int) *cone {
-	c := &cone{dim: n + 1, maxRays: maxRays, ncons: 1}
+func universePolyCone(n, maxRays int, pure bool, token *budget.Token) *cone {
+	c := &cone{dim: n + 1, maxRays: maxRays, ncons: 1, pure: pure, token: token}
 	for i := 1; i <= n; i++ {
-		l := newVec(n + 1)
+		l := newVec(n+1, pure)
 		l.setInt64(i, 1)
 		c.lines = append(c.lines, l)
 	}
-	r := newVec(n + 1)
+	r := newVec(n+1, pure)
 	r.setInt64(0, 1)
 	c.rays = append(c.rays, satRay{v: r, sat: newBitset(1)})
 	return c
@@ -90,10 +87,10 @@ func universePolyCone(n, maxRays int) *cone {
 
 // universeCone returns the full-space cone in dimension m (m lines, no
 // rays); used for the dual (generator-to-constraint) conversion.
-func universeCone(m, maxRays int) *cone {
-	c := &cone{dim: m, maxRays: maxRays}
+func universeCone(m, maxRays int, pure bool) *cone {
+	c := &cone{dim: m, maxRays: maxRays, pure: pure}
 	for i := 0; i < m; i++ {
-		l := newVec(m)
+		l := newVec(m, pure)
 		l.setInt64(i, 1)
 		c.lines = append(c.lines, l)
 	}
@@ -184,7 +181,15 @@ func (c *cone) add(r row) bool {
 		// for the forward analysis).
 		c.ncons--
 		c.dropped++
-		droppedTotal.Add(1)
+		return false
+	}
+	if c.token.Exhausted() {
+		// Budget exhausted: stop refining and drop the constraint. Like
+		// the ray cap this only grows the represented set, so the
+		// degraded result stays a sound over-approximation. Not counted
+		// in dropped: budget drops depend on wall-clock timing and must
+		// not feed deterministic precision stats.
+		c.ncons--
 		return false
 	}
 
@@ -261,34 +266,32 @@ func (c *cone) result() *genset {
 	return g
 }
 
-// gensOf converts a constraint system to generators. The boolean reports
-// whether the result is exact (false when the ray cap dropped constraints).
-func gensOf(cons []row, n, maxRays int) (*genset, bool) {
-	c := universePolyCone(n, maxRays)
-	exact := true
+// gensOf converts a constraint system to generators under the given
+// configuration. The int reports how many constraints the ray cap dropped
+// (budget-induced drops are excluded; see cone.add).
+func gensOf(cons []row, n int, cfg *Config) (*genset, int) {
+	c := universePolyCone(n, cfg.maxRays(), cfg.pure(), cfg.token())
 	// Equalities first: they only shrink the representation.
 	for _, r := range cons {
 		if r.eq {
-			if !c.add(r) {
-				exact = false
-			}
+			c.add(r)
 		}
 	}
 	for _, r := range cons {
 		if !r.eq {
-			if !c.add(r) {
-				exact = false
-			}
+			c.add(r)
 		}
 	}
-	return c.result(), exact
+	return c.result(), c.dropped
 }
 
 // consOf converts generators to a minimized constraint system via the dual
 // cone: the constraints of cone(G) are the generators of
-// {c : c.g >= 0 for rays, c.l == 0 for lines}.
-func consOf(g *genset, n int) []row {
-	dual := universeCone(n+1, 0)
+// {c : c.g >= 0 for rays, c.l == 0 for lines}. The dual conversion is
+// never capped or budget-dropped: skipping a generator would shrink the
+// represented set, which is unsound for the forward analysis.
+func consOf(g *genset, n int, pure bool) []row {
+	dual := universeCone(n+1, 0, pure)
 	for _, l := range g.lines {
 		dual.add(row{v: l, eq: true})
 	}

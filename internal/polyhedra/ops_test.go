@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/big"
 	"math/rand"
-	"sync"
 	"testing"
 
 	"repro/internal/linear"
@@ -12,9 +11,8 @@ import (
 
 // ---------------------------------------------------------------------------
 // Differential testing of the hybrid kernel against a pure-big.Int build.
-
-// kernelMu serializes tests that flip pureBigKernel.
-var kernelMu sync.Mutex
+// The reference kernel is selected per run via Config.PureBig, so the two
+// scripts can even run concurrently without interfering.
 
 // hybridCoef maps a fuzz byte to a coefficient. Most values are small (the
 // common case the machine tier serves); the top values are huge, forcing
@@ -35,8 +33,9 @@ func hybridCoef(b byte) int64 {
 // runHybridScript interprets data as a small program over the kernel ops
 // (Meet/Join/Widen/Assign/Havoc/Includes/Entails/Bounds) and returns the
 // observable transcript. The transcript must be identical whichever tier
-// the kernel picks internally.
-func runHybridScript(data []byte) []string {
+// the kernel picks internally; cfg selects the kernel (nil = hybrid,
+// PureBig = exact reference).
+func runHybridScript(data []byte, cfg *Config) []string {
 	const dim = 3
 	pos := 0
 	next := func() byte {
@@ -67,7 +66,7 @@ func runHybridScript(data []byte) []string {
 		}
 		return sys
 	}
-	cur := Universe(dim)
+	cur := cfg.Universe(dim)
 	var trace []string
 	emit := func(format string, args ...any) {
 		trace = append(trace, fmt.Sprintf(format, args...))
@@ -77,9 +76,9 @@ func runHybridScript(data []byte) []string {
 		case 0:
 			cur = cur.MeetSystem(system())
 		case 1:
-			cur = cur.Join(FromSystem(system(), dim))
+			cur = cur.Join(cfg.FromSystem(system(), dim))
 		case 2:
-			cur = cur.Widen(cur.Join(FromSystem(system(), dim)))
+			cur = cur.Widen(cur.Join(cfg.FromSystem(system(), dim)))
 		case 3:
 			e := linear.ConstExpr(hybridCoef(next()))
 			for v := 0; v < dim; v++ {
@@ -91,7 +90,7 @@ func runHybridScript(data []byte) []string {
 		case 4:
 			cur = cur.Havoc(int(next()) % dim)
 		case 5:
-			q := FromSystem(system(), dim)
+			q := cfg.FromSystem(system(), dim)
 			emit("includes=%v reverse=%v", cur.Includes(q), q.Includes(cur))
 		case 6:
 			c := constraint()
@@ -108,13 +107,8 @@ func runHybridScript(data []byte) []string {
 // reference and fails on the first transcript mismatch.
 func diffHybrid(t *testing.T, data []byte) {
 	t.Helper()
-	kernelMu.Lock()
-	defer kernelMu.Unlock()
-	pureBigKernel = false
-	got := runHybridScript(data)
-	pureBigKernel = true
-	want := runHybridScript(data)
-	pureBigKernel = false
+	got := runHybridScript(data, nil)
+	want := runHybridScript(data, &Config{PureBig: true})
 	if len(got) != len(want) {
 		t.Fatalf("transcript lengths differ: hybrid %d vs reference %d", len(got), len(want))
 	}
@@ -158,9 +152,6 @@ func TestHybridDifferentialRandom(t *testing.T) {
 // actually leave the machine tier (guarding against a silently-dead big
 // path) and still normalize correctly.
 func TestHybridPromotionOccurs(t *testing.T) {
-	kernelMu.Lock()
-	defer kernelMu.Unlock()
-	pureBigKernel = false
 	huge := int64(3037000500)
 	e := linear.ConstExpr(0)
 	e.AddTerm(0, huge)
@@ -182,12 +173,10 @@ func scaleExpr(k int64) linear.Expr {
 }
 
 // TestMaxRaysCapCounted: lowering the ray cap forces conversions to drop
-// constraints, and every drop is visible through DroppedConstraints.
+// constraints, and every drop is visible through the run's
+// Config.DroppedConstraints.
 func TestMaxRaysCapCounted(t *testing.T) {
-	old := MaxRays
-	MaxRays = 1
-	defer func() { MaxRays = old }()
-	before := DroppedConstraints()
+	cfg := &Config{MaxRays: 1}
 	// A 3-cube: once the lines are consumed, each further face splits the
 	// ray set and the combination count exceeds the cap of 1.
 	cube := linear.System{
@@ -195,17 +184,15 @@ func TestMaxRaysCapCounted(t *testing.T) {
 		ge(0, 1, 1), ge(5, -1, 1),
 		ge(0, 1, 2), ge(5, -1, 2),
 	}
-	p := FromSystem(cube, 3)
+	p := cfg.FromSystem(cube, 3)
 	if p.IsEmpty() {
 		t.Fatal("cube should not be empty")
 	}
-	drops := DroppedConstraints() - before
-	if drops == 0 {
+	if cfg.DroppedConstraints() == 0 {
 		t.Fatal("expected the MaxRays=1 cap to drop constraints")
 	}
 	// Dropping constraints only grows the set: the capped polyhedron must
-	// still include the exact cube.
-	MaxRays = old
+	// still include the exact cube (computed under the default cap).
 	exact := FromSystem(cube, 3)
 	if !p.Includes(exact) {
 		t.Error("capped conversion is not an over-approximation")

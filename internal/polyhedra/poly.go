@@ -9,13 +9,9 @@ import (
 )
 
 // DefaultMaxRays caps intermediate generator counts during conversion;
-// exceeding it drops constraints (a sound over-approximation).
+// exceeding it drops constraints (a sound over-approximation). Per-run
+// overrides go through Config.MaxRays.
 const DefaultMaxRays = 100000
-
-// MaxRays is the cap actually applied by conversions. It defaults to
-// DefaultMaxRays; tests lower it to exercise the drop path. Every dropped
-// constraint is counted in DroppedConstraints.
-var MaxRays = DefaultMaxRays
 
 // Poly is a convex polyhedron over n integer-valued variables. The zero
 // value is not meaningful; use Universe, Bottom or FromSystem.
@@ -31,24 +27,39 @@ type Poly struct {
 	// minimized records that cons came from a dual conversion (and is
 	// therefore irredundant).
 	minimized bool
+	// cfg carries per-run knobs (ray cap, budget token, kernel tier);
+	// nil means defaults. Operations propagate it to their results.
+	cfg *Config
 }
 
-// Universe returns the unconstrained polyhedron over n variables.
+// Universe returns the unconstrained polyhedron over n variables with
+// default configuration.
 func Universe(n int) *Poly {
-	return &Poly{n: n, cons: []row{}}
+	return (*Config)(nil).Universe(n)
 }
 
-// Bottom returns the empty polyhedron over n variables.
+// Bottom returns the empty polyhedron over n variables with default
+// configuration.
 func Bottom(n int) *Poly {
-	return &Poly{n: n, empty: true}
+	return (*Config)(nil).Bottom(n)
+}
+
+// cfgOr returns the receiver's Config, falling back to q's when unset, so
+// binary operations preserve governance even when one operand carries the
+// default configuration.
+func (p *Poly) cfgOr(q *Poly) *Config {
+	if p.cfg != nil {
+		return p.cfg
+	}
+	return q.cfg
 }
 
 // Dim returns the number of variables.
 func (p *Poly) Dim() int { return p.n }
 
 // rowOf converts a linear.Constraint to a dense row.
-func rowOf(c linear.Constraint, n int) row {
-	v := newVec(n + 1)
+func rowOf(c linear.Constraint, n int, pure bool) row {
+	v := newVec(n+1, pure)
 	v.setBig(0, c.E.Const)
 	for _, i := range c.E.Vars() {
 		if i < n {
@@ -74,10 +85,10 @@ func rowToConstraint(r row, n int) linear.Constraint {
 	return linear.Constraint{E: e, Rel: rel}
 }
 
-// FromSystem returns the polyhedron of the conjunction sys over n variables.
+// FromSystem returns the polyhedron of the conjunction sys over n
+// variables with default configuration.
 func FromSystem(sys linear.System, n int) *Poly {
-	p := Universe(n)
-	return p.MeetSystem(sys)
+	return (*Config)(nil).FromSystem(sys, n)
 }
 
 // ensureGens computes the generator representation.
@@ -85,7 +96,8 @@ func (p *Poly) ensureGens() {
 	if p.empty || p.gens != nil {
 		return
 	}
-	g, _ := gensOf(p.cons, p.n, MaxRays)
+	g, dropped := gensOf(p.cons, p.n, p.cfg)
+	p.cfg.noteDropped(dropped)
 	if !g.hasVertex() {
 		p.empty = true
 		p.gens = nil
@@ -100,7 +112,7 @@ func (p *Poly) ensureCons() {
 	if p.empty || p.cons != nil {
 		return
 	}
-	p.cons = consOf(p.gens, p.n)
+	p.cons = consOf(p.gens, p.n, p.cfg.pure())
 	p.minimized = true
 }
 
@@ -124,7 +136,7 @@ func (p *Poly) IsUniverse() bool {
 
 // Clone returns an independent copy.
 func (p *Poly) Clone() *Poly {
-	c := &Poly{n: p.n, empty: p.empty, minimized: p.minimized}
+	c := &Poly{n: p.n, empty: p.empty, minimized: p.minimized, cfg: p.cfg}
 	if p.cons != nil {
 		c.cons = make([]row, len(p.cons))
 		for i, r := range p.cons {
@@ -171,14 +183,14 @@ func (p *Poly) Key() (string, bool) {
 // polyhedron.
 func (p *Poly) MeetSystem(sys linear.System) *Poly {
 	if p.IsEmpty() {
-		return Bottom(p.n)
+		return p.cfg.Bottom(p.n)
 	}
 	for _, c := range sys {
 		if c.IsContradiction() {
-			return Bottom(p.n)
+			return p.cfg.Bottom(p.n)
 		}
 	}
-	out := &Poly{n: p.n}
+	out := &Poly{n: p.n, cfg: p.cfg}
 	p.ensureCons()
 	out.cons = make([]row, 0, len(p.cons)+len(sys))
 	for _, r := range p.cons {
@@ -188,7 +200,7 @@ func (p *Poly) MeetSystem(sys linear.System) *Poly {
 		if c.IsTautology() {
 			continue
 		}
-		out.cons = append(out.cons, rowOf(c, p.n))
+		out.cons = append(out.cons, rowOf(c, p.n, p.cfg.pure()))
 	}
 	return out
 }
@@ -196,11 +208,11 @@ func (p *Poly) MeetSystem(sys linear.System) *Poly {
 // Meet intersects two polyhedra.
 func (p *Poly) Meet(q *Poly) *Poly {
 	if p.IsEmpty() || q.IsEmpty() {
-		return Bottom(p.n)
+		return p.cfgOr(q).Bottom(p.n)
 	}
 	p.ensureCons()
 	q.ensureCons()
-	out := &Poly{n: p.n}
+	out := &Poly{n: p.n, cfg: p.cfgOr(q)}
 	for _, r := range p.cons {
 		out.cons = append(out.cons, r.clone())
 	}
@@ -234,7 +246,7 @@ func (p *Poly) Join(q *Poly) *Poly {
 	for _, r := range q.gens.rays {
 		g.rays = append(g.rays, r.clone())
 	}
-	out := &Poly{n: p.n, gens: g}
+	out := &Poly{n: p.n, gens: g, cfg: p.cfgOr(q)}
 	// Minimize immediately through the dual so generator sets do not
 	// accumulate across joins.
 	out.ensureCons()
@@ -293,7 +305,7 @@ func (p *Poly) Entails(c linear.Constraint) bool {
 		return true
 	}
 	p.ensureGens()
-	return rowHoldsGens(rowOf(c, p.n), p.gens)
+	return rowHoldsGens(rowOf(c, p.n, p.cfg.pure()), p.gens)
 }
 
 // EntailsAll reports whether p entails every constraint in sys.
@@ -347,10 +359,10 @@ func evalHom(e linear.Expr, g vec) scalar {
 // homogeneous linear map.
 func (p *Poly) Assign(v int, e linear.Expr) *Poly {
 	if p.IsEmpty() {
-		return Bottom(p.n)
+		return p.cfg.Bottom(p.n)
 	}
 	p.ensureGens()
-	out := &Poly{n: p.n, gens: &genset{}}
+	out := &Poly{n: p.n, gens: &genset{}, cfg: p.cfg}
 	mapGen := func(g vec) vec {
 		r := g.clone()
 		// New value of coordinate v+1: e evaluated homogeneously.
@@ -378,11 +390,11 @@ func (p *Poly) Assign(v int, e linear.Expr) *Poly {
 // Havoc over-approximates v := unknown by making v unconstrained.
 func (p *Poly) Havoc(v int) *Poly {
 	if p.IsEmpty() {
-		return Bottom(p.n)
+		return p.cfg.Bottom(p.n)
 	}
 	p.ensureGens()
-	out := &Poly{n: p.n, gens: p.gens.clone()}
-	l := newVec(p.n + 1)
+	out := &Poly{n: p.n, gens: p.gens.clone(), cfg: p.cfg}
+	l := newVec(p.n+1, p.cfg.pure())
 	l.setInt64(v+1, 1)
 	out.gens.lines = append(out.gens.lines, l)
 	out.ensureCons()
@@ -395,14 +407,14 @@ func (p *Poly) Havoc(v int) *Poly {
 // (wp(v := e, p) = p[e/v]).
 func (p *Poly) Substitute(v int, e linear.Expr) *Poly {
 	if p.IsEmpty() {
-		return Bottom(p.n)
+		return p.cfg.Bottom(p.n)
 	}
 	p.ensureCons()
-	out := &Poly{n: p.n}
+	out := &Poly{n: p.n, cfg: p.cfg}
 	for _, r := range p.cons {
 		c := rowToConstraint(r, p.n)
 		ne := c.E.Subst(v, e)
-		out.cons = append(out.cons, rowOf(linear.Constraint{E: ne, Rel: c.Rel}, p.n))
+		out.cons = append(out.cons, rowOf(linear.Constraint{E: ne, Rel: c.Rel}, p.n, p.cfg.pure()))
 	}
 	return out
 }
@@ -412,10 +424,10 @@ func (p *Poly) Substitute(v int, e linear.Expr) *Poly {
 // from Havoc only in that it works directly on the minimized constraints.
 func (p *Poly) Forget(v int) *Poly {
 	if p.IsEmpty() {
-		return Bottom(p.n)
+		return p.cfg.Bottom(p.n)
 	}
 	p.ensureCons()
-	out := &Poly{n: p.n}
+	out := &Poly{n: p.n, cfg: p.cfg}
 	for _, r := range p.cons {
 		if r.v.sign(v+1) == 0 {
 			out.cons = append(out.cons, r.clone())
@@ -436,7 +448,7 @@ func (p *Poly) System() linear.System {
 		if p.empty {
 			return linear.System{linear.NewGe(linear.ConstExpr(-1))}
 		}
-		p.cons = consOf(p.gens, p.n)
+		p.cons = consOf(p.gens, p.n, p.cfg.pure())
 		p.minimized = true
 	}
 	sys := make(linear.System, 0, len(p.cons))
@@ -531,7 +543,7 @@ func (p *Poly) Widen(q *Poly) *Poly {
 	p.ensureGens()
 	q.ensureCons()
 
-	out := &Poly{n: p.n}
+	out := &Poly{n: p.n, cfg: p.cfgOr(q)}
 	kept := make([]row, 0, len(p.cons))
 	for _, r := range p.cons {
 		if rowHoldsGens(r, mustGens(q)) {
@@ -573,7 +585,7 @@ func (p *Poly) WidenSimple(q *Poly) *Poly {
 		return p.Clone()
 	}
 	p.ensureCons()
-	out := &Poly{n: p.n}
+	out := &Poly{n: p.n, cfg: p.cfgOr(q)}
 	for _, r := range p.cons {
 		if rowHoldsGens(r, mustGens(q)) {
 			out.cons = append(out.cons, r.clone())

@@ -28,25 +28,25 @@ import (
 	"repro/internal/numkernel"
 )
 
-// pureBigKernel forces every new vector onto the exact tier and disables
-// demotion. The differential tests flip it to obtain a pure big.Int
-// reference kernel; it must never be set in production code.
-var pureBigKernel = false
-
 // vec is a hybrid coefficient vector. Exactly one tier is active: the
-// machine tier w (when xs == nil) or the exact tier xs.
+// machine tier w (when xs == nil) or the exact tier xs. pure marks
+// vectors of the reference kernel (Config.PureBig): they live on the
+// exact tier and are never demoted. The flag is per-vector rather than a
+// package global so concurrent analyses with different configurations
+// cannot interfere.
 type vec struct {
-	w  []int64
-	xs []*big.Int
+	w    []int64
+	xs   []*big.Int
+	pure bool
 }
 
-func newVec(n int) vec {
-	if pureBigKernel {
+func newVec(n int, pure bool) vec {
+	if pure {
 		xs := make([]*big.Int, n)
 		for i := range xs {
 			xs[i] = new(big.Int)
 		}
-		return vec{xs: xs}
+		return vec{xs: xs, pure: true}
 	}
 	return vec{w: make([]int64, n)}
 }
@@ -75,9 +75,9 @@ func (v vec) promoted() vec {
 }
 
 // demoted moves v back to the machine tier when every entry fits an int64;
-// otherwise (or under the reference kernel) v is returned unchanged.
+// otherwise (or for reference-kernel vectors) v is returned unchanged.
 func (v vec) demoted() vec {
-	if v.xs == nil || pureBigKernel {
+	if v.xs == nil || v.pure {
 		return v
 	}
 	for _, x := range v.xs {
@@ -98,7 +98,7 @@ func (v vec) clone() vec {
 		for i := range v.xs {
 			c[i] = new(big.Int).Set(v.xs[i])
 		}
-		return vec{xs: c}
+		return vec{xs: c, pure: v.pure}
 	}
 	return vec{w: append([]int64(nil), v.w...)}
 }
@@ -181,7 +181,7 @@ func (v vec) neg() vec {
 	for i := range v.xs {
 		c[i] = new(big.Int).Neg(v.xs[i])
 	}
-	return vec{xs: c}
+	return vec{xs: c, pure: v.pure}
 }
 
 func (v vec) isZero() bool {
@@ -400,7 +400,7 @@ func combineBig(ka scalar, a vec, kb scalar, b vec) vec {
 		}
 	}
 	putScratch(sc)
-	return vec{xs: r}.normalize()
+	return vec{xs: r, pure: a.pure || b.pure}.normalize()
 }
 
 var (

@@ -1,0 +1,60 @@
+package zone
+
+import (
+	"math/big"
+
+	"repro/internal/budget"
+)
+
+// Config carries per-run knobs for the zone domain. There is no mutable
+// package-level configuration: concurrent analyses each thread their own
+// Config, so they cannot race. A nil *Config is valid and means defaults
+// (hybrid kernel, no budget); DBMs propagate the Config of the receiver
+// (falling back to the other operand) through all operations.
+type Config struct {
+	// Token, when non-nil, is polled before each closure: once it is
+	// exhausted the closure is skipped, leaving a partially tightened
+	// matrix — a sound over-approximation of the canonical form.
+	Token *budget.Token
+	// PureBig forces the exact big.Int tier everywhere and disables
+	// demotion. The differential tests use it to build a reference
+	// kernel; it must never be set in production code.
+	PureBig bool
+}
+
+func (c *Config) pure() bool { return c != nil && c.PureBig }
+
+func (c *Config) token() *budget.Token {
+	if c == nil {
+		return nil
+	}
+	return c.Token
+}
+
+// Universe returns the unconstrained zone over n variables, governed by c.
+func (c *Config) Universe(n int) *DBM {
+	d := &DBM{n: n, cfg: c}
+	if c.pure() {
+		d.mx = make([][]*big.Int, n+1)
+		for i := range d.mx {
+			d.mx[i] = make([]*big.Int, n+1)
+		}
+		return d
+	}
+	d.mw = make([][]int64, n+1)
+	for i := range d.mw {
+		r := make([]int64, n+1)
+		for j := range r {
+			r[j] = noBound
+		}
+		d.mw[i] = r
+	}
+	return d
+}
+
+// Bottom returns the empty zone over n variables, governed by c.
+func (c *Config) Bottom(n int) *DBM {
+	d := c.Universe(n)
+	d.empty = true
+	return d
+}

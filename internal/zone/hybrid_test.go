@@ -25,8 +25,9 @@ func zoneCoef(b byte) int64 {
 }
 
 // runZoneScript interprets data as a small DBM program and returns the
-// observable transcript.
-func runZoneScript(data []byte) []string {
+// observable transcript. cfg selects the kernel (nil = hybrid, PureBig =
+// exact reference).
+func runZoneScript(data []byte, cfg *Config) []string {
 	const dim = 3
 	pos := 0
 	next := func() byte {
@@ -57,7 +58,7 @@ func runZoneScript(data []byte) []string {
 		}
 		return g
 	}
-	cur := Universe(dim)
+	cur := cfg.Universe(dim)
 	var trace []string
 	emit := func(format string, args ...any) {
 		trace = append(trace, fmt.Sprintf(format, args...))
@@ -67,10 +68,10 @@ func runZoneScript(data []byte) []string {
 		case 0:
 			cur = cur.MeetConstraint(constraint())
 		case 1:
-			o := Universe(dim).MeetConstraint(constraint()).MeetConstraint(constraint())
+			o := cfg.Universe(dim).MeetConstraint(constraint()).MeetConstraint(constraint())
 			cur = cur.Join(o)
 		case 2:
-			o := cur.Join(Universe(dim).MeetConstraint(constraint()))
+			o := cur.Join(cfg.Universe(dim).MeetConstraint(constraint()))
 			cur = cur.Widen(o)
 		case 3:
 			v := int(next()) % dim
@@ -85,7 +86,7 @@ func runZoneScript(data []byte) []string {
 		case 4:
 			cur = cur.Havoc(int(next()) % dim)
 		case 5:
-			o := Universe(dim).MeetConstraint(constraint())
+			o := cfg.Universe(dim).MeetConstraint(constraint())
 			emit("includes=%v reverse=%v", cur.Includes(o), o.Includes(cur))
 		case 6:
 			v := int(next()) % dim
@@ -101,11 +102,8 @@ func runZoneScript(data []byte) []string {
 // reference and fails on the first transcript mismatch.
 func diffZone(t *testing.T, data []byte) {
 	t.Helper()
-	pureBigKernel = false
-	got := runZoneScript(data)
-	pureBigKernel = true
-	want := runZoneScript(data)
-	pureBigKernel = false
+	got := runZoneScript(data, nil)
+	want := runZoneScript(data, &Config{PureBig: true})
 	if len(got) != len(want) {
 		t.Fatalf("transcript lengths differ: hybrid %d vs reference %d", len(got), len(want))
 	}

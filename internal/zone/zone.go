@@ -27,47 +27,35 @@ import (
 // min/max and comparisons treat it as +infinity with no special casing.
 const noBound = math.MaxInt64
 
-// pureBigKernel forces the exact tier everywhere and disables demotion; the
-// differential tests flip it to obtain a pure big.Int reference kernel.
-var pureBigKernel = false
-
 // DBM is a difference-bound matrix over n variables plus the designated
 // zero variable (index 0): the matrix bounds x_i - x_j <= m[i][j], with x_0
 // identically 0. Exactly one tier is active: mw (machine, noBound = +inf)
-// when mx == nil, otherwise mx (exact, nil entry = +inf).
+// when mx == nil, otherwise mx (exact, nil entry = +inf). cfg carries
+// per-run knobs (budget token, kernel tier); nil means defaults.
 type DBM struct {
 	n     int // number of program variables
 	mw    [][]int64
 	mx    [][]*big.Int
 	empty bool
+	cfg   *Config
 }
 
-// Universe returns the unconstrained zone.
+// Universe returns the unconstrained zone with default configuration.
 func Universe(n int) *DBM {
-	d := &DBM{n: n}
-	if pureBigKernel {
-		d.mx = make([][]*big.Int, n+1)
-		for i := range d.mx {
-			d.mx[i] = make([]*big.Int, n+1)
-		}
-		return d
-	}
-	d.mw = make([][]int64, n+1)
-	for i := range d.mw {
-		r := make([]int64, n+1)
-		for j := range r {
-			r[j] = noBound
-		}
-		d.mw[i] = r
-	}
-	return d
+	return (*Config)(nil).Universe(n)
 }
 
-// Bottom returns the empty zone.
+// Bottom returns the empty zone with default configuration.
 func Bottom(n int) *DBM {
-	d := Universe(n)
-	d.empty = true
-	return d
+	return (*Config)(nil).Bottom(n)
+}
+
+// cfgOr returns the receiver's Config, falling back to o's when unset.
+func (d *DBM) cfgOr(o *DBM) *Config {
+	if d.cfg != nil {
+		return d.cfg
+	}
+	return o.cfg
 }
 
 // promote moves d onto the exact tier (no-op if already there).
@@ -91,7 +79,7 @@ func (d *DBM) promote() {
 // demote moves d back to the machine tier when every bound fits (a bound
 // exactly equal to the sentinel value must stay exact).
 func (d *DBM) demote() {
-	if d.mx == nil || pureBigKernel {
+	if d.mx == nil || d.cfg.pure() {
 		return
 	}
 	for _, r := range d.mx {
@@ -119,7 +107,7 @@ func (d *DBM) demote() {
 
 // Clone returns a deep copy.
 func (d *DBM) Clone() *DBM {
-	c := &DBM{n: d.n, empty: d.empty}
+	c := &DBM{n: d.n, empty: d.empty, cfg: d.cfg}
 	if d.mw != nil {
 		c.mw = make([][]int64, len(d.mw))
 		for i, r := range d.mw {
@@ -153,6 +141,13 @@ func (d *DBM) IsEmpty() bool {
 // negative cycles (emptiness).
 func (d *DBM) close() {
 	if d.empty {
+		return
+	}
+	if d.cfg.token().Exhausted() {
+		// Budget exhausted: skip the closure. The matrix keeps valid
+		// (possibly loose) bounds, so every later query sees a sound
+		// over-approximation of the canonical form; a negative cycle may
+		// go undetected, which errs toward "maybe non-empty" — also sound.
 		return
 	}
 	if d.mw != nil {
@@ -343,8 +338,9 @@ func (d *DBM) Join(o *DBM) *DBM {
 	}
 	d.close()
 	o.close()
+	cfg := d.cfgOr(o)
 	if d.mw != nil && o.mw != nil {
-		out := Universe(d.n)
+		out := cfg.Universe(d.n)
 		for i := range out.mw {
 			dr, or, outr := d.mw[i], o.mw[i], out.mw[i]
 			for j := range outr {
@@ -360,7 +356,7 @@ func (d *DBM) Join(o *DBM) *DBM {
 	}
 	d.promote()
 	o.promote()
-	out := Universe(d.n)
+	out := cfg.Universe(d.n)
 	out.promote()
 	for i := range out.mx {
 		for j := range out.mx[i] {
@@ -386,8 +382,9 @@ func (d *DBM) Widen(o *DBM) *DBM {
 		return d.Clone()
 	}
 	o.close()
+	cfg := d.cfgOr(o)
 	if d.mw != nil && o.mw != nil {
-		out := Universe(d.n)
+		out := cfg.Universe(d.n)
 		for i := range out.mw {
 			dr, or, outr := d.mw[i], o.mw[i], out.mw[i]
 			for j := range outr {
@@ -402,7 +399,7 @@ func (d *DBM) Widen(o *DBM) *DBM {
 	}
 	d.promote()
 	o.promote()
-	out := Universe(d.n)
+	out := cfg.Universe(d.n)
 	out.promote()
 	for i := range out.mx {
 		for j := range out.mx[i] {
@@ -482,7 +479,7 @@ func (d *DBM) Havoc(v int) *DBM {
 // right-hand sides degrade to havoc plus interval bounds when derivable.
 func (d *DBM) Assign(v int, e linear.Expr) *DBM {
 	if d.IsEmpty() {
-		return Bottom(d.n)
+		return d.cfg.Bottom(d.n)
 	}
 	vars := e.Vars()
 	// v := v + c: shift bounds.
