@@ -1,0 +1,137 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"repro/internal/lint"
+)
+
+// vetConfig mirrors the JSON unit description "go vet" hands its tool
+// (cmd/go's vetConfig / x/tools unitchecker.Config); only the fields we
+// consume are declared.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetUnit analyzes the single compilation unit described by cfgFile and
+// exits with the protocol's status codes: diagnostics go to stderr,
+// VetxOutput must exist afterwards (we keep no cross-package facts, so
+// it is written empty), exit 1 reports findings.
+func vetUnit(cfgFile string) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatal(fmt.Errorf("cannot decode vet config %s: %v", cfgFile, err))
+	}
+
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	// Fact-only runs exist to propagate analyzer facts from
+	// dependencies; this suite keeps none, so they are a no-op.
+	if cfg.VetxOnly {
+		writeVetx()
+		return
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeVetx()
+				return // the compiler will report the syntax error
+			}
+			fatal(err)
+		}
+		files = append(files, f)
+	}
+
+	// Type information comes from the build system's export data: the
+	// compiler importer reads the .a file recorded for each (resolved)
+	// import path.
+	compImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	conf := types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			path, ok := cfg.ImportMap[importPath]
+			if !ok {
+				return nil, fmt.Errorf("can't resolve import %q", importPath)
+			}
+			return compImporter.Import(path)
+		}),
+		GoVersion: cfg.GoVersion,
+		Error:     func(error) {},
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return // the compiler will report the type error
+		}
+		fatal(fmt.Errorf("type-checking %s: %v", cfg.ImportPath, err))
+	}
+
+	pkg := &lint.Package{
+		Path:  cfg.ImportPath,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	res, err := lint.Run(pkg, lint.Suite())
+	if err != nil {
+		fatal(err)
+	}
+	writeVetx()
+	for _, d := range res.Diags {
+		fmt.Fprintf(os.Stderr, "%s\n", d)
+	}
+	if len(res.Diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

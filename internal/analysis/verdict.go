@@ -1,0 +1,30 @@
+package analysis
+
+import (
+	"repro/internal/clex"
+)
+
+// This file holds the approved verdict constructors: the only way code
+// outside this package may build Violation values (enforced by the
+// soundverdict analyzer in internal/lint). Keeping construction behind
+// these helpers means no caller can fabricate a check outcome that
+// skipped the engine — in particular, the degraded paths (panic
+// isolation, budget exhaustion) must produce violations that are
+// explicitly Unresolved, never silently safe.
+
+// NewViolation builds an ordinary potential-violation message at pos.
+// Reporting a violation is always sound (the analysis over-approximates),
+// so this constructor is unrestricted; index is the statement index of
+// the failed check, or 0 when the message is not tied to an assert
+// (side-effect clause violations).
+func NewViolation(index int, msg string, pos clex.Pos) Violation {
+	return Violation{Index: index, Msg: msg, Pos: pos}
+}
+
+// NewUnresolvedViolation builds the conservative verdict for a check
+// the analysis could not decide: a degraded or panicked procedure
+// reports its checks through here so they are counted as potential
+// errors. Index -1 stands in for "every check of the procedure".
+func NewUnresolvedViolation(index int, msg string, pos clex.Pos) Violation {
+	return Violation{Index: index, Msg: msg, Pos: pos, Unresolved: true}
+}

@@ -67,3 +67,55 @@ func TestCauseLatchesFirstTrip(t *testing.T) {
 		t.Errorf("cause = %q, want %q", c, CauseSteps)
 	}
 }
+
+// TestFirstCauseLatchRace races the two exhaustion paths against each
+// other: one goroutine burns the step budget via Step while another
+// polls an already-passed deadline via Exhausted. Whichever CAS wins,
+// the trip cause must latch exactly once — both goroutines (and the
+// parent) must observe the same single cause, and it must never flip
+// afterwards. Runs meaningfully under -race (CI's race job includes
+// this package).
+func TestFirstCauseLatchRace(t *testing.T) {
+	for iter := 0; iter < 200; iter++ {
+		// Deadline already in the past and a 1-step limit: both causes
+		// are simultaneously eligible, so the latch decides the winner.
+		tok := New(time.Now().Add(-time.Hour), 1)
+
+		start := make(chan struct{})
+		causes := make(chan string, 2)
+
+		go func() { // step-exhaustion path
+			<-start
+			for tok.Step(1) {
+			}
+			causes <- tok.Cause()
+		}()
+		go func() { // deadline path
+			<-start
+			for !tok.Exhausted() {
+			}
+			causes <- tok.Cause()
+		}()
+		close(start)
+
+		a, b := <-causes, <-causes
+		if a == "" || b == "" {
+			t.Fatalf("iter %d: goroutine observed tripped token with empty cause (%q, %q)", iter, a, b)
+		}
+		if a != b {
+			t.Fatalf("iter %d: goroutines observed different causes: %q vs %q", iter, a, b)
+		}
+		if c := tok.Cause(); c != a {
+			t.Fatalf("iter %d: cause flipped after latch: first %q, now %q", iter, a, c)
+		}
+		if c := tok.Cause(); c != CauseDeadline && c != CauseSteps {
+			t.Fatalf("iter %d: unexpected cause %q", iter, c)
+		}
+		// Latched: further polling from either path must not re-decide.
+		tok.Step(1)
+		tok.Exhausted()
+		if c := tok.Cause(); c != a {
+			t.Fatalf("iter %d: cause changed after post-latch polling: first %q, now %q", iter, a, c)
+		}
+	}
+}

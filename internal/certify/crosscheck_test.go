@@ -1,18 +1,13 @@
 // Cross-checks of the Fourier–Motzkin engine against the Chernikova-based
-// polyhedra package. The two implementations share no code (the guard test
-// below enforces that certify never imports polyhedra), so agreement on
-// random systems is strong evidence both are right — and any disagreement
-// pinpoints a bug in one of the two decision procedures the analyzer's
-// soundness rests on.
+// polyhedra package. The two implementations share no code (the layering
+// analyzer in internal/lint enforces that certify never imports
+// polyhedra), so agreement on random systems is strong evidence both are
+// right — and any disagreement pinpoints a bug in one of the two decision
+// procedures the analyzer's soundness rests on.
 package certify_test
 
 import (
-	"go/parser"
-	"go/token"
 	"math/rand"
-	"os"
-	"path/filepath"
-	"strings"
 	"testing"
 
 	"repro/internal/certify"
@@ -90,49 +85,6 @@ func TestEntailsSystemAgreesWithIncludes(t *testing.T) {
 		if fm != ch {
 			t.Fatalf("case %d: EntailsSystem=%v, Includes=%v\n  q: %s\n  p: %s",
 				i, fm, ch, certify.FormatSystem(q, nil), certify.FormatSystem(p, nil))
-		}
-	}
-}
-
-// TestNoPolyhedraImport enforces the independence claim of the trust
-// argument: the certificate checker must not link the code it checks. It
-// parses every non-test source file of the certify package and rejects any
-// import of the polyhedra, analysis, zone, or interval packages.
-func TestNoPolyhedraImport(t *testing.T) {
-	banned := []string{
-		"repro/internal/polyhedra",
-		"repro/internal/analysis",
-		"repro/internal/zone",
-		"repro/internal/interval",
-		// The hybrid-kernel fast-path helpers: the checker's big.Rat
-		// arithmetic must not share overflow-checked code with the
-		// analysis it validates.
-		"repro/internal/numkernel",
-	}
-	files, err := filepath.Glob("*.go")
-	if err != nil {
-		t.Fatal(err)
-	}
-	fset := token.NewFileSet()
-	for _, f := range files {
-		if strings.HasSuffix(f, "_test.go") {
-			continue
-		}
-		src, err := os.ReadFile(f)
-		if err != nil {
-			t.Fatal(err)
-		}
-		file, err := parser.ParseFile(fset, f, src, parser.ImportsOnly)
-		if err != nil {
-			t.Fatal(err)
-		}
-		for _, imp := range file.Imports {
-			path := strings.Trim(imp.Path.Value, `"`)
-			for _, b := range banned {
-				if path == b {
-					t.Errorf("%s imports %s: the checker must stay independent of the analysis it certifies", f, path)
-				}
-			}
 		}
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"repro/internal/c2ip"
 	"repro/internal/cast"
 	"repro/internal/certify"
+	"repro/internal/clex"
 	"repro/internal/corec"
 	"repro/internal/cparse"
 	"repro/internal/derive"
@@ -356,13 +357,11 @@ func panicReport(name string, r any, stack []byte) *ProcReport {
 	detail := fmt.Sprint(r)
 	return &ProcReport{
 		Name: name,
-		Violations: []analysis.Violation{{
-			Index: -1,
-			Msg: fmt.Sprintf("internal error analyzing %s (panic: %s); "+
+		Violations: []analysis.Violation{analysis.NewUnresolvedViolation(-1,
+			fmt.Sprintf("internal error analyzing %s (panic: %s); "+
 				"every check of this procedure is unresolved and reported as a potential error",
 				name, detail),
-			Unresolved: true,
-		}},
+			clex.Pos{})},
 		Degraded: &Degradation{
 			Cause:      "panic",
 			Detail:     detail,

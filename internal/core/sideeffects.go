@@ -57,10 +57,9 @@ func checkSideEffects(fd *cast.FuncDecl, pt *ppt.PPT, ct *cast.Contract) []analy
 
 	var out []analysis.Violation
 	report := func(pos cast.Node, what string) {
-		out = append(out, analysis.Violation{
-			Msg: fmt.Sprintf("side effect outside the modifies clause: %s", what),
-			Pos: pos.Pos(),
-		})
+		out = append(out, analysis.NewViolation(0,
+			fmt.Sprintf("side effect outside the modifies clause: %s", what),
+			pos.Pos()))
 	}
 
 	for _, s := range fd.Body.Stmts {
@@ -117,11 +116,10 @@ func checkCallEffects(fd *cast.FuncDecl, pt *ppt.PPT, c *cast.Call, at cast.Stmt
 		}
 		for _, r := range targets {
 			if !exempt(r) {
-				out = append(out, analysis.Violation{
-					Msg: fmt.Sprintf("side effect outside the modifies clause: %s writes %s",
+				out = append(out, analysis.NewViolation(0,
+					fmt.Sprintf("side effect outside the modifies clause: %s writes %s",
 						callee, pt.Loc(r).Name),
-					Pos: at.Pos(),
-				})
+					at.Pos()))
 			}
 		}
 	}

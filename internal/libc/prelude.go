@@ -13,9 +13,9 @@ const HeaderName = "<libc contracts>"
 
 var (
 	preludeOnce   sync.Once
-	prelude       *cparse.Prelude
-	preludeErr    error
-	preludeParsed atomic.Bool
+	prelude       *cparse.Prelude //lint:allow globalmut written once under preludeOnce, immutable after
+	preludeErr    error           //lint:allow globalmut written once under preludeOnce, immutable after
+	preludeParsed atomic.Bool     //lint:allow globalmut atomic cache-hit flag, set once under preludeOnce
 )
 
 // Prelude returns the contract header parsed as a cparse.Prelude, lexing

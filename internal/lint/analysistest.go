@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is a self-contained stand-in for
+// golang.org/x/tools/go/analysis/analysistest (not vendored in this
+// build environment): fixture packages live under
+// testdata/src/<import-path>/, offending lines carry
+//
+//	// want "regexp"
+//
+// comments, and RunFixture checks that the analyzer's diagnostics and
+// the want expectations match one-to-one.
+
+// A FixtureResult reports one fixture run, exposing the suppressed
+// findings so tests can assert //lint:allow behavior.
+type FixtureResult struct {
+	Result
+	// Errors are expectation mismatches: diagnostics with no want, and
+	// wants with no diagnostic.
+	Errors []string
+}
+
+// RunFixture loads testdata/src/<path> (rooted at dir) leniently, runs
+// the single analyzer over it, and matches diagnostics against the
+// fixture's want comments.
+func RunFixture(dir string, a *Analyzer, path string) (*FixtureResult, error) {
+	l := &Loader{Lenient: true, IncludeTests: true}
+	pkg, err := l.LoadDir(filepath.Join(dir, "src", filepath.FromSlash(path)), path)
+	if err != nil {
+		return nil, err
+	}
+	res, err := Run(pkg, []*Analyzer{a})
+	if err != nil {
+		return nil, err
+	}
+	fr := &FixtureResult{Result: res}
+
+	type want struct {
+		file string
+		line int
+		re   *regexp.Regexp
+		text string
+		used bool
+	}
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, text := range parseWants(c.Text) {
+					re, err := regexp.Compile(text)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want regexp %q: %v",
+							pkg.Fset.Position(c.Pos()), text, err)
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, text: text})
+				}
+			}
+		}
+	}
+
+	for _, d := range fr.Diags {
+		matched := false
+		for _, w := range wants {
+			if !w.used && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			fr.Errors = append(fr.Errors, fmt.Sprintf("unexpected diagnostic: %s", d))
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			fr.Errors = append(fr.Errors,
+				fmt.Sprintf("%s:%d: no diagnostic matching %q", w.file, w.line, w.text))
+		}
+	}
+	sort.Strings(fr.Errors)
+	return fr, nil
+}
+
+// parseWants extracts the quoted regexps of a `// want "..." "..."`
+// comment.
+func parseWants(comment string) []string {
+	text := strings.TrimSpace(strings.TrimPrefix(comment, "//"))
+	rest, ok := strings.CutPrefix(text, "want ")
+	if !ok {
+		return nil
+	}
+	var out []string
+	rest = strings.TrimSpace(rest)
+	for rest != "" {
+		if rest[0] != '"' && rest[0] != '`' {
+			break
+		}
+		prefix, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			break
+		}
+		s, err := strconv.Unquote(prefix)
+		if err != nil {
+			break
+		}
+		out = append(out, s)
+		rest = strings.TrimSpace(rest[len(prefix):])
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Globalmut generalizes the old substrate guard test to every analysis
+// package: package-scope mutable variables leak state between concurrent
+// AnalyzeSource runs and make results depend on unrelated callers, which
+// is exactly the class of bug PR 5 eliminated (polyhedra.MaxRays, the
+// process-wide drop counter). Per-run knobs belong on a Config threaded
+// through the call chain.
+//
+// Allowed forms, matching the conventions the tree already uses:
+//
+//   - blank vars (compile-time assertions like `var _ = f`);
+//   - zero-value vars of sync primitives (sync.Once, sync.Mutex, ...):
+//     synchronization is not analysis state;
+//   - vars initialized by a call, composite literal, or qualified
+//     selector: shared values built once at init time and immutable by
+//     convention (big.NewInt, keyword maps, sync.Pool literals).
+//
+// What remains — zero-value vars of ordinary types and vars initialized
+// from plain literals, identifiers, or unary expressions — is mutable
+// package state and gets flagged. Deliberate exceptions (e.g. a cache
+// guarded by a sync.Once) carry a //lint:allow globalmut directive.
+// Test files are included: shared test state breaks t.Parallel the same
+// way.
+var Globalmut = &Analyzer{
+	Name: "globalmut",
+	Doc:  "forbid package-scope mutable variables in analysis packages",
+	Run:  runGlobalmut,
+}
+
+func runGlobalmut(pass *Pass) error {
+	if !inModuleScope(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs := spec.(*ast.ValueSpec)
+				for i, name := range vs.Names {
+					if name.Name == "_" {
+						continue
+					}
+					if mutableGlobal(vs, i) {
+						pass.Report(name.Pos(),
+							"package-level mutable var %s: thread per-run state through Config, or annotate a deliberate exception with //lint:allow globalmut <reason>",
+							name.Name)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// mutableGlobal reports whether the i-th name of a package-scope var
+// spec is plain mutable state.
+func mutableGlobal(vs *ast.ValueSpec, i int) bool {
+	if i >= len(vs.Values) {
+		// No initializer: the zero value of an ordinary type is mutable
+		// state waiting to be written. Sync primitives are the sanctioned
+		// exception — their zero value is the locking/lazy-init pattern.
+		return !isSyncZero(vs.Type)
+	}
+	switch v := vs.Values[i].(type) {
+	case *ast.BasicLit, *ast.Ident:
+		return true
+	case *ast.UnaryExpr:
+		// Unary constants (-1) are mutable scalars; the address of a
+		// composite literal (&Analyzer{...}) builds shared init-time
+		// state like the literal itself and stays allowed.
+		_, composite := v.X.(*ast.CompositeLit)
+		return !composite
+	}
+	return false
+}
+
+// isSyncZero reports whether t names a sync package primitive whose
+// zero value is deliberately usable shared state.
+func isSyncZero(t ast.Expr) bool {
+	sel, ok := t.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok || pkg.Name != "sync" {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Once", "Mutex", "RWMutex", "Pool", "Map", "WaitGroup":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,290 @@
+// Package lint implements cssv-lint: a suite of static analyzers that
+// mechanically enforce the analyzer's own soundness, determinism, and
+// governance invariants — the properties the Go compiler cannot see but
+// the trust argument of DESIGN.md depends on.
+//
+// The suite generalizes what used to be two ad-hoc AST-walking tests
+// (the substrate global-mutability guard and the certify import guard)
+// into first-class analyzers that cover the whole tree:
+//
+//	globalmut    — no package-scope mutable state in analysis packages;
+//	               per-run state flows through Config (PR 5's invariant).
+//	layering     — the import DAG is declared data and enforced: the
+//	               certificate checker never links the engine it checks,
+//	               budget imports nothing above it, substrates never
+//	               import the driver.
+//	determinism  — packages that assemble, hash, or emit reports must not
+//	               iterate maps into ordered output without sorting, and
+//	               must not consult time.Now/math/rand outside timing
+//	               stats (the Workers=1 vs Workers=8 deep-equal contract).
+//	budgetpoll   — unbounded fixpoint/closure loops in substrate packages
+//	               must contain a budget.Token safe point so new hot
+//	               loops cannot become unkillable.
+//	soundverdict — verdict values (analysis.Violation and friends) may
+//	               only be built by the engine or its approved
+//	               constructors, so no code path can fabricate a "safe"
+//	               verdict for a degraded procedure.
+//
+// The framework deliberately mirrors the golang.org/x/tools/go/analysis
+// API shape (Analyzer, Pass, Diagnostic) but is self-contained: the
+// build environment vendors no third-party modules, so the suite runs on
+// the standard library alone. Should x/tools become available, each
+// Analyzer converts to an *analysis.Analyzer mechanically.
+//
+// Deliberate exceptions are annotated in source as
+//
+//	//lint:allow <rule> <reason>
+//
+// on the flagged line or the line immediately above it. The reason is
+// mandatory; the suite counts suppressions so reviews can audit them.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ModulePath is the module all rule data is keyed by. The loader
+// cross-checks it against go.mod so a module rename fails loudly here
+// rather than silently disabling every path-scoped rule.
+const ModulePath = "repro"
+
+// An Analyzer describes one invariant and how to check it.
+type Analyzer struct {
+	// Name is the rule name used in diagnostics and //lint:allow.
+	Name string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc string
+	// Run checks one package and reports findings via pass.Report.
+	Run func(*Pass) error
+}
+
+// A Pass presents one type-checked package to one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files holds the package's syntax, including any _test.go files the
+	// driver merged in. Analyzers that exclude tests use IsTestFile.
+	Files []*ast.File
+	// Path is the package import path ("repro/internal/zone"). External
+	// test packages carry their real path ("repro/internal/zone_test").
+	Path string
+	// Pkg and TypesInfo carry type information. TypesInfo is always
+	// non-nil with populated maps, but under the lenient fixture loader
+	// entries may be missing for ill-typed expressions; analyzers fall
+	// back to syntax when a lookup misses.
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Report records a finding at pos.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Rule:     p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		position: pos,
+	})
+}
+
+// IsTestFile reports whether f is a _test.go file.
+func (p *Pass) IsTestFile(f *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(f.Package).Filename, "_test.go")
+}
+
+// A Diagnostic is one finding of one analyzer.
+type Diagnostic struct {
+	Rule    string
+	Pos     token.Position
+	Message string
+	// AllowReason is set on suppressed diagnostics: the reason text of
+	// the //lint:allow directive that silenced the finding.
+	AllowReason string
+
+	position token.Pos
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Rule)
+}
+
+// Suite returns the five analyzers in their canonical order.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		Globalmut,
+		Layering,
+		Determinism,
+		Budgetpoll,
+		Soundverdict,
+	}
+}
+
+// A Result partitions one package's findings into active diagnostics and
+// ones suppressed by //lint:allow directives.
+type Result struct {
+	Path string
+	// Diags are unsuppressed findings, sorted by position.
+	Diags []Diagnostic
+	// Suppressed are findings silenced by a lint:allow directive, kept so
+	// drivers can count and audit them.
+	Suppressed []Diagnostic
+}
+
+// Run executes the analyzers over one type-checked package and applies
+// the //lint:allow directives found in its files. Malformed directives
+// (missing rule or reason) are themselves reported under the pseudo-rule
+// "lintdirective".
+func Run(pkg *Package, analyzers []*Analyzer) (Result, error) {
+	res := Result{Path: pkg.Path}
+	allows, malformed := collectAllows(pkg.Fset, pkg.Files)
+	res.Diags = append(res.Diags, malformed...)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Path:      pkg.Path,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		var diags []Diagnostic
+		pass.report = func(d Diagnostic) { diags = append(diags, d) }
+		if err := a.Run(pass); err != nil {
+			return res, fmt.Errorf("%s: %s: %v", pkg.Path, a.Name, err)
+		}
+		for _, d := range diags {
+			if reason, ok := allows.match(d); ok {
+				d.AllowReason = reason
+				res.Suppressed = append(res.Suppressed, d)
+			} else {
+				res.Diags = append(res.Diags, d)
+			}
+		}
+	}
+	sortDiags(res.Diags)
+	sortDiags(res.Suppressed)
+	return res, nil
+}
+
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i].Pos, ds[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return ds[i].Rule < ds[j].Rule
+	})
+}
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	rule   string
+	reason string
+}
+
+// allowIndex maps file:line to the directives that cover that line.
+type allowIndex map[string]map[int][]allowDirective
+
+// match reports whether a directive for d's rule covers d's line (the
+// directive may sit on the flagged line or the line immediately above).
+func (ai allowIndex) match(d Diagnostic) (reason string, ok bool) {
+	lines := ai[d.Pos.Filename]
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, dir := range lines[line] {
+			if dir.rule == d.Rule {
+				return dir.reason, true
+			}
+		}
+	}
+	return "", false
+}
+
+const allowPrefix = "//lint:allow"
+
+// collectAllows scans every comment of the files for lint:allow
+// directives. Malformed directives are returned as diagnostics.
+func collectAllows(fset *token.FileSet, files []*ast.File) (allowIndex, []Diagnostic) {
+	idx := allowIndex{}
+	var malformed []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(c.Text, allowPrefix))
+				if len(fields) < 2 {
+					malformed = append(malformed, Diagnostic{
+						Rule: "lintdirective",
+						Pos:  pos,
+						Message: "malformed lint:allow directive: want " +
+							"//lint:allow <rule> <reason>",
+						position: c.Pos(),
+					})
+					continue
+				}
+				m := idx[pos.Filename]
+				if m == nil {
+					m = map[int][]allowDirective{}
+					idx[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], allowDirective{
+					rule:   fields[0],
+					reason: strings.Join(fields[1:], " "),
+				})
+			}
+		}
+	}
+	return idx, malformed
+}
+
+// importTable maps each file-local import name to its import path,
+// resolving aliases. Unnamed imports use the path's base segment, which
+// matches the package name for every package in this module and the
+// standard library subset we use.
+func importTable(f *ast.File) map[string]string {
+	t := map[string]string{}
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := path
+		if i := strings.LastIndex(path, "/"); i >= 0 {
+			name = path[i+1:]
+		}
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name == "_" || name == "." {
+			continue
+		}
+		t[name] = path
+	}
+	return t
+}
+
+// hasPrefixPath reports whether path is pkg or lies under the pkg/ tree.
+func hasPrefixPath(path, prefix string) bool {
+	return path == prefix || strings.HasPrefix(path, prefix+"/")
+}
+
+// inModuleScope reports whether the package is part of the analyzed
+// module's library surface: the root package or anything under
+// internal/. Command mains under cmd/ are excluded — they hold flag
+// plumbing, not analysis state. External test packages ("..._test")
+// count with their base package.
+func inModuleScope(path string) bool {
+	path = strings.TrimSuffix(path, "_test")
+	return path == ModulePath || hasPrefixPath(path, ModulePath+"/internal")
+}

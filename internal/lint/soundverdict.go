@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// verdictHome is the package that owns verdict values: the engine
+// itself builds them freely, everyone else goes through its
+// constructors.
+var verdictHome = ModulePath + "/internal/analysis"
+
+// verdictTypes are the types whose composite literals are restricted.
+// Fabricating any of them outside the engine risks a check result that
+// skipped the soundness machinery: a Violation without Unresolved on a
+// degraded path, a Result with invented States, a CheckProvenance that
+// marks an unproven check discharged.
+var verdictTypes = map[string]bool{
+	"Violation":       true,
+	"CheckProvenance": true,
+	"Result":          true,
+	"CascadeResult":   true,
+}
+
+// Soundverdict enforces the "never silently safe" rule at the type
+// level: outside repro/internal/analysis (and outside test files, which
+// build expectation values), verdict values may only be obtained from
+// the engine or its approved constructors (analysis.NewViolation,
+// analysis.NewUnresolvedViolation) — composite literals of the verdict
+// types are flagged, as are dot-imports of the engine package that
+// would launder them.
+var Soundverdict = &Analyzer{
+	Name: "soundverdict",
+	Doc:  "verdict values are built only by the engine or its approved constructors",
+	Run:  runSoundverdict,
+}
+
+func runSoundverdict(pass *Pass) error {
+	if !inModuleScope(pass.Path) || strings.TrimSuffix(pass.Path, "_test") == verdictHome {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		// Resolve the file-local name of the engine package, if imported.
+		engineName := ""
+		for _, imp := range f.Imports {
+			if strings.Trim(imp.Path.Value, `"`) != verdictHome {
+				continue
+			}
+			if imp.Name != nil && imp.Name.Name == "." {
+				pass.Report(imp.Pos(),
+					"dot-import of %s: verdict types must stay qualified so constructor discipline is checkable", verdictHome)
+				continue
+			}
+			engineName = "analysis"
+			if imp.Name != nil {
+				engineName = imp.Name.Name
+			}
+		}
+		if engineName == "" {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			if name, ok := verdictLit(engineName, cl); ok {
+				pass.Report(cl.Pos(),
+					"composite literal of %s.%s outside the engine: use the approved constructors (analysis.NewViolation, analysis.NewUnresolvedViolation) so degraded procedures can never be fabricated safe", engineName, name)
+				return false // don't re-flag implicit element literals
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// verdictLit reports whether cl constructs a restricted verdict type,
+// directly (analysis.Violation{...}) or through the implicit element
+// literals of a slice/array/map literal ([]analysis.Violation{{...}}).
+// A container holding only constructor calls is fine — it is the
+// literal construction of the value that is restricted.
+func verdictLit(engineName string, cl *ast.CompositeLit) (string, bool) {
+	if name, ok := verdictTypeName(engineName, cl.Type); ok {
+		return name, true
+	}
+	var elem ast.Expr
+	switch t := cl.Type.(type) {
+	case *ast.ArrayType:
+		elem = t.Elt
+	case *ast.MapType:
+		elem = t.Value
+	}
+	if elem == nil {
+		return "", false
+	}
+	name, ok := verdictTypeName(engineName, elem)
+	if !ok {
+		return "", false
+	}
+	for _, e := range cl.Elts {
+		if kv, isKV := e.(*ast.KeyValueExpr); isKV {
+			e = kv.Value
+		}
+		if _, isLit := e.(*ast.CompositeLit); isLit {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+func verdictTypeName(engineName string, t ast.Expr) (string, bool) {
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	sel, ok := t.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok || pkg.Name != engineName || !verdictTypes[sel.Sel.Name] {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}

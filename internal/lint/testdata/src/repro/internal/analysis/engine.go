@@ -1,0 +1,15 @@
+// Fixture for the soundverdict analyzer, negative case: the engine
+// package itself builds verdict values freely.
+package analysis
+
+type Violation struct {
+	Index      int
+	Msg        string
+	Unresolved bool
+}
+
+func exhausted(idx int, msg string) Violation {
+	return Violation{Index: idx, Msg: msg, Unresolved: true}
+}
+
+var _ = exhausted

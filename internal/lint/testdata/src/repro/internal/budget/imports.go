@@ -1,0 +1,12 @@
+// Fixture for the layering analyzer: budget is the bottom of the DAG.
+package budget
+
+import (
+	"sync/atomic"
+	"time"
+
+	_ "repro/internal/clex" // want `must not import repro/internal/clex`
+)
+
+var _ atomic.Int64
+var _ time.Time

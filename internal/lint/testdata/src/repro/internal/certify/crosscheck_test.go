@@ -1,0 +1,9 @@
+// Test files are exempt from layering: differential tests deliberately
+// cross layers to cross-check the independent checker against the
+// engine.
+package certify
+
+import (
+	_ "repro/internal/analysis"
+	_ "repro/internal/polyhedra"
+)

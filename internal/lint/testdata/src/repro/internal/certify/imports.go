@@ -1,0 +1,11 @@
+// Fixture for the layering analyzer: the certificate checker must not
+// link the engine it checks.
+package certify
+
+import (
+	_ "repro/internal/clex"      // allowed: shared position type
+	_ "repro/internal/interval"  // want `must not import repro/internal/interval`
+	_ "repro/internal/linear"    // allowed: the constraint IR is shared vocabulary
+	_ "repro/internal/polyhedra" // want `must not import repro/internal/polyhedra`
+	_ "repro/internal/zone"      // want `must not import repro/internal/zone`
+)

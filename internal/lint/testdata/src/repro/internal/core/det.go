@@ -1,0 +1,86 @@
+// Fixture for the determinism analyzer: map order and wall-clock time
+// must not reach report content.
+package core
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"time"
+)
+
+func badAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `map iteration appends to keys, which is never sorted`
+	}
+	return keys
+}
+
+func okSortedAfter(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func okSortSlice(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func badEmit(m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(os.Stdout, "%s=%d\n", k, v) // want `emitting output while ranging over a map`
+	}
+}
+
+func okSliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+func okAllowed(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		//lint:allow determinism caller sorts; order-insensitive set semantics
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+type runStats struct {
+	Wall time.Duration
+	CPU  time.Duration
+}
+
+func okTimingIdiom(s *runStats) {
+	start := time.Now()
+	defer func() { s.Wall = time.Since(start) }()
+	t0 := time.Now()
+	s.CPU = time.Since(t0)
+}
+
+func okTimingIdent() time.Duration {
+	start := time.Now()
+	tierCPU := time.Since(start)
+	return tierCPU
+}
+
+func badClock() int64 {
+	return time.Now().Unix() // want `time.Now outside the timing-stats idiom`
+}
+
+func badSince(epoch time.Time) bool {
+	delay := time.Since(epoch) // want `time.Since outside the timing-stats idiom`
+	return delay > 0
+}

@@ -1,0 +1,5 @@
+package core
+
+import "math/rand" // want `math/rand on the report path`
+
+func roll(r *rand.Rand) int { return r.Intn(6) }

@@ -1,0 +1,57 @@
+// Fixture for the globalmut analyzer: package-scope mutable state in
+// analysis packages.
+package globalmutfix
+
+import (
+	"errors"
+	"math/big"
+	"sync"
+)
+
+var counter int // want `package-level mutable var counter`
+
+var cache *big.Int // want `package-level mutable var cache`
+
+var limit = 128 // want `package-level mutable var limit`
+
+var alias = counter // want `package-level mutable var alias`
+
+var negated = -1 // want `package-level mutable var negated`
+
+var shared = &config{n: 1} // address of composite literal: allowed
+
+type config struct{ n int }
+
+var a, b = twoVals() // want `package-level mutable var b`
+
+var _ = counter // blank compile-time assertion: allowed
+
+var errSentinel = errors.New("x") // built by a call: allowed
+
+var keywords = map[string]bool{"if": true} // composite literal: allowed
+
+var bigOne = big.NewInt(1) // immutable by convention: allowed
+
+var initOnce sync.Once // sync zero value: allowed
+
+var mu sync.Mutex // sync zero value: allowed
+
+var pool = sync.Pool{New: func() any { return new(big.Int) }}
+
+var allowed = 3 //lint:allow globalmut fixture exercises the allow directive
+
+func twoVals() (int, int) { return 1, 2 }
+
+func use() (int, *big.Int, int, int, int, int) {
+	initOnce.Do(func() {})
+	mu.Lock()
+	mu.Unlock()
+	_ = errSentinel
+	_ = keywords
+	_ = bigOne
+	_ = pool
+	return counter, cache, limit, alias, negated, allowed
+}
+
+var _ = a
+var _ = b

@@ -1,0 +1,7 @@
+// Test files are covered too: shared test state breaks t.Parallel the
+// same way shared analysis state breaks concurrent runs.
+package globalmutfix
+
+var testState []string // want `package-level mutable var testState`
+
+var _ = testState

@@ -1,0 +1,91 @@
+// Fixture for the budgetpoll analyzer: unbounded fixpoint-shaped loops
+// in substrate packages must contain a budget.Token safe point.
+package polyhedra
+
+type token struct{}
+
+func (token) Step(n int) bool { return true }
+func (token) Exhausted() bool { return false }
+
+func fixpointBad(work []int) {
+	changed := true
+	for changed { // want `unbounded loop drives nested iteration without a budget safe point`
+		changed = false
+		for range work {
+			changed = true
+		}
+	}
+}
+
+func infiniteBad(work []int) {
+	for { // want `unbounded loop drives nested iteration without a budget safe point`
+		for range work {
+		}
+	}
+}
+
+func fixpointGood(work []int, tok token) {
+	changed := true
+	for changed {
+		if tok.Exhausted() {
+			return
+		}
+		changed = false
+		for range work {
+		}
+	}
+}
+
+func worklistGood(work []int, tok token) {
+	for len(work) > 0 {
+		if !tok.Step(1) {
+			return
+		}
+		for range work {
+		}
+		work = work[:len(work)-1]
+	}
+}
+
+func siftDown(h []int) int {
+	// Unbounded shape but no nested iteration: terminates on its own
+	// structure (heap walks, slice growth) and is exempt.
+	i := 0
+	for i < len(h) {
+		i = 2*i + 1
+	}
+	return i
+}
+
+func counted(n int) int {
+	// Counted loops are bounded by construction, however deeply nested.
+	s := 0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s++
+		}
+	}
+	return s
+}
+
+func allowedLoop(work []int) {
+	//lint:allow budgetpoll termination: len(work) strictly decreases each iteration
+	for len(work) > 0 {
+		for range work {
+		}
+		work = work[:len(work)-1]
+	}
+}
+
+func closureCountsAsWork(work []int) {
+	// Iteration hidden in a closure still counts as the loop's nested
+	// work: transfer functions and callbacks run inside the fixpoint.
+	for len(work) > 0 { // want `unbounded loop drives nested iteration without a budget safe point`
+		f := func() {
+			for range work {
+			}
+		}
+		f()
+		work = work[:len(work)-1]
+	}
+}

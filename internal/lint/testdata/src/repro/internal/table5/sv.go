@@ -1,0 +1,37 @@
+// Fixture for the soundverdict analyzer: verdict values are built only
+// by the engine or its approved constructors.
+package table5
+
+import "repro/internal/analysis"
+
+func fabricated() analysis.Violation {
+	return analysis.Violation{Msg: "fabricated"} // want `composite literal of analysis.Violation`
+}
+
+func fabricatedSlice() []analysis.Violation {
+	return []analysis.Violation{{Msg: "x"}} // want `composite literal of analysis.Violation`
+}
+
+func fabricatedPtr() *analysis.CheckProvenance {
+	return &analysis.CheckProvenance{} // want `composite literal of analysis.CheckProvenance`
+}
+
+func fabricatedResult() *analysis.Result {
+	return &analysis.Result{} // want `composite literal of analysis.Result`
+}
+
+func constructed() []analysis.Violation {
+	// Containers of constructor-built values are fine: it is the literal
+	// construction that is restricted.
+	return []analysis.Violation{analysis.NewViolation(0, "m", nil)}
+}
+
+func empty() []analysis.Violation {
+	var vs []analysis.Violation
+	return vs
+}
+
+func allowedLiteral() analysis.Violation {
+	//lint:allow soundverdict golden-file decoder rebuilds verdicts verbatim
+	return analysis.Violation{Msg: "decoded"}
+}

@@ -1,0 +1,11 @@
+package table5
+
+import eng "repro/internal/analysis"
+
+func aliased() eng.Result {
+	return eng.Result{} // want `composite literal of eng.Result`
+}
+
+func aliasedMap() map[int]eng.CheckProvenance {
+	return map[int]eng.CheckProvenance{0: {}} // want `composite literal of eng.CheckProvenance`
+}

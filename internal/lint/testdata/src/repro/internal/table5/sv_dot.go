@@ -1,0 +1,3 @@
+package table5
+
+import . "repro/internal/analysis" // want `dot-import of repro/internal/analysis`

@@ -1,0 +1,10 @@
+// Fixture for the layering analyzer: substrates never import the
+// engine or driver layers — and a denied path must not swallow a
+// sibling whose name merely shares a prefix (core vs corec).
+package zone
+
+import (
+	_ "repro/internal/budget" // allowed: substrates poll the budget token
+	_ "repro/internal/core"   // want `must not import repro/internal/core`
+	_ "repro/internal/corec"  // allowed: sibling name prefix is not a match
+)
