@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	cssv-bench [-out BENCH_numeric.json] [-baseline old.json] [-quick] [-benchtime 500ms]
+//	cssv-bench [-out BENCH_numeric.json] [-baseline old.json] [-force] [-quick] [-benchtime 500ms]
 //
 // The suite mirrors the hot benchmarks of the in-repo `go test -bench`
 // harness — the polyhedra substrate primitives (BenchmarkPolyhedra/*), a
@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/arena"
 	"repro/internal/linear"
 	"repro/internal/polyhedra"
 	"repro/internal/zone"
@@ -52,10 +53,12 @@ type File struct {
 	CPUs          int      `json:"cpus"`
 	Benchtime     string   `json:"benchtime"`
 	Results       []Result `json:"results"`
-	// Baseline carries the previous run (its own baseline stripped), and
-	// SpeedupGeomean the geometric-mean ns/op ratio baseline/current over
-	// the benchmarks present in both.
+	// Baseline carries the previous run (its own baseline stripped),
+	// BaselineFile names the file it was read from, and SpeedupGeomean
+	// the geometric-mean ns/op ratio baseline/current over the
+	// benchmarks present in both.
 	Baseline       *File   `json:"baseline,omitempty"`
+	BaselineFile   string  `json:"baseline_file,omitempty"`
 	SpeedupGeomean float64 `json:"speedup_geomean_vs_baseline,omitempty"`
 }
 
@@ -102,7 +105,7 @@ func measure(name string, target time.Duration, quick bool, fn func()) Result {
 
 // polyPair builds the BenchmarkPolyhedra workload: a box polyhedron and a
 // chain-ordering polyhedron over dim variables.
-func polyPair(dim int) (*polyhedra.Poly, *polyhedra.Poly) {
+func polyPair(cfg *polyhedra.Config, dim int) (*polyhedra.Poly, *polyhedra.Poly) {
 	var sysA, sysB linear.System
 	for v := 0; v < dim; v++ {
 		e := linear.VarExpr(v)
@@ -114,7 +117,7 @@ func polyPair(dim int) (*polyhedra.Poly, *polyhedra.Poly) {
 			sysB = append(sysB, linear.NewGe(g)) // x_v >= x_{v-1}
 		}
 	}
-	return polyhedra.FromSystem(sysA, dim), polyhedra.FromSystem(sysB, dim)
+	return cfg.FromSystem(sysA, dim), cfg.FromSystem(sysB, dim)
 }
 
 // zoneChain builds a DBM workload: x_0 <= x_1 <= ... <= x_{n-1}, with
@@ -131,14 +134,51 @@ func zoneChain(n int) *zone.DBM {
 	return d
 }
 
+// zoneRandom builds an unclosed DBM over n variables whose difference
+// constraints x_i - x_j <= c cover roughly density of the ordered
+// variable pairs, chosen by a deterministic LCG so runs are
+// reproducible. Bounds grow with i+j, which keeps the system satisfiable.
+func zoneRandom(cfg *zone.Config, n int, density float64, seed uint64) *zone.DBM {
+	d := cfg.Universe(n)
+	rng := seed*6364136223846793005 + 1442695040888963407
+	next := func() uint64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return rng >> 33
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if float64(next()%1000) >= density*1000 {
+				continue
+			}
+			// x_i - x_j <= 5 + i + j, i.e. 5+i+j - (x_i - x_j) >= 0.
+			e := linear.ConstExpr(int64(5 + i + j)).
+				Sub(linear.VarExpr(i)).Add(linear.VarExpr(j))
+			d = d.MeetConstraint(linear.NewGe(e))
+		}
+	}
+	d = d.MeetConstraint(linear.NewGe(linear.VarExpr(0))) // x_0 >= 0
+	return d
+}
+
 func main() {
 	var (
 		out      = flag.String("out", "BENCH_numeric.json", "output JSON path")
 		baseline = flag.String("baseline", "", "previous results to embed for before/after comparison")
+		force    = flag.Bool("force", false, "overwrite an existing output file")
 		quick    = flag.Bool("quick", false, "single iteration per benchmark (CI smoke)")
 		bt       = flag.Duration("benchtime", 500*time.Millisecond, "minimum measured time per benchmark")
 	)
 	flag.Parse()
+
+	// Recorded benchmark files are PR-reviewed artifacts: refuse to
+	// clobber one silently.
+	if _, err := os.Stat(*out); err == nil && !*force {
+		fmt.Fprintf(os.Stderr, "cssv-bench: %s exists; pass -force to overwrite\n", *out)
+		os.Exit(2)
+	}
 
 	rep := &File{
 		GeneratedUnix: time.Now().Unix(),
@@ -158,7 +198,9 @@ func main() {
 	}
 
 	for _, dim := range []int{4, 6, 8} {
-		p, q := polyPair(dim)
+		// One arena per dimension, exactly as the driver configures the
+		// substrate per procedure.
+		p, q := polyPair(&polyhedra.Config{Arena: arena.New()}, dim)
 		add(fmt.Sprintf("polyhedra/join/dim=%d", dim), func() { p.Clone().Join(q) })
 		add(fmt.Sprintf("polyhedra/meet+empty/dim=%d", dim), func() { p.Clone().Meet(q).IsEmpty() })
 		j := p.Clone().Join(q)
@@ -169,6 +211,32 @@ func main() {
 		d := zoneChain(n)
 		e := zoneChain(n).Havoc(n / 2)
 		add(fmt.Sprintf("zone/join+close/n=%d", n), func() { d.Clone().Join(e).IsEmpty() })
+	}
+
+	// The sparse-DBM suite: closure from scratch, incremental update of a
+	// closed matrix, and join, at three dimensions and two densities.
+	// Each configuration runs under the automatic density policy with an
+	// arena, exactly as the driver configures the substrate.
+	for _, dim := range []int{4, 8, 16} {
+		for _, dens := range []float64{0.1, 0.5} {
+			cfg := &zone.Config{Arena: arena.New()}
+			pct := int(dens * 100)
+			base := zoneRandom(cfg, dim, dens, uint64(dim))
+			add(fmt.Sprintf("zone/close/dim=%d/density=%d", dim, pct),
+				func() { base.Clone().IsEmpty() })
+			closed := base.Clone()
+			closed.IsEmpty() // force closure once
+			// One fresh constraint on a closed matrix: the incremental
+			// repair path, not a full re-closure.
+			upd := linear.NewGe(linear.ConstExpr(3).
+				Sub(linear.VarExpr(dim - 1)).Add(linear.VarExpr(0)))
+			add(fmt.Sprintf("zone/incr/dim=%d/density=%d", dim, pct),
+				func() { closed.Clone().MeetConstraint(upd).IsEmpty() })
+			other := zoneRandom(cfg, dim, dens, uint64(dim)+77)
+			other.IsEmpty()
+			add(fmt.Sprintf("zone/join/dim=%d/density=%d", dim, pct),
+				func() { closed.Clone().Join(other) })
+		}
 	}
 
 	for _, s := range []struct{ name, path string }{
@@ -203,6 +271,7 @@ func main() {
 		}
 		base.Baseline = nil // keep one level of history
 		rep.Baseline = &base
+		rep.BaselineFile = *baseline
 		rep.SpeedupGeomean = geomeanSpeedup(base.Results, rep.Results)
 		if rep.SpeedupGeomean > 0 {
 			fmt.Printf("geomean speedup vs baseline: %.2fx\n", rep.SpeedupGeomean)

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/core"
 	"repro/internal/table5"
 )
 
@@ -26,12 +27,18 @@ func main() {
 	certify := flag.Bool("certify", false, "verify invariant certificates and replay messages to witnesses; adds the Cert/CFail/Wit/Pot columns")
 	timeout := flag.Duration("proc-timeout", 0, "wall-clock budget per procedure (0 = unlimited); expired procedures report unresolved checks")
 	steps := flag.Int("step-budget", 0, "fixpoint iteration budget per procedure (0 = unlimited)")
+	octagon := flag.Bool("octagon", false, "insert the octagon tier between the zone tier and the final domain (implies the cascade)")
+	noArena := flag.Bool("no-arena", false, "disable the per-procedure slice arenas")
+	stats := flag.Bool("stats", false, "print substrate statistics (arena recycling, zone representation selections) after the table")
 	flag.Parse()
 
-	opts := table5.Options{SkipDerivation: *fast}
+	var runStats core.RunStats
+	opts := table5.Options{SkipDerivation: *fast, Stats: &runStats}
 	opts.Driver.Workers = *jobs
 	opts.Driver.Certify = *certify
-	opts.Driver.Cascade = *certify // certificates record the discharging tier
+	opts.Driver.Cascade = *certify || *octagon // certificates record the discharging tier
+	opts.Driver.Octagon = *octagon
+	opts.Driver.NoArena = *noArena
 	opts.Driver.ProcDeadline = *timeout
 	opts.Driver.StepBudget = *steps
 	var rows []table5.Row
@@ -52,6 +59,11 @@ func main() {
 		fmt.Println()
 	}
 	fmt.Print(table5.FormatSummary(table5.Summarize(rows)))
+	if *stats {
+		fmt.Printf("\nsubstrate: arena-recycled=%dB zone-repr sparse=%d dense=%d precision-drops=%d\n",
+			runStats.ArenaRecycledBytes, runStats.SparseZoneSelections,
+			runStats.DenseZoneSelections, runStats.PrecisionDrops)
+	}
 	if !*fast {
 		fmt.Println("\n(Paper §5: manual contracts reduce false alarms by 93% vs vacuous;")
 		fmt.Println(" automatic derivation reduces messages by 25%.)")

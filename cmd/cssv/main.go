@@ -32,6 +32,8 @@ func main() {
 		dumpIP    = flag.Bool("dump-ip", false, "print the generated integer programs")
 		cascade   = flag.Bool("cascade", false, "discharge checks in tiers (interval, zone, then the selected domain on the sliced residual)")
 		certify   = flag.Bool("certify", false, "verify invariant certificates for discharged checks (independent Fourier-Motzkin checker) and replay reported messages to concrete witnesses")
+		octagon   = flag.Bool("octagon", false, "insert the octagon tier (±x±y constraints) between the zone tier and the final domain (implies -cascade)")
+		noArena   = flag.Bool("no-arena", false, "disable the per-procedure slice arenas that recycle numeric-substrate storage")
 		dumpRed   = flag.Bool("dump-reduced-ip", false, "print the residual integer program the final cascade tier analyzed (implies -cascade)")
 		jobs      = flag.Int("j", 0, "procedures analyzed in parallel (0 = all CPUs, 1 = sequential)")
 		quiet     = flag.Bool("q", false, "suppress warnings")
@@ -51,8 +53,10 @@ func main() {
 		Contracts:         *contracts,
 		DisablePPTMerging: *noMerge,
 		NaiveC2IP:         *naive,
-		Cascade:           *cascade || *dumpRed,
+		Cascade:           *cascade || *dumpRed || *octagon,
 		Certify:           *certify,
+		Octagon:           *octagon,
+		NoArena:           *noArena,
 		Workers:           *jobs,
 		ProcTimeout:       *timeout,
 		StepBudget:        *steps,
@@ -81,6 +85,8 @@ func main() {
 			s.Workers, s.Wall.Round(1e6), s.SequentialCPU.Round(1e6), speedup,
 			s.PointerCacheHits, s.PointerCacheHits+s.PointerCacheMisses, s.LibcHeaderReused,
 			s.PrecisionDrops, s.DegradedProcs, s.UnresolvedChecks)
+		fmt.Printf("run: arena-recycled=%dB zone-repr sparse=%d dense=%d\n",
+			s.ArenaRecycledBytes, s.SparseZoneSelections, s.DenseZoneSelections)
 	}
 
 	messages := 0

@@ -111,6 +111,14 @@ type Config struct {
 	// negative = unlimited); drops at the cap are counted in
 	// RunStats.PrecisionDrops.
 	MaxRays int
+	// Octagon inserts the octagon tier (±x±y difference constraints on a
+	// doubled-variable DBM) between the zone tier and the final domain.
+	// The tier lives in the cascade, so setting it implies Cascade.
+	Octagon bool
+	// NoArena disables the per-procedure slice arenas that recycle
+	// numeric-substrate storage. On by default; the toggle exists for
+	// debugging and ablation.
+	NoArena bool
 }
 
 // Message is one potential string error.
@@ -283,6 +291,13 @@ type RunStats struct {
 	// reported as potential errors.
 	DegradedProcs    int
 	UnresolvedChecks int
+	// ArenaRecycledBytes sums the bytes the per-procedure slice arenas
+	// served out of their free lists instead of the heap (0 under
+	// Config.NoArena). Deterministic per input.
+	ArenaRecycledBytes int64
+	// SparseZoneSelections / DenseZoneSelections count the zone
+	// substrate's representation decisions at closure boundaries.
+	SparseZoneSelections, DenseZoneSelections int64
 }
 
 // Messages returns all messages across procedures.
@@ -348,7 +363,7 @@ func (cfg Config) driverOptions() (core.Options, error) {
 		return core.Options{}, fmt.Errorf("cssv: StepBudget must be >= 0, got %d", cfg.StepBudget)
 	}
 	opts := core.Options{
-		Cascade:       cfg.Cascade,
+		Cascade:       cfg.Cascade || cfg.Octagon,
 		Certify:       cfg.Certify,
 		Procs:         cfg.Procedures,
 		NoLibc:        cfg.NoLibc,
@@ -357,6 +372,8 @@ func (cfg Config) driverOptions() (core.Options, error) {
 		ProcDeadline:  cfg.ProcTimeout,
 		StepBudget:    cfg.StepBudget,
 		MaxRays:       cfg.MaxRays,
+		Octagon:       cfg.Octagon,
+		NoArena:       cfg.NoArena,
 		PPT:           ppt.Options{DisableMerging: cfg.DisablePPTMerging},
 		C2IP: c2ip.Options{
 			Naive:           cfg.NaiveC2IP,

@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/ip"
+	"repro/internal/linear"
+	"repro/internal/zone"
+)
+
+// buildSumProgram needs the relational bound x + y <= 10 to prove its
+// assert: with neither variable individually bounded, intervals learn
+// nothing, zones cannot represent the sum, and only the octagon (or the
+// polyhedra) tier discharges the check.
+func buildSumProgram() *ip.Program {
+	p := ip.New("oct")
+	x := p.Space.Var("x")
+	y := p.Space.Var("y")
+	sum := linear.ConstExpr(10)
+	sum.AddTerm(x, -1)
+	sum.AddTerm(y, -1) // 10 - x - y >= 0
+	p.Emit(&ip.Assume{C: ip.Single(linear.NewGe(sum))})
+	slack := linear.ConstExpr(12)
+	slack.AddTerm(x, -1)
+	slack.AddTerm(y, -1) // 12 - x - y >= 0
+	p.Emit(&ip.Assert{C: ip.Single(linear.NewGe(slack)), Msg: "x + y <= 12"})
+	return p
+}
+
+// TestCascadeOctagonTier: with the octagon tier enabled, the symmetric
+// check is discharged before the polyhedra build, its provenance names
+// the octagon, and its certificate survives the independent
+// Fourier–Motzkin verifier. Without the tier, the same check falls
+// through to the final domain.
+func TestCascadeOctagonTier(t *testing.T) {
+	res, err := AnalyzeCascade(buildSumProgram(), Options{
+		Octagon:    true,
+		ZoneConfig: &zone.Config{},
+		Certify:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("unexpected violations: %v", res.Violations)
+	}
+	if len(res.Checks) != 1 || res.Checks[0].Tier != "octagon" {
+		t.Fatalf("check provenance = %+v, want tier octagon", res.Checks)
+	}
+	if len(res.Certificates) != 1 {
+		t.Fatalf("want 1 certificate, got %d", len(res.Certificates))
+	}
+	cert := res.Certificates[0]
+	if cert.Check.Tier != "octagon" {
+		t.Errorf("certificate tier = %q, want octagon", cert.Check.Tier)
+	}
+	if err := cert.Verify(); err != nil {
+		t.Errorf("octagon certificate rejected by the FM verifier: %v", err)
+	}
+	// The tier list must show octagon between zone and polyhedra.
+	var order []string
+	for _, ts := range res.Tiers {
+		order = append(order, ts.Domain)
+	}
+	if len(order) != 3 || order[0] != "interval" || order[1] != "zone" || order[2] != "octagon" {
+		t.Errorf("tier order = %v, want interval, zone, octagon (polyhedra skipped: nothing residual)", order)
+	}
+
+	// Control: without the octagon tier only the final domain proves it.
+	res2, err := AnalyzeCascade(buildSumProgram(), Options{Certify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Violations) != 0 {
+		t.Fatalf("control run violations: %v", res2.Violations)
+	}
+	if len(res2.Checks) != 1 || res2.Checks[0].Tier != "polyhedra" {
+		t.Fatalf("control provenance = %+v, want tier polyhedra", res2.Checks)
+	}
+}
+
+// TestCascadeOctagonSparseConfigs: the octagon tier discharges the same
+// checks under every matrix representation policy and with the arena on.
+func TestCascadeOctagonSparseConfigs(t *testing.T) {
+	for _, cfg := range []*zone.Config{
+		{Sparse: zone.SparseForce},
+		{Sparse: zone.SparseOff},
+		{PureBig: true},
+	} {
+		res, err := AnalyzeCascade(buildSumProgram(), Options{
+			Octagon:    true,
+			ZoneConfig: cfg,
+			Certify:    true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Violations) != 0 || len(res.Checks) != 1 || res.Checks[0].Tier != "octagon" {
+			t.Fatalf("cfg %+v: violations=%v checks=%+v", cfg, res.Violations, res.Checks)
+		}
+		if err := res.Certificates[0].Verify(); err != nil {
+			t.Errorf("cfg %+v: certificate rejected: %v", cfg, err)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/arena"
 	"repro/internal/budget"
 	"repro/internal/c2ip"
 	"repro/internal/cast"
@@ -76,6 +77,15 @@ type Options struct {
 	// package default, negative = unlimited). Replaces the old mutable
 	// polyhedra.MaxRays package global.
 	MaxRays int
+	// Octagon inserts the octagon tier (±x±y constraints on a
+	// doubled-variable DBM) between the zone tier and the final domain.
+	// Only meaningful with Cascade.
+	Octagon bool
+	// NoArena disables the per-procedure slice arenas that recycle
+	// numeric-substrate storage (DBM rows, generator vectors, saturation
+	// bitsets). The arena is on by default; the toggle exists for
+	// debugging and for measuring its effect.
+	NoArena bool
 	// Procs restricts analysis to these procedures (default: all defined
 	// procedures that are not libc models).
 	Procs []string
@@ -200,6 +210,16 @@ type RunStats struct {
 	// checks conservatively reported as potential errors.
 	DegradedProcs    int
 	UnresolvedChecks int
+	// ArenaRecycledBytes sums, over all procedures, the bytes the
+	// per-procedure slice arenas served out of their free lists instead
+	// of the garbage-collected heap. Recycling decisions depend only on
+	// each procedure's operation sequence, so the total is deterministic.
+	ArenaRecycledBytes int64
+	// SparseZoneSelections / DenseZoneSelections count the zone
+	// substrate's closure-boundary representation decisions across the
+	// run (the automatic density policy; forced policies count too).
+	// Content-only decisions, hence deterministic.
+	SparseZoneSelections, DenseZoneSelections int64
 }
 
 // TotalMessages sums messages over all procedures.
@@ -257,8 +277,10 @@ func Prepare(filename, src string, noLibc bool) (*corec.Program, error) {
 // precision-drop count (replacing the former process-global counter in
 // internal/polyhedra).
 type runCounters struct {
-	ptHits, ptMisses atomic.Int64
-	drops            atomic.Int64
+	ptHits, ptMisses    atomic.Int64
+	drops               atomic.Int64
+	arenaBytes          atomic.Int64
+	selSparse, selDense atomic.Int64
 }
 
 // AnalyzeSource runs CSSV on a single translation unit given as text.
@@ -333,6 +355,9 @@ func AnalyzeSource(filename, src string, opts Options) (*Report, error) {
 	rep.Stats.PointerCacheMisses = int(rc.ptMisses.Load())
 	rep.Stats.LibcHeaderReused = libcCached
 	rep.Stats.PrecisionDrops = int(rc.drops.Load())
+	rep.Stats.ArenaRecycledBytes = rc.arenaBytes.Load()
+	rep.Stats.SparseZoneSelections = rc.selSparse.Load()
+	rep.Stats.DenseZoneSelections = rc.selDense.Load()
 	return rep, nil
 }
 
@@ -504,8 +529,16 @@ func analyzeProc(orig *cast.File, prog *corec.Program, name string, opts Options
 		deadline = start.Add(opts.ProcDeadline)
 	}
 	tok := budget.New(deadline, opts.StepBudget)
-	pcfg := &polyhedra.Config{MaxRays: opts.MaxRays, Token: tok}
-	zcfg := &zone.Config{Token: tok}
+	// One arena per procedure, shared by every substrate of this pipeline
+	// (single-goroutine by construction) and freed wholesale when the
+	// procedure's report is built — the configs, and the arena with them,
+	// go out of scope at return.
+	var ar *arena.Arena
+	if !opts.NoArena {
+		ar = arena.New()
+	}
+	pcfg := &polyhedra.Config{MaxRays: opts.MaxRays, Token: tok, Arena: ar}
+	zcfg := &zone.Config{Token: tok, Arena: ar}
 	aopts := analysis.Options{
 		Domain:          analysis.WithSubstrate(opts.Domain, pcfg, zcfg),
 		WideningDelay:   opts.WideningDelay,
@@ -513,6 +546,7 @@ func analyzeProc(orig *cast.File, prog *corec.Program, name string, opts Options
 		Certify:         opts.Certify,
 		Token:           tok,
 		ZoneConfig:      zcfg,
+		Octagon:         opts.Octagon,
 	}
 	var certs []*certify.Certificate
 	var exhausted string
@@ -541,6 +575,10 @@ func analyzeProc(orig *cast.File, prog *corec.Program, name string, opts Options
 	// Ray-cap drops are counted per run; budget-induced constraint drops
 	// are timing-dependent and deliberately uncounted (determinism).
 	rc.drops.Add(pcfg.DroppedConstraints())
+	rc.arenaBytes.Add(ar.Recycled())
+	sparseSel, denseSel := zcfg.SparseSelections()
+	rc.selSparse.Add(sparseSel)
+	rc.selDense.Add(denseSel)
 	if exhausted != "" {
 		unresolved := 0
 		for _, v := range pr.Violations {

@@ -11,6 +11,7 @@ var budgetpollScope = []string{
 	ModulePath + "/internal/analysis",
 	ModulePath + "/internal/polyhedra",
 	ModulePath + "/internal/zone",
+	ModulePath + "/internal/octagon",
 	ModulePath + "/internal/interval",
 	ModulePath + "/internal/numkernel",
 }

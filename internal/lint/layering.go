@@ -26,8 +26,10 @@ var LayerRules = []LayerRule{
 			ModulePath + "/internal/polyhedra",
 			ModulePath + "/internal/analysis",
 			ModulePath + "/internal/zone",
+			ModulePath + "/internal/octagon",
 			ModulePath + "/internal/interval",
 			ModulePath + "/internal/numkernel",
+			ModulePath + "/internal/arena",
 		},
 		Why: "the certificate checker must share no code with the engine it checks, or agreement stops being evidence",
 	},
@@ -57,6 +59,16 @@ var LayerRules = []LayerRule{
 		Why: "numeric substrates stay below the engine and driver layers; per-run state reaches them only through Config",
 	},
 	{
+		Pkg: ModulePath + "/internal/octagon",
+		Deny: []string{
+			ModulePath + "/internal/core",
+			ModulePath + "/internal/analysis",
+			ModulePath + "/internal/table5",
+			ModulePath + "/internal/c2ip",
+		},
+		Why: "numeric substrates stay below the engine and driver layers; per-run state reaches them only through Config",
+	},
+	{
 		Pkg: ModulePath + "/internal/interval",
 		Deny: []string{
 			ModulePath + "/internal/core",
@@ -70,6 +82,11 @@ var LayerRules = []LayerRule{
 		Pkg:  ModulePath + "/internal/numkernel",
 		Deny: []string{ModulePath + "/"},
 		Why:  "the hybrid arithmetic kernel is a leaf: it must stay substitutable for pure big.Int arithmetic in differential fuzzing",
+	},
+	{
+		Pkg:  ModulePath + "/internal/arena",
+		Deny: []string{ModulePath + "/"},
+		Why:  "the arena is a leaf below every substrate: recycled memory must carry no knowledge of what it stores, and a nil arena must remain a complete no-op",
 	},
 	{
 		Pkg: ModulePath + "/internal/lint",

@@ -38,6 +38,7 @@ func TestLayeringFixtures(t *testing.T) {
 	t.Run("certify", func(t *testing.T) { fixture(t, Layering, "repro/internal/certify", 0) })
 	t.Run("budget", func(t *testing.T) { fixture(t, Layering, "repro/internal/budget", 0) })
 	t.Run("substrate", func(t *testing.T) { fixture(t, Layering, "repro/internal/zone", 0) })
+	t.Run("octagon", func(t *testing.T) { fixture(t, Layering, "repro/internal/octagon", 0) })
 }
 
 func TestDeterminismFixture(t *testing.T) {

@@ -1,0 +1,11 @@
+// Fixture for the layering analyzer, octagon side of the substrate
+// rule: the octagon tier must not reach up into the engine that
+// schedules it. The allowed imports are the negative half of the pair —
+// octagon legitimately builds on the zone raw surface and the arena.
+package octagon
+
+import (
+	_ "repro/internal/analysis" // want `must not import repro/internal/analysis`
+	_ "repro/internal/arena"    // allowed: the arena is a leaf below every substrate
+	_ "repro/internal/zone"     // allowed: octagons run on the zone DBM surface
+)

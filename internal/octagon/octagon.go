@@ -1,0 +1,359 @@
+// Package octagon implements the octagon abstract domain of Miné:
+// conjunctions of constraints of the forms ±x ± y <= c and ±x <= c. It
+// sits strictly between the zone and polyhedra domains in the §3.5
+// precision/cost spectrum — it closes the gap on the symmetric patterns
+// (x + y <= c, buffer-plus-offset bounds) that zones cannot express,
+// at a quarter of the matrix cost of a polyhedron build.
+//
+// The representation is the classic doubled-variable encoding: an
+// octagon over n variables is a difference-bound matrix over 2n nodes,
+// where node 2i carries +x_i and node 2i+1 carries -x_i, every
+// constraint stored coherently at (a, b) and its mirror (b^1, a^1).
+// The matrix itself is the zone package's raw DBM surface, so the
+// octagon inherits the hybrid int64/big.Int tiers, the sparse
+// adjacency representation, the incremental closure, and the arena
+// allocator without reimplementing any of them; what this package adds
+// is the literal encoding, the coherent tightenings, and the rational
+// strengthening pass (zone.DBM.StrengthenOct) that propagates unary
+// bounds through binary ones.
+//
+// There is no octagon-specific configuration: a *zone.Config governs
+// budget polling, kernel tier, representation policy and arena for the
+// underlying matrix, exactly as it does for the zone domain.
+package octagon
+
+import (
+	"math/big"
+	"strings"
+
+	"repro/internal/linear"
+	"repro/internal/zone"
+)
+
+// Oct is an octagon over n program variables, backed by a raw 2n-node
+// DBM in the doubled-variable encoding.
+type Oct struct {
+	n int
+	m *zone.DBM
+}
+
+// pos and neg map variable v to its two matrix literals.
+func pos(v int) int { return 2 * v }
+func neg(v int) int { return 2*v + 1 }
+
+// Universe returns the unconstrained octagon over n variables governed
+// by cfg (nil = defaults).
+func Universe(cfg *zone.Config, n int) *Oct {
+	return &Oct{n: n, m: cfg.NewRaw(2 * n)}
+}
+
+// Bottom returns the empty octagon over n variables.
+func Bottom(cfg *zone.Config, n int) *Oct {
+	return &Oct{n: n, m: cfg.RawBottom(2 * n)}
+}
+
+// Clone returns a deep copy.
+func (o *Oct) Clone() *Oct { return &Oct{n: o.n, m: o.m.Clone()} }
+
+// IsEmpty reports whether the octagon has no points.
+func (o *Oct) IsEmpty() bool { return o.m.IsEmpty() }
+
+// closeStrengthen brings the matrix to (budget-permitting) strong
+// closure: the shortest-path closure followed by the rational
+// strengthening pass.
+func (o *Oct) closeStrengthen() {
+	o.m.RawClose()
+	o.m.StrengthenOct()
+}
+
+// tighten imposes node_a - node_b <= c together with its coherent
+// mirror (the same constraint read through the negated literals).
+func (o *Oct) tighten(a, b int, c *big.Int) {
+	o.m.RawTighten(a, b, c)
+	if ma, mb := b^1, a^1; ma != a || mb != b {
+		o.m.RawTighten(ma, mb, c)
+	}
+}
+
+var big2 = big.NewInt(2)
+
+// doubled returns 2c (unary bounds are stored doubled: x <= c is
+// +x - (-x) <= 2c).
+func doubled(c *big.Int) *big.Int { return new(big.Int).Mul(c, big2) }
+
+// MeetConstraint refines with a linear constraint when it has octagon
+// shape (at most two variables, unit coefficients, any sign pattern);
+// other constraints are soundly ignored.
+func (o *Oct) MeetConstraint(c linear.Constraint) *Oct {
+	out := o.Clone()
+	if out.m.IsEmpty() {
+		return out
+	}
+	out.applyGe(c.E)
+	if c.Rel == linear.Eq {
+		out.applyGe(c.E.Scale(-1))
+	}
+	out.closeStrengthen()
+	return out
+}
+
+// applyGe imposes e >= 0 when e has octagon shape.
+func (o *Oct) applyGe(e linear.Expr) {
+	vars := e.Vars()
+	switch len(vars) {
+	case 0:
+		if e.Const.Sign() < 0 {
+			o.m.MarkEmpty()
+		}
+	case 1:
+		v := vars[0]
+		switch k := e.Coef(v); {
+		case k.Cmp(big1) == 0: // x + c >= 0: -x <= c
+			o.tighten(neg(v), pos(v), doubled(e.Const))
+		case k.Cmp(bigM1) == 0: // -x + c >= 0: x <= c
+			o.tighten(pos(v), neg(v), doubled(e.Const))
+		}
+	case 2:
+		a, b := vars[0], vars[1]
+		ka, kb := e.Coef(a), e.Coef(b)
+		switch {
+		case ka.Cmp(big1) == 0 && kb.Cmp(bigM1) == 0:
+			// x_a - x_b + c >= 0: x_b - x_a <= c
+			o.tighten(pos(b), pos(a), e.Const)
+		case ka.Cmp(bigM1) == 0 && kb.Cmp(big1) == 0:
+			o.tighten(pos(a), pos(b), e.Const)
+		case ka.Cmp(big1) == 0 && kb.Cmp(big1) == 0:
+			// x_a + x_b + c >= 0: -x_a - x_b <= c
+			o.tighten(neg(a), pos(b), e.Const)
+		case ka.Cmp(bigM1) == 0 && kb.Cmp(bigM1) == 0:
+			// x_a + x_b <= c
+			o.tighten(pos(a), neg(b), e.Const)
+		}
+	}
+}
+
+var (
+	big1  = big.NewInt(1)
+	bigM1 = big.NewInt(-1)
+)
+
+// MeetSystem intersects with a conjunction of constraints.
+func (o *Oct) MeetSystem(sys linear.System) *Oct {
+	cur := o
+	for _, c := range sys {
+		cur = cur.MeetConstraint(c)
+	}
+	return cur
+}
+
+// Join returns the pointwise least upper octagon (the pointwise bound
+// maximum of the two matrices).
+func (o *Oct) Join(p *Oct) *Oct { return &Oct{n: o.n, m: o.m.Join(p.m)} }
+
+// Widen drops bounds not stable from o (previous iterate) to p (next).
+// The widened matrix is deliberately neither closed nor strengthened:
+// re-deriving dropped bounds would defeat termination (Miné §7).
+func (o *Oct) Widen(p *Oct) *Oct { return &Oct{n: o.n, m: o.m.Widen(p.m)} }
+
+// Includes reports whether p is contained in o.
+func (o *Oct) Includes(p *Oct) bool { return o.m.Includes(p.m) }
+
+// Havoc forgets variable v (both literals).
+func (o *Oct) Havoc(v int) *Oct {
+	out := o.Clone()
+	if out.m.IsEmpty() {
+		return out
+	}
+	out.m.RawClose()
+	out.m.DropNode(pos(v))
+	out.m.DropNode(neg(v))
+	return out
+}
+
+// Assign over-approximates v := e. Exact for v := ±w + c (including
+// w == v with positive sign) and v := c; other right-hand sides degrade
+// to havoc.
+func (o *Oct) Assign(v int, e linear.Expr) *Oct {
+	if o.IsEmpty() {
+		return o.Clone()
+	}
+	vars := e.Vars()
+	// v := v + c: translate both literals (closure-preserving, exact).
+	if len(vars) == 1 && vars[0] == v && e.Coef(v).Cmp(big1) == 0 {
+		out := o.Clone()
+		out.m.RawClose()
+		out.m.ShiftOct(pos(v), neg(v), e.Const)
+		return out
+	}
+	out := o.Havoc(v)
+	switch {
+	case len(vars) == 0: // v := c
+		out.tighten(pos(v), neg(v), doubled(e.Const))
+		out.tighten(neg(v), pos(v), doubled(new(big.Int).Neg(e.Const)))
+	case len(vars) == 1 && vars[0] != v && e.Coef(vars[0]).Cmp(big1) == 0:
+		// v := w + c: v - w = c.
+		w := vars[0]
+		out.tighten(pos(v), pos(w), e.Const)
+		out.tighten(pos(w), pos(v), new(big.Int).Neg(e.Const))
+	case len(vars) == 1 && vars[0] != v && e.Coef(vars[0]).Cmp(bigM1) == 0:
+		// v := -w + c: v + w = c — expressible here, invisible to zones.
+		w := vars[0]
+		out.tighten(pos(v), neg(w), e.Const)
+		out.tighten(neg(v), pos(w), new(big.Int).Neg(e.Const))
+	default:
+		return out // havoc only
+	}
+	out.closeStrengthen()
+	return out
+}
+
+// Entails reports whether every point satisfies c (only octagon-shaped
+// constraints can be entailed).
+func (o *Oct) Entails(c linear.Constraint) bool {
+	if o.IsEmpty() {
+		return true
+	}
+	if c.IsTautology() {
+		return true
+	}
+	o.closeStrengthen()
+	if c.Rel == linear.Eq {
+		return o.entailsGe(c.E) && o.entailsGe(c.E.Scale(-1))
+	}
+	return o.entailsGe(c.E)
+}
+
+func (o *Oct) entailsGe(e linear.Expr) bool {
+	vars := e.Vars()
+	switch len(vars) {
+	case 0:
+		return e.Const.Sign() >= 0
+	case 1:
+		v := vars[0]
+		switch k := e.Coef(v); {
+		case k.Cmp(big1) == 0: // need -x <= c
+			return o.m.RawCellLE(neg(v), pos(v), doubled(e.Const))
+		case k.Cmp(bigM1) == 0: // need x <= c
+			return o.m.RawCellLE(pos(v), neg(v), doubled(e.Const))
+		}
+	case 2:
+		a, b := vars[0], vars[1]
+		ka, kb := e.Coef(a), e.Coef(b)
+		switch {
+		case ka.Cmp(big1) == 0 && kb.Cmp(bigM1) == 0:
+			return o.m.RawCellLE(pos(b), pos(a), e.Const)
+		case ka.Cmp(bigM1) == 0 && kb.Cmp(big1) == 0:
+			return o.m.RawCellLE(pos(a), pos(b), e.Const)
+		case ka.Cmp(big1) == 0 && kb.Cmp(big1) == 0:
+			return o.m.RawCellLE(neg(a), pos(b), e.Const)
+		case ka.Cmp(bigM1) == 0 && kb.Cmp(bigM1) == 0:
+			return o.m.RawCellLE(pos(a), neg(b), e.Const)
+		}
+	}
+	return false
+}
+
+// litTerm adds the value of matrix literal node (±x) scaled by sign to e.
+func litTerm(e *linear.Expr, node int, sign int64) {
+	if node%2 == 0 {
+		e.AddTerm(node/2, sign)
+	} else {
+		e.AddTerm(node/2, -sign)
+	}
+}
+
+// System renders the strongly closed octagon as linear constraints.
+// Each coherent cell pair is emitted once; unary cells come out with
+// coefficient 2 (x <= c is stored as 2x <= 2c), which the rational
+// certificate checker handles natively.
+func (o *Oct) System() linear.System {
+	var sys linear.System
+	if o.IsEmpty() {
+		return linear.System{linear.NewGe(linear.ConstExpr(-1))}
+	}
+	o.closeStrengthen()
+	size := o.m.RawSize()
+	for a := 0; a < size; a++ {
+		for b := 0; b < size; b++ {
+			if a == b {
+				continue
+			}
+			// Skip the coherent duplicate: (a, b) and (b^1, a^1) encode
+			// the same constraint; keep the lexicographically smaller.
+			if ma, mb := b^1, a^1; ma < a || (ma == a && mb < b) {
+				continue
+			}
+			c := o.m.RawCell(a, b)
+			if c == nil {
+				continue
+			}
+			// val(a) - val(b) <= c  ==>  c - val(a) + val(b) >= 0
+			e := linear.NewExpr()
+			e.Const.Set(c)
+			litTerm(&e, a, -1)
+			litTerm(&e, b, 1)
+			sys = append(sys, linear.NewGe(e))
+		}
+	}
+	return sys
+}
+
+// Bounds returns the tightest [lo, hi] interval of variable v. Octagon
+// unary bounds are stored doubled, so halves are exact rationals here.
+func (o *Oct) Bounds(v int) (lo, hi *big.Rat) {
+	if o.IsEmpty() || v < 0 || v >= o.n {
+		return nil, nil
+	}
+	o.closeStrengthen()
+	if c := o.m.RawCell(neg(v), pos(v)); c != nil { // -2x <= c: x >= -c/2
+		lo = new(big.Rat).SetFrac(new(big.Int).Neg(c), big2)
+	}
+	if c := o.m.RawCell(pos(v), neg(v)); c != nil { // 2x <= c: x <= c/2
+		hi = new(big.Rat).SetFrac(c, big2)
+	}
+	return lo, hi
+}
+
+// Sample returns a contained point (greedy, using lower bounds), or nil
+// when empty.
+func (o *Oct) Sample() []*big.Rat {
+	if o.IsEmpty() {
+		return nil
+	}
+	pt := make([]*big.Rat, o.n)
+	for v := 0; v < o.n; v++ {
+		lo, hi := o.Bounds(v)
+		switch {
+		case lo != nil:
+			pt[v] = lo
+		case hi != nil:
+			pt[v] = hi
+		default:
+			pt[v] = new(big.Rat)
+		}
+	}
+	return pt
+}
+
+// Key returns a canonical byte-string key of the current matrix (see
+// zone.DBM.Key); the prefix keeps octagon keys disjoint from zone keys.
+func (o *Oct) Key() (string, bool) {
+	k, ok := o.m.Key()
+	return "oct\x00" + k, ok
+}
+
+// String renders the octagon.
+func (o *Oct) String(sp *linear.Space) string {
+	if o.IsEmpty() {
+		return "false"
+	}
+	sys := o.System()
+	if len(sys) == 0 {
+		return "true"
+	}
+	var parts []string
+	for _, c := range sys {
+		parts = append(parts, c.String(sp))
+	}
+	return strings.Join(parts, " && ")
+}

@@ -1,6 +1,9 @@
 package polyhedra
 
-import "repro/internal/budget"
+import (
+	"repro/internal/arena"
+	"repro/internal/budget"
+)
 
 // genset is the generator representation of a homogenized cone: lines
 // (bidirectional) and rays. Rays with a positive coordinate 0 are vertices
@@ -20,6 +23,29 @@ func (g *genset) clone() *genset {
 		c.rays = append(c.rays, r.clone())
 	}
 	return c
+}
+
+// cloneAr is clone with machine-tier backings drawn from the arena.
+func (g *genset) cloneAr(ar *arena.Arena) *genset {
+	c := &genset{}
+	for _, l := range g.lines {
+		c.lines = append(c.lines, l.cloneAr(ar))
+	}
+	for _, r := range g.rays {
+		c.rays = append(c.rays, r.cloneAr(ar))
+	}
+	return c
+}
+
+// release returns every generator's machine-tier backing to the arena.
+// The caller asserts the genset is dead.
+func (g *genset) release(ar *arena.Arena) {
+	for _, l := range g.lines {
+		l.release(ar)
+	}
+	for _, r := range g.rays {
+		r.release(ar)
+	}
 }
 
 // hasVertex reports whether any ray has a positive homogenizing coordinate,
@@ -65,6 +91,28 @@ type cone struct {
 	// over-approximation, not counted in dropped — budget drops are
 	// timing-dependent and must not surface in deterministic stats).
 	token *budget.Token
+	// ar recycles machine-tier vectors and saturation bitsets: every
+	// generator the conversion replaces or drops is returned to it at the
+	// point it becomes provably dead. Nil disables recycling.
+	ar *arena.Arena
+
+	// Per-cone scratch reused across add calls, so the classification and
+	// dedup steps stop allocating once warm. spare double-buffers the ray
+	// slice: each add builds its successor ray set in spare and swaps, so
+	// the old backing is recycled instead of reallocated.
+	spare             []satRay
+	plusBuf, minusBuf []classified
+	dedupIdx          map[uint64]int32
+	dedupKeys         []byte
+	dedupEnds         []int32
+}
+
+// classified pairs a ray with its index and its product against the
+// constraint being added (the case-2 partition of cone.add).
+type classified struct {
+	idx int // index into c.rays, for the adjacency test
+	ray satRay
+	p   scalar
 }
 
 // universePolyCone returns the cone of the universe polyhedron over n
@@ -72,25 +120,25 @@ type cone struct {
 // positivity constraint d >= 0 is registered as constraint index 0 so that
 // saturation-based adjacency tests account for it: the initial ray e0 does
 // not saturate it, while every line (d = 0) does.
-func universePolyCone(n, maxRays int, pure bool, token *budget.Token) *cone {
-	c := &cone{dim: n + 1, maxRays: maxRays, ncons: 1, pure: pure, token: token}
+func universePolyCone(n, maxRays int, pure bool, token *budget.Token, ar *arena.Arena) *cone {
+	c := &cone{dim: n + 1, maxRays: maxRays, ncons: 1, pure: pure, token: token, ar: ar}
 	for i := 1; i <= n; i++ {
-		l := newVec(n+1, pure)
+		l := newVecAr(ar, n+1, pure)
 		l.setInt64(i, 1)
 		c.lines = append(c.lines, l)
 	}
-	r := newVec(n+1, pure)
+	r := newVecAr(ar, n+1, pure)
 	r.setInt64(0, 1)
-	c.rays = append(c.rays, satRay{v: r, sat: newBitset(1)})
+	c.rays = append(c.rays, satRay{v: r, sat: newBitsetAr(ar, 1)})
 	return c
 }
 
 // universeCone returns the full-space cone in dimension m (m lines, no
 // rays); used for the dual (generator-to-constraint) conversion.
-func universeCone(m, maxRays int, pure bool) *cone {
-	c := &cone{dim: m, maxRays: maxRays, pure: pure}
+func universeCone(m, maxRays int, pure bool, ar *arena.Arena) *cone {
+	c := &cone{dim: m, maxRays: maxRays, pure: pure, ar: ar}
 	for i := 0; i < m; i++ {
-		l := newVec(m, pure)
+		l := newVecAr(ar, m, pure)
 		l.setInt64(i, 1)
 		c.lines = append(c.lines, l)
 	}
@@ -98,8 +146,8 @@ func universeCone(m, maxRays int, pure bool) *cone {
 }
 
 // satAllPrev returns a bitset with constraints 0..n-1 marked saturated.
-func satAllPrev(n int) bitset {
-	b := newBitset(n)
+func satAllPrev(ar *arena.Arena, n int) bitset {
+	b := newBitsetAr(ar, n)
 	for i := 0; i < n; i++ {
 		b.set(i)
 	}
@@ -121,40 +169,43 @@ func (c *cone) add(r row) bool {
 			continue
 		}
 		if p.sign() < 0 {
+			old := l
 			l = l.neg()
 			p = p.neg()
+			old.release(c.ar) // negation copied; the original backing is dead
 		}
 		c.lines = append(c.lines[:i], c.lines[i+1:]...)
 		for j, l2 := range c.lines {
 			p2 := dot(r.v, l2)
 			if p2.sign() != 0 {
-				c.lines[j] = combine(p, l2, p2.neg(), l)
+				c.lines[j] = combine(c.ar, p, l2, p2.neg(), l)
+				l2.release(c.ar)
 			}
 		}
 		for j := range c.rays {
-			p2 := dot(r.v, c.rays[j].v)
+			old := c.rays[j].v
+			p2 := dot(r.v, old)
 			if p2.sign() != 0 {
-				c.rays[j].v = combine(p, c.rays[j].v, p2.neg(), l)
+				c.rays[j].v = combine(c.ar, p, old, p2.neg(), l)
+				old.release(c.ar)
 			}
 			c.rays[j].sat.set(idx)
 		}
 		if !r.eq {
 			// The line itself becomes the ray on the positive side.
 			l = l.normalize()
-			c.rays = append(c.rays, satRay{v: l, sat: satAllPrev(idx)})
+			c.rays = append(c.rays, satRay{v: l, sat: satAllPrev(c.ar, idx)})
+		} else {
+			l.release(c.ar)
 		}
 		return true
 	}
 
 	// Case 2: all lines orthogonal; partition rays by the sign of the
-	// product with the constraint.
-	type classified struct {
-		idx int // index into c.rays, for the adjacency test
-		ray satRay
-		p   scalar
-	}
-	var plus, minus []classified
-	var keep []satRay
+	// product with the constraint. The partitions live in per-cone scratch
+	// buffers (written back below on every exit path).
+	plus, minus := c.plusBuf[:0], c.minusBuf[:0]
+	keep := c.spare[:0]
 	for i, ry := range c.rays {
 		p := dot(r.v, ry.v)
 		switch p.sign() {
@@ -172,6 +223,8 @@ func (c *cone) add(r row) bool {
 		for _, pl := range plus {
 			keep = append(keep, pl.ray)
 		}
+		c.plusBuf, c.minusBuf = plus, minus
+		c.spare = c.rays[:0]
 		c.rays = keep
 		return true
 	}
@@ -179,6 +232,7 @@ func (c *cone) add(r row) bool {
 		// The combination step would explode; drop the constraint
 		// (the represented set only grows, a sound over-approximation
 		// for the forward analysis).
+		c.plusBuf, c.minusBuf, c.spare = plus, minus, keep[:0]
 		c.ncons--
 		c.dropped++
 		return false
@@ -189,6 +243,7 @@ func (c *cone) add(r row) bool {
 		// degraded result stays a sound over-approximation. Not counted
 		// in dropped: budget drops depend on wall-clock timing and must
 		// not feed deterministic precision stats.
+		c.plusBuf, c.minusBuf, c.spare = plus, minus, keep[:0]
 		c.ncons--
 		return false
 	}
@@ -203,58 +258,120 @@ func (c *cone) add(r row) bool {
 	allRays := c.rays
 	for _, pl := range plus {
 		for _, mi := range minus {
-			if !adjacent(pl.idx, mi.idx, allRays) {
+			if !adjacent(c.ar, pl.idx, mi.idx, allRays) {
 				continue
 			}
 			// w = p_plus * minus - p_minus * plus (positive combination).
-			w := combine(pl.p, mi.ray.v, mi.p.neg(), pl.ray.v)
+			w := combine(c.ar, pl.p, mi.ray.v, mi.p.neg(), pl.ray.v)
 			if w.isZero() {
+				w.release(c.ar)
 				continue
 			}
-			sat := pl.ray.sat.and(mi.ray.sat)
+			sat := pl.ray.sat.and(c.ar, mi.ray.sat)
 			sat.set(idx)
 			newRays = append(newRays, satRay{v: w, sat: sat})
 		}
 	}
-	c.rays = dedupRays(newRays)
+	c.rays = c.dedupRays(newRays)
+	c.spare = allRays[:0]
+	c.plusBuf, c.minusBuf = plus, minus
+	// The minus rays never survive the constraint; plus rays survive only
+	// for inequalities. Their storage is released strictly after the
+	// combination loop, which reads it through allRays.
+	for _, mi := range minus {
+		mi.ray.v.release(c.ar)
+		mi.ray.sat.release(c.ar)
+	}
+	if r.eq {
+		for _, pl := range plus {
+			pl.ray.v.release(c.ar)
+			pl.ray.sat.release(c.ar)
+		}
+	}
 	return true
 }
 
 // adjacent implements the combinatorial adjacency test: rays i1 and i2 are
 // adjacent iff no other ray saturates every constraint they both saturate.
-func adjacent(i1, i2 int, all []satRay) bool {
-	common := all[i1].sat.and(all[i2].sat)
+func adjacent(ar *arena.Arena, i1, i2 int, all []satRay) bool {
+	common := all[i1].sat.and(ar, all[i2].sat)
+	adj := true
 	for i := range all {
 		if i == i1 || i == i2 {
 			continue
 		}
 		if common.subsetOf(all[i].sat) {
-			return false
+			adj = false
+			break
 		}
 	}
-	return true
+	common.release(ar)
+	return adj
 }
 
 // dedupRays normalizes every ray and drops duplicates, keyed by the
 // canonical (tier-independent) value encoding of the normalized row.
-func dedupRays(rays []satRay) []satRay {
+// Dropped duplicates are released to the arena. Kept keys live in the
+// cone's reused scratch (concatenated bytes plus end offsets) indexed by
+// an open-addressed hash map of the key bytes, so the steady state
+// allocates nothing — a map[string]bool here previously accounted for
+// more than half of the join benchmark's allocations.
+func (c *cone) dedupRays(rays []satRay) []satRay {
 	out := rays[:0]
-	seen := make(map[string]bool, len(rays))
-	sc := getScratch()
+	if c.dedupIdx == nil {
+		c.dedupIdx = make(map[uint64]int32, 2*len(rays))
+	} else {
+		clear(c.dedupIdx)
+	}
+	keys := c.dedupKeys[:0]
+	ends := c.dedupEnds[:0]
 	for i := range rays {
 		rays[i].v = rays[i].v.normalize()
-		sc.key = rays[i].v.appendKey(sc.key[:0])
-		k := string(sc.key)
-		if !seen[k] {
-			seen[k] = true
-			out = append(out, rays[i])
+		start := len(keys)
+		keys = rays[i].v.appendKey(keys)
+		key := keys[start:]
+		dup := false
+		for h := fnv1a(key); ; h++ {
+			j, ok := c.dedupIdx[h]
+			if !ok {
+				c.dedupIdx[h] = int32(len(ends))
+				break
+			}
+			ks := 0
+			if j > 0 {
+				ks = int(ends[j-1])
+			}
+			if string(keys[ks:ends[j]]) == string(key) {
+				dup = true
+				break
+			}
+			// Genuine 64-bit hash collision: probe the next slot.
 		}
+		if dup {
+			keys = keys[:start]
+			rays[i].v.release(c.ar)
+			rays[i].sat.release(c.ar)
+			continue
+		}
+		ends = append(ends, int32(len(keys)))
+		out = append(out, rays[i])
 	}
-	putScratch(sc)
+	c.dedupKeys, c.dedupEnds = keys, ends
 	return out
 }
 
-// result extracts the plain generator set.
+// fnv1a is the 64-bit FNV-1a hash of b.
+func fnv1a(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, x := range b {
+		h ^= uint64(x)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// result extracts the plain generator set. The saturation bitsets are
+// not part of it and are released; the cone must not be used afterwards.
 func (c *cone) result() *genset {
 	g := &genset{}
 	for _, l := range c.lines {
@@ -262,6 +379,7 @@ func (c *cone) result() *genset {
 	}
 	for _, r := range c.rays {
 		g.rays = append(g.rays, r.v)
+		r.sat.release(c.ar)
 	}
 	return g
 }
@@ -270,7 +388,7 @@ func (c *cone) result() *genset {
 // configuration. The int reports how many constraints the ray cap dropped
 // (budget-induced drops are excluded; see cone.add).
 func gensOf(cons []row, n int, cfg *Config) (*genset, int) {
-	c := universePolyCone(n, cfg.maxRays(), cfg.pure(), cfg.token())
+	c := universePolyCone(n, cfg.maxRays(), cfg.pure(), cfg.token(), cfg.ar())
 	// Equalities first: they only shrink the representation.
 	for _, r := range cons {
 		if r.eq {
@@ -290,26 +408,31 @@ func gensOf(cons []row, n int, cfg *Config) (*genset, int) {
 // {c : c.g >= 0 for rays, c.l == 0 for lines}. The dual conversion is
 // never capped or budget-dropped: skipping a generator would shrink the
 // represented set, which is unsound for the forward analysis.
-func consOf(g *genset, n int, pure bool) []row {
-	dual := universeCone(n+1, 0, pure)
+func consOf(g *genset, n int, cfg *Config) []row {
+	ar := cfg.ar()
+	dual := universeCone(n+1, 0, cfg.pure(), ar)
 	for _, l := range g.lines {
 		dual.add(row{v: l, eq: true})
 	}
 	for _, r := range g.rays {
 		dual.add(row{v: r, eq: false})
 	}
+	// The outputs are copied out and the dual cone's entire working set is
+	// released: add never stores the input rows (it only reads them), so
+	// none of the dual's storage aliases g.
 	var out []row
 	for _, l := range dual.lines {
-		if trivialRow(l, true) {
-			continue
+		if !trivialRow(l, true) {
+			out = append(out, row{v: l.cloneAr(ar), eq: true})
 		}
-		out = append(out, row{v: l.clone(), eq: true})
+		l.release(ar)
 	}
 	for _, r := range dual.rays {
-		if trivialRow(r.v, false) {
-			continue
+		if !trivialRow(r.v, false) {
+			out = append(out, row{v: r.v.cloneAr(ar), eq: false})
 		}
-		out = append(out, row{v: r.v.clone(), eq: false})
+		r.v.release(ar)
+		r.sat.release(ar)
 	}
 	return out
 }

@@ -3,6 +3,7 @@ package polyhedra
 import (
 	"sync/atomic"
 
+	"repro/internal/arena"
 	"repro/internal/budget"
 	"repro/internal/linear"
 )
@@ -31,6 +32,13 @@ type Config struct {
 	// disables demotion. The differential tests use it to build a
 	// reference kernel; it must never be set in production code.
 	PureBig bool
+	// Arena, when non-nil, recycles machine-tier coefficient vectors and
+	// saturation bitsets across the run: the Chernikova conversion frees
+	// provably dead rows (replaced generators, dropped duplicates,
+	// released gensets) back to it instead of leaving them to the
+	// garbage collector. Arenas are not safe for concurrent use; the
+	// driver threads one per procedure.
+	Arena *arena.Arena
 
 	// dropped counts constraints dropped at the ray cap in this run.
 	dropped atomic.Int64
@@ -57,6 +65,13 @@ func (c *Config) maxRays() int {
 }
 
 func (c *Config) pure() bool { return c != nil && c.PureBig }
+
+func (c *Config) ar() *arena.Arena {
+	if c == nil {
+		return nil
+	}
+	return c.Arena
+}
 
 func (c *Config) token() *budget.Token {
 	if c == nil {

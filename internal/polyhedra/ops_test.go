@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/arena"
 	"repro/internal/linear"
 )
 
@@ -103,18 +104,30 @@ func runHybridScript(data []byte, cfg *Config) []string {
 	return trace
 }
 
-// diffHybrid runs the script on the hybrid kernel and on the pure-big.Int
-// reference and fails on the first transcript mismatch.
+// diffHybrid runs the script on the hybrid kernel — with and without an
+// arena — and on the pure-big.Int reference, failing on the first
+// transcript mismatch. The arena run is the aliasing oracle: a released
+// vector that is still reachable gets recycled into a later polyhedron and
+// diverges from the reference.
 func diffHybrid(t *testing.T, data []byte) {
 	t.Helper()
-	got := runHybridScript(data, nil)
 	want := runHybridScript(data, &Config{PureBig: true})
-	if len(got) != len(want) {
-		t.Fatalf("transcript lengths differ: hybrid %d vs reference %d", len(got), len(want))
-	}
-	for i := range got {
-		if got[i] != want[i] {
-			t.Fatalf("transcripts diverge at step %d:\nhybrid:    %s\nreference: %s", i, got[i], want[i])
+	for _, kernel := range []struct {
+		name string
+		cfg  *Config
+	}{
+		{"hybrid", nil},
+		{"arena", &Config{Arena: arena.New()}},
+	} {
+		got := runHybridScript(data, kernel.cfg)
+		if len(got) != len(want) {
+			t.Fatalf("%s: transcript lengths differ: %d vs reference %d", kernel.name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: transcripts diverge at step %d:\n%s:    %s\nreference: %s",
+					kernel.name, i, kernel.name, got[i], want[i])
+			}
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"math/big"
 	"strings"
 
+	"repro/internal/arena"
 	"repro/internal/linear"
 	"repro/internal/numkernel"
 )
@@ -57,9 +58,9 @@ func (p *Poly) cfgOr(q *Poly) *Config {
 // Dim returns the number of variables.
 func (p *Poly) Dim() int { return p.n }
 
-// rowOf converts a linear.Constraint to a dense row.
-func rowOf(c linear.Constraint, n int, pure bool) row {
-	v := newVec(n+1, pure)
+// rowOf converts a linear.Constraint to a dense row governed by cfg.
+func rowOf(c linear.Constraint, n int, cfg *Config) row {
+	v := newVecAr(cfg.ar(), n+1, cfg.pure())
 	v.setBig(0, c.E.Const)
 	for _, i := range c.E.Vars() {
 		if i < n {
@@ -100,6 +101,12 @@ func (p *Poly) ensureGens() {
 	p.cfg.noteDropped(dropped)
 	if !g.hasVertex() {
 		p.empty = true
+		// An empty polyhedron never consults either representation again;
+		// both are dead.
+		g.release(p.cfg.ar())
+		for _, r := range p.cons {
+			r.v.release(p.cfg.ar())
+		}
 		p.gens = nil
 		p.cons = nil
 		return
@@ -112,7 +119,7 @@ func (p *Poly) ensureCons() {
 	if p.empty || p.cons != nil {
 		return
 	}
-	p.cons = consOf(p.gens, p.n, p.cfg.pure())
+	p.cons = consOf(p.gens, p.n, p.cfg)
 	p.minimized = true
 }
 
@@ -200,7 +207,7 @@ func (p *Poly) MeetSystem(sys linear.System) *Poly {
 		if c.IsTautology() {
 			continue
 		}
-		out.cons = append(out.cons, rowOf(c, p.n, p.cfg.pure()))
+		out.cons = append(out.cons, rowOf(c, p.n, p.cfg))
 	}
 	return out
 }
@@ -233,23 +240,27 @@ func (p *Poly) Join(q *Poly) *Poly {
 	}
 	p.ensureGens()
 	q.ensureGens()
+	cfg := p.cfgOr(q)
+	ar := cfg.ar()
 	g := &genset{}
 	for _, l := range p.gens.lines {
-		g.lines = append(g.lines, l.clone())
+		g.lines = append(g.lines, l.cloneAr(ar))
 	}
 	for _, l := range q.gens.lines {
-		g.lines = append(g.lines, l.clone())
+		g.lines = append(g.lines, l.cloneAr(ar))
 	}
 	for _, r := range p.gens.rays {
-		g.rays = append(g.rays, r.clone())
+		g.rays = append(g.rays, r.cloneAr(ar))
 	}
 	for _, r := range q.gens.rays {
-		g.rays = append(g.rays, r.clone())
+		g.rays = append(g.rays, r.cloneAr(ar))
 	}
-	out := &Poly{n: p.n, gens: g, cfg: p.cfgOr(q)}
+	out := &Poly{n: p.n, gens: g, cfg: cfg}
 	// Minimize immediately through the dual so generator sets do not
-	// accumulate across joins.
+	// accumulate across joins. The merged genset is only an input to that
+	// conversion; afterwards it is dead.
 	out.ensureCons()
+	g.release(ar)
 	out.gens = nil
 	return out
 }
@@ -305,7 +316,10 @@ func (p *Poly) Entails(c linear.Constraint) bool {
 		return true
 	}
 	p.ensureGens()
-	return rowHoldsGens(rowOf(c, p.n, p.cfg.pure()), p.gens)
+	r := rowOf(c, p.n, p.cfg)
+	ok := rowHoldsGens(r, p.gens)
+	r.v.release(p.cfg.ar())
+	return ok
 }
 
 // EntailsAll reports whether p entails every constraint in sys.
@@ -362,9 +376,10 @@ func (p *Poly) Assign(v int, e linear.Expr) *Poly {
 		return p.cfg.Bottom(p.n)
 	}
 	p.ensureGens()
-	out := &Poly{n: p.n, gens: &genset{}, cfg: p.cfg}
+	ar := p.cfg.ar()
+	mapped := &genset{}
 	mapGen := func(g vec) vec {
-		r := g.clone()
+		r := g.cloneAr(ar)
 		// New value of coordinate v+1: e evaluated homogeneously.
 		r.setScalar(v+1, evalHom(e, g))
 		return r.normalize()
@@ -372,17 +387,23 @@ func (p *Poly) Assign(v int, e linear.Expr) *Poly {
 	for _, l := range p.gens.lines {
 		m := mapGen(l)
 		if !m.isZero() {
-			out.gens.lines = append(out.gens.lines, m)
+			mapped.lines = append(mapped.lines, m)
+		} else {
+			m.release(ar)
 		}
 	}
 	for _, r := range p.gens.rays {
 		m := mapGen(r)
 		if !m.isZero() {
-			out.gens.rays = append(out.gens.rays, m)
+			mapped.rays = append(mapped.rays, m)
+		} else {
+			m.release(ar)
 		}
 	}
-	// Re-minimize through the dual.
+	out := &Poly{n: p.n, gens: mapped, cfg: p.cfg}
+	// Re-minimize through the dual; the mapped genset is dead afterwards.
 	out.ensureCons()
+	mapped.release(ar)
 	out.gens = nil
 	return out
 }
@@ -393,11 +414,14 @@ func (p *Poly) Havoc(v int) *Poly {
 		return p.cfg.Bottom(p.n)
 	}
 	p.ensureGens()
-	out := &Poly{n: p.n, gens: p.gens.clone(), cfg: p.cfg}
-	l := newVec(p.n+1, p.cfg.pure())
+	ar := p.cfg.ar()
+	g := p.gens.cloneAr(ar)
+	l := newVecAr(ar, p.n+1, p.cfg.pure())
 	l.setInt64(v+1, 1)
-	out.gens.lines = append(out.gens.lines, l)
+	g.lines = append(g.lines, l)
+	out := &Poly{n: p.n, gens: g, cfg: p.cfg}
 	out.ensureCons()
+	g.release(ar)
 	out.gens = nil
 	return out
 }
@@ -414,7 +438,7 @@ func (p *Poly) Substitute(v int, e linear.Expr) *Poly {
 	for _, r := range p.cons {
 		c := rowToConstraint(r, p.n)
 		ne := c.E.Subst(v, e)
-		out.cons = append(out.cons, rowOf(linear.Constraint{E: ne, Rel: c.Rel}, p.n, p.cfg.pure()))
+		out.cons = append(out.cons, rowOf(linear.Constraint{E: ne, Rel: c.Rel}, p.n, p.cfg))
 	}
 	return out
 }
@@ -448,7 +472,7 @@ func (p *Poly) System() linear.System {
 		if p.empty {
 			return linear.System{linear.NewGe(linear.ConstExpr(-1))}
 		}
-		p.cons = consOf(p.gens, p.n, p.cfg.pure())
+		p.cons = consOf(p.gens, p.n, p.cfg)
 		p.minimized = true
 	}
 	sys := make(linear.System, 0, len(p.cons))
@@ -570,7 +594,7 @@ func (p *Poly) Widen(q *Poly) *Poly {
 		}
 	}
 	out.cons = append(out.cons, kept...)
-	out.cons = dedupRows(out.cons)
+	out.cons = dedupRows(out.cfg.ar(), out.cons)
 	return out
 }
 
@@ -622,8 +646,9 @@ func satSignature(r row, g *genset) string {
 
 // dedupRows normalizes every row and drops duplicates, keyed by the
 // canonical value encoding of the normalized row (the old implementation
-// compared rows pairwise, quadratic in the system size).
-func dedupRows(rows []row) []row {
+// compared rows pairwise, quadratic in the system size). Dropped
+// duplicates are released to the arena.
+func dedupRows(ar *arena.Arena, rows []row) []row {
 	out := rows[:0]
 	seen := make(map[string]bool, len(rows))
 	sc := getScratch()
@@ -636,11 +661,14 @@ func dedupRows(rows []row) []row {
 			key = append(key, 0)
 		}
 		sc.key = rows[i].v.appendKey(key)
-		k := string(sc.key)
-		if !seen[k] {
-			seen[k] = true
-			out = append(out, rows[i])
+		// Lookup with an in-place converted key does not allocate; only the
+		// insert of a fresh key does.
+		if seen[string(sc.key)] {
+			rows[i].v.release(ar)
+			continue
 		}
+		seen[string(sc.key)] = true
+		out = append(out, rows[i])
 	}
 	putScratch(sc)
 	return out

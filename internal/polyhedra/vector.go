@@ -25,6 +25,7 @@ import (
 	"math/big"
 	"sync"
 
+	"repro/internal/arena"
 	"repro/internal/numkernel"
 )
 
@@ -49,6 +50,15 @@ func newVec(n int, pure bool) vec {
 		return vec{xs: xs, pure: true}
 	}
 	return vec{w: make([]int64, n)}
+}
+
+// newVecAr is newVec with the machine-tier backing drawn from the arena;
+// pure (exact-tier) vectors never touch the arena.
+func newVecAr(ar *arena.Arena, n int, pure bool) vec {
+	if pure {
+		return newVec(n, pure)
+	}
+	return vec{w: ar.Int64s(n)}
 }
 
 func (v vec) dim() int {
@@ -101,6 +111,25 @@ func (v vec) clone() vec {
 		return vec{xs: c, pure: v.pure}
 	}
 	return vec{w: append([]int64(nil), v.w...)}
+}
+
+// cloneAr is clone with the machine-tier backing drawn from the arena.
+func (v vec) cloneAr(ar *arena.Arena) vec {
+	if v.xs != nil {
+		return v.clone()
+	}
+	w := ar.Int64s(len(v.w))
+	copy(w, v.w)
+	return vec{w: w}
+}
+
+// release returns a machine-tier vector's backing store to the arena.
+// The caller asserts the vector is dead: no live row, generator, or
+// genset references it.
+func (v vec) release(ar *arena.Arena) {
+	if v.xs == nil {
+		ar.PutInt64s(v.w)
+	}
 }
 
 func (v vec) sign(i int) int {
@@ -347,10 +376,12 @@ func (v vec) normalize() vec {
 	return v.demoted()
 }
 
-// combine returns ka*a + kb*b, normalized.
-func combine(ka scalar, a vec, kb scalar, b vec) vec {
+// combine returns ka*a + kb*b, normalized. The machine-tier result is
+// drawn from the arena; on overflow the partial result is returned to it
+// and the combination replays on the exact tier.
+func combine(ar *arena.Arena, ka scalar, a vec, kb scalar, b vec) vec {
 	if ka.b == nil && kb.b == nil && a.xs == nil && b.xs == nil {
-		r := make([]int64, len(a.w))
+		r := ar.Int64sUninit(len(a.w)) // every entry is written before any read
 		ok := true
 		for i, av := range a.w {
 			bv := b.w[i]
@@ -372,6 +403,7 @@ func combine(ka scalar, a vec, kb scalar, b vec) vec {
 		if ok {
 			return vec{w: r}.normalize()
 		}
+		ar.PutInt64s(r)
 	}
 	return combineBig(ka, a, kb, b)
 }
@@ -434,6 +466,13 @@ type bitset []uint64
 
 func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
 
+// newBitsetAr is newBitset with the backing drawn from the arena.
+func newBitsetAr(ar *arena.Arena, n int) bitset { return bitset(ar.Uint64s((n + 63) / 64)) }
+
+// release returns the bitset's backing store to the arena; the caller
+// asserts no live ray references it.
+func (b bitset) release(ar *arena.Arena) { ar.PutUint64s(b) }
+
 func (b bitset) clone() bitset { return append(bitset(nil), b...) }
 
 func (b *bitset) set(i int) {
@@ -450,13 +489,13 @@ func (b bitset) get(i int) bool {
 	return b[i/64]&(1<<uint(i%64)) != 0
 }
 
-// and returns the intersection of b and c.
-func (b bitset) and(c bitset) bitset {
+// and returns the intersection of b and c, drawn from the arena.
+func (b bitset) and(ar *arena.Arena, c bitset) bitset {
 	n := len(b)
 	if len(c) < n {
 		n = len(c)
 	}
-	r := make(bitset, n)
+	r := bitset(ar.Uint64sUninit(n)) // every word is written below
 	for i := 0; i < n; i++ {
 		r[i] = b[i] & c[i]
 	}

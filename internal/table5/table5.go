@@ -98,6 +98,25 @@ type Options struct {
 	SkipDerivation bool
 	// Procs restricts to specific functions.
 	Procs []string
+	// Stats, when non-nil, accumulates substrate statistics (arena
+	// recycling, zone representation selections, precision drops) across
+	// every analysis run the suite performs, including the per-procedure
+	// vacuous/auto derivation re-runs.
+	Stats *core.RunStats
+}
+
+// accumulate folds one run's substrate counters into the caller's
+// accumulator.
+func (o Options) accumulate(s core.RunStats) {
+	if o.Stats == nil {
+		return
+	}
+	o.Stats.ArenaRecycledBytes += s.ArenaRecycledBytes
+	o.Stats.SparseZoneSelections += s.SparseZoneSelections
+	o.Stats.DenseZoneSelections += s.DenseZoneSelections
+	o.Stats.PrecisionDrops += s.PrecisionDrops
+	o.Stats.DegradedProcs += s.DegradedProcs
+	o.Stats.UnresolvedChecks += s.UnresolvedChecks
 }
 
 // RunSuite analyzes every procedure of a benchmark source file.
@@ -118,6 +137,7 @@ func RunSuiteSource(suite, filename, src string, opts Options) ([]Row, error) {
 	if err != nil {
 		return nil, err
 	}
+	opts.accumulate(rep.Stats)
 
 	var rows []Row
 	for i := range rep.Procs {
@@ -156,6 +176,7 @@ func RunSuiteSource(suite, filename, src string, opts Options) ([]Row, error) {
 			vac.Contracts = core.VacuousContracts
 			if vrep, err := core.AnalyzeSource(filename, src, vac); err == nil {
 				row.VacuousMsgs = vrep.TotalMessages()
+				opts.accumulate(vrep.Stats)
 			}
 			auto := dopts
 			auto.Procs = []string{pr.Name}
@@ -163,6 +184,7 @@ func RunSuiteSource(suite, filename, src string, opts Options) ([]Row, error) {
 			start := time.Now()
 			if arep, err := core.AnalyzeSource(filename, src, auto); err == nil {
 				row.AutoMsgs = arep.TotalMessages()
+				opts.accumulate(arep.Stats)
 				if d := arep.Procs[0].Derived; d != nil {
 					row.DeriveSpace = d.Space
 				}

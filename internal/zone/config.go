@@ -2,15 +2,32 @@ package zone
 
 import (
 	"math/big"
+	"sync/atomic"
 
+	"repro/internal/arena"
 	"repro/internal/budget"
+)
+
+// SparsePolicy selects the machine-tier DBM representation.
+type SparsePolicy int
+
+const (
+	// SparseAuto picks dense or sparse by finite-cell density at each
+	// closure boundary (the default).
+	SparseAuto SparsePolicy = iota
+	// SparseOff pins the dense matrix representation.
+	SparseOff
+	// SparseForce pins the sparse representation regardless of density
+	// (used by the differential tests to exercise every sparse path).
+	SparseForce
 )
 
 // Config carries per-run knobs for the zone domain. There is no mutable
 // package-level configuration: concurrent analyses each thread their own
 // Config, so they cannot race. A nil *Config is valid and means defaults
-// (hybrid kernel, no budget); DBMs propagate the Config of the receiver
-// (falling back to the other operand) through all operations.
+// (hybrid kernel, automatic representation, no budget, no arena); DBMs
+// propagate the Config of the receiver (falling back to the other
+// operand) through all operations.
 type Config struct {
 	// Token, when non-nil, is polled before each closure: once it is
 	// exhausted the closure is skipped, leaving a partially tightened
@@ -18,8 +35,24 @@ type Config struct {
 	Token *budget.Token
 	// PureBig forces the exact big.Int tier everywhere and disables
 	// demotion. The differential tests use it to build a reference
-	// kernel; it must never be set in production code.
+	// kernel; it must never be set in production code. The reference
+	// kernel also never reuses closures (no closed flag, no incremental
+	// repair) and never picks the sparse representation, so it
+	// maximizes divergence detection against the optimized paths.
 	PureBig bool
+	// Sparse selects the machine-tier representation policy; PureBig
+	// ignores it (the exact tier has a single, dense representation).
+	Sparse SparsePolicy
+	// Arena, when non-nil, recycles dense matrix rows and repair
+	// scratch buffers across the run. Arenas are not safe for
+	// concurrent use; the driver threads one per procedure.
+	Arena *arena.Arena
+
+	// selSparse/selDense count the automatic policy's representation
+	// decisions at closure boundaries. Decisions are content-only, so
+	// the counts are deterministic for a given procedure.
+	selSparse atomic.Int64
+	selDense  atomic.Int64
 }
 
 func (c *Config) pure() bool { return c != nil && c.PureBig }
@@ -31,19 +64,74 @@ func (c *Config) token() *budget.Token {
 	return c.Token
 }
 
-// Universe returns the unconstrained zone over n variables, governed by c.
+func (c *Config) ar() *arena.Arena {
+	if c == nil {
+		return nil
+	}
+	return c.Arena
+}
+
+func (c *Config) sparseMode() SparsePolicy {
+	if c == nil || c.PureBig {
+		return SparseOff
+	}
+	return c.Sparse
+}
+
+func (c *Config) noteSel(sparse bool) {
+	if c == nil {
+		return
+	}
+	if sparse {
+		c.selSparse.Add(1)
+	} else {
+		c.selDense.Add(1)
+	}
+}
+
+// SparseSelections returns how many closure-boundary representation
+// decisions picked the sparse and the dense representation under the
+// automatic policy. The counts feed the -stats surface.
+func (c *Config) SparseSelections() (sparse, dense int64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.selSparse.Load(), c.selDense.Load()
+}
+
+// Universe returns the unconstrained zone over n variables, governed by
+// c. The all-infinity matrix is its own shortest-path closure, so it
+// starts out closed.
 func (c *Config) Universe(n int) *DBM {
-	d := &DBM{n: n, cfg: c}
 	if c.pure() {
-		d.mx = make([][]*big.Int, n+1)
-		for i := range d.mx {
-			d.mx[i] = make([]*big.Int, n+1)
-		}
+		return c.newExact(n)
+	}
+	mode := c.sparseMode()
+	if mode == SparseForce || (mode == SparseAuto && n+1 >= sparseMinDim) {
+		d := c.newSparse(n)
+		d.closed = true
 		return d
 	}
+	d := c.newDense(n)
+	d.closed = true
+	return d
+}
+
+// Bottom returns the empty zone over n variables, governed by c.
+func (c *Config) Bottom(n int) *DBM {
+	d := c.Universe(n)
+	d.empty = true
+	return d
+}
+
+// newDense returns a machine-tier dense all-infinity matrix (not marked
+// closed: internal callers overwrite cells directly).
+func (c *Config) newDense(n int) *DBM {
+	d := &DBM{n: n, cfg: c}
+	ar := c.ar()
 	d.mw = make([][]int64, n+1)
 	for i := range d.mw {
-		r := make([]int64, n+1)
+		r := ar.Int64s(n + 1)
 		for j := range r {
 			r[j] = noBound
 		}
@@ -52,9 +140,17 @@ func (c *Config) Universe(n int) *DBM {
 	return d
 }
 
-// Bottom returns the empty zone over n variables, governed by c.
-func (c *Config) Bottom(n int) *DBM {
-	d := c.Universe(n)
-	d.empty = true
+// newSparse returns a machine-tier sparse all-infinity matrix.
+func (c *Config) newSparse(n int) *DBM {
+	return &DBM{n: n, cfg: c, sp: newSparseMat(n + 1)}
+}
+
+// newExact returns an exact-tier all-infinity matrix.
+func (c *Config) newExact(n int) *DBM {
+	d := &DBM{n: n, cfg: c}
+	d.mx = make([][]*big.Int, n+1)
+	for i := range d.mx {
+		d.mx[i] = make([]*big.Int, n+1)
+	}
 	return d
 }

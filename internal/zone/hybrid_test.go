@@ -28,7 +28,14 @@ func zoneCoef(b byte) int64 {
 // observable transcript. cfg selects the kernel (nil = hybrid, PureBig =
 // exact reference).
 func runZoneScript(data []byte, cfg *Config) []string {
-	const dim = 3
+	return runZoneScriptDim(data, cfg, 3)
+}
+
+// runZoneScriptDim is runZoneScript at an arbitrary dimension; the
+// representation-differential tests run it at dim 6 so the automatic
+// density policy actually reaches the sparse matrix (size 7 >=
+// sparseMinDim).
+func runZoneScriptDim(data []byte, cfg *Config, dim int) []string {
 	pos := 0
 	next := func() byte {
 		if pos >= len(data) {

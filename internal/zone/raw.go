@@ -1,0 +1,218 @@
+package zone
+
+import (
+	"math"
+	"math/big"
+
+	"repro/internal/numkernel"
+)
+
+// This file exposes the DBM as a raw bound matrix, without the
+// variable-vs-zero-node indexing convention of the zone domain proper.
+// The octagon substrate builds on it: an octagon over n variables is a
+// raw DBM over 2n nodes (one per literal ±x) plus one coherence/
+// strengthening pass, and by reusing this surface it inherits the hybrid
+// int64/big.Int tiers, the sparse representation, the incremental
+// closure, and the arena — none of which it has to reimplement.
+
+// NewRaw returns an unconstrained raw matrix with `size` nodes. Raw
+// matrices attach no meaning to node 0; callers define their own node
+// encoding.
+func (c *Config) NewRaw(size int) *DBM {
+	return c.Universe(size - 1)
+}
+
+// RawBottom returns an empty raw matrix with `size` nodes.
+func (c *Config) RawBottom(size int) *DBM {
+	return c.Bottom(size - 1)
+}
+
+// RawSize returns the number of matrix nodes.
+func (d *DBM) RawSize() int { return d.n + 1 }
+
+// RawTighten imposes node_i - node_j <= bound.
+func (d *DBM) RawTighten(i, j int, bound *big.Int) {
+	if d.empty {
+		return
+	}
+	d.setBound(i, j, bound)
+}
+
+// RawCell returns the bound at (i, j), nil for +infinity. The result is
+// read-only.
+func (d *DBM) RawCell(i, j int) *big.Int {
+	if d.empty {
+		return nil
+	}
+	return d.cellBig(i, j)
+}
+
+// RawCellLE reports whether the bound at (i, j) is finite and <= c.
+func (d *DBM) RawCellLE(i, j int, c *big.Int) bool {
+	return !d.empty && d.cellLE(i, j, c)
+}
+
+// RawClose computes the shortest-path closure (budget-polled and
+// incremental exactly like the zone domain's own closure).
+func (d *DBM) RawClose() { d.close() }
+
+// MarkEmpty forces the matrix to bottom. The octagon tier uses it when
+// its strengthening pass finds a rational contradiction that the integer
+// shortest-path closure alone cannot see.
+func (d *DBM) MarkEmpty() { d.empty = true }
+
+// DropNode forgets every bound involving node k (row and column), for
+// havoc on doubled-variable encodings. The caller is responsible for
+// dropping both literals of a variable.
+func (d *DBM) DropNode(k int) {
+	if d.empty {
+		return
+	}
+	d.dropNode(k)
+}
+
+// ShiftOct translates node p by +c and node q by -c, atomically: either
+// both shifts land or the matrix is untouched (the machine tier verifies
+// overflow up front and rolls back; the exact tier cannot fail). The
+// octagon assignment x := x + c is exactly this with p, q the two
+// literals of x. Shifts are exact translations, so closure is preserved.
+func (d *DBM) ShiftOct(p, q int, c *big.Int) {
+	if d.empty || p == q {
+		return
+	}
+	if d.mx == nil && c.IsInt64() && c.Int64() != math.MinInt64 {
+		cv := c.Int64()
+		if d.shiftNodeW(p, cv) {
+			if d.shiftNodeW(q, -cv) {
+				return
+			}
+			d.shiftNodeW(p, -cv) // roll back: -cv is provably in range
+		}
+	}
+	d.promote()
+	d.shiftNodeX(p, c)
+	d.shiftNodeX(q, new(big.Int).Neg(c))
+	d.demote()
+}
+
+// StrengthenOct runs the octagon strengthening pass on an (already
+// shortest-path-closed) doubled-variable matrix whose literals are
+// paired as (2k, 2k+1): every bound m[i][j] is tightened to
+// ceil((m[i][i^1] + m[j^1][j]) / 2) when that is smaller, since
+// x_i - x_j = ((x_i - x_{i^1}) + (x_{j^1} - x_j)) / 2 for coherent
+// octagon encodings. The ceiling (not floor) keeps the result sound
+// over the rationals, so exported certificates survive the independent
+// Fourier–Motzkin checker. A rational contradiction
+// m[i][i^1] + m[i^1][i] < 0 (checked on the raw sums, before halving
+// can round -1 up to 0) marks the matrix empty.
+func (d *DBM) StrengthenOct() {
+	if d.empty || d.RawSize()%2 != 0 {
+		return
+	}
+	if d.cfg.token().Exhausted() {
+		return // sound to skip: bounds just stay looser
+	}
+	if d.mx == nil {
+		if d.strengthenOctW() {
+			return
+		}
+		d.promote()
+	}
+	d.strengthenOctX()
+	d.demote()
+}
+
+// strengthenOctW is the machine-tier strengthening pass; false means an
+// overflow (or sentinel collision) and the caller must replay exactly.
+func (d *DBM) strengthenOctW() bool {
+	size := d.RawSize()
+	ar := d.cfg.ar()
+	u := ar.Int64s(size) // u[i] = m[i][i^1], the unary bound row
+	defer ar.PutInt64s(u)
+	for i := 0; i < size; i++ {
+		u[i] = d.wcell(i, i^1)
+	}
+	for i := 0; i < size; i += 2 {
+		a, b := u[i], u[i^1]
+		if a == noBound || b == noBound {
+			continue
+		}
+		s, ok := numkernel.AddOK(a, b)
+		if !ok {
+			return false
+		}
+		if s < 0 {
+			d.empty = true
+			return true
+		}
+	}
+	for i := 0; i < size; i++ {
+		a := u[i]
+		if a == noBound {
+			continue
+		}
+		for j := 0; j < size; j++ {
+			if j == i {
+				continue
+			}
+			b := u[j^1]
+			if b == noBound {
+				continue
+			}
+			s, ok := numkernel.AddOK(a, b)
+			if !ok || s == noBound {
+				return false
+			}
+			half := s / 2
+			if s > 0 && s%2 != 0 {
+				half++ // ceiling division (int64 / truncates toward zero)
+			}
+			if d.sp != nil {
+				d.sp.tighten(i, j, half)
+			} else if half < d.mw[i][j] {
+				d.mw[i][j] = half
+			}
+		}
+	}
+	return true
+}
+
+// strengthenOctX is the exact-tier strengthening pass.
+func (d *DBM) strengthenOctX() {
+	size := d.RawSize()
+	u := make([]*big.Int, size)
+	for i := range u {
+		u[i] = d.mx[i][i^1]
+	}
+	for i := 0; i < size; i += 2 {
+		if u[i] == nil || u[i^1] == nil {
+			continue
+		}
+		if new(big.Int).Add(u[i], u[i^1]).Sign() < 0 {
+			d.empty = true
+			return
+		}
+	}
+	two := big.NewInt(2)
+	for i := 0; i < size; i++ {
+		if u[i] == nil {
+			continue
+		}
+		for j := 0; j < size; j++ {
+			if j == i || u[j^1] == nil {
+				continue
+			}
+			s := new(big.Int).Add(u[i], u[j^1])
+			// Ceiling of s/2: big.Int Quo truncates toward zero, which
+			// is already the ceiling for negative s; positive odd s
+			// needs the +1 nudge.
+			if s.Sign() > 0 && s.Bit(0) == 1 {
+				s.Add(s, bigOne)
+			}
+			half := new(big.Int).Quo(s, two)
+			if d.mx[i][j] == nil || half.Cmp(d.mx[i][j]) < 0 {
+				d.mx[i][j] = half
+			}
+		}
+	}
+}

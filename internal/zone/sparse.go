@@ -1,0 +1,222 @@
+package zone
+
+import "repro/internal/numkernel"
+
+// sparseMat is the adjacency-style machine-tier DBM representation:
+// each row stores only its finite cells, as parallel (column, bound)
+// slices sorted by column. Absence represents the +infinity sentinel.
+// The automatic policy picks it when fewer than a quarter of the cells
+// are finite, which is the common case for real procedures (most
+// variable pairs are unrelated); the sparse incremental repair then
+// touches only the finite neighborhood of the updated edge instead of
+// the full n² dense sweep.
+type sparseMat struct {
+	n    int
+	rows []srow
+}
+
+type srow struct {
+	cols []int32
+	vals []int64
+}
+
+func newSparseMat(n int) *sparseMat {
+	return &sparseMat{n: n, rows: make([]srow, n)}
+}
+
+func (s *sparseMat) clone() *sparseMat {
+	c := &sparseMat{n: s.n, rows: make([]srow, len(s.rows))}
+	for i := range s.rows {
+		c.rows[i] = srow{
+			cols: append([]int32(nil), s.rows[i].cols...),
+			vals: append([]int64(nil), s.rows[i].vals...),
+		}
+	}
+	return c
+}
+
+// find returns the position of col in r.cols when present, otherwise
+// the insertion point with ok=false.
+func (r *srow) find(col int32) (pos int, ok bool) {
+	lo, hi := 0, len(r.cols)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.cols[mid] < col {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(r.cols) && r.cols[lo] == col
+}
+
+// cell returns the bound at (i, j), noBound when absent.
+func (s *sparseMat) cell(i, j int) int64 {
+	r := &s.rows[i]
+	if p, ok := r.find(int32(j)); ok {
+		return r.vals[p]
+	}
+	return noBound
+}
+
+// tighten min-stores v at (i, j) and reports whether the cell changed.
+// v must be a genuine bound (not the sentinel).
+func (s *sparseMat) tighten(i, j int, v int64) bool {
+	r := &s.rows[i]
+	p, ok := r.find(int32(j))
+	if ok {
+		if v < r.vals[p] {
+			r.vals[p] = v
+			return true
+		}
+		return false
+	}
+	r.cols = append(r.cols, 0)
+	copy(r.cols[p+1:], r.cols[p:])
+	r.cols[p] = int32(j)
+	r.vals = append(r.vals, 0)
+	copy(r.vals[p+1:], r.vals[p:])
+	r.vals[p] = v
+	return true
+}
+
+// count returns the number of finite cells.
+func (s *sparseMat) count() int {
+	t := 0
+	for i := range s.rows {
+		t += len(s.rows[i].cols)
+	}
+	return t
+}
+
+// each calls f for every finite cell.
+func (s *sparseMat) each(f func(i, j int, v int64)) {
+	for i := range s.rows {
+		r := &s.rows[i]
+		for k, c := range r.cols {
+			f(i, int(c), r.vals[k])
+		}
+	}
+}
+
+// dropNode removes row i and column i.
+func (s *sparseMat) dropNode(i int) {
+	s.rows[i] = srow{}
+	for j := range s.rows {
+		r := &s.rows[j]
+		if p, ok := r.find(int32(i)); ok {
+			r.cols = append(r.cols[:p], r.cols[p+1:]...)
+			r.vals = append(r.vals[:p], r.vals[p+1:]...)
+		}
+	}
+}
+
+// joinMax returns the pointwise maximum of two same-size matrices. A
+// cell missing on either side is +infinity, which dominates, so the
+// result's support is the intersection — joins only get sparser.
+func (s *sparseMat) joinMax(o *sparseMat) *sparseMat {
+	out := newSparseMat(s.n)
+	for i := range s.rows {
+		a, b := &s.rows[i], &o.rows[i]
+		r := &out.rows[i]
+		x, y := 0, 0
+		for x < len(a.cols) && y < len(b.cols) {
+			switch {
+			case a.cols[x] < b.cols[y]:
+				x++
+			case a.cols[x] > b.cols[y]:
+				y++
+			default:
+				v := a.vals[x]
+				if b.vals[y] > v {
+					v = b.vals[y]
+				}
+				r.cols = append(r.cols, a.cols[x])
+				r.vals = append(r.vals, v)
+				x++
+				y++
+			}
+		}
+	}
+	return out
+}
+
+// widen keeps the cells of s (previous iterate) that o (next iterate)
+// does not enlarge, mirroring the dense widening cell-for-cell.
+func (s *sparseMat) widen(o *sparseMat) *sparseMat {
+	out := newSparseMat(s.n)
+	for i := range s.rows {
+		a, b := &s.rows[i], &o.rows[i]
+		r := &out.rows[i]
+		y := 0
+		for x := range a.cols {
+			for y < len(b.cols) && b.cols[y] < a.cols[x] {
+				y++
+			}
+			if y < len(b.cols) && b.cols[y] == a.cols[x] && b.vals[y] <= a.vals[x] {
+				r.cols = append(r.cols, a.cols[x])
+				r.vals = append(r.vals, a.vals[x])
+			}
+		}
+	}
+	return out
+}
+
+// includes reports containment of o in s, cellwise: every finite bound
+// of s must be matched by an at-least-as-tight bound in o.
+func (s *sparseMat) includes(o *sparseMat) bool {
+	for i := range s.rows {
+		a, b := &s.rows[i], &o.rows[i]
+		y := 0
+		for x := range a.cols {
+			for y < len(b.cols) && b.cols[y] < a.cols[x] {
+				y++
+			}
+			if y >= len(b.cols) || b.cols[y] != a.cols[x] || b.vals[y] > a.vals[x] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// shiftNode translates node i by c (+c across row i, -c down column i,
+// diagonal untouched) after verifying no cell overflows or collides
+// with the sentinel; it reports whether the shift was applied.
+func (s *sparseMat) shiftNode(i int, c int64) bool {
+	ri := &s.rows[i]
+	for k, col := range ri.cols {
+		if int(col) == i {
+			continue
+		}
+		if v, ok := numkernel.AddOK(ri.vals[k], c); !ok || v == noBound {
+			return false
+		}
+	}
+	for j := range s.rows {
+		if j == i {
+			continue
+		}
+		r := &s.rows[j]
+		if p, ok := r.find(int32(i)); ok {
+			if v, ok2 := numkernel.SubOK(r.vals[p], c); !ok2 || v == noBound {
+				return false
+			}
+		}
+	}
+	for k, col := range ri.cols {
+		if int(col) != i {
+			ri.vals[k] += c
+		}
+	}
+	for j := range s.rows {
+		if j == i {
+			continue
+		}
+		r := &s.rows[j]
+		if p, ok := r.find(int32(i)); ok {
+			r.vals[p] -= c
+		}
+	}
+	return true
+}

@@ -1,0 +1,240 @@
+package zone
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/arena"
+	"repro/internal/budget"
+)
+
+// diffZoneReps runs one script at dim 6 under every machine-tier
+// representation policy — forced sparse, forced dense, and automatic
+// switching with the arena enabled — and compares every transcript
+// against the pure-big.Int reference. A representation bug, an
+// incremental-repair bug, or an arena aliasing bug all surface as a
+// transcript divergence.
+func diffZoneReps(t *testing.T, data []byte) {
+	t.Helper()
+	want := runZoneScriptDim(data, &Config{PureBig: true}, 6)
+	reps := []struct {
+		name string
+		cfg  *Config
+	}{
+		{"force-sparse", &Config{Sparse: SparseForce}},
+		{"force-dense", &Config{Sparse: SparseOff}},
+		{"auto+arena", &Config{Arena: arena.New()}},
+	}
+	for _, rep := range reps {
+		got := runZoneScriptDim(data, rep.cfg, 6)
+		if len(got) != len(want) {
+			t.Fatalf("%s: transcript lengths differ: %d vs reference %d", rep.name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s diverges at step %d:\ngot:       %s\nreference: %s", rep.name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// FuzzSparseDBM: randomized op sequences must be bit-identical across
+// the sparse, dense, and automatically switching representations and the
+// pure-big.Int reference.
+func FuzzSparseDBM(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add([]byte{3, 255, 254, 3, 253, 252, 3, 251, 250, 5, 249, 6, 248})
+	f.Add([]byte{1, 9, 0, 1, 2, 1, 9, 3, 4, 2, 9, 5, 0, 5, 9, 1, 2, 6, 9})
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 6; i++ {
+		seed := make([]byte, 12+rng.Intn(48))
+		rng.Read(seed)
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		diffZoneReps(t, data)
+	})
+}
+
+// TestZoneRepDifferential is the deterministic always-on slice of
+// FuzzSparseDBM.
+func TestZoneRepDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 150; trial++ {
+		data := make([]byte, 12+rng.Intn(50))
+		rng.Read(data)
+		diffZoneReps(t, data)
+	}
+}
+
+// TestIncrementalEmptyAfterUpdate: a single tightening that closes a
+// negative cycle on an already-closed matrix must be detected by the
+// incremental repair, on both machine representations.
+func TestIncrementalEmptyAfterUpdate(t *testing.T) {
+	for _, cfg := range []*Config{{Sparse: SparseOff}, {Sparse: SparseForce}} {
+		d := cfg.Universe(6)
+		d = d.MeetConstraint(ge(5, -1, 0)) // x0 <= 5
+		d = d.MeetConstraint(ge(0, 1, 0))  // x0 >= 0
+		if !d.closed || d.IsEmpty() {
+			t.Fatalf("precondition: want closed non-empty, got closed=%v empty=%v", d.closed, d.empty)
+		}
+		d = d.MeetConstraint(ge(-10, 1, 0)) // x0 >= 10: contradiction
+		if !d.IsEmpty() {
+			t.Fatalf("Sparse=%v: negative cycle not detected by incremental repair", cfg.Sparse)
+		}
+	}
+}
+
+// TestIncrementalRepairMatchesFullClosure: repairing a handful of
+// tightenings incrementally must yield exactly the matrix a full
+// Floyd–Warshall closure computes.
+func TestIncrementalRepairMatchesFullClosure(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, policy := range []SparsePolicy{SparseOff, SparseForce} {
+		for trial := 0; trial < 120; trial++ {
+			cfg := &Config{Sparse: policy}
+			d := cfg.Universe(5)
+			for k := 0; k < 4; k++ {
+				i, j := rng.Intn(6), rng.Intn(6)
+				if i == j {
+					continue
+				}
+				d.setBound(i, j, big.NewInt(int64(rng.Intn(21)-6)))
+			}
+			d.close()
+			if d.empty {
+				continue
+			}
+			// Tighten up to maxDirty cells on the closed matrix, then
+			// compare incremental repair against a from-scratch closure.
+			inc := d.Clone()
+			full := d.Clone()
+			for k := 0; k < 1+rng.Intn(maxDirty); k++ {
+				i, j := rng.Intn(6), rng.Intn(6)
+				if i == j {
+					continue
+				}
+				c := big.NewInt(int64(rng.Intn(17) - 8))
+				inc.setBound(i, j, c)
+				full.setBound(i, j, c)
+			}
+			if inc.dirty == nil && !inc.closed {
+				t.Fatal("tightenings on a closed matrix must be tracked")
+			}
+			inc.close() // incremental path
+			full.dirty = nil
+			full.closed = false
+			full.closeFull() // reference path
+			if inc.empty != full.empty {
+				t.Fatalf("policy=%v trial %d: empty mismatch inc=%v full=%v", policy, trial, inc.empty, full.empty)
+			}
+			if inc.empty {
+				continue
+			}
+			ik, _ := inc.Key()
+			fk, _ := full.Key()
+			if ik != fk {
+				t.Fatalf("policy=%v trial %d: incremental repair diverges from full closure:\ninc:  %s\nfull: %s",
+					policy, trial, inc.String(nil), full.String(nil))
+			}
+		}
+	}
+}
+
+// TestCloseSkippedUnderExhaustedBudget: once the token is exhausted the
+// closure is skipped entirely, leaving valid bounds and the pending
+// dirty list intact for a later repair.
+func TestCloseSkippedUnderExhaustedBudget(t *testing.T) {
+	tok := budget.New(time.Time{}, 1)
+	tok.Step(5) // trip the step budget
+	cfg := &Config{Token: tok, Sparse: SparseOff}
+	d := cfg.Universe(6)
+	d.closed = true // simulate a matrix closed before exhaustion
+	d.setBound(1, 0, big.NewInt(4))
+	d.close()
+	if d.closed {
+		t.Fatal("close must not run under an exhausted budget")
+	}
+	if len(d.dirty) != 1 {
+		t.Fatalf("pending dirty list must survive the skipped close, got %v", d.dirty)
+	}
+	if got := d.wcell(1, 0); got != 4 {
+		t.Fatalf("bound written before the skipped close lost: %d", got)
+	}
+}
+
+// TestRepairBudgetExhaustionMidway: a deadline passing between edge
+// repairs stops repairAll after the current edge, leaving a valid
+// unclosed matrix with the unrepaired edges still queued — and a later
+// unbudgeted close finishes the job with no loss of precision.
+func TestRepairBudgetExhaustionMidway(t *testing.T) {
+	cfg := &Config{Sparse: SparseOff}
+	d := cfg.Universe(6)
+	d = d.MeetConstraint(ge(9, -1, 0)) // x0 <= 9, closed afterwards
+	if !d.closed {
+		t.Fatal("precondition: matrix should be closed")
+	}
+	d.setBound(2, 1, big.NewInt(3))
+	d.setBound(3, 1, big.NewInt(7))
+	if len(d.dirty) != 2 {
+		t.Fatalf("want 2 queued edges, got %v", d.dirty)
+	}
+	tok := budget.New(time.Now().Add(-time.Second), 0)
+	if !d.repairAll(tok) {
+		t.Fatal("repair of small bounds must not overflow")
+	}
+	if d.closed {
+		t.Fatal("matrix must not claim closure after an interrupted repair")
+	}
+	if len(d.dirty) != 1 {
+		t.Fatalf("want 1 still-queued edge, got %v", d.dirty)
+	}
+	// The interrupted matrix remains a valid bound set: finishing the
+	// repair later (fresh budget) must match a from-scratch closure.
+	full := d.Clone()
+	full.dirty = nil
+	full.closeFull()
+	d.close()
+	if !d.closed {
+		t.Fatal("follow-up close should complete the queued repair")
+	}
+	dk, _ := d.Key()
+	fk, _ := full.Key()
+	if dk != fk {
+		t.Fatalf("resumed repair diverges from full closure:\nresumed: %s\nfull:    %s", d.String(nil), full.String(nil))
+	}
+}
+
+// TestAutoRepSwitching drives one matrix across the density threshold in
+// both directions and checks the automatic policy actually switches
+// representation (and counts its decisions).
+func TestAutoRepSwitching(t *testing.T) {
+	cfg := &Config{}
+	d := cfg.Universe(7) // size 8 >= sparseMinDim: starts sparse
+	if d.sp == nil {
+		t.Fatal("large universe should start on the sparse representation")
+	}
+	// Constrain every pair: density goes to ~100%, policy must densify.
+	for v := 0; v < 7; v++ {
+		d = d.MeetConstraint(ge(int64(v+1), -1, int64(v))) // x_v <= v+1
+		d = d.MeetConstraint(ge(0, 1, int64(v)))           // x_v >= 0
+	}
+	if d.sp != nil {
+		t.Fatal("fully constrained matrix should have densified")
+	}
+	// Havoc everything: density collapses, next closure re-sparsifies.
+	for v := 0; v < 7; v++ {
+		d = d.Havoc(v)
+	}
+	d.closed = false
+	d.close()
+	if d.sp == nil {
+		t.Fatal("emptied matrix should have re-sparsified")
+	}
+	sparse, dense := cfg.SparseSelections()
+	if sparse == 0 || dense == 0 {
+		t.Fatalf("selection counters not recorded: sparse=%d dense=%d", sparse, dense)
+	}
+}

@@ -4,12 +4,23 @@
 // spectrum and exists for the paper's "any sound integer analysis can be
 // used" ablation (§3.5).
 //
-// Like the polyhedra substrate, the DBM is two-tiered: bounds live in an
-// int64 matrix (with math.MaxInt64 as the +infinity sentinel) and the whole
-// matrix promotes to the exact big.Int tier when an operation would
-// overflow — or produce the sentinel value — so results are bit-identical
-// to pure arbitrary-precision arithmetic. Closures computed on the exact
-// tier demote back when every bound fits a machine word again.
+// Like the polyhedra substrate, the DBM is two-tiered: bounds live in a
+// machine-word (int64) tier, with math.MaxInt64 as the +infinity sentinel,
+// and the whole matrix promotes to the exact big.Int tier when an
+// operation would overflow — or produce the sentinel value — so results
+// are bit-identical to pure arbitrary-precision arithmetic. Closures
+// computed on the exact tier demote back when every bound fits a machine
+// word again.
+//
+// The machine tier additionally has two interchangeable representations:
+// the dense matrix and an adjacency-style sparse form holding only the
+// finite cells, selected by density at closure boundaries (sparse.go).
+// Closure itself is incremental whenever possible: a closed matrix that
+// was tightened at a handful of cells is repaired in O(n²) per edge
+// instead of re-running the O(n³) Floyd–Warshall loop, and an
+// already-closed matrix is never re-closed. The PureBig reference kernel
+// opts out of every one of these optimizations, so the differential
+// fuzzers check them all against the plain dense full-closure semantics.
 package zone
 
 import (
@@ -17,6 +28,7 @@ import (
 	"math/big"
 	"strings"
 
+	"repro/internal/budget"
 	"repro/internal/linear"
 	"repro/internal/numkernel"
 )
@@ -27,16 +39,37 @@ import (
 // min/max and comparisons treat it as +infinity with no special casing.
 const noBound = math.MaxInt64
 
+// maxDirty caps the number of tightened edges the incremental closure
+// will repair one by one; past it a full closure is cheaper.
+const maxDirty = 8
+
+// sparseMinDim is the smallest matrix size (n+1) the automatic policy
+// considers for the sparse representation; below it the dense matrix
+// fits in a cache line or two and adjacency bookkeeping cannot win.
+const sparseMinDim = 5
+
 // DBM is a difference-bound matrix over n variables plus the designated
 // zero variable (index 0): the matrix bounds x_i - x_j <= m[i][j], with x_0
-// identically 0. Exactly one tier is active: mw (machine, noBound = +inf)
-// when mx == nil, otherwise mx (exact, nil entry = +inf). cfg carries
-// per-run knobs (budget token, kernel tier); nil means defaults.
+// identically 0. Exactly one representation is active: the machine-tier
+// dense matrix mw (noBound = +inf), the machine-tier sparse matrix sp
+// (absence = +inf), or the exact matrix mx (nil entry = +inf). cfg carries
+// per-run knobs (budget token, kernel tier, representation policy, arena);
+// nil means defaults.
 type DBM struct {
 	n     int // number of program variables
 	mw    [][]int64
+	sp    *sparseMat
 	mx    [][]*big.Int
 	empty bool
+	// closed marks the matrix as shortest-path closed (canonical), so
+	// repeated close() calls cost nothing. Never set under PureBig: the
+	// reference kernel recomputes the full closure every time.
+	closed bool
+	// dirty, when non-nil, lists the cells tightened since the matrix
+	// was last closed, oldest first; close() then repairs incrementally
+	// instead of re-running Floyd–Warshall. nil with closed unset means
+	// the delta is unknown and only a full closure restores canonicity.
+	dirty [][2]int32
 	cfg   *Config
 }
 
@@ -58,22 +91,43 @@ func (d *DBM) cfgOr(o *DBM) *Config {
 	return o.cfg
 }
 
-// promote moves d onto the exact tier (no-op if already there).
+// wcell returns the machine-tier cell (i, j); only valid when mx == nil.
+func (d *DBM) wcell(i, j int) int64 {
+	if d.sp != nil {
+		return d.sp.cell(i, j)
+	}
+	return d.mw[i][j]
+}
+
+// promote moves d onto the exact tier (no-op if already there). Dense
+// rows are returned to the arena: the exact matrix copies their values.
 func (d *DBM) promote() {
 	if d.mx != nil {
 		return
 	}
-	d.mx = make([][]*big.Int, len(d.mw))
-	for i, r := range d.mw {
-		br := make([]*big.Int, len(r))
-		for j, x := range r {
-			if x != noBound {
-				br[j] = big.NewInt(x)
-			}
-		}
-		d.mx[i] = br
+	size := d.n + 1
+	mx := make([][]*big.Int, size)
+	for i := range mx {
+		mx[i] = make([]*big.Int, size)
 	}
-	d.mw = nil
+	if d.sp != nil {
+		d.sp.each(func(i, j int, v int64) {
+			mx[i][j] = big.NewInt(v)
+		})
+		d.sp = nil
+	} else {
+		ar := d.cfg.ar()
+		for i, r := range d.mw {
+			for j, x := range r {
+				if x != noBound {
+					mx[i][j] = big.NewInt(x)
+				}
+			}
+			ar.PutInt64s(r)
+		}
+		d.mw = nil
+	}
+	d.mx = mx
 }
 
 // demote moves d back to the machine tier when every bound fits (a bound
@@ -89,9 +143,10 @@ func (d *DBM) demote() {
 			}
 		}
 	}
+	ar := d.cfg.ar()
 	mw := make([][]int64, len(d.mx))
 	for i, r := range d.mx {
-		wr := make([]int64, len(r))
+		wr := ar.Int64s(len(r))
 		for j, x := range r {
 			if x == nil {
 				wr[j] = noBound
@@ -105,25 +160,131 @@ func (d *DBM) demote() {
 	d.mx = nil
 }
 
-// Clone returns a deep copy.
-func (d *DBM) Clone() *DBM {
-	c := &DBM{n: d.n, empty: d.empty, cfg: d.cfg}
-	if d.mw != nil {
-		c.mw = make([][]int64, len(d.mw))
-		for i, r := range d.mw {
-			c.mw[i] = append([]int64(nil), r...)
-		}
-		return c
+// densify converts the sparse representation to the dense matrix.
+func (d *DBM) densify() {
+	if d.sp == nil {
+		return
 	}
-	c.mx = make([][]*big.Int, len(d.mx))
-	for i, r := range d.mx {
-		br := make([]*big.Int, len(r))
-		for j, x := range r {
-			if x != nil {
-				br[j] = new(big.Int).Set(x)
+	size := d.sp.n
+	ar := d.cfg.ar()
+	mw := make([][]int64, size)
+	for i := 0; i < size; i++ {
+		r := ar.Int64s(size)
+		for j := range r {
+			r[j] = noBound
+		}
+		mw[i] = r
+	}
+	d.sp.each(func(i, j int, v int64) {
+		mw[i][j] = v
+	})
+	d.mw, d.sp = mw, nil
+}
+
+// sparsify converts the dense matrix to the sparse representation,
+// recycling the dense rows through the arena.
+func (d *DBM) sparsify() {
+	if d.mw == nil {
+		return
+	}
+	size := len(d.mw)
+	sp := newSparseMat(size)
+	for i, r := range d.mw {
+		cnt := 0
+		for _, x := range r {
+			if x != noBound {
+				cnt++
 			}
 		}
-		c.mx[i] = br
+		row := &sp.rows[i]
+		row.cols = make([]int32, 0, cnt)
+		row.vals = make([]int64, 0, cnt)
+		for j, x := range r {
+			if x != noBound {
+				row.cols = append(row.cols, int32(j))
+				row.vals = append(row.vals, x)
+			}
+		}
+	}
+	ar := d.cfg.ar()
+	for _, r := range d.mw {
+		ar.PutInt64s(r)
+	}
+	d.mw, d.sp = nil, sp
+}
+
+// chooseRep picks the machine-tier representation after a closure
+// completes. Decisions are content-only (finite-cell density with
+// hysteresis), so they are deterministic; each automatic decision is
+// counted in the Config's selection stats.
+func (d *DBM) chooseRep() {
+	if d.mx != nil || d.cfg.pure() {
+		return
+	}
+	size := d.n + 1
+	switch d.cfg.sparseMode() {
+	case SparseOff:
+		d.densify()
+		return
+	case SparseForce:
+		d.sparsify()
+		return
+	}
+	if d.sp != nil {
+		// Hysteresis: densify only once half the matrix is finite, so
+		// borderline matrices do not flap between representations.
+		if size < sparseMinDim || 2*d.sp.count() > size*size {
+			d.densify()
+			d.cfg.noteSel(false)
+		} else {
+			d.cfg.noteSel(true)
+		}
+		return
+	}
+	finite := 0
+	for _, r := range d.mw {
+		for _, x := range r {
+			if x != noBound {
+				finite++
+			}
+		}
+	}
+	if size >= sparseMinDim && 4*finite < size*size {
+		d.sparsify()
+		d.cfg.noteSel(true)
+	} else {
+		d.cfg.noteSel(false)
+	}
+}
+
+// Clone returns a deep copy.
+func (d *DBM) Clone() *DBM {
+	c := &DBM{n: d.n, empty: d.empty, closed: d.closed, cfg: d.cfg}
+	if d.dirty != nil {
+		c.dirty = append(make([][2]int32, 0, len(d.dirty)), d.dirty...)
+	}
+	switch {
+	case d.sp != nil:
+		c.sp = d.sp.clone()
+	case d.mw != nil:
+		ar := d.cfg.ar()
+		c.mw = make([][]int64, len(d.mw))
+		for i, r := range d.mw {
+			nr := ar.Int64s(len(r))
+			copy(nr, r)
+			c.mw[i] = nr
+		}
+	default:
+		c.mx = make([][]*big.Int, len(d.mx))
+		for i, r := range d.mx {
+			br := make([]*big.Int, len(r))
+			for j, x := range r {
+				if x != nil {
+					br[j] = new(big.Int).Set(x)
+				}
+			}
+			c.mx[i] = br
+		}
 	}
 	return c
 }
@@ -137,18 +298,235 @@ func (d *DBM) IsEmpty() bool {
 	return d.empty
 }
 
-// close computes the shortest-path closure (canonical form) and detects
-// negative cycles (emptiness).
-func (d *DBM) close() {
-	if d.empty {
+// noteTighten records that cell (i, j) was tightened, invalidating the
+// closed flag and growing the incremental-repair worklist. The PureBig
+// reference never has closed set and never carries a dirty list, so it
+// always takes the full-closure path.
+func (d *DBM) noteTighten(i, j int) {
+	if d.closed {
+		d.closed = false
+		d.dirty = append(d.dirty[:0], [2]int32{int32(i), int32(j)})
 		return
 	}
-	if d.cfg.token().Exhausted() {
+	if d.dirty == nil {
+		return
+	}
+	if len(d.dirty) >= maxDirty {
+		d.dirty = nil
+		return
+	}
+	d.dirty = append(d.dirty, [2]int32{int32(i), int32(j)})
+}
+
+// close computes the shortest-path closure (canonical form) and detects
+// negative cycles (emptiness). An already-closed matrix returns
+// immediately; a closed matrix tightened at a few recorded cells is
+// repaired incrementally (O(n²) per edge) instead of re-running the full
+// O(n³) Floyd–Warshall loop — sequential single-edge repairs compose to
+// the exact canonical closure (DESIGN.md §9).
+func (d *DBM) close() {
+	if d.empty || d.closed {
+		return
+	}
+	tok := d.cfg.token()
+	if tok.Exhausted() {
 		// Budget exhausted: skip the closure. The matrix keeps valid
 		// (possibly loose) bounds, so every later query sees a sound
 		// over-approximation of the canonical form; a negative cycle may
-		// go undetected, which errs toward "maybe non-empty" — also sound.
+		// go undetected, which errs toward "maybe non-empty" — also
+		// sound. A pending dirty list is kept, so a later close can
+		// still repair incrementally.
 		return
+	}
+	if d.dirty != nil && d.mx == nil {
+		if d.repairAll(tok) {
+			return
+		}
+		// A repair overflowed the machine tier. The tightenings already
+		// written are valid path bounds, so the full closure below
+		// converges to the same canonical matrix.
+	}
+	d.dirty = nil
+	d.closeFull()
+}
+
+// repairAll incrementally restores closure after the recorded dirty
+// tightenings. It reports false when a machine-tier overflow forces the
+// caller onto the full-closure path. On success the matrix is canonical
+// — or empty, or (when the budget runs out mid-repair) a valid unclosed
+// matrix with the unrepaired edges still queued.
+func (d *DBM) repairAll(tok *budget.Token) bool {
+	for k := range d.dirty {
+		if k > 0 && tok.Exhausted() {
+			d.dirty = d.dirty[k:]
+			return true
+		}
+		a, b := int(d.dirty[k][0]), int(d.dirty[k][1])
+		var ok bool
+		if d.sp != nil {
+			ok = d.repairSparse(a, b)
+		} else {
+			ok = d.repairDense(a, b)
+		}
+		if !ok {
+			return false
+		}
+		if d.empty {
+			d.dirty = nil
+			return true
+		}
+	}
+	d.dirty = nil
+	d.closed = true
+	d.chooseRep()
+	return true
+}
+
+// repairDense restores closure after the single tightening at (a, b):
+// with the prior matrix closed, the new canonical form is
+// m[i][j] = min(m[i][j], d(i,a) + m[a][b] + d(b,j)), where d(x,x) = 0.
+// A path may use the new edge at most once unless it closes a negative
+// cycle, which is detected up front (m[a][b] + m[b][a] < 0 ⇒ empty).
+func (d *DBM) repairDense(a, b int) bool {
+	m := d.mw
+	c := m[a][b]
+	if c == noBound {
+		// The tightened cell was since forgotten (Havoc after a skipped
+		// closure); nothing to propagate.
+		return true
+	}
+	ba := int64(0)
+	if a != b {
+		ba = m[b][a]
+	}
+	if ba != noBound {
+		s, ok := numkernel.AddOK(c, ba)
+		if !ok {
+			return false
+		}
+		if s < 0 {
+			d.empty = true
+			return true
+		}
+	}
+	size := len(m)
+	ar := d.cfg.ar()
+	// Snapshot column a and row b: the repair loop writes into arbitrary
+	// cells, including these.
+	colA := ar.Int64s(size)
+	rowB := ar.Int64s(size)
+	for i := 0; i < size; i++ {
+		colA[i] = m[i][a]
+	}
+	copy(rowB, m[b])
+	colA[a] = 0
+	rowB[b] = 0
+	ok := true
+	for i := 0; i < size && ok; i++ {
+		ia := colA[i]
+		if ia == noBound {
+			continue
+		}
+		via, vok := numkernel.AddOK(ia, c)
+		if !vok {
+			ok = false
+			break
+		}
+		ri := m[i]
+		for j := 0; j < size; j++ {
+			bj := rowB[j]
+			if bj == noBound {
+				continue
+			}
+			s, sok := numkernel.AddOK(via, bj)
+			if !sok || s == noBound {
+				ok = false
+				break
+			}
+			if s < ri[j] {
+				ri[j] = s
+			}
+		}
+	}
+	ar.PutInt64s(colA)
+	ar.PutInt64s(rowB)
+	return ok
+}
+
+// repairSparse is repairDense on the adjacency representation: only the
+// finite column of a and the finite row of b participate, so the repair
+// cost is the product of the two degrees, not n².
+func (d *DBM) repairSparse(a, b int) bool {
+	sp := d.sp
+	c := sp.cell(a, b)
+	if c == noBound {
+		return true
+	}
+	ba := int64(0)
+	if a != b {
+		ba = sp.cell(b, a)
+	}
+	if ba != noBound {
+		s, ok := numkernel.AddOK(c, ba)
+		if !ok {
+			return false
+		}
+		if s < 0 {
+			d.empty = true
+			return true
+		}
+	}
+	type ent struct {
+		idx int
+		v   int64
+	}
+	// Snapshot the sources (finite column a, plus the implicit d(a,a)=0)
+	// and sinks (finite row b, plus d(b,b)=0) before mutating.
+	srcs := make([]ent, 0, len(sp.rows)/4+1)
+	for i := 0; i < sp.n; i++ {
+		if i == a {
+			srcs = append(srcs, ent{a, 0})
+			continue
+		}
+		if v := sp.cell(i, a); v != noBound {
+			srcs = append(srcs, ent{i, v})
+		}
+	}
+	rb := sp.rows[b]
+	snks := make([]ent, 0, len(rb.cols)+1)
+	seenB := false
+	for k, col := range rb.cols {
+		if int(col) == b {
+			snks = append(snks, ent{b, 0})
+			seenB = true
+			continue
+		}
+		snks = append(snks, ent{int(col), rb.vals[k]})
+	}
+	if !seenB {
+		snks = append(snks, ent{b, 0})
+	}
+	for _, s := range srcs {
+		via, ok := numkernel.AddOK(s.v, c)
+		if !ok {
+			return false
+		}
+		for _, t := range snks {
+			sum, ok := numkernel.AddOK(via, t.v)
+			if !ok || sum == noBound {
+				return false
+			}
+			sp.tighten(s.idx, t.idx, sum)
+		}
+	}
+	return true
+}
+
+// closeFull runs the complete Floyd–Warshall closure on whichever tier
+// holds the matrix, promoting on overflow and demoting afterwards.
+func (d *DBM) closeFull() {
+	if d.sp != nil {
+		d.densify()
 	}
 	if d.mw != nil {
 		if d.closeFast() {
@@ -158,6 +536,8 @@ func (d *DBM) close() {
 					return
 				}
 			}
+			d.closed = true
+			d.chooseRep()
 			return
 		}
 		// An intermediate sum overflowed the machine tier. The partial
@@ -166,13 +546,13 @@ func (d *DBM) close() {
 		// shortest-path matrix.
 		d.promote()
 	}
-	n := len(d.mx)
-	for k := 0; k < n; k++ {
-		for i := 0; i < n; i++ {
+	size := len(d.mx)
+	for k := 0; k < size; k++ {
+		for i := 0; i < size; i++ {
 			if d.mx[i][k] == nil {
 				continue
 			}
-			for j := 0; j < n; j++ {
+			for j := 0; j < size; j++ {
 				if d.mx[k][j] == nil {
 					continue
 				}
@@ -183,29 +563,33 @@ func (d *DBM) close() {
 			}
 		}
 	}
-	for i := 0; i < n; i++ {
+	for i := 0; i < size; i++ {
 		if d.mx[i][i] != nil && d.mx[i][i].Sign() < 0 {
 			d.empty = true
 			return
 		}
 	}
 	d.demote()
+	if !d.cfg.pure() {
+		d.closed = true
+		d.chooseRep()
+	}
 }
 
 // closeFast is the machine-tier Floyd–Warshall loop; it reports false when
 // a sum overflows (or collides with the sentinel) and the caller must
 // promote.
 func (d *DBM) closeFast() bool {
-	n := len(d.mw)
-	for k := 0; k < n; k++ {
+	size := len(d.mw)
+	for k := 0; k < size; k++ {
 		krow := d.mw[k]
-		for i := 0; i < n; i++ {
+		for i := 0; i < size; i++ {
 			ik := d.mw[i][k]
 			if ik == noBound {
 				continue
 			}
 			irow := d.mw[i]
-			for j := 0; j < n; j++ {
+			for j := 0; j < size; j++ {
 				kj := krow[j]
 				if kj == noBound {
 					continue
@@ -228,18 +612,23 @@ func (d *DBM) closeFast() bool {
 // setBound tightens x_i - x_j <= c (indices are 1-based for variables,
 // 0 for the zero var).
 func (d *DBM) setBound(i, j int, c *big.Int) {
-	if d.mw != nil {
+	if d.mx == nil {
 		if c.IsInt64() {
 			if cv := c.Int64(); cv != noBound {
-				if cv < d.mw[i][j] {
+				if d.sp != nil {
+					if d.sp.tighten(i, j, cv) {
+						d.noteTighten(i, j)
+					}
+				} else if cv < d.mw[i][j] {
 					d.mw[i][j] = cv
+					d.noteTighten(i, j)
 				}
 				return
 			}
 		} else if c.Sign() > 0 {
 			// Looser than any machine bound: only tightens if the cell is
 			// +infinity, and then it cannot be stored exactly.
-			if d.mw[i][j] != noBound {
+			if d.wcell(i, j) != noBound {
 				return
 			}
 		}
@@ -247,25 +636,27 @@ func (d *DBM) setBound(i, j int, c *big.Int) {
 	}
 	if d.mx[i][j] == nil || c.Cmp(d.mx[i][j]) < 0 {
 		d.mx[i][j] = new(big.Int).Set(c)
+		d.noteTighten(i, j)
 	}
 }
 
 // cellBig returns the exact value of a cell, or nil for +infinity. The
 // result must be treated as read-only; machine-tier reads allocate.
 func (d *DBM) cellBig(i, j int) *big.Int {
-	if d.mw != nil {
-		if d.mw[i][j] == noBound {
+	if d.mx == nil {
+		x := d.wcell(i, j)
+		if x == noBound {
 			return nil
 		}
-		return big.NewInt(d.mw[i][j])
+		return big.NewInt(x)
 	}
 	return d.mx[i][j]
 }
 
 // cellLE reports whether the cell is a finite bound <= c.
 func (d *DBM) cellLE(i, j int, c *big.Int) bool {
-	if d.mw != nil {
-		x := d.mw[i][j]
+	if d.mx == nil {
+		x := d.wcell(i, j)
 		if x == noBound {
 			return false
 		}
@@ -339,8 +730,18 @@ func (d *DBM) Join(o *DBM) *DBM {
 	d.close()
 	o.close()
 	cfg := d.cfgOr(o)
-	if d.mw != nil && o.mw != nil {
-		out := cfg.Universe(d.n)
+	if d.sp != nil && o.sp != nil {
+		// The sparse max only visits cells finite on both sides — joins
+		// never grow the support. Pointwise max of closed forms is
+		// closed.
+		out := &DBM{n: d.n, cfg: cfg, sp: d.sp.joinMax(o.sp), closed: true}
+		out.chooseRep()
+		return out
+	}
+	if d.mx == nil && o.mx == nil {
+		d.densify()
+		o.densify()
+		out := cfg.newDense(d.n)
 		for i := range out.mw {
 			dr, or, outr := d.mw[i], o.mw[i], out.mw[i]
 			for j := range outr {
@@ -352,12 +753,13 @@ func (d *DBM) Join(o *DBM) *DBM {
 				}
 			}
 		}
+		out.closed = true
+		out.chooseRep()
 		return out
 	}
 	d.promote()
 	o.promote()
-	out := cfg.Universe(d.n)
-	out.promote()
+	out := cfg.newExact(d.n)
 	for i := range out.mx {
 		for j := range out.mx[i] {
 			if d.mx[i][j] != nil && o.mx[i][j] != nil {
@@ -370,10 +772,16 @@ func (d *DBM) Join(o *DBM) *DBM {
 		}
 	}
 	out.demote()
+	if !cfg.pure() {
+		out.closed = true
+		out.chooseRep()
+	}
 	return out
 }
 
-// Widen drops bounds not stable between d (previous) and o (next).
+// Widen drops bounds not stable between d (previous) and o (next). The
+// result is deliberately left unclosed: closing a widening result can
+// defeat termination.
 func (d *DBM) Widen(o *DBM) *DBM {
 	if d.IsEmpty() {
 		return o.Clone()
@@ -383,8 +791,13 @@ func (d *DBM) Widen(o *DBM) *DBM {
 	}
 	o.close()
 	cfg := d.cfgOr(o)
-	if d.mw != nil && o.mw != nil {
-		out := cfg.Universe(d.n)
+	if d.sp != nil && o.sp != nil {
+		return &DBM{n: d.n, cfg: cfg, sp: d.sp.widen(o.sp)}
+	}
+	if d.mx == nil && o.mx == nil {
+		d.densify()
+		o.densify()
+		out := cfg.newDense(d.n)
 		for i := range out.mw {
 			dr, or, outr := d.mw[i], o.mw[i], out.mw[i]
 			for j := range outr {
@@ -399,8 +812,7 @@ func (d *DBM) Widen(o *DBM) *DBM {
 	}
 	d.promote()
 	o.promote()
-	out := cfg.Universe(d.n)
-	out.promote()
+	out := cfg.newExact(d.n)
 	for i := range out.mx {
 		for j := range out.mx[i] {
 			if d.mx[i][j] != nil && o.mx[i][j] != nil && o.mx[i][j].Cmp(d.mx[i][j]) <= 0 {
@@ -422,7 +834,12 @@ func (d *DBM) Includes(o *DBM) bool {
 	}
 	d.close()
 	o.close()
-	if d.mw != nil && o.mw != nil {
+	if d.sp != nil && o.sp != nil {
+		return d.sp.includes(o.sp)
+	}
+	if d.mx == nil && o.mx == nil {
+		d.densify()
+		o.densify()
 		for i := range d.mw {
 			dr, or := d.mw[i], o.mw[i]
 			for j := range dr {
@@ -450,6 +867,26 @@ func (d *DBM) Includes(o *DBM) bool {
 	return true
 }
 
+// dropNode forgets every bound involving matrix node i. Dropping edges
+// of a closed matrix leaves it closed: the remaining direct bounds still
+// dominate every remaining path.
+func (d *DBM) dropNode(i int) {
+	switch {
+	case d.sp != nil:
+		d.sp.dropNode(i)
+	case d.mw != nil:
+		for j := range d.mw {
+			d.mw[i][j] = noBound
+			d.mw[j][i] = noBound
+		}
+	default:
+		for j := range d.mx {
+			d.mx[i][j] = nil
+			d.mx[j][i] = nil
+		}
+	}
+}
+
 // Havoc forgets variable v.
 func (d *DBM) Havoc(v int) *DBM {
 	out := d.Clone()
@@ -460,19 +897,60 @@ func (d *DBM) Havoc(v int) *DBM {
 	if out.empty {
 		return out
 	}
-	i := v + 1
-	if out.mw != nil {
-		for j := range out.mw {
-			out.mw[i][j] = noBound
-			out.mw[j][i] = noBound
-		}
-		return out
-	}
-	for j := range out.mx {
-		out.mx[i][j] = nil
-		out.mx[j][i] = nil
-	}
+	out.dropNode(v + 1)
 	return out
+}
+
+// shiftNodeW translates matrix node i by c on the machine tier (row +c,
+// column -c, diagonal untouched), verifying first that no cell overflows
+// so a failed attempt leaves the matrix untouched for the exact replay.
+func (d *DBM) shiftNodeW(i int, c int64) bool {
+	if d.sp != nil {
+		return d.sp.shiftNode(i, c)
+	}
+	m := d.mw
+	for j := range m {
+		if j == i {
+			continue
+		}
+		if x := m[i][j]; x != noBound {
+			if s, o := numkernel.AddOK(x, c); !o || s == noBound {
+				return false
+			}
+		}
+		if x := m[j][i]; x != noBound {
+			if s, o := numkernel.SubOK(x, c); !o || s == noBound {
+				return false
+			}
+		}
+	}
+	for j := range m {
+		if j == i {
+			continue
+		}
+		if m[i][j] != noBound {
+			m[i][j] += c
+		}
+		if m[j][i] != noBound {
+			m[j][i] -= c
+		}
+	}
+	return true
+}
+
+// shiftNodeX is the exact-tier node translation.
+func (d *DBM) shiftNodeX(i int, c *big.Int) {
+	for j := range d.mx {
+		if j == i {
+			continue
+		}
+		if d.mx[i][j] != nil {
+			d.mx[i][j] = new(big.Int).Add(d.mx[i][j], c)
+		}
+		if d.mx[j][i] != nil {
+			d.mx[j][i] = new(big.Int).Sub(d.mx[j][i], c)
+		}
+	}
 }
 
 // Assign over-approximates v := e. Exact for v := w + c and v := c; other
@@ -482,64 +960,23 @@ func (d *DBM) Assign(v int, e linear.Expr) *DBM {
 		return d.cfg.Bottom(d.n)
 	}
 	vars := e.Vars()
-	// v := v + c: shift bounds.
+	// v := v + c: shift bounds (an exact translation, closure-preserving).
 	if len(vars) == 1 && vars[0] == v && e.Coef(v).Cmp(bigOne) == 0 {
 		out := d.Clone()
 		out.close()
 		i := v + 1
-		if out.mw != nil && e.Const.IsInt64() {
-			c := e.Const.Int64()
-			ok := true
-			// Verify no shift overflows before mutating, so a promotion
-			// replays the whole row/column on untouched values.
-			for j := range out.mw {
-				if j == i {
-					continue
-				}
-				if x := out.mw[i][j]; x != noBound {
-					if s, o := numkernel.AddOK(x, c); !o || s == noBound {
-						ok = false
-						break
-					}
-				}
-				if x := out.mw[j][i]; x != noBound {
-					if s, o := numkernel.SubOK(x, c); !o || s == noBound {
-						ok = false
-						break
-					}
-				}
-			}
-			if ok {
-				for j := range out.mw {
-					if j == i {
-						continue
-					}
-					if out.mw[i][j] != noBound {
-						out.mw[i][j] += c
-					}
-					if out.mw[j][i] != noBound {
-						out.mw[j][i] -= c
-					}
-				}
+		if out.mx == nil && e.Const.IsInt64() {
+			if out.shiftNodeW(i, e.Const.Int64()) {
 				return out
 			}
 		}
 		out.promote()
-		for j := range out.mx {
-			if j == i {
-				continue
-			}
-			if out.mx[i][j] != nil {
-				out.mx[i][j] = new(big.Int).Add(out.mx[i][j], e.Const)
-			}
-			if out.mx[j][i] != nil {
-				out.mx[j][i] = new(big.Int).Sub(out.mx[j][i], e.Const)
-			}
-		}
+		out.shiftNodeX(i, e.Const)
 		out.demote()
 		return out
 	}
-	// General: forget v, then constrain when the shape allows.
+	// General: forget v, then constrain when the shape allows. The new
+	// bounds land on a closed matrix, so close() repairs incrementally.
 	out := d.Havoc(v)
 	if len(vars) == 0 {
 		// v := c
@@ -603,15 +1040,30 @@ func (d *DBM) Entails(c linear.Constraint) bool {
 }
 
 // Key returns a canonical byte-string encoding of d's current matrix and
-// whether one is available. Encodings are value-based and tier-independent
-// (an exact-tier bound that fits a machine word encodes identically to its
-// machine-tier form), so equal keys imply identical bound matrices and a
-// memoized answer keyed by them is exact.
+// whether one is available. Encodings are value-based and independent of
+// both the tier and the machine representation (a sparse matrix encodes
+// exactly like its dense form, cell by cell), so equal keys imply
+// identical bound matrices and a memoized answer keyed by them is exact.
 func (d *DBM) Key() (string, bool) {
 	if d.empty {
 		return "empty", true
 	}
 	key := numkernel.AppendKeyInt64(nil, int64(d.n))
+	if d.sp != nil {
+		for i := range d.sp.rows {
+			row := &d.sp.rows[i]
+			k := 0
+			for j := 0; j < d.sp.n; j++ {
+				if k < len(row.cols) && int(row.cols[k]) == j {
+					key = numkernel.AppendKeyInt64(key, row.vals[k])
+					k++
+				} else {
+					key = append(key, 0x01)
+				}
+			}
+		}
+		return string(key), true
+	}
 	if d.mw != nil {
 		for _, r := range d.mw {
 			for _, x := range r {
