@@ -43,6 +43,12 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
+	// MemberResolved / MemberHavocked record the analyzer's member-access
+	// precision counters for the headline workloads (absent for the
+	// numeric-kernel benchmarks), so the perf trajectory tracks precision
+	// alongside timing.
+	MemberResolved int `json:"member_resolved,omitempty"`
+	MemberHavocked int `json:"member_havocked,omitempty"`
 }
 
 // File is the serialized benchmark report.
@@ -250,12 +256,18 @@ func main() {
 		}
 		text := string(src)
 		path := s.path
+		var stats cssv.RunStats
 		add("headline/"+s.name, func() {
-			if _, err := cssv.Analyze(path, text, cssv.Config{}); err != nil {
+			hrep, err := cssv.Analyze(path, text, cssv.Config{})
+			if err != nil {
 				fmt.Fprintln(os.Stderr, "cssv-bench:", err)
 				os.Exit(1)
 			}
+			stats = hrep.Stats
 		})
+		r := &rep.Results[len(rep.Results)-1]
+		r.MemberResolved = stats.MemberResolved
+		r.MemberHavocked = stats.MemberHavocked
 	}
 
 	if *baseline != "" {

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/ctypes"
 	"repro/internal/table5"
 )
 
@@ -28,6 +29,7 @@ func main() {
 	timeout := flag.Duration("proc-timeout", 0, "wall-clock budget per procedure (0 = unlimited); expired procedures report unresolved checks")
 	steps := flag.Int("step-budget", 0, "fixpoint iteration budget per procedure (0 = unlimited)")
 	octagon := flag.Bool("octagon", false, "insert the octagon tier between the zone tier and the final domain (implies the cascade)")
+	target := flag.String("target", "paper32", "object-layout data model: paper32, sysv64")
 	noArena := flag.Bool("no-arena", false, "disable the per-procedure slice arenas")
 	stats := flag.Bool("stats", false, "print substrate statistics (arena recycling, zone representation selections) after the table")
 	flag.Parse()
@@ -41,6 +43,12 @@ func main() {
 	opts.Driver.NoArena = *noArena
 	opts.Driver.ProcDeadline = *timeout
 	opts.Driver.StepBudget = *steps
+	tgt, err := ctypes.ParseTarget(*target)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cssv-table5: %v\n", err)
+		os.Exit(2)
+	}
+	opts.Driver.Target = tgt
 	var rows []table5.Row
 	for _, s := range []struct{ name, path string }{
 		{"airbus", *airbus},
@@ -63,6 +71,8 @@ func main() {
 		fmt.Printf("\nsubstrate: arena-recycled=%dB zone-repr sparse=%d dense=%d precision-drops=%d\n",
 			runStats.ArenaRecycledBytes, runStats.SparseZoneSelections,
 			runStats.DenseZoneSelections, runStats.PrecisionDrops)
+		fmt.Printf("substrate: target=%s member-accesses resolved=%d havocked=%d\n",
+			tgt, runStats.MemberResolved, runStats.MemberHavocked)
 	}
 	if !*fast {
 		fmt.Println("\n(Paper §5: manual contracts reduce false alarms by 93% vs vacuous;")

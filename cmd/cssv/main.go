@@ -25,6 +25,7 @@ func main() {
 		procs     = flag.String("procs", "", "comma-separated procedures to analyze (default: all)")
 		domain    = flag.String("domain", "polyhedra", "numeric domain: polyhedra, zone, interval")
 		pointer   = flag.String("pointer", "inclusion", "pointer analysis: inclusion, unification")
+		target    = flag.String("target", "paper32", "object-layout data model: paper32 (the paper's packed 32-bit model), sysv64 (System V AMD64 ABI, field-sensitive member analysis)")
 		contracts = flag.String("contracts", "manual", "contract mode: manual, vacuous, auto")
 		noMerge   = flag.Bool("no-ppt-merge", false, "disable the Fig. 7 strong-update merge")
 		naive     = flag.Bool("naive-c2ip", false, "use the O(S*V^2) translation of [13]")
@@ -50,6 +51,7 @@ func main() {
 	cfg := cssv.Config{
 		Domain:            *domain,
 		Pointer:           *pointer,
+		Target:            *target,
 		Contracts:         *contracts,
 		DisablePPTMerging: *noMerge,
 		NaiveC2IP:         *naive,
@@ -87,6 +89,8 @@ func main() {
 			s.PrecisionDrops, s.DegradedProcs, s.UnresolvedChecks)
 		fmt.Printf("run: arena-recycled=%dB zone-repr sparse=%d dense=%d\n",
 			s.ArenaRecycledBytes, s.SparseZoneSelections, s.DenseZoneSelections)
+		fmt.Printf("run: target=%s member-accesses resolved=%d havocked=%d\n",
+			*target, s.MemberResolved, s.MemberHavocked)
 	}
 
 	messages := 0

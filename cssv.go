@@ -41,6 +41,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/c2ip"
 	"repro/internal/core"
+	"repro/internal/ctypes"
 	"repro/internal/derive"
 	"repro/internal/linear"
 	"repro/internal/ppt"
@@ -54,6 +55,12 @@ type Config struct {
 	Domain string
 	// Pointer: "inclusion" (default) or "unification".
 	Pointer string
+	// Target selects the object-layout data model: "paper32" (default) is
+	// the paper's packed 32-bit model; "sysv64" applies the System V AMD64
+	// ABI rules (8-byte pointers, alignment padding, bitfield storage
+	// units) and enables the field-sensitive member-store transfer and
+	// access-path location naming.
+	Target string
 	// Contracts: "manual" (default), "vacuous" (side effects only), or
 	// "auto" (derive pre/postconditions first, paper §4).
 	Contracts string
@@ -298,6 +305,11 @@ type RunStats struct {
 	// SparseZoneSelections / DenseZoneSelections count the zone
 	// substrate's representation decisions at closure boundaries.
 	SparseZoneSelections, DenseZoneSelections int64
+	// MemberResolved / MemberHavocked count memory-access sites translated
+	// with precise offset/aSize constraints for every possible target region
+	// versus sites where a channel was abandoned (unknown target, untracked
+	// offset, or the legacy wide-store terminator havoc).
+	MemberResolved, MemberHavocked int
 }
 
 // Messages returns all messages across procedures.
@@ -407,6 +419,11 @@ func (cfg Config) driverOptions() (core.Options, error) {
 	default:
 		return opts, fmt.Errorf("cssv: unknown contract mode %q", cfg.Contracts)
 	}
+	target, err := ctypes.ParseTarget(cfg.Target)
+	if err != nil {
+		return opts, fmt.Errorf("cssv: %v", err)
+	}
+	opts.Target = target
 	return opts, nil
 }
 

@@ -32,6 +32,11 @@ func TestExamplesRun(t *testing.T) {
 		{"./examples/audit", []string{
 			"audit complete: 8 procedures",
 		}},
+		{"./examples/layout", []string{
+			"paper32: stamp reports 1 message(s)",
+			"sysv64: stamp reports 0 message(s), 4 check(s) certified, 0 failed",
+			"sysv64: relabel (union overlay) reports 1 message(s)",
+		}},
 	}
 	for _, c := range cases {
 		c := c

@@ -19,10 +19,12 @@ package c2ip
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/cast"
 	"repro/internal/clex"
 	"repro/internal/corec"
+	"repro/internal/ctypes"
 	"repro/internal/ip"
 	"repro/internal/linear"
 	"repro/internal/ppt"
@@ -57,6 +59,12 @@ type Warning struct {
 type Result struct {
 	Prog     *ip.Program
 	Warnings []Warning
+	// MemberResolved counts memory-access sites translated with a precise
+	// offset/aSize constraint for every possible target region; MemberHavocked
+	// counts sites where at least one channel had to be abandoned (unknown
+	// target, untracked offset, or the legacy wide-store terminator havoc).
+	MemberResolved int
+	MemberHavocked int
 }
 
 // Transform generates the integer program for fd.
@@ -75,7 +83,12 @@ func Transform(prog *corec.Program, fd *cast.FuncDecl, pt *ppt.PPT, opts Options
 	if err := x.out.Resolve(); err != nil {
 		return nil, err
 	}
-	return &Result{Prog: x.out, Warnings: x.warnings}, nil
+	return &Result{
+		Prog:           x.out,
+		Warnings:       x.warnings,
+		MemberResolved: x.memberResolved,
+		MemberHavocked: x.memberHavocked,
+	}, nil
 }
 
 type xform struct {
@@ -97,6 +110,36 @@ type xform struct {
 	loadBind map[int]loadBinding
 	// curIdx is the body index of the statement being translated.
 	curIdx int
+
+	// Access-site precision counters (see Result).
+	memberResolved int
+	memberHavocked int
+}
+
+// engine returns the layout engine the program was lowered under; nil (the
+// Paper32 packed model) when the program predates the layout subsystem.
+func (x *xform) engine() *ctypes.Engine { return x.prog.Layout }
+
+// fieldSensitive reports whether the run's target provides layouts finer
+// than the paper's packed model, enabling the guarded wide-store transfer
+// and bitfield value opacity.
+func (x *xform) fieldSensitive() bool { return x.engine().FieldSensitive() }
+
+// accessPath returns the source access path recorded for a member-address
+// temporary of the current function ("" when name is not such a temp).
+func (x *xform) accessPath(name string) string {
+	return x.prog.AccessPaths[x.fd.Name+"::"+name]
+}
+
+// bitfieldAccess reports whether name is a member-address temp for a
+// bitfield member under a field-sensitive target. Bitfields share their
+// storage unit with neighboring members, so loads and stores through such
+// temps must be value-opaque.
+func (x *xform) bitfieldAccess(name string) bool {
+	if !x.fieldSensitive() || name == "" {
+		return false
+	}
+	return strings.HasSuffix(x.accessPath(name), ":bits")
 }
 
 // loadBinding records "t = *p" feeding a conditional.
@@ -430,7 +473,7 @@ func (x *xform) computeLoadBindings() map[int]loadBinding {
 			return loadBinding{}, false
 		}
 		pid, ok := u.X.(*cast.Ident)
-		if !ok || elemSize(pid.Type()) != 1 {
+		if !ok || x.elemSize(pid.Type()) != 1 {
 			return loadBinding{}, false
 		}
 		return loadBinding{temp: lhs.Name, ptr: pid.Name}, true

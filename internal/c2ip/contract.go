@@ -351,7 +351,7 @@ func (x *xform) pointerOffsetTerm(e cast.Expr, ev env) (linear.Expr, bool) {
 			if !ok1 || !ok2 {
 				return linear.Expr{}, false
 			}
-			sz := elemSize(b.X.Type())
+			sz := x.elemSize(b.X.Type())
 			if b.Op == cast.Sub {
 				return pe.Sub(ie.Scale(sz)), true
 			}
@@ -374,7 +374,7 @@ func (x *xform) termExpr(e cast.Expr, ev env) (linear.Expr, bool) {
 	case *cast.IntLit:
 		return linear.ConstExpr(t.Value), true
 	case *cast.SizeofType:
-		return linear.ConstExpr(int64(t.Of.Size())), true
+		return linear.ConstExpr(int64(x.engine().SizeOf(t.Of))), true
 	case *cast.Ident:
 		if l, ok := x.pt.Lv(t.Name); ok {
 			return linear.VarExpr(x.valV(l)), true

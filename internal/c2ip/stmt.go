@@ -204,14 +204,21 @@ func (x *xform) load(dst aval, weak bool, u *cast.Unary, a *cast.Assign) error {
 		return nil
 	}
 	regions := x.regionsOf(p)
-	elem := elemSize(p.typ)
+	elem := x.elemSize(p.typ)
 	// Snapshot loads emitted by the contract inliner (__preN = *p) are
 	// specification artifacts, not program accesses: no safety check.
 	if !strings.HasPrefix(dst.name, "__pre") {
 		x.emitDerefAsserts(p, regions, elem, true, a.Pos(), "read through *"+p.name)
+		x.countLoad(p, regions)
 	}
 
 	if len(regions) == 0 {
+		x.weakly(weak, func() { x.havocCell(dst.cell) })
+		return nil
+	}
+	if x.bitfieldAccess(p.name) {
+		// A bitfield load extracts bits from a storage unit whose abstract
+		// value covers the whole unit: the result is unknown.
 		x.weakly(weak, func() { x.havocCell(dst.cell) })
 		return nil
 	}
@@ -383,9 +390,9 @@ func (x *xform) atomRel(op cast.BinaryOp, l, r aval) ip.DNF {
 // pointerArith implements p = q ± i (Table 4 row 3) with the Table 3
 // arithmetic bounds check, scaled by the element size.
 func (x *xform) pointerArith(dst aval, op cast.BinaryOp, q, i aval, a *cast.Assign) {
-	sz := elemSize(a.LHS.Type())
+	sz := x.elemSize(a.LHS.Type())
 	if ctypes.IsPointer(ctypes.Decay(q.typ)) {
-		sz = elemSize(q.typ)
+		sz = x.elemSize(q.typ)
 	}
 	ie, iOK := x.valExpr(i)
 	regions := x.regionsOf(q)
@@ -442,7 +449,7 @@ func (x *xform) pointerDiff(dst aval, p, q aval) {
 	if !ok1 || !ok2 {
 		return
 	}
-	sz := elemSize(p.typ)
+	sz := x.elemSize(p.typ)
 	lhs := linear.VarExpr(x.valV(dst.cell)).Scale(sz)
 	x.assume(ip.Single(linear.NewEq(lhs.Sub(pe.Sub(qe)))))
 }

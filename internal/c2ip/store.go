@@ -53,7 +53,7 @@ func (x *xform) evalStoreRHS(e cast.Expr) storeVal {
 		sv := storeVal{offFor: noOff, pointer: lPtr || rPtr}
 		switch {
 		case (r.Op == cast.Add || r.Op == cast.Sub) && lPtr && !rPtr:
-			sz := elemSize(l.typ)
+			sz := x.elemSize(l.typ)
 			sv.offFor = func(region ppt.LocID) (linear.Expr, bool) {
 				le, ok1 := x.offsetExpr(l, region)
 				re, ok2 := x.valExpr(rr)
@@ -66,7 +66,7 @@ func (x *xform) evalStoreRHS(e cast.Expr) storeVal {
 				return le.Add(re.Scale(sz)), true
 			}
 		case r.Op == cast.Add && rPtr && !lPtr:
-			sz := elemSize(rr.typ)
+			sz := x.elemSize(rr.typ)
 			sv.offFor = func(region ppt.LocID) (linear.Expr, bool) {
 				re, ok1 := x.offsetExpr(rr, region)
 				le, ok2 := x.valExpr(l)
@@ -118,10 +118,16 @@ func (x *xform) store(lhs *cast.Unary, rhs cast.Expr, a *cast.Assign) error {
 	if !p.hasCell {
 		return fmt.Errorf("c2ip: store through unknown pointer at %s", a.Pos())
 	}
-	elem := elemSize(p.typ)
+	elem := x.elemSize(p.typ)
 	regions := x.regionsOf(p)
 	x.emitDerefAsserts(p, regions, elem, false, a.Pos(), "write through *"+p.name)
 	sv := x.evalStoreRHS(rhs)
+	if x.bitfieldAccess(p.name) {
+		// A bitfield store rewrites only some bits of the storage unit: the
+		// unit's resulting value is unknown even when the RHS is known.
+		sv = storeVal{offFor: func(ppt.LocID) (linear.Expr, bool) { return linear.Expr{}, false }}
+	}
+	x.countStore(p, regions, elem)
 
 	strong := x.strongFor(regions)
 	for _, r := range regions {
@@ -134,13 +140,94 @@ func (x *xform) store(lhs *cast.Unary, rhs cast.Expr, a *cast.Assign) error {
 			if elem == 1 && !x.opts.NoCleanness && x.stringRegion(r) {
 				x.storeChar(r, p, sv)
 			} else if elem != 1 && !x.pt.Loc(r).Scalar {
-				// Word store into a buffer: the terminator bookkeeping is
-				// no longer trustworthy.
-				x.havocNTLen(r)
+				x.wideStore(r, p)
 			}
 		})
 	}
 	return nil
+}
+
+// countStore classifies a store site for the precision counters: resolved
+// when every possible target region gets precise offset/aSize constraints
+// and no terminator state is havocked wholesale.
+func (x *xform) countStore(p aval, regions []ppt.LocID, elem int64) {
+	resolved := len(regions) > 0
+	for _, r := range regions {
+		if _, ok := x.offsetExpr(p, r); !ok {
+			resolved = false
+		} else if elem != 1 && !x.fieldSensitive() && !x.pt.Loc(r).Scalar {
+			// Legacy wide store: havocNTLen abandons the terminator channel.
+			resolved = false
+		}
+	}
+	if resolved {
+		x.memberResolved++
+	} else {
+		x.memberHavocked++
+	}
+}
+
+// countLoad classifies a load site: resolved when every possible target
+// region is constrained through a tracked offset.
+func (x *xform) countLoad(p aval, regions []ppt.LocID) {
+	resolved := len(regions) > 0
+	for _, r := range regions {
+		if _, ok := x.offsetExpr(p, r); !ok {
+			resolved = false
+		}
+	}
+	if resolved {
+		x.memberResolved++
+	} else {
+		x.memberHavocked++
+	}
+}
+
+// wideStore handles a non-character store into a buffer region. Under the
+// paper's packed model the terminator bookkeeping is simply no longer
+// trustworthy and is havocked. Under a field-sensitive target with a tracked
+// store offset, the store clobbers exactly the bytes at or beyond the
+// offset, which splits into two sound cases:
+//
+//	A: is_nullt = 1 and len < off — the first terminator lies strictly
+//	   before the stored bytes and survives untouched;
+//	B: otherwise (is_nullt = 0 or len >= off) — no terminator existed
+//	   before off, so whatever the store wrote, any new first terminator
+//	   is at or beyond off.
+//
+// Union overlap soundness falls out of the same split: a store through a
+// sibling union member lands at the overlapped member's offset 0, where
+// case A (len < 0) is infeasible and the terminator state is fully
+// havocked, exactly as the packed model would.
+func (x *xform) wideStore(r ppt.LocID, p aval) {
+	if !x.fieldSensitive() {
+		x.havocNTLen(r)
+		return
+	}
+	off, ok := x.offsetExpr(p, r)
+	if !ok || !x.stringRegion(r) {
+		x.havocNTLen(r)
+		return
+	}
+	nt := x.ntV(r)
+	ln := x.lenV(r)
+	beyond := ip.Conj(eqConst(nt, 0)).
+		Or(ip.Conj(eqConst(nt, 1), linear.NewGe(linear.VarExpr(ln).Sub(off.Clone()))))
+	x.choose(
+		func() { // A: an earlier terminator survives; nothing changes.
+			x.assume(ip.Conj(
+				eqConst(nt, 1),
+				linear.NewGt(off.Clone().Sub(linear.VarExpr(ln))),
+			))
+		},
+		func() { // B: any new first terminator is at or beyond off.
+			x.assume(beyond)
+			x.havocBool(nt)
+			x.havocLen(r)
+			x.assume(ip.Conj(eqConst(nt, 0)).
+				Or(ip.Conj(eqConst(nt, 1), linear.NewGe(linear.VarExpr(ln).Sub(off.Clone())))))
+		},
+	)
 }
 
 // storeCell updates the stored-value channels of the region cell.

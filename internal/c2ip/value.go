@@ -88,13 +88,13 @@ func (x *xform) regionsOf(v aval) []ppt.LocID {
 }
 
 // elemSize returns the byte size of the pointee of the atom's (decayed)
-// pointer type, defaulting to 1.
-func elemSize(t ctypes.Type) int64 {
+// pointer type under the run's layout target, defaulting to 1.
+func (x *xform) elemSize(t ctypes.Type) int64 {
 	e := ctypes.Elem(ctypes.Decay(t))
 	if e == nil {
 		return 1
 	}
-	if s := e.Size(); s > 0 {
+	if s := x.engine().SizeOf(e); s > 0 {
 		return int64(s)
 	}
 	return 1

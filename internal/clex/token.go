@@ -40,6 +40,7 @@ const (
 	KwStatic
 	KwConst
 	KwTypedef
+	KwAlignas
 
 	// Contract keywords (only meaningful after a prototype or in .h files).
 	KwRequires
@@ -103,7 +104,7 @@ var kindNames = map[Kind]string{
 	KwWhile: "while", KwFor: "for", KwDo: "do", KwReturn: "return",
 	KwBreak: "break", KwContinue: "continue", KwGoto: "goto",
 	KwSizeof: "sizeof", KwExtern: "extern", KwStatic: "static",
-	KwConst: "const", KwTypedef: "typedef",
+	KwConst: "const", KwTypedef: "typedef", KwAlignas: "_Alignas",
 	KwRequires: "requires", KwModifies: "modifies", KwEnsures: "ensures",
 	KwAssert: "assert", KwAssume: "assume",
 	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}",
@@ -130,7 +131,7 @@ var keywords = map[string]Kind{
 	"while": KwWhile, "for": KwFor, "do": KwDo, "return": KwReturn,
 	"break": KwBreak, "continue": KwContinue, "goto": KwGoto,
 	"sizeof": KwSizeof, "extern": KwExtern, "static": KwStatic,
-	"const": KwConst, "typedef": KwTypedef,
+	"const": KwConst, "typedef": KwTypedef, "_Alignas": KwAlignas,
 	"requires": KwRequires, "modifies": KwModifies, "ensures": KwEnsures,
 	"__assert": KwAssert, "__assume": KwAssume,
 }

@@ -147,7 +147,7 @@ func New(prog *corec.Program) *Interp {
 			in.globals[vd.Name] = value{kind: vInt, i: 0} // globals are zeroed
 			continue
 		}
-		r := in.alloc(vd.DeclType.Size())
+		r := in.alloc(in.prog.Layout.SizeOf(vd.DeclType))
 		// Globals are zero-initialized.
 		for i := range r.init {
 			r.init[i] = true
@@ -240,7 +240,7 @@ func (in *Interp) call(name string, args []value) value {
 		if ctypes.IsScalar(ds.Decl.DeclType) {
 			fr.vars[ds.Decl.Name] = value{kind: vUninit}
 		} else {
-			r := in.alloc(ds.Decl.DeclType.Size())
+			r := in.alloc(in.prog.Layout.SizeOf(ds.Decl.DeclType))
 			fr.varRegion[ds.Decl.Name] = r.id
 		}
 	}

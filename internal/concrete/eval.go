@@ -106,7 +106,7 @@ func (in *Interp) store(fr *frame, lhs cast.Expr, v value) {
 	case *cast.Unary:
 		if l.Op == cast.Deref {
 			p := in.eval(fr, l.X)
-			width := int(elemWidth(l.X.Type()))
+			width := int(in.elemWidth(l.X.Type()))
 			in.writeMem(p, width, v, posOf(lhs))
 			return
 		}
@@ -114,12 +114,18 @@ func (in *Interp) store(fr *frame, lhs cast.Expr, v value) {
 	errf(ErrOther, posOf(lhs), "bad store target %T", lhs)
 }
 
-func elemWidth(t ctypes.Type) int64 {
+// elemWidth is the byte width of a pointer's pointee under the program's
+// layout target; the replayed trace must use the same offsets the
+// analysis reasoned about.
+func (in *Interp) elemWidth(t ctypes.Type) int64 {
 	e := ctypes.Elem(ctypes.Decay(t))
-	if e == nil || e.Size() == 0 {
+	if e == nil {
 		return 1
 	}
-	return int64(e.Size())
+	if sz := in.prog.Layout.SizeOf(e); sz > 0 {
+		return int64(sz)
+	}
+	return 1
 }
 
 // eval evaluates a CoreC expression (atoms and simple RHS forms).
@@ -133,7 +139,7 @@ func (in *Interp) eval(fr *frame, e cast.Expr) value {
 		switch x.Op {
 		case cast.Deref:
 			p := in.eval(fr, x.X)
-			return in.readMem(p, int(elemWidth(x.X.Type())), posOf(e))
+			return in.readMem(p, int(in.elemWidth(x.X.Type())), posOf(e))
 		case cast.Addr:
 			id := x.X.(*cast.Ident)
 			// Address of a scalar variable: box it into a fresh cell
@@ -262,11 +268,11 @@ func (in *Interp) evalBinary(fr *frame, x *cast.Binary) value {
 
 	switch {
 	case (x.Op == cast.Add || x.Op == cast.Sub) && lp && !rp:
-		return in.ptrArith(l, x.Op, r, elemWidth(x.X.Type()), posOf(x))
+		return in.ptrArith(l, x.Op, r, in.elemWidth(x.X.Type()), posOf(x))
 	case x.Op == cast.Add && rp && !lp:
-		return in.ptrArith(r, cast.Add, l, elemWidth(x.Y.Type()), posOf(x))
+		return in.ptrArith(r, cast.Add, l, in.elemWidth(x.Y.Type()), posOf(x))
 	case x.Op == cast.Sub && lp && rp:
-		sz := elemWidth(x.X.Type())
+		sz := in.elemWidth(x.X.Type())
 		return value{kind: vInt, i: (int64(l.off) - int64(r.off)) / sz}
 	}
 	a := l.i

@@ -17,6 +17,7 @@ import (
 	"repro/internal/clex"
 	"repro/internal/corec"
 	"repro/internal/cparse"
+	"repro/internal/ctypes"
 	"repro/internal/derive"
 	"repro/internal/inline"
 	"repro/internal/ip"
@@ -31,6 +32,12 @@ import (
 type Options struct {
 	// PointerMode selects the whole-program points-to algorithm.
 	PointerMode pointer.Mode
+	// Target selects the object-layout data model (sizeof/offsetof folding,
+	// member offsets, alignment padding). The default Paper32 reproduces the
+	// paper's packed 32-bit model bit for bit; SysV64 applies the System V
+	// AMD64 ABI rules and enables the field-sensitive store transfer and
+	// access-path location naming.
+	Target ctypes.Target
 	// Workers bounds how many procedures are analyzed concurrently. The
 	// per-procedure pipelines are independent by construction (the paper's
 	// central design point: each procedure is verified separately against
@@ -220,6 +227,13 @@ type RunStats struct {
 	// run (the automatic density policy; forced policies count too).
 	// Content-only decisions, hence deterministic.
 	SparseZoneSelections, DenseZoneSelections int64
+	// MemberResolved / MemberHavocked count C2IP memory-access sites
+	// (member accesses lowered to byte arithmetic, plus ordinary derefs)
+	// whose constraints were generated with a precise offset/aSize pair for
+	// every possible target region, versus sites where a channel had to be
+	// abandoned (unknown target, untracked offset, or the legacy wide-store
+	// terminator havoc). Content-only counts, hence deterministic.
+	MemberResolved, MemberHavocked int
 }
 
 // TotalMessages sums messages over all procedures.
@@ -242,10 +256,13 @@ func (r *Report) Proc(name string) *ProcReport {
 }
 
 // parseUnit parses (with the libc contract header unless noLibc) and
-// normalizes a translation unit. The header is lexed and parsed at most
-// once per process (libc.Prelude) and its declarations are shared,
-// immutable, across runs.
-func parseUnit(filename, src string, noLibc bool) (*cast.File, *corec.Program, error) {
+// normalizes a translation unit under a fresh layout engine for the run's
+// target. The header is lexed and parsed at most once per process
+// (libc.Prelude) and its declarations are shared, immutable, across runs —
+// the engine never mutates the interned structs, it memoizes layouts on the
+// side.
+func parseUnit(filename, src string, noLibc bool, target ctypes.Target) (*cast.File, *corec.Program, error) {
+	layout := ctypes.NewEngine(target)
 	var pre *cparse.Prelude
 	if !noLibc {
 		p, err := libc.Prelude()
@@ -254,11 +271,11 @@ func parseUnit(filename, src string, noLibc bool) (*cast.File, *corec.Program, e
 		}
 		pre = p
 	}
-	file, err := cparse.ParseFilesWith(pre, []cparse.NamedSource{{Name: filename, Src: src}})
+	file, err := cparse.ParseFilesWithLayout(pre, []cparse.NamedSource{{Name: filename, Src: src}}, layout)
 	if err != nil {
 		return nil, nil, err
 	}
-	prog, err := corec.Normalize(file)
+	prog, err := corec.NormalizeWith(file, layout)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -266,10 +283,10 @@ func parseUnit(filename, src string, noLibc bool) (*cast.File, *corec.Program, e
 }
 
 // Prepare parses and normalizes a translation unit (with the libc contract
-// header unless noLibc), for callers that drive individual phases (e.g.
-// contract derivation).
+// header unless noLibc) under the packed Paper32 model, for callers that
+// drive individual phases (e.g. contract derivation).
 func Prepare(filename, src string, noLibc bool) (*corec.Program, error) {
-	_, prog, err := parseUnit(filename, src, noLibc)
+	_, prog, err := parseUnit(filename, src, noLibc, ctypes.Paper32)
 	return prog, err
 }
 
@@ -277,10 +294,11 @@ func Prepare(filename, src string, noLibc bool) (*corec.Program, error) {
 // precision-drop count (replacing the former process-global counter in
 // internal/polyhedra).
 type runCounters struct {
-	ptHits, ptMisses    atomic.Int64
-	drops               atomic.Int64
-	arenaBytes          atomic.Int64
-	selSparse, selDense atomic.Int64
+	ptHits, ptMisses      atomic.Int64
+	drops                 atomic.Int64
+	arenaBytes            atomic.Int64
+	selSparse, selDense   atomic.Int64
+	memResolved, memHavoc atomic.Int64
 }
 
 // AnalyzeSource runs CSSV on a single translation unit given as text.
@@ -296,7 +314,7 @@ type runCounters struct {
 func AnalyzeSource(filename, src string, opts Options) (*Report, error) {
 	start := time.Now()
 	libcCached := !opts.NoLibc && libc.PreludeCached()
-	file, prog, err := parseUnit(filename, src, opts.NoLibc)
+	file, prog, err := parseUnit(filename, src, opts.NoLibc, opts.Target)
 	if err != nil {
 		return nil, err
 	}
@@ -358,6 +376,8 @@ func AnalyzeSource(filename, src string, opts Options) (*Report, error) {
 	rep.Stats.ArenaRecycledBytes = rc.arenaBytes.Load()
 	rep.Stats.SparseZoneSelections = rc.selSparse.Load()
 	rep.Stats.DenseZoneSelections = rc.selDense.Load()
+	rep.Stats.MemberResolved = int(rc.memResolved.Load())
+	rep.Stats.MemberHavocked = int(rc.memHavoc.Load())
 	return rep, nil
 }
 
@@ -417,7 +437,12 @@ func withContract(prog *corec.Program, proc string, ct *cast.Contract) *corec.Pr
 		nf.Contract = ct
 		out.Decls = append(out.Decls, &nf)
 	}
-	return &corec.Program{File: out, Strings: prog.Strings}
+	return &corec.Program{
+		File:        out,
+		Strings:     prog.Strings,
+		Layout:      prog.Layout,
+		AccessPaths: prog.AccessPaths,
+	}
 }
 
 // analyzeProc runs the per-procedure pipeline of Fig. 1. It only reads the
@@ -513,6 +538,8 @@ func analyzeProc(orig *cast.File, prog *corec.Program, name string, opts Options
 	pr.Warnings = res.Warnings
 	pr.IPVars = res.Prog.NumVars()
 	pr.IPSize = res.Prog.Size()
+	rc.memResolved.Add(int64(res.MemberResolved))
+	rc.memHavoc.Add(int64(res.MemberHavocked))
 
 	if cancelled(done) {
 		return nil, errCancelled

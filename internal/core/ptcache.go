@@ -15,16 +15,19 @@ import (
 
 	"repro/internal/cast"
 	"repro/internal/corec"
+	"repro/internal/ctypes"
 	"repro/internal/pointer"
 )
 
-// ptKey identifies a pointer-analysis input: the mode plus a structural
-// hash of the renormalized program (rendered declarations including
-// contracts and bodies, plus the string-literal table). Rendering is
-// deterministic, so structurally equal programs collide on purpose.
+// ptKey identifies a pointer-analysis input: the mode, the layout target
+// (node sizes depend on it), plus a structural hash of the renormalized
+// program (rendered declarations including contracts and bodies, plus the
+// string-literal table). Rendering is deterministic, so structurally equal
+// programs collide on purpose.
 type ptKey struct {
-	mode pointer.Mode
-	hash [sha256.Size]byte
+	mode   pointer.Mode
+	target ctypes.Target
+	hash   [sha256.Size]byte
 }
 
 // ptCacheMax bounds the cache. On overflow the whole map is dropped (a
@@ -57,7 +60,7 @@ func pointerKey(prog *corec.Program, mode pointer.Mode) ptKey {
 		io.WriteString(h, prog.Strings[name])
 		h.Write([]byte{0})
 	}
-	k := ptKey{mode: mode}
+	k := ptKey{mode: mode, target: prog.Layout.Target()}
 	h.Sum(k.hash[:0])
 	return k
 }

@@ -41,13 +41,27 @@ type Program struct {
 	File *cast.File
 	// Strings lists the synthetic globals generated for string literals.
 	Strings StringTable
+	// Layout is the layout engine member lowering used; nil means the
+	// paper's packed 32-bit model (Paper32).
+	Layout *ctypes.Engine
+	// AccessPaths maps the temporaries introduced while lowering member
+	// accesses to the source access path they address (e.g. "__t2" ->
+	// "s.count"), so downstream location naming can speak in field terms.
+	AccessPaths map[string]string
 }
 
-// Normalize lowers every function definition in f to CoreC. The input AST
-// is not modified; prototypes, contracts, globals and struct declarations
-// are carried over.
+// Normalize lowers every function definition in f to CoreC under the packed
+// Paper32 model. The input AST is not modified; prototypes, contracts,
+// globals and struct declarations are carried over.
 func Normalize(f *cast.File) (*Program, error) {
-	n := &normalizer{strings: StringTable{}}
+	return NormalizeWith(f, nil)
+}
+
+// NormalizeWith is Normalize with an explicit layout engine: member offsets
+// and sizeof are folded under the engine's target, and the engine rides on
+// the returned Program for later pipeline phases.
+func NormalizeWith(f *cast.File, layout *ctypes.Engine) (*Program, error) {
+	n := &normalizer{strings: StringTable{}, layout: layout, paths: map[string]string{}}
 	out := &cast.File{Name: f.Name}
 	var stringDecls []cast.Decl
 	for _, d := range f.Decls {
@@ -71,15 +85,15 @@ func Normalize(f *cast.File) (*Program, error) {
 		stringDecls = append(stringDecls, vd)
 	}
 	out.Decls = append(stringDecls, out.Decls...)
-	return &Program{File: out, Strings: n.strings}, nil
+	return &Program{File: out, Strings: n.strings, Layout: layout, AccessPaths: n.paths}, nil
 }
 
 // Renormalize normalizes a file derived from a previously normalized
-// program (e.g. after contract inlining), carrying over the string-literal
-// table: the __strN globals already present in the file keep the contents
-// recorded by the first pass.
+// program (e.g. after contract inlining) under the prior program's layout
+// engine, carrying over the string-literal table: the __strN globals already
+// present in the file keep the contents recorded by the first pass.
 func Renormalize(prior *Program, file *cast.File) (*Program, error) {
-	out, err := Normalize(file)
+	out, err := NormalizeWith(file, prior.Layout)
 	if err != nil {
 		return nil, err
 	}
@@ -88,12 +102,21 @@ func Renormalize(prior *Program, file *cast.File) (*Program, error) {
 			out.Strings[name] = val
 		}
 	}
+	for name, path := range prior.AccessPaths {
+		if _, clash := out.AccessPaths[name]; !clash {
+			out.AccessPaths[name] = path
+		}
+	}
 	return out, nil
 }
 
 type normalizer struct {
 	strings StringTable
 	nstr    int
+	layout  *ctypes.Engine
+	// paths records temp -> source access path for member-address temps,
+	// keyed by "func.temp" to stay unique across functions.
+	paths map[string]string
 }
 
 type funcNorm struct {

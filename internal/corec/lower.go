@@ -315,7 +315,7 @@ func (fn *funcNorm) atom(e cast.Expr) (cast.Expr, error) {
 		c.Name = fn.resolve(x.Name)
 		return &c, nil
 	case *cast.SizeofType:
-		lit := &cast.IntLit{Value: int64(x.Of.Size())}
+		lit := &cast.IntLit{Value: int64(fn.n.layout.SizeOf(x.Of))}
 		lit.P = x.Pos()
 		lit.SetType(ctypes.Int)
 		return lit, nil
@@ -556,7 +556,11 @@ func (fn *funcNorm) addressOf(e cast.Expr) (cast.Expr, error) {
 }
 
 // memberAddr lowers &x.f / &p->f to byte-level pointer arithmetic:
-// t1 = (char*)base; t2 = t1 + offset; t3 = (F*)t2.
+// t1 = (char*)base; t2 = t1 + offset; t3 = (F*)t2. The member's byte offset
+// comes from the program's layout engine, so the same source lowers
+// differently under -target paper32 and -target sysv64. The final temp is
+// recorded in AccessPaths so downstream phases can name the location by its
+// source access path.
 func (fn *funcNorm) memberAddr(m *cast.Member) (cast.Expr, error) {
 	var base cast.Expr
 	var err error
@@ -575,12 +579,12 @@ func (fn *funcNorm) memberAddr(m *cast.Member) (cast.Expr, error) {
 	if !ok {
 		return nil, errf(m.Pos(), "member access on non-struct %v", stTy)
 	}
-	fld := st.Field(m.Name)
-	if fld == nil {
+	fl, ok := fn.n.layout.FieldOffset(st, m.Name)
+	if !ok {
 		return nil, errf(m.Pos(), "no field %q in %s", m.Name, st)
 	}
 	charPtr := ctypes.PointerTo(ctypes.Char)
-	fldPtr := ctypes.PointerTo(fld.Type)
+	fldPtr := ctypes.PointerTo(fl.Type)
 
 	cur := base
 	if !ctypes.Decay(cur.Type()).Equal(charPtr) {
@@ -591,8 +595,8 @@ func (fn *funcNorm) memberAddr(m *cast.Member) (cast.Expr, error) {
 		fn.emitAssign(t1, c, m.Pos())
 		cur = t1
 	}
-	if fld.Offset != 0 {
-		off := &cast.IntLit{Value: int64(fld.Offset)}
+	if fl.Offset != 0 {
+		off := &cast.IntLit{Value: int64(fl.Offset)}
 		off.P = m.Pos()
 		off.SetType(ctypes.Int)
 		t2 := fn.freshTemp(charPtr, m.Pos())
@@ -610,7 +614,40 @@ func (fn *funcNorm) memberAddr(m *cast.Member) (cast.Expr, error) {
 		fn.emitAssign(t3, c, m.Pos())
 		cur = t3
 	}
+	if id, ok := cur.(*cast.Ident); ok && id != base {
+		path := fn.exprPath(m)
+		if fl.Bits > 0 {
+			// Bitfields share a storage unit with their neighbors; the
+			// marker tells C2IP to treat loads and stores through this
+			// temp as value-opaque under a field-sensitive target.
+			path += ":bits"
+		}
+		fn.n.paths[fn.fd.Name+"::"+id.Name] = path
+	}
 	return cur, nil
+}
+
+// exprPath renders the source access path of a member expression, e.g.
+// "s.count" or "p->a[..].b", for location naming. Index expressions are
+// elided to "[..]" — the path names the member, not one element.
+func (fn *funcNorm) exprPath(e cast.Expr) string {
+	switch x := e.(type) {
+	case *cast.Ident:
+		return fn.resolve(x.Name)
+	case *cast.Member:
+		sep := "."
+		if x.Arrow {
+			sep = "->"
+		}
+		return fn.exprPath(x.X) + sep + x.Name
+	case *cast.Index:
+		return fn.exprPath(x.X) + "[..]"
+	case *cast.Unary:
+		if x.Op == cast.Deref {
+			return "*" + fn.exprPath(x.X)
+		}
+	}
+	return "?"
 }
 
 // storeRHS lowers e to an expression allowed on the right of a store:

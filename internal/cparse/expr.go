@@ -252,7 +252,7 @@ func (p *parser) unary() (cast.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		lit := &cast.IntLit{Value: int64(x.Type().Size())}
+		lit := &cast.IntLit{Value: int64(p.sizeOf(x.Type()))}
 		lit.P = t.Pos
 		lit.SetType(ctypes.Int)
 		return lit, nil
@@ -436,6 +436,9 @@ func (p *parser) primary() (cast.Expr, error) {
 		return e, nil
 	case clex.Ident:
 		p.next()
+		if t.Text == "offsetof" && p.peek().Kind == clex.LParen && p.isTypeStart(p.peekN(1)) {
+			return p.offsetofExpr(t.Pos)
+		}
 		e := &cast.Ident{Name: t.Text}
 		e.P = t.Pos
 		if t.Text == ReturnValueName && p.inEnsures {
@@ -466,4 +469,75 @@ func (p *parser) primary() (cast.Expr, error) {
 		return e, nil
 	}
 	return nil, p.errf(t.Pos, "unexpected token %s in expression", t)
+}
+
+// offsetofExpr parses offsetof(type, member-designator) after the "offsetof"
+// identifier and folds it to an integer literal under the run's layout
+// engine. The designator may chain members and constant array indices:
+// offsetof(struct s, a.b[2].c).
+func (p *parser) offsetofExpr(pos clex.Pos) (cast.Expr, error) {
+	if _, err := p.expect(clex.LParen); err != nil {
+		return nil, err
+	}
+	base, err := p.baseType()
+	if err != nil {
+		return nil, err
+	}
+	typ, _, err := p.declarator(base)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(clex.Comma); err != nil {
+		return nil, err
+	}
+	off := 0
+	cur := typ
+	for {
+		name, err := p.expect(clex.Ident)
+		if err != nil {
+			return nil, err
+		}
+		st, ok := cur.(*ctypes.Struct)
+		if !ok {
+			return nil, p.errf(name.Pos, "offsetof: %s is not a struct or union", cur)
+		}
+		fl, found := p.layout.FieldOffset(st, name.Text)
+		if !found {
+			return nil, p.errf(name.Pos, "offsetof: %s has no member %q", st, name.Text)
+		}
+		if fl.Bits > 0 {
+			return nil, p.errf(name.Pos, "offsetof: cannot take the offset of bitfield %q", name.Text)
+		}
+		off += fl.Offset
+		cur = fl.Type
+		for p.accept(clex.LBracket) {
+			idxTok := p.peek()
+			idx, err := p.constExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(clex.RBracket); err != nil {
+				return nil, err
+			}
+			a, isArr := cur.(ctypes.Array)
+			if !isArr {
+				return nil, p.errf(idxTok.Pos, "offsetof: cannot index non-array %s", cur)
+			}
+			if idx < 0 || int(idx) >= a.Len {
+				return nil, p.errf(idxTok.Pos, "offsetof: index %d out of bounds for %s", idx, a)
+			}
+			off += int(idx) * p.sizeOf(a.Elem)
+			cur = a.Elem
+		}
+		if !p.accept(clex.Dot) {
+			break
+		}
+	}
+	if _, err := p.expect(clex.RParen); err != nil {
+		return nil, err
+	}
+	lit := &cast.IntLit{Value: int64(off)}
+	lit.P = pos
+	lit.SetType(ctypes.Int)
+	return lit, nil
 }

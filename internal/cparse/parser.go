@@ -73,7 +73,14 @@ type parser struct {
 	// lastParamNames records the names from the most recently parsed
 	// parameter list, so funcRest can pair them with the function type.
 	lastParamNames []string
+
+	// layout folds sizeof/offsetof and constant expressions under the run's
+	// target data model; nil behaves as the paper's packed 32-bit model.
+	layout *ctypes.Engine
 }
+
+// sizeOf returns the size of t under the parser's layout engine.
+func (p *parser) sizeOf(t ctypes.Type) int { return p.layout.SizeOf(t) }
 
 // ParseFile parses a translation unit. The src is run through the minimal
 // preprocessor (clex.Preprocess) first.
@@ -91,14 +98,18 @@ type NamedSource struct {
 // .h-plus-.c convention): declarations and contracts from earlier files are
 // visible in later ones, and every token keeps its own file's positions.
 func ParseFiles(files []NamedSource) (*cast.File, error) {
+	return parseFilesLayout(files, nil)
+}
+
+func parseFilesLayout(files []NamedSource, layout *ctypes.Engine) (*cast.File, error) {
 	toks, err := tokenizeAll(files)
 	if err != nil {
 		return nil, err
 	}
-	return parseTokens(files[len(files)-1].Name, toks)
+	return parseTokens(files[len(files)-1].Name, toks, layout)
 }
 
-func parseTokens(filename string, toks []clex.Token) (*cast.File, error) {
+func parseTokens(filename string, toks []clex.Token, layout *ctypes.Engine) (*cast.File, error) {
 	g := &scope{vars: map[string]ctypes.Type{}}
 	p := &parser{
 		toks:     toks,
@@ -107,6 +118,7 @@ func parseTokens(filename string, toks []clex.Token) (*cast.File, error) {
 		funcs:    map[string]*cast.FuncDecl{},
 		globals:  g,
 		scope:    g,
+		layout:   layout,
 	}
 	file := &cast.File{Name: filename}
 	for p.peek().Kind != clex.EOF {
@@ -226,7 +238,7 @@ func (p *parser) baseType() (ctypes.Type, error) {
 		// byte-size oriented and the paper's subset only distinguishes
 		// char-sized from word-sized cells.
 		name := ""
-		bytes := ctypes.IntSize
+		isChar := false
 		for {
 			switch p.peek().Kind {
 			case clex.KwLong, clex.KwShort, clex.KwUnsigned, clex.KwSigned, clex.KwInt:
@@ -237,12 +249,12 @@ func (p *parser) baseType() (ctypes.Type, error) {
 				continue
 			case clex.KwChar:
 				p.next()
-				bytes = ctypes.CharSize
+				isChar = true
 				name += " char"
 			}
 			break
 		}
-		if bytes == ctypes.CharSize {
+		if isChar {
 			return ctypes.Char, nil
 		}
 		_ = name
@@ -290,6 +302,25 @@ func (p *parser) structType() (ctypes.Type, error) {
 	}
 	var fields []ctypes.Field
 	for !p.accept(clex.RBrace) {
+		// _Alignas(N) raises the member's alignment under ABI-accurate
+		// targets (it is a no-op in the packed model).
+		alignAs := 0
+		if t := p.peek(); p.accept(clex.KwAlignas) {
+			if _, err := p.expect(clex.LParen); err != nil {
+				return nil, err
+			}
+			n, err := p.constExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(clex.RParen); err != nil {
+				return nil, err
+			}
+			if n < 1 || n&(n-1) != 0 {
+				return nil, p.errf(t.Pos, "_Alignas requires a positive power of two, got %d", n)
+			}
+			alignAs = int(n)
+		}
 		base, err := p.baseType()
 		if err != nil {
 			return nil, err
@@ -299,10 +330,37 @@ func (p *parser) structType() (ctypes.Type, error) {
 			if err != nil {
 				return nil, err
 			}
-			if name == "" {
+			fld := ctypes.Field{Name: name, Type: ft, AlignAs: alignAs}
+			if t := p.peek(); p.accept(clex.Colon) {
+				// Bitfield declarator: member : width.
+				w, err := p.constExpr()
+				if err != nil {
+					return nil, err
+				}
+				if !ctypes.IsInteger(ft) {
+					return nil, p.errf(t.Pos, "bitfield %q requires an integer type, got %s", name, ft)
+				}
+				max := int64(p.sizeOf(ft)) * 8
+				if w < 0 || w > max {
+					return nil, p.errf(t.Pos, "bitfield width %d out of range [0, %d]", w, max)
+				}
+				if w == 0 && name != "" {
+					return nil, p.errf(t.Pos, "zero-width bitfield %q must be anonymous", name)
+				}
+				fld.Bits = int(w)
+				fld.Bitfield = true
+			}
+			if name == "" && !fld.Bitfield {
 				return nil, p.errHere("struct field requires a name")
 			}
-			fields = append(fields, ctypes.Field{Name: name, Type: ft})
+			if name != "" {
+				for i := range fields {
+					if fields[i].Name == name {
+						return nil, p.errHere("duplicate member %q", name)
+					}
+				}
+			}
+			fields = append(fields, fld)
 			if !p.accept(clex.Comma) {
 				break
 			}
@@ -474,26 +532,33 @@ func (p *parser) paramList() ([]cast.Param, bool, []string, error) {
 	return params, variadic, names, nil
 }
 
-// constExpr evaluates a constant integer expression (array sizes).
+// constExpr evaluates a constant integer expression (array sizes) under the
+// parser's layout engine.
 func (p *parser) constExpr() (int64, error) {
 	e, err := p.ternary()
 	if err != nil {
 		return 0, err
 	}
-	v, ok := FoldConst(e)
+	v, ok := FoldConstWith(e, p.layout)
 	if !ok {
 		return 0, p.errf(e.Pos(), "expected constant expression")
 	}
 	return v, nil
 }
 
-// FoldConst evaluates integer constant expressions.
-func FoldConst(e cast.Expr) (int64, bool) {
+// FoldConst evaluates integer constant expressions under the paper's packed
+// 32-bit model.
+func FoldConst(e cast.Expr) (int64, bool) { return FoldConstWith(e, nil) }
+
+// FoldConstWith evaluates integer constant expressions, folding sizeof via
+// the given layout engine (nil means the packed Paper32 model).
+func FoldConstWith(e cast.Expr, layout *ctypes.Engine) (int64, bool) {
+	FoldConst := func(e cast.Expr) (int64, bool) { return FoldConstWith(e, layout) }
 	switch e := e.(type) {
 	case *cast.IntLit:
 		return e.Value, true
 	case *cast.SizeofType:
-		return int64(e.Of.Size()), true
+		return int64(layout.SizeOf(e.Of)), true
 	case *cast.Unary:
 		v, ok := FoldConst(e.X)
 		if !ok {

@@ -63,8 +63,15 @@ func ParsePrelude(name, src string) (*Prelude, error) {
 // returned file starts with the prelude's declarations (shared, not
 // re-parsed). A nil prelude makes it equivalent to ParseFiles.
 func ParseFilesWith(pre *Prelude, files []NamedSource) (*cast.File, error) {
+	return ParseFilesWithLayout(pre, files, nil)
+}
+
+// ParseFilesWithLayout is ParseFilesWith with an explicit layout engine used
+// to fold sizeof/offsetof and validate bitfields under the run's target data
+// model. A nil engine behaves as the packed Paper32 model.
+func ParseFilesWithLayout(pre *Prelude, files []NamedSource, layout *ctypes.Engine) (*cast.File, error) {
 	if pre == nil {
-		return ParseFiles(files)
+		return parseFilesLayout(files, layout)
 	}
 	toks, err := tokenizeAll(files)
 	if err != nil {
@@ -80,6 +87,7 @@ func ParseFilesWith(pre *Prelude, files []NamedSource) (*cast.File, error) {
 		funcs:    copyMap(pre.funcs),
 		globals:  g,
 		scope:    g,
+		layout:   layout,
 	}
 	file := &cast.File{Name: files[len(files)-1].Name}
 	file.Decls = append(make([]cast.Decl, 0, len(pre.file.Decls)+16), pre.file.Decls...)

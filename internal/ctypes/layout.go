@@ -1,0 +1,344 @@
+// Object layout: target-parameterized size/alignment/offset computation.
+//
+// The paper's semantics only needs the packed 32-bit model baked into
+// Type.Size and Struct.SetFields. Real C code depends on the platform ABI:
+// alignment padding between members, tail padding, 8-byte pointers, and
+// bitfield storage-unit packing. The Engine computes all of that per run
+// without ever mutating a Struct — struct objects are interned by the parser
+// and shared across runs (the libc prelude is parsed once per process), so
+// layouts for a given target live in a memo table on the Engine instead.
+package ctypes
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Target selects the data model used for layout computation.
+type Target int
+
+const (
+	// Paper32 is the paper's packed 32-bit model (§2.4): char 1, int 4,
+	// pointer 4, no alignment padding, union members at offset 0. It
+	// reproduces Type.Size and Struct.SetFields bit for bit.
+	Paper32 Target = iota
+	// SysV64 is the System V AMD64 data model: char 1/1, int 4/4,
+	// pointer 8/8, natural field alignment with struct and tail padding,
+	// and bitfields packed into storage units of their declared type.
+	SysV64
+)
+
+func (t Target) String() string {
+	switch t {
+	case Paper32:
+		return "paper32"
+	case SysV64:
+		return "sysv64"
+	}
+	return fmt.Sprintf("Target(%d)", int(t))
+}
+
+// ParseTarget parses a -target flag value.
+func ParseTarget(s string) (Target, error) {
+	switch s {
+	case "", "paper32":
+		return Paper32, nil
+	case "sysv64":
+		return SysV64, nil
+	}
+	return Paper32, fmt.Errorf("unknown target %q (want paper32 or sysv64)", s)
+}
+
+// FieldLayout is the computed placement of one struct/union member.
+type FieldLayout struct {
+	Name      string
+	Type      Type
+	Offset    int // byte offset of the member's storage unit
+	Size      int // byte size of the member's storage (storage unit for bitfields)
+	Align     int // alignment the member was placed at
+	Bits      int // bitfield width; 0 for ordinary members
+	BitOffset int // bit offset within the storage unit (bitfields only)
+}
+
+// Layout is the computed object layout of a struct or union under one target.
+type Layout struct {
+	Size   int // total object size including tail padding
+	Align  int // object alignment
+	Union  bool
+	Fields []FieldLayout
+}
+
+// Interval returns the half-open byte interval [lo, hi) occupied by field i.
+func (l *Layout) Interval(i int) (lo, hi int) {
+	f := &l.Fields[i]
+	return f.Offset, f.Offset + f.Size
+}
+
+// Overlapping returns the indices of fields whose byte intervals intersect
+// that of field i, excluding i itself. For structs this is empty except for
+// bitfields sharing a storage unit; for unions it names the members a write
+// through member i can clobber.
+func (l *Layout) Overlapping(i int) []int {
+	lo, hi := l.Interval(i)
+	var out []int
+	for j := range l.Fields {
+		if j == i {
+			continue
+		}
+		jlo, jhi := l.Interval(j)
+		if lo < jhi && jlo < hi {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// FieldIndex returns the index of the field named name, or -1.
+func (l *Layout) FieldIndex(name string) int {
+	for i := range l.Fields {
+		if l.Fields[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Engine computes layouts for one target. It is safe for concurrent use; a
+// nil *Engine behaves as a Paper32 engine, so callers that predate the layout
+// subsystem keep working unchanged.
+type Engine struct {
+	target Target
+
+	mu   sync.Mutex
+	memo map[*Struct]*Layout
+}
+
+// NewEngine returns a layout engine for the given target.
+func NewEngine(target Target) *Engine {
+	return &Engine{target: target, memo: make(map[*Struct]*Layout)}
+}
+
+// Target reports the engine's target (Paper32 for a nil engine).
+func (e *Engine) Target() Target {
+	if e == nil {
+		return Paper32
+	}
+	return e.target
+}
+
+// FieldSensitive reports whether the engine provides layouts finer than the
+// paper's packed model, enabling the field-sensitive store transfer and
+// access-path location naming downstream.
+func (e *Engine) FieldSensitive() bool { return e.Target() != Paper32 }
+
+// SizeOf returns the storage size of t in bytes under the engine's target.
+func (e *Engine) SizeOf(t Type) int {
+	if e.Target() == Paper32 {
+		return t.Size()
+	}
+	switch t := t.(type) {
+	case Void:
+		return 0
+	case Prim:
+		return t.Bytes
+	case Pointer:
+		return 8
+	case Array:
+		return e.SizeOf(t.Elem) * t.Len
+	case *Struct:
+		return e.LayoutOf(t).Size
+	case *Func:
+		return 0
+	}
+	return t.Size()
+}
+
+// AlignOf returns the alignment requirement of t under the engine's target.
+// The packed Paper32 model has no alignment, so everything aligns at 1.
+func (e *Engine) AlignOf(t Type) int {
+	if e.Target() == Paper32 {
+		return 1
+	}
+	switch t := t.(type) {
+	case Prim:
+		if t.Bytes > 8 {
+			return 8
+		}
+		if t.Bytes < 1 {
+			return 1
+		}
+		return t.Bytes
+	case Pointer:
+		return 8
+	case Array:
+		return e.AlignOf(t.Elem)
+	case *Struct:
+		return e.LayoutOf(t).Align
+	}
+	return 1
+}
+
+// LayoutOf returns the layout of s under the engine's target. Layouts are
+// memoized per struct object; the struct itself is never mutated.
+func (e *Engine) LayoutOf(s *Struct) *Layout {
+	if e == nil {
+		return paper32Layout(s)
+	}
+	if len(s.Fields) == 0 {
+		// Forward-declared struct whose definition may still arrive: don't
+		// memoize the empty layout, or the completed definition would keep
+		// reading a stale one.
+		if e.target == Paper32 {
+			return paper32Layout(s)
+		}
+		return sysv64Layout(e, s)
+	}
+	e.mu.Lock()
+	if l, ok := e.memo[s]; ok {
+		e.mu.Unlock()
+		return l
+	}
+	e.mu.Unlock()
+
+	// Compute outside the lock: nested struct fields recurse into LayoutOf
+	// and the mutex is not reentrant. A concurrent duplicate computation is
+	// benign; both produce identical layouts.
+	var l *Layout
+	if e.target == Paper32 {
+		l = paper32Layout(s)
+	} else {
+		l = sysv64Layout(e, s)
+	}
+	e.mu.Lock()
+	if prior, ok := e.memo[s]; ok {
+		l = prior
+	} else {
+		e.memo[s] = l
+	}
+	e.mu.Unlock()
+	return l
+}
+
+// FieldOffset returns the placement of the member named name within s, under
+// the engine's target.
+func (e *Engine) FieldOffset(s *Struct, name string) (FieldLayout, bool) {
+	l := e.LayoutOf(s)
+	if i := l.FieldIndex(name); i >= 0 {
+		return l.Fields[i], true
+	}
+	return FieldLayout{}, false
+}
+
+// paper32Layout mirrors the offsets Struct.SetFields already computed, so
+// the Paper32 engine is exactly the legacy packed model.
+func paper32Layout(s *Struct) *Layout {
+	l := &Layout{Size: s.ByteLen, Align: 1, Union: s.Union}
+	for i := range s.Fields {
+		f := &s.Fields[i]
+		if f.IsPad() {
+			continue
+		}
+		l.Fields = append(l.Fields, FieldLayout{
+			Name:   f.Name,
+			Type:   f.Type,
+			Offset: f.Offset,
+			Size:   f.Type.Size(),
+			Align:  1,
+			Bits:   f.Bits,
+		})
+	}
+	return l
+}
+
+// sysv64Layout lays s out under the System V AMD64 rules: each member is
+// placed at the next offset aligned to its requirement, bitfields are packed
+// into storage units of their declared type and may not cross a unit
+// boundary, a zero-width bitfield closes the current unit, and the total
+// size is rounded up to the struct alignment (tail padding).
+func sysv64Layout(e *Engine, s *Struct) *Layout {
+	l := &Layout{Align: 1, Union: s.Union}
+	if s.Union {
+		for i := range s.Fields {
+			f := &s.Fields[i]
+			if f.IsPad() {
+				continue
+			}
+			sz := e.SizeOf(f.Type)
+			al := fieldAlign(e, f)
+			l.Fields = append(l.Fields, FieldLayout{
+				Name: f.Name, Type: f.Type, Offset: 0, Size: sz, Align: al, Bits: f.Bits,
+			})
+			if sz > l.Size {
+				l.Size = sz
+			}
+			if al > l.Align {
+				l.Align = al
+			}
+		}
+		l.Size = roundUp(l.Size, l.Align)
+		return l
+	}
+
+	bitPos := 0 // running position in bits from the start of the struct
+	for i := range s.Fields {
+		f := &s.Fields[i]
+		al := fieldAlign(e, f)
+		if f.Bitfield {
+			sz := e.SizeOf(f.Type)
+			unitBits := sz * 8
+			if f.IsPad() {
+				// Zero-width: close the current storage unit of the
+				// declared type. Contributes no alignment or storage.
+				bitPos = roundUp(bitPos, unitBits)
+				continue
+			}
+			if al > l.Align {
+				l.Align = al
+			}
+			// A bitfield may not straddle a storage-unit boundary of its
+			// declared type: if the remaining room in the current unit is
+			// too small, start the next unit.
+			if bitPos%unitBits+f.Bits > unitBits {
+				bitPos = roundUp(bitPos, unitBits)
+			}
+			unitStart := bitPos / unitBits * sz
+			l.Fields = append(l.Fields, FieldLayout{
+				Name:      f.Name,
+				Type:      f.Type,
+				Offset:    unitStart,
+				Size:      sz,
+				Align:     al,
+				Bits:      f.Bits,
+				BitOffset: bitPos - unitStart*8,
+			})
+			bitPos += f.Bits
+			continue
+		}
+		off := roundUp((bitPos+7)/8, al)
+		sz := e.SizeOf(f.Type)
+		l.Fields = append(l.Fields, FieldLayout{
+			Name: f.Name, Type: f.Type, Offset: off, Size: sz, Align: al,
+		})
+		if al > l.Align {
+			l.Align = al
+		}
+		bitPos = (off + sz) * 8
+	}
+	l.Size = roundUp((bitPos+7)/8, l.Align)
+	return l
+}
+
+func fieldAlign(e *Engine, f *Field) int {
+	al := e.AlignOf(f.Type)
+	if f.AlignAs > al {
+		al = f.AlignAs
+	}
+	return al
+}
+
+func roundUp(n, align int) int {
+	if align <= 1 {
+		return n
+	}
+	return (n + align - 1) / align * align
+}

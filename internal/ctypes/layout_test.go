@@ -1,0 +1,315 @@
+package ctypes
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func mkStruct(tag string, union bool, fields ...Field) *Struct {
+	s := &Struct{Tag: tag, Union: union}
+	s.SetFields(fields)
+	return s
+}
+
+func renderLayout(l *Layout) string {
+	var b strings.Builder
+	kind := "struct"
+	if l.Union {
+		kind = "union"
+	}
+	fmt.Fprintf(&b, "%s size=%d align=%d\n", kind, l.Size, l.Align)
+	for i := range l.Fields {
+		f := &l.Fields[i]
+		if f.Bits > 0 {
+			fmt.Fprintf(&b, "  %-8s off=%d size=%d align=%d bits=%d bitoff=%d\n",
+				f.Name, f.Offset, f.Size, f.Align, f.Bits, f.BitOffset)
+		} else {
+			fmt.Fprintf(&b, "  %-8s off=%d size=%d align=%d\n", f.Name, f.Offset, f.Size, f.Align)
+		}
+	}
+	return b.String()
+}
+
+// Golden layout tables for both targets: padding, tail padding, unions,
+// bitfield packing and straddling, _Alignas, and nested structs.
+func TestLayoutGolden(t *testing.T) {
+	point := mkStruct("point", false,
+		Field{Name: "tag", Type: Char},
+		Field{Name: "x", Type: Int},
+		Field{Name: "y", Type: Int},
+	)
+	pkt := mkStruct("pkt", false,
+		Field{Name: "name", Type: Array{Elem: Char, Len: 8}},
+		Field{Name: "count", Type: Int},
+	)
+	tail := mkStruct("tail", false,
+		Field{Name: "n", Type: Int},
+		Field{Name: "c", Type: Char},
+	)
+	ptrs := mkStruct("ptrs", false,
+		Field{Name: "c", Type: Char},
+		Field{Name: "p", Type: PointerTo(Char)},
+		Field{Name: "d", Type: Char},
+	)
+	u := mkStruct("u", true,
+		Field{Name: "tag", Type: Array{Elem: Char, Len: 4}},
+		Field{Name: "v", Type: Int},
+		Field{Name: "p", Type: PointerTo(Char)},
+	)
+	bits := mkStruct("bits", false,
+		Field{Name: "a", Type: Int, Bits: 3, Bitfield: true},
+		Field{Name: "b", Type: Int, Bits: 5, Bitfield: true},
+		Field{Name: "c", Type: Int, Bits: 30, Bitfield: true}, // straddles: pushed to unit 2
+		Field{Name: "d", Type: Char},
+	)
+	bitpad := mkStruct("bitpad", false,
+		Field{Name: "a", Type: Int, Bits: 3, Bitfield: true},
+		Field{Type: Int, Bits: 0, Bitfield: true}, // zero-width: closes the unit
+		Field{Name: "b", Type: Int, Bits: 3, Bitfield: true},
+	)
+	aligned := mkStruct("aligned", false,
+		Field{Name: "c", Type: Char},
+		Field{Name: "buf", Type: Array{Elem: Char, Len: 3}, AlignAs: 8},
+	)
+	nested := mkStruct("nested", false,
+		Field{Name: "c", Type: Char},
+		Field{Name: "in", Type: point},
+	)
+
+	cases := []struct {
+		s      *Struct
+		target Target
+		want   string
+	}{
+		{point, Paper32, "struct size=9 align=1\n  tag      off=0 size=1 align=1\n  x        off=1 size=4 align=1\n  y        off=5 size=4 align=1\n"},
+		{point, SysV64, "struct size=12 align=4\n  tag      off=0 size=1 align=1\n  x        off=4 size=4 align=4\n  y        off=8 size=4 align=4\n"},
+		{pkt, Paper32, "struct size=12 align=1\n  name     off=0 size=8 align=1\n  count    off=8 size=4 align=1\n"},
+		{pkt, SysV64, "struct size=12 align=4\n  name     off=0 size=8 align=1\n  count    off=8 size=4 align=4\n"},
+		{tail, Paper32, "struct size=5 align=1\n  n        off=0 size=4 align=1\n  c        off=4 size=1 align=1\n"},
+		// Tail padding: 3 bytes after c to round the size up to align 4.
+		{tail, SysV64, "struct size=8 align=4\n  n        off=0 size=4 align=4\n  c        off=4 size=1 align=1\n"},
+		{ptrs, Paper32, "struct size=6 align=1\n  c        off=0 size=1 align=1\n  p        off=1 size=4 align=1\n  d        off=5 size=1 align=1\n"},
+		{ptrs, SysV64, "struct size=24 align=8\n  c        off=0 size=1 align=1\n  p        off=8 size=8 align=8\n  d        off=16 size=1 align=1\n"},
+		{u, Paper32, "union size=4 align=1\n  tag      off=0 size=4 align=1\n  v        off=0 size=4 align=1\n  p        off=0 size=4 align=1\n"},
+		{u, SysV64, "union size=8 align=8\n  tag      off=0 size=4 align=1\n  v        off=0 size=4 align=4\n  p        off=0 size=8 align=8\n"},
+		// Packed model: each named bitfield occupies its declared type's size.
+		{bits, Paper32, "struct size=13 align=1\n  a        off=0 size=4 align=1 bits=3 bitoff=0\n  b        off=4 size=4 align=1 bits=5 bitoff=0\n  c        off=8 size=4 align=1 bits=30 bitoff=0\n  d        off=12 size=1 align=1\n"},
+		// SysV: a and b share unit 0; c (30 bits) cannot start at bit 8
+		// without straddling, so it opens unit 1; d follows at byte 8.
+		{bits, SysV64, "struct size=12 align=4\n  a        off=0 size=4 align=4 bits=3 bitoff=0\n  b        off=0 size=4 align=4 bits=5 bitoff=3\n  c        off=4 size=4 align=4 bits=30 bitoff=0\n  d        off=8 size=1 align=1\n"},
+		{bitpad, Paper32, "struct size=8 align=1\n  a        off=0 size=4 align=1 bits=3 bitoff=0\n  b        off=4 size=4 align=1 bits=3 bitoff=0\n"},
+		{bitpad, SysV64, "struct size=8 align=4\n  a        off=0 size=4 align=4 bits=3 bitoff=0\n  b        off=4 size=4 align=4 bits=3 bitoff=0\n"},
+		{aligned, Paper32, "struct size=4 align=1\n  c        off=0 size=1 align=1\n  buf      off=1 size=3 align=1\n"},
+		{aligned, SysV64, "struct size=16 align=8\n  c        off=0 size=1 align=1\n  buf      off=8 size=3 align=8\n"},
+		{nested, Paper32, "struct size=10 align=1\n  c        off=0 size=1 align=1\n  in       off=1 size=9 align=1\n"},
+		{nested, SysV64, "struct size=16 align=4\n  c        off=0 size=1 align=1\n  in       off=4 size=12 align=4\n"},
+	}
+	for _, tc := range cases {
+		e := NewEngine(tc.target)
+		got := renderLayout(e.LayoutOf(tc.s))
+		if got != tc.want {
+			t.Errorf("%s under %s:\ngot:\n%swant:\n%s", tc.s, tc.target, got, tc.want)
+		}
+	}
+}
+
+func TestEngineSizeAlign(t *testing.T) {
+	p32 := NewEngine(Paper32)
+	s64 := NewEngine(SysV64)
+	cases := []struct {
+		t                Type
+		size32, size64   int
+		align32, align64 int
+	}{
+		{Char, 1, 1, 1, 1},
+		{Int, 4, 4, 1, 4},
+		{PointerTo(Char), 4, 8, 1, 8},
+		{Array{Elem: Int, Len: 3}, 12, 12, 1, 4},
+		{Array{Elem: PointerTo(Char), Len: 2}, 8, 16, 1, 8},
+		{Void{}, 0, 0, 1, 1},
+	}
+	for _, tc := range cases {
+		if got := p32.SizeOf(tc.t); got != tc.size32 {
+			t.Errorf("paper32 SizeOf(%s) = %d, want %d", tc.t, got, tc.size32)
+		}
+		if got := s64.SizeOf(tc.t); got != tc.size64 {
+			t.Errorf("sysv64 SizeOf(%s) = %d, want %d", tc.t, got, tc.size64)
+		}
+		if got := p32.AlignOf(tc.t); got != tc.align32 {
+			t.Errorf("paper32 AlignOf(%s) = %d, want %d", tc.t, got, tc.align32)
+		}
+		if got := s64.AlignOf(tc.t); got != tc.align64 {
+			t.Errorf("sysv64 AlignOf(%s) = %d, want %d", tc.t, got, tc.align64)
+		}
+	}
+}
+
+func TestNilEngineIsPaper32(t *testing.T) {
+	var e *Engine
+	s := mkStruct("s", false, Field{Name: "c", Type: Char}, Field{Name: "n", Type: Int})
+	if e.Target() != Paper32 || e.FieldSensitive() {
+		t.Fatalf("nil engine: Target=%v FieldSensitive=%v", e.Target(), e.FieldSensitive())
+	}
+	if got := e.SizeOf(s); got != s.Size() {
+		t.Fatalf("nil engine SizeOf = %d, want %d", got, s.Size())
+	}
+	l := e.LayoutOf(s)
+	if l.Size != s.ByteLen || l.Fields[1].Offset != s.Fields[1].Offset {
+		t.Fatalf("nil engine layout %+v disagrees with packed struct", l)
+	}
+}
+
+func TestUnionOverlap(t *testing.T) {
+	u := mkStruct("u", true,
+		Field{Name: "tag", Type: Array{Elem: Char, Len: 4}},
+		Field{Name: "v", Type: Int},
+		Field{Name: "p", Type: PointerTo(Char)},
+	)
+	l := NewEngine(SysV64).LayoutOf(u)
+	// Every member starts at 0, so all pairs overlap.
+	for i := range l.Fields {
+		if got := len(l.Overlapping(i)); got != 2 {
+			t.Errorf("union member %d overlaps %d others, want 2", i, got)
+		}
+	}
+	// Struct members never overlap (bitfields in distinct units).
+	s := mkStruct("s", false,
+		Field{Name: "a", Type: Int},
+		Field{Name: "b", Type: Int},
+	)
+	ls := NewEngine(SysV64).LayoutOf(s)
+	if got := l.FieldIndex("v"); got != 1 {
+		t.Errorf("FieldIndex(v) = %d", got)
+	}
+	if n := len(ls.Overlapping(0)); n != 0 {
+		t.Errorf("struct members overlap: %d", n)
+	}
+	// Bitfields sharing a storage unit do overlap.
+	bf := mkStruct("bf", false,
+		Field{Name: "a", Type: Int, Bits: 3, Bitfield: true},
+		Field{Name: "b", Type: Int, Bits: 5, Bitfield: true},
+	)
+	lb := NewEngine(SysV64).LayoutOf(bf)
+	if n := len(lb.Overlapping(0)); n != 1 {
+		t.Errorf("bitfields in one unit should overlap, got %d", n)
+	}
+}
+
+func TestParseTarget(t *testing.T) {
+	if tg, err := ParseTarget(""); err != nil || tg != Paper32 {
+		t.Errorf("ParseTarget(\"\") = %v, %v", tg, err)
+	}
+	if tg, err := ParseTarget("sysv64"); err != nil || tg != SysV64 {
+		t.Errorf("ParseTarget(sysv64) = %v, %v", tg, err)
+	}
+	if _, err := ParseTarget("ilp32"); err == nil {
+		t.Errorf("ParseTarget(ilp32) should fail")
+	}
+}
+
+func TestStructEqualLayout(t *testing.T) {
+	a := mkStruct("s", false, Field{Name: "x", Type: Int}, Field{Name: "y", Type: Char})
+	b := mkStruct("s", false, Field{Name: "x", Type: Int}, Field{Name: "y", Type: Char})
+	c := mkStruct("s", false, Field{Name: "x", Type: Int}, Field{Name: "z", Type: Char})
+	d := mkStruct("s", false, Field{Name: "x", Type: Int}, Field{Name: "y", Type: Int})
+	if !a.Equal(b) {
+		t.Errorf("identical layouts should compare equal")
+	}
+	if a.Equal(c) || a.Equal(d) {
+		t.Errorf("redeclarations with different field lists must not compare equal")
+	}
+	// Self-referential structs must terminate.
+	list := &Struct{Tag: "list"}
+	list.SetFields([]Field{{Name: "v", Type: Int}, {Name: "next", Type: PointerTo(list)}})
+	list2 := &Struct{Tag: "list"}
+	list2.SetFields([]Field{{Name: "v", Type: Int}, {Name: "next", Type: PointerTo(list2)}})
+	if !list.Equal(list2) {
+		t.Errorf("structurally identical recursive structs should compare equal")
+	}
+	un := mkStruct("s", true, Field{Name: "x", Type: Int}, Field{Name: "y", Type: Char})
+	if a.Equal(un) {
+		t.Errorf("struct and union with the same tag must differ")
+	}
+}
+
+// decodeFields turns fuzz bytes into a deterministic field list: each byte
+// picks a type/bitfield shape. Mirrors the grammar the parser can produce.
+func decodeFields(data []byte) []Field {
+	var fields []Field
+	for i, b := range data {
+		if i >= 12 {
+			break
+		}
+		name := fmt.Sprintf("f%d", i)
+		switch b % 6 {
+		case 0:
+			fields = append(fields, Field{Name: name, Type: Char})
+		case 1:
+			fields = append(fields, Field{Name: name, Type: Int})
+		case 2:
+			fields = append(fields, Field{Name: name, Type: PointerTo(Char)})
+		case 3:
+			fields = append(fields, Field{Name: name, Type: Array{Elem: Char, Len: int(b%7) + 1}})
+		case 4:
+			fields = append(fields, Field{Name: name, Type: Int, Bits: int(b%31) + 1, Bitfield: true})
+		case 5:
+			fields = append(fields, Field{Type: Int, Bitfield: true}) // zero-width pad
+		}
+	}
+	return fields
+}
+
+func FuzzLayout(f *testing.F) {
+	f.Add([]byte{0, 1, 2}, false)
+	f.Add([]byte{4, 4, 4, 5, 4}, false)
+	f.Add([]byte{1, 0, 2, 3}, true)
+	f.Add([]byte{3, 4, 0, 1, 2, 5, 4, 3}, false)
+	f.Fuzz(func(t *testing.T, data []byte, union bool) {
+		fields := decodeFields(data)
+		s := &Struct{Tag: "fz", Union: union}
+		s.SetFields(fields)
+		for _, target := range []Target{Paper32, SysV64} {
+			e := NewEngine(target)
+			l := e.LayoutOf(s)
+			if l.Align < 1 {
+				t.Fatalf("%s: align %d < 1", target, l.Align)
+			}
+			if l.Size%l.Align != 0 {
+				t.Fatalf("%s: size %d not a multiple of align %d", target, l.Size, l.Align)
+			}
+			for i := range l.Fields {
+				fl := &l.Fields[i]
+				if fl.Offset < 0 || fl.Offset+fl.Size > l.Size {
+					t.Fatalf("%s: field %s [%d,%d) escapes size %d", target, fl.Name, fl.Offset, fl.Offset+fl.Size, l.Size)
+				}
+				if fl.Align >= 1 && fl.Offset%fl.Align != 0 {
+					t.Fatalf("%s: field %s offset %d not aligned to %d", target, fl.Name, fl.Offset, fl.Align)
+				}
+				if fl.Bits > 0 && fl.BitOffset+fl.Bits > fl.Size*8 {
+					t.Fatalf("%s: bitfield %s escapes its storage unit", target, fl.Name)
+				}
+				if union && fl.Offset != 0 {
+					t.Fatalf("%s: union member %s at offset %d", target, fl.Name, fl.Offset)
+				}
+			}
+			// Paper32 must mirror the packed struct exactly.
+			if target == Paper32 {
+				if l.Size != s.ByteLen {
+					t.Fatalf("paper32 size %d != packed ByteLen %d", l.Size, s.ByteLen)
+				}
+				j := 0
+				for i := range s.Fields {
+					if s.Fields[i].IsPad() {
+						continue
+					}
+					if l.Fields[j].Offset != s.Fields[i].Offset {
+						t.Fatalf("paper32 field %s offset %d != packed %d",
+							s.Fields[i].Name, l.Fields[j].Offset, s.Fields[i].Offset)
+					}
+					j++
+				}
+			}
+		}
+	})
+}

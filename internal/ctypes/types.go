@@ -118,10 +118,18 @@ func IsArray(t Type) bool {
 
 // Field is a struct or union member.
 type Field struct {
-	Name   string
-	Type   Type
-	Offset int // byte offset within the struct (0 for all union members)
+	Name     string
+	Type     Type
+	Offset   int  // byte offset within the struct (0 for all union members)
+	Bits     int  // declared bitfield width (meaningful when Bitfield is set)
+	Bitfield bool // member was declared with a `: width` suffix
+	AlignAs  int  // _Alignas(N) override, 0 when absent
 }
+
+// IsPad reports whether f is an anonymous zero-width bitfield, which
+// occupies no storage of its own but forces alignment under ABI-accurate
+// targets.
+func (f *Field) IsPad() bool { return f.Bitfield && f.Name == "" }
 
 // Struct is a struct or union type. Structs compare by tag name so that
 // recursive types (linked lists) terminate.
@@ -157,10 +165,29 @@ func (s *Struct) Equal(t Type) bool {
 	if !ok {
 		return false
 	}
-	if s.Tag != "" || q.Tag != "" {
-		return s.Tag == q.Tag && s.Union == q.Union
+	if s == q {
+		return true
 	}
-	return s == q
+	// Distinct objects compare equal only when their layouts agree under the
+	// active model: same tag/kind and, field by field, the same name, offset,
+	// storage size, and bitfield shape. Field types are compared by their
+	// printed form rather than Equal to keep self-referential structs
+	// (struct list { struct list *next; }) from recursing: String() stops at
+	// the tag.
+	if s.Tag != q.Tag || s.Union != q.Union || s.ByteLen != q.ByteLen || len(s.Fields) != len(q.Fields) {
+		return false
+	}
+	for i := range s.Fields {
+		f, g := &s.Fields[i], &q.Fields[i]
+		if f.Name != g.Name || f.Offset != g.Offset ||
+			f.Bitfield != g.Bitfield || f.Bits != g.Bits || f.AlignAs != g.AlignAs {
+			return false
+		}
+		if f.Type.Size() != g.Type.Size() || f.Type.String() != g.Type.String() {
+			return false
+		}
+	}
+	return true
 }
 
 // Field returns the field named name, or nil.
@@ -173,18 +200,27 @@ func (s *Struct) Field(name string) *Field {
 	return nil
 }
 
-// SetFields installs the member list and computes offsets and total size.
+// SetFields installs the member list and computes offsets and total size
+// under the paper's packed model: members are laid out back to back with no
+// padding, union members all start at offset 0. Named bitfields occupy their
+// declared type's full storage here (the packed model has no sub-byte
+// packing); anonymous zero-width bitfields occupy nothing. ABI-accurate
+// layouts are computed separately by an Engine and never mutate the struct.
 func (s *Struct) SetFields(fields []Field) {
 	off := 0
 	maxSize := 0
 	for i := range fields {
+		sz := fields[i].Type.Size()
+		if fields[i].IsPad() {
+			sz = 0
+		}
 		if s.Union {
 			fields[i].Offset = 0
 		} else {
 			fields[i].Offset = off
-			off += fields[i].Type.Size()
+			off += sz
 		}
-		if sz := fields[i].Type.Size(); sz > maxSize {
+		if sz > maxSize {
 			maxSize = sz
 		}
 	}

@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// layoutHome is the package that owns object-layout facts. Since the
+// layout engine made size, alignment, and field offsets target-dependent
+// (paper32 vs sysv64), any other package that spells a layout fact out —
+// the packed-model constants or the natural-size Size method — computes
+// with one target's numbers no matter which target the run selected.
+var layoutHome = ModulePath + "/internal/ctypes"
+
+// layoutConsts are the packed 32-bit model's named sizes. They remain
+// exported for the engine's own paper32 computation and for tests, but
+// analysis code must ask the engine.
+var layoutConsts = map[string]bool{
+	"CharSize":    true,
+	"IntSize":     true,
+	"PointerSize": true,
+}
+
+// Layoutconst keeps object layout single-sourced: outside
+// repro/internal/ctypes (and outside test files, which pin golden
+// numbers), code must obtain sizes, alignments, and offsets from the
+// layout engine (Engine.SizeOf/AlignOf/LayoutOf/FieldOffset) rather
+// than from the packed-model constants or the Type.Size method. A
+// hardcoded layout fact is invisible to -target and silently reverts
+// that code path to the paper's packed 32-bit model.
+var Layoutconst = &Analyzer{
+	Name: "layoutconst",
+	Doc:  "layout facts (sizes, offsets, alignment) come from the ctypes layout engine, not hardcoded constants",
+	Run:  runLayoutconst,
+}
+
+func runLayoutconst(pass *Pass) error {
+	if !inModuleScope(pass.Path) || strings.TrimSuffix(pass.Path, "_test") == layoutHome {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		// Resolve the file-local name of the ctypes package, if imported.
+		ctypesName := ""
+		for _, imp := range f.Imports {
+			if strings.Trim(imp.Path.Value, `"`) == layoutHome {
+				ctypesName = "ctypes"
+				if imp.Name != nil {
+					ctypesName = imp.Name.Name
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				if pkg, ok := x.X.(*ast.Ident); ok && ctypesName != "" &&
+					pkg.Name == ctypesName && layoutConsts[x.Sel.Name] {
+					pass.Report(x.Pos(),
+						"packed-model constant %s.%s outside the layout engine: sizes are target-dependent, ask Engine.SizeOf", ctypesName, x.Sel.Name)
+					return false
+				}
+			case *ast.CallExpr:
+				sel, ok := x.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Size" || len(x.Args) != 0 {
+					return true
+				}
+				if layoutSizeReceiver(pass, ctypesName, sel.X) {
+					pass.Report(x.Pos(),
+						"Type.Size() outside the layout engine computes the packed natural size: ask Engine.SizeOf so -target sysv64 sees ABI sizes")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// layoutSizeReceiver reports whether the receiver of a .Size() call is a
+// ctypes type. Type information decides when available (the whole-module
+// run always has it); under the lenient fixture loader, where ctypes
+// resolves to a placeholder, a receiver expression syntactically rooted
+// at the ctypes import (ctypes.Char.Size()) is recognized as a fallback.
+func layoutSizeReceiver(pass *Pass, ctypesName string, recv ast.Expr) bool {
+	if tv, ok := pass.TypesInfo.Types[recv]; ok && tv.Type != nil {
+		t := tv.Type
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		if named, isNamed := t.(*types.Named); isNamed {
+			obj := named.Obj()
+			return obj.Pkg() != nil && obj.Pkg().Path() == layoutHome
+		}
+		if !isInvalidType(t) {
+			return false
+		}
+	}
+	if ctypesName == "" {
+		return false
+	}
+	id, ok := leftmostIdent(recv)
+	return ok && id.Name == ctypesName
+}
+
+func isInvalidType(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.Invalid
+}
+
+// leftmostIdent walks selector/call/index chains to the root identifier
+// of an expression (ctypes.Decay(t).Size() roots at ctypes).
+func leftmostIdent(e ast.Expr) (*ast.Ident, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x, true
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.CallExpr:
+			e = x.Fun
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil, false
+		}
+	}
+}

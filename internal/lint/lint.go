@@ -24,6 +24,10 @@
 //	               only be built by the engine or its approved
 //	               constructors, so no code path can fabricate a "safe"
 //	               verdict for a degraded procedure.
+//	layoutconst  — layout facts (sizes, offsets, alignment) come from
+//	               the ctypes layout engine; hardcoded packed-model
+//	               constants or Type.Size() calls elsewhere would
+//	               silently ignore the selected -target data model.
 //
 // The framework deliberately mirrors the golang.org/x/tools/go/analysis
 // API shape (Analyzer, Pass, Diagnostic) but is self-contained: the
@@ -114,7 +118,7 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Rule)
 }
 
-// Suite returns the five analyzers in their canonical order.
+// Suite returns the six analyzers in their canonical order.
 func Suite() []*Analyzer {
 	return []*Analyzer{
 		Globalmut,
@@ -122,6 +126,7 @@ func Suite() []*Analyzer {
 		Determinism,
 		Budgetpoll,
 		Soundverdict,
+		Layoutconst,
 	}
 }
 

@@ -49,6 +49,10 @@ func TestBudgetpollFixture(t *testing.T) {
 	fixture(t, Budgetpoll, "repro/internal/polyhedra", 1)
 }
 
+func TestLayoutconstFixture(t *testing.T) {
+	fixture(t, Layoutconst, "repro/internal/layoutfix", 1)
+}
+
 func TestSoundverdictFixtures(t *testing.T) {
 	t.Run("outside-engine", func(t *testing.T) { fixture(t, Soundverdict, "repro/internal/table5", 1) })
 	t.Run("engine-itself", func(t *testing.T) { fixture(t, Soundverdict, "repro/internal/analysis", 0) })
@@ -108,7 +112,7 @@ func TestSuite(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	for _, want := range []string{"globalmut", "layering", "determinism", "budgetpoll", "soundverdict"} {
+	for _, want := range []string{"globalmut", "layering", "determinism", "budgetpoll", "soundverdict", "layoutconst"} {
 		if !seen[want] {
 			t.Errorf("suite is missing %s", want)
 		}

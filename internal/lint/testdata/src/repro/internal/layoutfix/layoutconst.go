@@ -1,0 +1,42 @@
+// Fixture for the layoutconst analyzer: layout facts come from the
+// ctypes layout engine, never from the packed-model constants or the
+// natural-size Size method.
+package layoutfix
+
+import "repro/internal/ctypes"
+
+func pointerBytes() int {
+	return ctypes.PointerSize // want `packed-model constant ctypes.PointerSize`
+}
+
+func wordBytes() int {
+	n := ctypes.IntSize // want `packed-model constant ctypes.IntSize`
+	return n
+}
+
+func charWidth() int {
+	return ctypes.Char.Size() // want `Type.Size\(\) outside the layout engine`
+}
+
+func decayedWidth(t ctypes.Type) int {
+	return ctypes.Decay(t).Size() // want `Type.Size\(\) outside the layout engine`
+}
+
+func allowedGolden() int {
+	//lint:allow layoutconst golden table pins the paper32 packed model by definition
+	return ctypes.CharSize
+}
+
+// engineSize is the approved route: the engine owns the target model.
+func engineSize(e *ctypes.Engine, t ctypes.Type) int {
+	return e.SizeOf(t)
+}
+
+// program is an unrelated Size method; its calls must not be flagged.
+type program struct{}
+
+func (program) Size() int { return 0 }
+
+func unrelatedSize(p program) int {
+	return p.Size()
+}

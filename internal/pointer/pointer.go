@@ -154,6 +154,7 @@ type builder struct {
 	res          *Result
 	constraints  []constraint
 	mode         Mode
+	layout       *ctypes.Engine
 	nheap        int
 	pendingCalls []pendingCall
 	callEdges    [][2]string
@@ -167,9 +168,10 @@ var AllocFuncs = map[string]bool{"malloc": true, "alloca": true, "calloc": true}
 // Analyze runs the whole-program analysis over a normalized program.
 func Analyze(prog *corec.Program, mode Mode) *Result {
 	b := &builder{
-		res:   &Result{locs: map[string]NodeID{}},
-		mode:  mode,
-		funcs: map[string]*cast.FuncDecl{},
+		res:    &Result{locs: map[string]NodeID{}},
+		mode:   mode,
+		layout: prog.Layout,
+		funcs:  map[string]*cast.FuncDecl{},
 	}
 	file := prog.File
 	for _, fd := range file.Funcs() {
@@ -229,7 +231,7 @@ func (b *builder) newVarNode(qualified string, t ctypes.Type) *Node {
 	}
 	n := b.newNode(VarNode, qualified)
 	n.Scalar = ctypes.IsScalar(t)
-	n.Size = t.Size()
+	n.Size = b.layout.SizeOf(t)
 	b.res.locs[qualified] = n.ID
 	return n
 }

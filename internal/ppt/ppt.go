@@ -237,7 +237,7 @@ func (b *pptBuilder) importNode(n pointer.NodeID) LocID {
 	// Strip the qualifier of P's own variables for readability.
 	prefix := b.fd.Name + "::"
 	if strings.HasPrefix(name, prefix) {
-		name = "lv(" + name[len(prefix):] + ")"
+		name = "lv(" + b.displayName(name[len(prefix):]) + ")"
 	} else if gn.Kind == pointer.VarNode {
 		name = "lv(" + name + ")"
 	}
@@ -264,6 +264,21 @@ func (b *pptBuilder) importNode(n pointer.NodeID) LocID {
 	b.ppt.pt = append(b.ppt.pt, nil)
 	b.gid[n] = l.ID
 	return l.ID
+}
+
+// displayName renders a local's name for location naming. Under a
+// field-sensitive target, member-address temporaries are named by the
+// source access path they resolve ("p->count#7" for __t7); the temp number
+// keeps distinct accesses to the same member distinct constraint variables.
+// Under Paper32 the legacy temp names are kept so reports stay byte-stable.
+func (b *pptBuilder) displayName(local string) string {
+	if b.prog.Layout.FieldSensitive() {
+		if path, ok := b.prog.AccessPaths[b.fd.Name+"::"+local]; ok {
+			path = strings.TrimSuffix(path, ":bits")
+			return path + "#" + strings.TrimPrefix(local, "__t")
+		}
+	}
+	return local
 }
 
 // inLoop reports whether statement index idx of the normalized body lies
@@ -328,7 +343,7 @@ func (b *pptBuilder) inventChain(name string, t ctypes.Type) bool {
 		// holds one 4-byte char* slot).
 		size := 0
 		if ctypes.IsPointer(elem) {
-			size = elem.Size()
+			size = b.prog.Layout.SizeOf(elem)
 		}
 		nl := b.newLoc(label, ctypes.IsPointer(elem), size, true)
 		nl.ExactBase = true

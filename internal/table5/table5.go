@@ -117,6 +117,8 @@ func (o Options) accumulate(s core.RunStats) {
 	o.Stats.PrecisionDrops += s.PrecisionDrops
 	o.Stats.DegradedProcs += s.DegradedProcs
 	o.Stats.UnresolvedChecks += s.UnresolvedChecks
+	o.Stats.MemberResolved += s.MemberResolved
+	o.Stats.MemberHavocked += s.MemberHavocked
 }
 
 // RunSuite analyzes every procedure of a benchmark source file.
