@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	cssv-bench [-out BENCH_numeric.json] [-baseline old.json] [-force] [-quick] [-benchtime 500ms]
+//	cssv-bench [-suite numeric|cache|all] [-out BENCH_numeric.json] [-baseline old.json] [-force] [-quick] [-benchtime 500ms]
 //
 // The suite mirrors the hot benchmarks of the in-repo `go test -bench`
 // harness — the polyhedra substrate primitives (BenchmarkPolyhedra/*), a
@@ -18,6 +18,13 @@
 //
 //	go run ./cmd/cssv-bench -out /tmp/before.json            # at the old commit
 //	go run ./cmd/cssv-bench -baseline /tmp/before.json -out BENCH_numeric.json
+//
+// The cache suite (-suite cache) measures the on-disk analysis cache end
+// to end: a cold run into an empty cache directory, a warm re-run over a
+// populated one (exact hits, no fixpoint), and a revalidation-only run
+// where the environment changed but every procedure body is intact. The
+// recorded artifact is BENCH_cache.json; the headline workloads run too,
+// so -baseline BENCH_sparse.json yields a comparable geomean.
 package main
 
 import (
@@ -31,6 +38,7 @@ import (
 
 	"repro"
 	"repro/internal/arena"
+	"repro/internal/core"
 	"repro/internal/linear"
 	"repro/internal/polyhedra"
 	"repro/internal/zone"
@@ -63,6 +71,11 @@ type File struct {
 	// BaselineFile names the file it was read from, and SpeedupGeomean
 	// the geometric-mean ns/op ratio baseline/current over the
 	// benchmarks present in both.
+	// CacheSpeedups records, for the cache suite, the cold-run ns/op
+	// divided by the warm-run (and revalidation-run) ns/op per workload:
+	// how much the on-disk cache saves end to end.
+	CacheSpeedups map[string]float64 `json:"cache_speedups,omitempty"`
+
 	Baseline       *File   `json:"baseline,omitempty"`
 	BaselineFile   string  `json:"baseline_file,omitempty"`
 	SpeedupGeomean float64 `json:"speedup_geomean_vs_baseline,omitempty"`
@@ -171,6 +184,7 @@ func zoneRandom(cfg *zone.Config, n int, density float64, seed uint64) *zone.DBM
 
 func main() {
 	var (
+		suite    = flag.String("suite", "numeric", "benchmark suite: numeric (substrate + headline), cache (analysis-cache cold/warm/reval + headline), all")
 		out      = flag.String("out", "BENCH_numeric.json", "output JSON path")
 		baseline = flag.String("baseline", "", "previous results to embed for before/after comparison")
 		force    = flag.Bool("force", false, "overwrite an existing output file")
@@ -203,45 +217,55 @@ func main() {
 			r.Name, r.Iters, r.NsPerOp, r.AllocsPerOp)
 	}
 
-	for _, dim := range []int{4, 6, 8} {
-		// One arena per dimension, exactly as the driver configures the
-		// substrate per procedure.
-		p, q := polyPair(&polyhedra.Config{Arena: arena.New()}, dim)
-		add(fmt.Sprintf("polyhedra/join/dim=%d", dim), func() { p.Clone().Join(q) })
-		add(fmt.Sprintf("polyhedra/meet+empty/dim=%d", dim), func() { p.Clone().Meet(q).IsEmpty() })
-		j := p.Clone().Join(q)
-		add(fmt.Sprintf("polyhedra/widen/dim=%d", dim), func() { p.Widen(j) })
+	numeric := *suite == "numeric" || *suite == "all"
+	if *suite != "numeric" && *suite != "cache" && *suite != "all" {
+		fmt.Fprintf(os.Stderr, "cssv-bench: unknown suite %q\n", *suite)
+		os.Exit(2)
 	}
 
-	for _, n := range []int{8, 16} {
-		d := zoneChain(n)
-		e := zoneChain(n).Havoc(n / 2)
-		add(fmt.Sprintf("zone/join+close/n=%d", n), func() { d.Clone().Join(e).IsEmpty() })
+	if numeric {
+		for _, dim := range []int{4, 6, 8} {
+			// One arena per dimension, exactly as the driver configures the
+			// substrate per procedure.
+			p, q := polyPair(&polyhedra.Config{Arena: arena.New()}, dim)
+			add(fmt.Sprintf("polyhedra/join/dim=%d", dim), func() { p.Clone().Join(q) })
+			add(fmt.Sprintf("polyhedra/meet+empty/dim=%d", dim), func() { p.Clone().Meet(q).IsEmpty() })
+			j := p.Clone().Join(q)
+			add(fmt.Sprintf("polyhedra/widen/dim=%d", dim), func() { p.Widen(j) })
+		}
+
+		for _, n := range []int{8, 16} {
+			d := zoneChain(n)
+			e := zoneChain(n).Havoc(n / 2)
+			add(fmt.Sprintf("zone/join+close/n=%d", n), func() { d.Clone().Join(e).IsEmpty() })
+		}
 	}
 
 	// The sparse-DBM suite: closure from scratch, incremental update of a
 	// closed matrix, and join, at three dimensions and two densities.
 	// Each configuration runs under the automatic density policy with an
 	// arena, exactly as the driver configures the substrate.
-	for _, dim := range []int{4, 8, 16} {
-		for _, dens := range []float64{0.1, 0.5} {
-			cfg := &zone.Config{Arena: arena.New()}
-			pct := int(dens * 100)
-			base := zoneRandom(cfg, dim, dens, uint64(dim))
-			add(fmt.Sprintf("zone/close/dim=%d/density=%d", dim, pct),
-				func() { base.Clone().IsEmpty() })
-			closed := base.Clone()
-			closed.IsEmpty() // force closure once
-			// One fresh constraint on a closed matrix: the incremental
-			// repair path, not a full re-closure.
-			upd := linear.NewGe(linear.ConstExpr(3).
-				Sub(linear.VarExpr(dim - 1)).Add(linear.VarExpr(0)))
-			add(fmt.Sprintf("zone/incr/dim=%d/density=%d", dim, pct),
-				func() { closed.Clone().MeetConstraint(upd).IsEmpty() })
-			other := zoneRandom(cfg, dim, dens, uint64(dim)+77)
-			other.IsEmpty()
-			add(fmt.Sprintf("zone/join/dim=%d/density=%d", dim, pct),
-				func() { closed.Clone().Join(other) })
+	if numeric {
+		for _, dim := range []int{4, 8, 16} {
+			for _, dens := range []float64{0.1, 0.5} {
+				cfg := &zone.Config{Arena: arena.New()}
+				pct := int(dens * 100)
+				base := zoneRandom(cfg, dim, dens, uint64(dim))
+				add(fmt.Sprintf("zone/close/dim=%d/density=%d", dim, pct),
+					func() { base.Clone().IsEmpty() })
+				closed := base.Clone()
+				closed.IsEmpty() // force closure once
+				// One fresh constraint on a closed matrix: the incremental
+				// repair path, not a full re-closure.
+				upd := linear.NewGe(linear.ConstExpr(3).
+					Sub(linear.VarExpr(dim - 1)).Add(linear.VarExpr(0)))
+				add(fmt.Sprintf("zone/incr/dim=%d/density=%d", dim, pct),
+					func() { closed.Clone().MeetConstraint(upd).IsEmpty() })
+				other := zoneRandom(cfg, dim, dens, uint64(dim)+77)
+				other.IsEmpty()
+				add(fmt.Sprintf("zone/join/dim=%d/density=%d", dim, pct),
+					func() { closed.Clone().Join(other) })
+			}
 		}
 	}
 
@@ -268,6 +292,73 @@ func main() {
 		r := &rep.Results[len(rep.Results)-1]
 		r.MemberResolved = stats.MemberResolved
 		r.MemberHavocked = stats.MemberHavocked
+	}
+
+	if *suite == "cache" || *suite == "all" {
+		for _, s := range []struct{ name, path string }{
+			{"airbus", "testdata/airbus/airbus.c"},
+			{"fixwrites", "testdata/fixwrites/fixwrites.c"},
+		} {
+			src, err := os.ReadFile(s.path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cssv-bench: skipping cache/%s: %v\n", s.name, err)
+				continue
+			}
+			text := string(src)
+			run := func(filename, dir, text string) cssv.RunStats {
+				crep, err := cssv.Analyze(filename, text, cssv.Config{Cascade: true, CacheDir: dir})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "cssv-bench:", err)
+					os.Exit(1)
+				}
+				return crep.Stats
+			}
+			// Cold: empty cache directory and flushed in-memory memos,
+			// so every op pays the full pipeline plus the store writes.
+			add("cache/"+s.name+"/cold", func() {
+				core.FlushCaches()
+				dir, err := os.MkdirTemp("", "cssv-bench-cache")
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "cssv-bench:", err)
+					os.Exit(1)
+				}
+				defer os.RemoveAll(dir)
+				run(s.path, dir, text)
+			})
+			// Warm: one populated directory, every op is an exact hit.
+			warmDir, err := os.MkdirTemp("", "cssv-bench-cache")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cssv-bench:", err)
+				os.Exit(1)
+			}
+			defer os.RemoveAll(warmDir)
+			run(s.path, warmDir, text)
+			add("cache/"+s.name+"/warm", func() { run(s.path, warmDir, text) })
+			// Revalidation-only: a unique trailing procedure shifts the
+			// environment hash of every stored entry while leaving each
+			// original body — and its source positions — intact, so each
+			// op re-proves the stored certificates instead of iterating
+			// the fixpoint. A fresh suffix per op keeps later ops from
+			// upgrading to exact hits on entries stored by earlier ones.
+			reval := 0
+			add("cache/"+s.name+"/reval", func() {
+				reval++
+				extra := fmt.Sprintf("%s\nvoid cssv_bench_reval_%d(void) { int x; x = 0; }\n", text, reval)
+				if st := run(s.path, warmDir, extra); st.CacheRevalidated == 0 {
+					fmt.Fprintf(os.Stderr, "cssv-bench: cache/%s/reval: revalidation did not fire (stats %+v)\n", s.name, st)
+					os.Exit(1)
+				}
+			})
+			n := len(rep.Results)
+			cold, warm, rv := rep.Results[n-3], rep.Results[n-2], rep.Results[n-1]
+			if rep.CacheSpeedups == nil {
+				rep.CacheSpeedups = map[string]float64{}
+			}
+			rep.CacheSpeedups[s.name+"/warm"] = cold.NsPerOp / warm.NsPerOp
+			rep.CacheSpeedups[s.name+"/reval"] = cold.NsPerOp / rv.NsPerOp
+			fmt.Printf("cache/%s: warm %.1fx, revalidation %.1fx faster than cold\n",
+				s.name, cold.NsPerOp/warm.NsPerOp, cold.NsPerOp/rv.NsPerOp)
+		}
 	}
 
 	if *baseline != "" {

@@ -22,24 +22,27 @@ import (
 
 func main() {
 	var (
-		procs     = flag.String("procs", "", "comma-separated procedures to analyze (default: all)")
-		domain    = flag.String("domain", "polyhedra", "numeric domain: polyhedra, zone, interval")
-		pointer   = flag.String("pointer", "inclusion", "pointer analysis: inclusion, unification")
-		target    = flag.String("target", "paper32", "object-layout data model: paper32 (the paper's packed 32-bit model), sysv64 (System V AMD64 ABI, field-sensitive member analysis)")
-		contracts = flag.String("contracts", "manual", "contract mode: manual, vacuous, auto")
-		noMerge   = flag.Bool("no-ppt-merge", false, "disable the Fig. 7 strong-update merge")
-		naive     = flag.Bool("naive-c2ip", false, "use the O(S*V^2) translation of [13]")
-		stats     = flag.Bool("stats", false, "print per-procedure statistics (Table 5 columns)")
-		dumpIP    = flag.Bool("dump-ip", false, "print the generated integer programs")
-		cascade   = flag.Bool("cascade", false, "discharge checks in tiers (interval, zone, then the selected domain on the sliced residual)")
-		certify   = flag.Bool("certify", false, "verify invariant certificates for discharged checks (independent Fourier-Motzkin checker) and replay reported messages to concrete witnesses")
-		octagon   = flag.Bool("octagon", false, "insert the octagon tier (±x±y constraints) between the zone tier and the final domain (implies -cascade)")
-		noArena   = flag.Bool("no-arena", false, "disable the per-procedure slice arenas that recycle numeric-substrate storage")
-		dumpRed   = flag.Bool("dump-reduced-ip", false, "print the residual integer program the final cascade tier analyzed (implies -cascade)")
-		jobs      = flag.Int("j", 0, "procedures analyzed in parallel (0 = all CPUs, 1 = sequential)")
-		quiet     = flag.Bool("q", false, "suppress warnings")
-		timeout   = flag.Duration("proc-timeout", 0, "wall-clock budget per procedure (0 = unlimited); on expiry remaining checks are reported unresolved")
-		steps     = flag.Int("step-budget", 0, "fixpoint iteration budget per procedure (0 = unlimited); deterministic counterpart of -proc-timeout")
+		procs       = flag.String("procs", "", "comma-separated procedures to analyze (default: all)")
+		domain      = flag.String("domain", "polyhedra", "numeric domain: polyhedra, zone, interval")
+		pointer     = flag.String("pointer", "inclusion", "pointer analysis: inclusion, unification")
+		target      = flag.String("target", "paper32", "object-layout data model: paper32 (the paper's packed 32-bit model), sysv64 (System V AMD64 ABI, field-sensitive member analysis)")
+		contracts   = flag.String("contracts", "manual", "contract mode: manual, vacuous, auto")
+		noMerge     = flag.Bool("no-ppt-merge", false, "disable the Fig. 7 strong-update merge")
+		naive       = flag.Bool("naive-c2ip", false, "use the O(S*V^2) translation of [13]")
+		stats       = flag.Bool("stats", false, "print per-procedure statistics (Table 5 columns)")
+		dumpIP      = flag.Bool("dump-ip", false, "print the generated integer programs")
+		cascade     = flag.Bool("cascade", false, "discharge checks in tiers (interval, zone, then the selected domain on the sliced residual)")
+		certify     = flag.Bool("certify", false, "verify invariant certificates for discharged checks (independent Fourier-Motzkin checker) and replay reported messages to concrete witnesses")
+		octagon     = flag.Bool("octagon", false, "insert the octagon tier (±x±y constraints) between the zone tier and the final domain (implies -cascade)")
+		noArena     = flag.Bool("no-arena", false, "disable the per-procedure slice arenas that recycle numeric-substrate storage")
+		dumpRed     = flag.Bool("dump-reduced-ip", false, "print the residual integer program the final cascade tier analyzed (implies -cascade)")
+		jobs        = flag.Int("j", 0, "procedures analyzed in parallel (0 = all CPUs, 1 = sequential)")
+		quiet       = flag.Bool("q", false, "suppress warnings")
+		timeout     = flag.Duration("proc-timeout", 0, "wall-clock budget per procedure (0 = unlimited); on expiry remaining checks are reported unresolved")
+		steps       = flag.Int("step-budget", 0, "fixpoint iteration budget per procedure (0 = unlimited); deterministic counterpart of -proc-timeout")
+		cacheDir    = flag.String("cache-dir", "", "directory for the on-disk analysis cache (default: no cache); re-runs reuse stored per-procedure results when the procedure, contracts and configuration are unchanged")
+		cacheVerify = flag.Bool("cache-verify", false, "re-verify stored certificates with the independent checker before trusting an exact cache hit (revalidation always verifies)")
+		ptcacheSize = flag.Int("ptcache-size", 0, "in-memory pointer-analysis memo bound in entries (0 = default 128, negative = unbounded); oldest entries are evicted first")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -62,6 +65,9 @@ func main() {
 		Workers:           *jobs,
 		ProcTimeout:       *timeout,
 		StepBudget:        *steps,
+		CacheDir:          *cacheDir,
+		CacheVerify:       *cacheVerify,
+		PtCacheSize:       *ptcacheSize,
 	}
 	if *jobs < 0 {
 		fmt.Fprintln(os.Stderr, "cssv: -j must be >= 0")
@@ -77,106 +83,17 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *stats {
-		s := rep.Stats
-		speedup := 1.0
-		if s.Wall > 0 {
-			speedup = float64(s.SequentialCPU) / float64(s.Wall)
-		}
-		fmt.Printf("run: workers=%d wall=%s cpu=%s speedup=%.1fx ptcache=%d/%d libc-header-cached=%v precision-drops=%d degraded=%d unresolved=%d\n",
-			s.Workers, s.Wall.Round(1e6), s.SequentialCPU.Round(1e6), speedup,
-			s.PointerCacheHits, s.PointerCacheHits+s.PointerCacheMisses, s.LibcHeaderReused,
-			s.PrecisionDrops, s.DegradedProcs, s.UnresolvedChecks)
-		fmt.Printf("run: arena-recycled=%dB zone-repr sparse=%d dense=%d\n",
-			s.ArenaRecycledBytes, s.SparseZoneSelections, s.DenseZoneSelections)
-		fmt.Printf("run: target=%s member-accesses resolved=%d havocked=%d\n",
-			*target, s.MemberResolved, s.MemberHavocked)
-	}
-
-	messages := 0
-	certFailed := 0
-	for _, p := range rep.Procedures {
-		if *stats {
-			fmt.Printf("%s: LOC=%d SLOC=%d IPVars=%d IPSize=%d CPU=%s space=%.1fMB msgs=%d\n",
-				p.Name, p.LOC, p.SLOC, p.IPVars, p.IPSize,
-				p.CPU.Round(1e6), float64(p.Space)/1e6, len(p.Messages))
-		}
-		if *dumpIP {
-			fmt.Println(p.IntegerProgram)
-		}
-		if p.Cascade != nil {
-			if *stats {
-				for _, t := range p.Cascade.Tiers {
-					fmt.Printf("%s: cascade %s: %dx%d IP, discharged %d/%d, cpu=%s\n",
-						p.Name, t.Domain, t.IPVars, t.IPSize, t.Discharged, t.Asserts,
-						t.CPU.Round(1e6))
-				}
-				fmt.Printf("%s: cascade residual: %d vars x %d stmts (full IP %d x %d)\n",
-					p.Name, p.Cascade.ResidualVars, p.Cascade.ResidualStmts,
-					p.IPVars, p.IPSize)
-				for _, c := range p.Cascade.Checks {
-					verdict := "proved by " + c.Tier
-					if c.Violated {
-						verdict = "violated in " + c.Tier
-					}
-					fmt.Printf("%s: check %s (%s): %s on %dx%d\n",
-						p.Name, c.Check, c.Pos, verdict, c.IPVars, c.IPSize)
-				}
-			}
-			if *dumpRed {
-				fmt.Println(p.Cascade.ReducedProgram)
-			}
-		}
-		if p.Certification != nil {
-			c := p.Certification
-			for _, ck := range c.Checks {
-				line := fmt.Sprintf("%s: certify %s (%s): %s", p.Name, ck.Check, ck.Pos, ck.Status)
-				if ck.Tier != "" {
-					line += " [" + ck.Tier + "]"
-				}
-				if ck.Detail != "" && (ck.Status == "certificate-failed" || !*quiet) {
-					line += ": " + ck.Detail
-				}
-				fmt.Println(line)
-			}
-			fmt.Printf("%s: certification: %d certified, %d failed, %d witnessed, %d potential\n",
-				p.Name, c.Certified, c.Failed, c.Witnessed, c.Potential)
-			certFailed += c.Failed
-		}
-		if p.Degraded != nil {
-			fmt.Printf("%s: degraded (%s): %s\n", p.Name, p.Degraded.Cause, p.Degraded.Detail)
-		}
-		if !*quiet {
-			for _, w := range p.Warnings {
-				fmt.Printf("warning: %s\n", w)
-			}
-		}
-		for _, m := range p.Messages {
-			fmt.Println(m.Text)
-			messages++
-		}
-		if p.DerivedRequires != "" || p.DerivedEnsures != "" {
-			fmt.Printf("%s: derived requires (%s)\n", p.Name, orTrue(p.DerivedRequires))
-			fmt.Printf("%s: derived ensures  (%s)\n", p.Name, orTrue(p.DerivedEnsures))
-		}
-	}
+	messages, certFailed := cssv.Render(os.Stdout, rep, cssv.RenderOptions{
+		Stats:         *stats,
+		DumpIP:        *dumpIP,
+		DumpReducedIP: *dumpRed,
+		Quiet:         *quiet,
+		Target:        *target,
+	})
 	if certFailed > 0 {
-		// A rejected certificate means the analyzer (or the certificate
-		// exporter) is wrong — more severe than any reported message.
-		fmt.Printf("cssv: %d certificate(s) FAILED verification\n", certFailed)
 		os.Exit(2)
 	}
-	if messages == 0 {
-		fmt.Println("cssv: no string manipulation errors detected")
-		return
+	if messages > 0 {
+		os.Exit(1)
 	}
-	fmt.Printf("cssv: %d message(s)\n", messages)
-	os.Exit(1)
-}
-
-func orTrue(s string) string {
-	if s == "" {
-		return "true"
-	}
-	return s
 }

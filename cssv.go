@@ -126,6 +126,26 @@ type Config struct {
 	// numeric-substrate storage. On by default; the toggle exists for
 	// debugging and ablation.
 	NoArena bool
+	// CacheDir enables the content-addressed on-disk result cache rooted at
+	// this directory (created if missing). Results are keyed by structural
+	// hashes of the procedure body, the run configuration, and the textual
+	// environment (other declarations, libc prelude, the procedure's own
+	// contract, raw source positions). An exact hit replays the stored
+	// result; when only the environment changed, the stored invariant
+	// certificates are re-proved by the independent Fourier–Motzkin checker
+	// instead of re-running the fixpoint (the certificate-revalidation fast
+	// path). Corrupt or tampered entries are detected, logged, counted in
+	// RunStats.CacheBadEntries / CacheCertRejected, and analyzed around —
+	// never trusted. Reports are byte-identical to an uncached run.
+	CacheDir string
+	// CacheVerify re-proves the certificates and re-checks the assert
+	// accounting of every exact cache hit before trusting it (paranoid
+	// mode; integrity digests are always verified regardless).
+	CacheVerify bool
+	// PtCacheSize bounds the process-wide pointer-analysis memo (0 = the
+	// 128-entry default, negative = unbounded). Overflow evicts oldest
+	// entries first; evictions appear in RunStats.PtCacheEvictions.
+	PtCacheSize int
 }
 
 // Message is one potential string error.
@@ -180,6 +200,11 @@ type Procedure struct {
 	// completion (budget exhausted or panic isolated); its unresolved
 	// checks appear in Messages.
 	Degraded *Degradation
+	// CacheStatus records, under Config.CacheDir, how the result cache
+	// participated: "hit" (exact replay), "revalidated" (certificates
+	// re-proved, no fixpoint), "stored" (fresh result written), "uncached"
+	// (result not storable), or "" (caching disabled).
+	CacheStatus string
 }
 
 // Degradation explains why a procedure's analysis fell short of a full
@@ -305,6 +330,24 @@ type RunStats struct {
 	// SparseZoneSelections / DenseZoneSelections count the zone
 	// substrate's representation decisions at closure boundaries.
 	SparseZoneSelections, DenseZoneSelections int64
+	// CacheHits / CacheRevalidated / CacheMisses count, under
+	// Config.CacheDir, how each cacheable procedure was resolved: exact
+	// replay, certificate revalidation (front end re-run, certificates
+	// re-proved, no fixpoint), or full analysis. CacheStores counts entries
+	// written. CacheBadEntries counts corrupt or undecodable entries
+	// encountered (logged and analyzed around); CacheCertRejected counts
+	// entries rejected because a stored certificate failed re-verification
+	// or assert accounting.
+	CacheHits, CacheRevalidated, CacheMisses int
+	CacheStores                              int
+	CacheBadEntries, CacheCertRejected       int
+	// PtCacheEvictions counts pointer-analysis memo entries evicted because
+	// the memo reached its configured bound.
+	PtCacheEvictions int
+	// FixpointIterations sums the fixpoint worklist iterations actually
+	// executed this run; cached procedures contribute nothing, so a fully
+	// warm run reports 0.
+	FixpointIterations int
 	// MemberResolved / MemberHavocked count memory-access sites translated
 	// with precise offset/aSize constraints for every possible target region
 	// versus sites where a channel was abandoned (unknown target, untracked
@@ -377,6 +420,9 @@ func (cfg Config) driverOptions() (core.Options, error) {
 	opts := core.Options{
 		Cascade:       cfg.Cascade || cfg.Octagon,
 		Certify:       cfg.Certify,
+		CacheDir:      cfg.CacheDir,
+		CacheVerify:   cfg.CacheVerify,
+		PtCacheSize:   cfg.PtCacheSize,
 		Procs:         cfg.Procedures,
 		NoLibc:        cfg.NoLibc,
 		Workers:       cfg.Workers,
@@ -436,6 +482,8 @@ func convertProc(pr *core.ProcReport) Procedure {
 		IPSize: pr.IPSize,
 		CPU:    pr.CPU,
 		Space:  pr.Space,
+
+		CacheStatus: pr.CacheStatus,
 	}
 	// The IP can be nil when a pipeline stage upstream of C2IP produced the
 	// violations; formatting must not dereference it.

@@ -1,7 +1,11 @@
 package analysis
 
 import (
+	"math/big"
+
 	"repro/internal/clex"
+	"repro/internal/ip"
+	"repro/internal/linear"
 )
 
 // This file holds the approved verdict constructors: the only way code
@@ -27,4 +31,51 @@ func NewViolation(index int, msg string, pos clex.Pos) Violation {
 // errors. Index -1 stands in for "every check of the procedure".
 func NewUnresolvedViolation(index int, msg string, pos clex.Pos) Violation {
 	return Violation{Index: index, Msg: msg, Pos: pos, Unresolved: true}
+}
+
+// NewCachedViolation rehydrates a violation from a validated analysis-cache
+// entry. The caller (the driver's cache layer) must have established that
+// the entry is a faithful record of a verdict this engine produced: the
+// entry's integrity digests verified, and — on the revalidation path — the
+// freshly generated integer program matched the stored one and every stored
+// certificate re-proved under the independent checker. Replaying a
+// violation is sound per se (the analysis over-approximates, so an extra
+// message is never a missed error); silently *dropping* one is what the
+// driver's assert accounting rules out.
+func NewCachedViolation(index int, msg string, pos clex.Pos,
+	unverifiable, unresolved, integral bool,
+	ce map[string]*big.Rat, state linear.System) Violation {
+	return Violation{
+		Index: index, Msg: msg, Pos: pos,
+		Unverifiable:           unverifiable,
+		Unresolved:             unresolved,
+		CounterExample:         ce,
+		CounterExampleIntegral: integral,
+		StateSystem:            state,
+	}
+}
+
+// NewCachedCheckProvenance rehydrates one cascade check-provenance record
+// from a validated cache entry, under the same caller obligations as
+// NewCachedViolation.
+func NewCachedCheckProvenance(index int, pos clex.Pos, msg, tier string,
+	violated bool, vars, stmts int) CheckProvenance {
+	return CheckProvenance{
+		Index: index, Pos: pos, Msg: msg, Tier: tier,
+		Violated: violated, Vars: vars, Stmts: stmts,
+	}
+}
+
+// NewCachedCascade rehydrates a cascade result from a validated cache
+// entry, under the same caller obligations as NewCachedViolation. Exhausted
+// runs are never cached, so the rehydrated result is never exhausted and
+// carries no certificates (they live in the cache's certificate file and
+// are decoded on demand).
+func NewCachedCascade(viols []Violation, iterations int, tiers []TierStat,
+	checks []CheckProvenance, residual *ip.Program, rvars, rstmts int) *CascadeResult {
+	return &CascadeResult{
+		Violations: viols, Iterations: iterations,
+		Tiers: tiers, Checks: checks,
+		Residual: residual, ResidualVars: rvars, ResidualStmts: rstmts,
+	}
 }

@@ -82,6 +82,19 @@ func (cert *Certificate) InvariantAt(origIdx int) (linear.System, bool) {
 // integer state violating the condition). A nil error means the check is
 // certified.
 func (cert *Certificate) Verify() error {
+	if err := cert.verifyShared(); err != nil {
+		return err
+	}
+	return cert.verifyAssert()
+}
+
+// verifyShared establishes the obligations that do not depend on which
+// assert is certified: carrier resolution, invariant shape, initiation,
+// and consecution along every CFG edge. Certificates exported by one tier
+// run share their carrier program and invariant map by pointer, so
+// VerifyAll discharges this part once per shared group — the result is
+// identical because the obligations are a pure function of (Prog, Inv).
+func (cert *Certificate) verifyShared() error {
 	if cert.Prog == nil {
 		return fmt.Errorf("certify: certificate has no program")
 	}
@@ -89,23 +102,13 @@ func (cert *Certificate) Verify() error {
 		return fmt.Errorf("certify: carrier program: %w", err)
 	}
 	if cert.Unreachable {
-		return cert.verifyUnreachable()
+		return nil // the whole claim is per-assert graph reachability
 	}
 	p := cert.Prog
 	n := p.Size()
 	nv := p.NumVars()
 	if len(cert.Inv) != n+1 {
 		return fmt.Errorf("certify: invariant map has %d points, program has %d", len(cert.Inv), n+1)
-	}
-	if cert.AssertIdx < 0 || cert.AssertIdx >= n {
-		return fmt.Errorf("certify: assert index %d out of range", cert.AssertIdx)
-	}
-	a, ok := p.Stmts[cert.AssertIdx].(*ip.Assert)
-	if !ok {
-		return fmt.Errorf("certify: statement %d is not an assert", cert.AssertIdx)
-	}
-	if a.Unverifiable {
-		return fmt.Errorf("certify: unverifiable assert cannot be certified")
 	}
 
 	// Initiation: the entry invariant must hold of every initial state,
@@ -125,6 +128,29 @@ func (cert *Certificate) Verify() error {
 				return err
 			}
 		}
+	}
+	return nil
+}
+
+// verifyAssert establishes the per-assert obligations on top of a
+// verified shared part: the certified statement is a verifiable assert
+// and the invariant at it excludes every violating integer state.
+func (cert *Certificate) verifyAssert() error {
+	if cert.Unreachable {
+		return cert.verifyUnreachable()
+	}
+	p := cert.Prog
+	n := p.Size()
+	nv := p.NumVars()
+	if cert.AssertIdx < 0 || cert.AssertIdx >= n {
+		return fmt.Errorf("certify: assert index %d out of range", cert.AssertIdx)
+	}
+	a, ok := p.Stmts[cert.AssertIdx].(*ip.Assert)
+	if !ok {
+		return fmt.Errorf("certify: statement %d is not an assert", cert.AssertIdx)
+	}
+	if a.Unverifiable {
+		return fmt.Errorf("certify: unverifiable assert cannot be certified")
 	}
 
 	// Implication: no integer point of the invariant at the assert violates

@@ -4,10 +4,10 @@
 // closed the check — and re-proves the three obligations of an inductive
 // invariant (initiation, consecution along every CFG edge, and the assert
 // implication) with a small self-contained Fourier–Motzkin elimination
-// engine over exact rational arithmetic. The checker never calls the
+// engine over exact integer arithmetic. The checker never calls the
 // Chernikova-based polyhedra package (or any abstract domain), so a bug in
 // the fixpoint engine or in the polyhedra library cannot self-certify: the
-// trusted base is this package, the IP program representation, and big.Rat.
+// trusted base is this package, the IP program representation, and big.Int.
 //
 // For reported violations the package replays the analysis counter-example
 // through the deterministic directed mode of the concrete IP interpreter
@@ -23,66 +23,55 @@ import (
 	"repro/internal/linear"
 )
 
-// row is one linear inequality sum(c_i * x_i) + k >= 0 (or > 0 when
-// strict) over rational coefficients. Equalities are split into opposite
-// inequalities before solving.
+// row is one linear constraint sum(c_i * x_i) + k >= 0 (or > 0 when
+// strict) over integer coefficients. All inputs are integral, and both
+// Gaussian substitution and Fourier–Motzkin combination use cross-
+// multiplied integer multipliers, so the engine never needs rational
+// arithmetic; rows are kept gcd-reduced to bound coefficient growth.
+// Scaling a constraint by a positive rational does not change its
+// solution set, so the reduction is exact over the rationals.
 type row struct {
-	c      []*big.Rat
-	k      *big.Rat
+	c      []big.Int
+	k      big.Int
 	strict bool
+	// nz lists the indices of nonzero coefficients in increasing order;
+	// real constraints touch a handful of the program's variables, so the
+	// engine iterates nz instead of scanning full columns. reduce()
+	// (re)builds it and every constructor ends with reduce().
+	nz []int
+	// key caches the canonical dedup key (see sift). Rows are immutable
+	// after construction apart from this idempotent cache, which keeps
+	// sharing a base row set across sequential unsatRows calls safe.
+	key string
 }
 
 func newRow(n int) *row {
-	r := &row{c: make([]*big.Rat, n), k: new(big.Rat)}
-	for i := range r.c {
-		r.c[i] = new(big.Rat)
-	}
-	return r
+	return &row{c: make([]big.Int, n)}
 }
+
+var intOne = big.NewInt(1)
 
 // rowFromExpr builds expr + 0 >= 0 in dimension n, dropping nothing:
 // variables beyond n are a caller bug and panic via index.
 func rowFromExpr(e linear.Expr, n int, negate, strict bool) *row {
 	r := newRow(n)
 	for _, v := range e.Vars() {
-		r.c[v].SetInt(e.Coef(v))
+		r.c[v].Set(e.Coef(v))
 		if negate {
-			r.c[v].Neg(r.c[v])
+			r.c[v].Neg(&r.c[v])
 		}
 	}
-	k := new(big.Int).Set(e.Eval(nil)) // constant term (Eval of zero point)
-	r.k.SetInt(k)
+	r.k.Set(e.Eval(nil)) // constant term (Eval of zero point)
 	if negate {
-		r.k.Neg(r.k)
+		r.k.Neg(&r.k)
 	}
 	r.strict = strict
+	r.reduce()
 	return r
 }
 
-// rowsFromSystem converts a conjunction of constraints to inequality rows.
-func rowsFromSystem(sys linear.System, n int) []*row {
-	var rows []*row
-	for _, c := range sys {
-		switch c.Rel {
-		case linear.Eq:
-			rows = append(rows, rowFromExpr(c.E, n, false, false))
-			rows = append(rows, rowFromExpr(c.E, n, true, false))
-		default:
-			rows = append(rows, rowFromExpr(c.E, n, false, false))
-		}
-	}
-	return rows
-}
-
 // isConst reports whether the row has no variable terms.
-func (r *row) isConst() bool {
-	for _, c := range r.c {
-		if c.Sign() != 0 {
-			return false
-		}
-	}
-	return true
-}
+func (r *row) isConst() bool { return len(r.nz) == 0 }
 
 // constFails reports whether a constant row is violated (k < 0, or k == 0
 // for a strict row).
@@ -93,41 +82,143 @@ func (r *row) constFails() bool {
 	return r.strict && r.k.Sign() == 0
 }
 
-// normalize scales the row so its first nonzero coefficient (or, for
-// constant rows, the constant) has absolute value 1; used for dedup.
-func (r *row) normalize() {
-	var lead *big.Rat
-	for _, c := range r.c {
-		if c.Sign() != 0 {
-			lead = c
-			break
-		}
-	}
-	if lead == nil {
-		if r.k.Sign() == 0 {
+// reduce rebuilds the nonzero index list and divides the row by the gcd
+// of its entries (coefficients and constant), the canonical
+// representative of its positive-scaling class.
+func (r *row) reduce() {
+	r.nz = r.nz[:0]
+	var g, a big.Int
+	acc := func(x *big.Int) {
+		if x.Sign() == 0 || g.Cmp(intOne) == 0 {
 			return
 		}
-		lead = r.k
+		a.Abs(x)
+		if g.Sign() == 0 {
+			g.Set(&a)
+		} else {
+			g.GCD(nil, nil, &g, &a)
+		}
 	}
-	inv := new(big.Rat).Abs(lead)
-	inv.Inv(inv)
-	for _, c := range r.c {
-		c.Mul(c, inv)
+	for i := range r.c {
+		if r.c[i].Sign() != 0 {
+			r.nz = append(r.nz, i)
+			acc(&r.c[i])
+		}
 	}
-	r.k.Mul(r.k, inv)
+	acc(&r.k)
+	if g.Sign() == 0 || g.Cmp(intOne) == 0 {
+		return
+	}
+	for _, i := range r.nz {
+		r.c[i].Quo(&r.c[i], &g)
+	}
+	if r.k.Sign() != 0 {
+		r.k.Quo(&r.k, &g)
+	}
 }
 
-func (r *row) key() string {
-	r.normalize()
-	s := ""
-	for _, c := range r.c {
-		s += c.RatString() + ","
+// elimVar returns r with variable v eliminated using the equality row e
+// (e·x + e.k == 0, e.c[v] != 0): the combination |a|·r − sign(a)·m·e with
+// a = e.c[v] and m = r.c[v]. The multiplier of r is positive, so the
+// relation and strictness are preserved, and the result is exactly the
+// substitution of e's solution for v scaled by |a| — sound and complete
+// over the rationals. r is never mutated; rows with m == 0 are returned
+// unchanged.
+func elimVar(r, e *row, v int) *row {
+	m := &r.c[v]
+	if m.Sign() == 0 {
+		return r
 	}
-	s += r.k.RatString()
+	a := &e.c[v]
+	var ra, t, tmp big.Int
+	ra.Abs(a)
+	if a.Sign() > 0 {
+		t.Neg(m)
+	} else {
+		t.Set(m)
+	}
+	nr := newRow(len(r.c))
+	for _, i := range r.nz {
+		nr.c[i].Mul(&ra, &r.c[i])
+	}
+	for _, i := range e.nz {
+		tmp.Mul(&t, &e.c[i])
+		nr.c[i].Add(&nr.c[i], &tmp)
+	}
+	nr.k.Mul(&ra, &r.k)
+	tmp.Mul(&t, &e.k)
+	nr.k.Add(&nr.k, &tmp)
+	nr.strict = r.strict
+	nr.reduce()
+	return nr
+}
+
+// sift drops constant rows (deciding them eagerly) and deduplicates the
+// rest by coefficient vector and strictness, keeping only the tightest
+// bound per direction: for identical coefficients and relation,
+// c·x + k2 >= 0 implies c·x + k1 >= 0 whenever k1 >= k2, so the weaker
+// rows are redundant. Input rows are never mutated.
+func sift(in []*row) ([]*row, bool) {
+	seen := make(map[string]int, len(in))
+	out := make([]*row, 0, len(in))
+	for _, r := range in {
+		if r.isConst() {
+			if r.constFails() {
+				return nil, true
+			}
+			continue
+		}
+		key := r.dedupKey()
+		if j, ok := seen[key]; ok {
+			switch out[j].k.Cmp(&r.k) {
+			case 1:
+				out[j] = r // r is tighter (smaller constant)
+			}
+			continue
+		}
+		seen[key] = len(out)
+		out = append(out, r)
+	}
+	return out, false
+}
+
+// dedupKey returns (and caches) the canonical key of the row's
+// positive-scaling class: the gcd-reduced coefficients rendered in a
+// compact binary form (sparse index, sign, raw words) plus the
+// strictness marker. The constant is deliberately excluded — sift uses
+// coefficient identity to subsume weaker bounds.
+func (r *row) dedupKey() string {
+	if r.key != "" {
+		return r.key
+	}
+	buf := make([]byte, 0, 16*len(r.nz)+2)
+	var w big.Int
+	for _, i := range r.nz {
+		buf = appendUvarint(buf, uint64(i))
+		c := &r.c[i]
+		if c.Sign() < 0 {
+			buf = append(buf, '-')
+		} else {
+			buf = append(buf, '+')
+		}
+		w.Abs(c)
+		mag := w.Bytes()
+		buf = appendUvarint(buf, uint64(len(mag)))
+		buf = append(buf, mag...)
+	}
 	if r.strict {
-		s += ">"
+		buf = append(buf, '>')
 	}
-	return s
+	r.key = string(buf)
+	return r.key
+}
+
+func appendUvarint(buf []byte, x uint64) []byte {
+	for x >= 0x80 {
+		buf = append(buf, byte(x)|0x80)
+		x >>= 7
+	}
+	return append(buf, byte(x))
 }
 
 // maxRows bounds the working set so a pathological elimination cannot run
@@ -136,65 +227,43 @@ func (r *row) key() string {
 const maxRows = 250000
 
 // unsatRows decides, by Fourier–Motzkin elimination, whether the
-// conjunction of rows has no rational solution. It is exact: true is
-// returned iff the system is infeasible over the rationals (and therefore
-// over the integers). The only incompleteness is the maxRows cap, which
-// returns false ("could not prove unsat").
+// conjunction of inequality rows has no rational solution. It is exact:
+// true is returned iff the system is infeasible over the rationals (and
+// therefore over the integers). The only incompleteness is the maxRows
+// cap, which returns false ("could not prove unsat"). Input rows are
+// never mutated, so callers may share a base set across calls.
 func unsatRows(rows []*row, n int) bool {
-	// Dedup and eagerly decide constant rows.
-	sift := func(in []*row) ([]*row, bool) {
-		seen := map[string]bool{}
-		var out []*row
-		for _, r := range in {
-			if r.isConst() {
-				if r.constFails() {
-					return nil, true
-				}
-				continue
-			}
-			k := r.key()
-			if seen[k] {
-				continue
-			}
-			seen[k] = true
-			out = append(out, r)
-		}
-		return out, false
-	}
 	rows, unsat := sift(rows)
 	if unsat {
 		return true
 	}
-	remaining := make([]bool, n)
-	for i := range remaining {
-		remaining[i] = true
-	}
+	posCount := make([]int, n)
+	negCount := make([]int, n)
+	var a, tmp big.Int
 	for {
 		if len(rows) == 0 {
 			return false // feasible (all constraints discharged)
 		}
-		// Pick the remaining variable minimizing |pos|*|neg| products.
-		best, bestCost := -1, 0
-		for v := 0; v < n; v++ {
-			if !remaining[v] {
-				continue
-			}
-			pos, neg, used := 0, 0, false
-			for _, r := range rows {
-				switch r.c[v].Sign() {
-				case 1:
-					pos++
-					used = true
-				case -1:
-					neg++
-					used = true
+		// Pick the variable minimizing |pos|*|neg| products; count column
+		// signs by iterating each row's nonzero list once.
+		for v := range posCount {
+			posCount[v], negCount[v] = 0, 0
+		}
+		for _, r := range rows {
+			for _, v := range r.nz {
+				if r.c[v].Sign() > 0 {
+					posCount[v]++
+				} else {
+					negCount[v]++
 				}
 			}
-			if !used {
-				remaining[v] = false
+		}
+		best, bestCost := -1, 0
+		for v := 0; v < n; v++ {
+			if posCount[v] == 0 && negCount[v] == 0 {
 				continue
 			}
-			cost := pos * neg
+			cost := posCount[v] * negCount[v]
 			if best == -1 || cost < bestCost {
 				best, bestCost = v, cost
 			}
@@ -205,7 +274,6 @@ func unsatRows(rows []*row, n int) bool {
 			return false
 		}
 		v := best
-		remaining[v] = false
 		var pos, neg, rest []*row
 		for _, r := range rows {
 			switch r.c[v].Sign() {
@@ -230,19 +298,23 @@ func unsatRows(rows []*row, n int) bool {
 		for _, p := range pos {
 			for _, q := range neg {
 				// p: c_v > 0 gives a lower bound, q: c_v < 0 an upper bound.
-				// Combine with positive multipliers to cancel v:
+				// Combine with positive integer multipliers to cancel v:
 				//   (-q.c[v]) * p  +  (p.c[v]) * q
-				a := new(big.Rat).Neg(q.c[v]) // > 0
-				b := new(big.Rat).Set(p.c[v]) // > 0
+				a.Neg(&q.c[v]) // > 0
+				b := &p.c[v]   // > 0
 				nr := newRow(n)
-				for i := 0; i < n; i++ {
-					nr.c[i].Add(
-						new(big.Rat).Mul(a, p.c[i]),
-						new(big.Rat).Mul(b, q.c[i]),
-					)
+				for _, i := range p.nz {
+					nr.c[i].Mul(&a, &p.c[i])
 				}
-				nr.k.Add(new(big.Rat).Mul(a, p.k), new(big.Rat).Mul(b, q.k))
+				for _, i := range q.nz {
+					tmp.Mul(b, &q.c[i])
+					nr.c[i].Add(&nr.c[i], &tmp)
+				}
+				nr.k.Mul(&a, &p.k)
+				tmp.Mul(b, &q.k)
+				nr.k.Add(&nr.k, &tmp)
 				nr.strict = p.strict || q.strict
+				nr.reduce()
 				out = append(out, nr)
 			}
 		}
@@ -253,10 +325,214 @@ func unsatRows(rows []*row, n int) bool {
 	}
 }
 
+// eqSub records one Gaussian substitution step: equality row e was used to
+// eliminate variable v from every other row. Rows added later (negated
+// target constraints) must replay the steps in order.
+type eqSub struct {
+	e *row
+	v int
+}
+
+// prep is a premise system prepared for repeated entailment checks: every
+// equality has been eliminated by exact Gaussian substitution (each step
+// removes one variable, so the inequality count never grows), and the
+// remaining inequality rows are sifted. Preparing once and sharing the
+// reduced base across all target constraints is what makes batched
+// certificate checking cheap — the per-target work is one substituted row
+// plus a Fourier–Motzkin run over an equality-free system.
+type bprep struct {
+	n     int
+	rows  []*row
+	subs  []eqSub
+	unsat bool // the premise itself was decided infeasible during prep
+}
+
+// bPrepSystem converts sys to integer rows and eliminates its equalities.
+// Substitution is exact over the rationals: S ∧ {a·v + rest = 0} is
+// satisfiable iff S[v := −rest/a] is, so feasibility and entailment
+// answers are unchanged.
+func bPrepSystem(sys linear.System, n int) *bprep {
+	p := &bprep{n: n}
+	var eqs, ges []*row
+	for _, c := range sys {
+		r := rowFromExpr(c.E, n, false, false)
+		if c.Rel == linear.Eq {
+			eqs = append(eqs, r)
+		} else {
+			ges = append(ges, r)
+		}
+	}
+	var a big.Int
+	for len(eqs) > 0 {
+		// Decide constant equalities eagerly and drop trivial ones.
+		kept := eqs[:0]
+		for _, e := range eqs {
+			if e.isConst() {
+				if e.k.Sign() != 0 {
+					p.unsat = true
+					return p
+				}
+				continue
+			}
+			kept = append(kept, e)
+		}
+		eqs = kept
+		if len(eqs) == 0 {
+			break
+		}
+		// Pick the (equality, variable) pivot with the smallest |coefficient|
+		// to bound growth; a ±1 pivot substitutes without scaling.
+		bi, bv := -1, -1
+		var bc *big.Int
+		for i, e := range eqs {
+			for _, v := range e.nz {
+				a.Abs(&e.c[v])
+				if bc == nil || a.Cmp(bc) < 0 {
+					bi, bv = i, v
+					bc = new(big.Int).Set(&a)
+				}
+			}
+			if bc != nil && bc.Cmp(intOne) == 0 {
+				break
+			}
+		}
+		e := eqs[bi]
+		eqs = append(eqs[:bi], eqs[bi+1:]...)
+		for i, r := range eqs {
+			eqs[i] = elimVar(r, e, bv)
+		}
+		for i, r := range ges {
+			ges[i] = elimVar(r, e, bv)
+		}
+		p.subs = append(p.subs, eqSub{e, bv})
+	}
+	p.rows, p.unsat = sift(ges)
+	return p
+}
+
+// entails reports whether the prepared premise entails c over the
+// rationals (see Entails for the soundness argument).
+func (p *bprep) entails(c linear.Constraint) bool {
+	if c.IsTautology() {
+		return true
+	}
+	if p.unsat {
+		return true
+	}
+	check := func(neg *row) bool {
+		for _, s := range p.subs {
+			neg = elimVar(neg, s.e, s.v)
+		}
+		if neg.isConst() {
+			if neg.constFails() {
+				return true
+			}
+			// The negation holds identically under the substitutions: the
+			// conjunction is unsat only if the premise itself is.
+			return unsatRows(p.rows, p.n)
+		}
+		rows := make([]*row, len(p.rows)+1)
+		copy(rows, p.rows)
+		rows[len(p.rows)] = neg
+		return unsatRows(rows, p.n)
+	}
+	switch c.Rel {
+	case linear.Eq:
+		// sys |= e == 0  iff  sys ∧ e > 0 unsat  and  sys ∧ -e > 0 unsat.
+		return check(rowFromExpr(c.E, p.n, true, true)) &&
+			check(rowFromExpr(c.E, p.n, false, true))
+	default:
+		// sys |= e >= 0  iff  sys ∧ -e > 0 unsat.
+		return check(rowFromExpr(c.E, p.n, true, true))
+	}
+}
+
+// prep is a premise prepared for repeated entailment checks. It starts on
+// the int64 engine and demotes itself to the arbitrary-precision engine
+// the first time checked arithmetic overflows (keeping the original
+// system around for the rebuild); answers are identical on both.
+type prep struct {
+	sys  linear.System
+	n    int
+	fast *iprep
+	slow *bprep
+}
+
+func prepSystem(sys linear.System, n int) *prep {
+	p := &prep{sys: sys, n: n}
+	p.fast = tryIPrep(sys, n)
+	return p
+}
+
+func (p *prep) entails(c linear.Constraint) bool {
+	if p.fast != nil {
+		if r, ok := tryIEntails(p.fast, c); ok {
+			return r
+		}
+		p.fast = nil
+	}
+	if p.slow == nil {
+		p.slow = bPrepSystem(p.sys, p.n)
+	}
+	return p.slow.entails(c)
+}
+
+// tryIPrep runs the int64 premise preparation, reporting nil when it
+// overflowed machine range.
+func tryIPrep(sys linear.System, n int) (p *iprep) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(fmOverflow); !ok {
+				panic(r)
+			}
+			p = nil
+		}
+	}()
+	return iPrepSystem(sys, n)
+}
+
+// tryIEntails runs one entailment on the int64 engine; ok is false when
+// the check overflowed and must be redone on the big engine.
+func tryIEntails(p *iprep, c linear.Constraint) (res, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok2 := r.(fmOverflow); !ok2 {
+				panic(r)
+			}
+			res, ok = false, false
+		}
+	}()
+	return p.entails(c), true
+}
+
+// tryIUnsat decides Unsat on the int64 engine; ok is false on overflow.
+func tryIUnsat(sys linear.System, n int) (res, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok2 := r.(fmOverflow); !ok2 {
+				panic(r)
+			}
+			res, ok = false, false
+		}
+	}()
+	p := iPrepSystem(sys, n)
+	if p.unsat {
+		return true, true
+	}
+	return iUnsatRows(p.rows, p.n), true
+}
+
 // Unsat reports whether the conjunction of constraints has no rational
 // solution (which implies it has no integer solution either).
 func Unsat(sys linear.System, n int) bool {
-	return unsatRows(rowsFromSystem(sys, n), n)
+	if r, ok := tryIUnsat(sys, n); ok {
+		return r
+	}
+	p := bPrepSystem(sys, n)
+	if p.unsat {
+		return true
+	}
+	return unsatRows(p.rows, p.n)
 }
 
 // Sat reports whether the conjunction has a rational solution. It is the
@@ -270,39 +546,15 @@ func Sat(sys linear.System, n int) bool { return !Unsat(sys, n) }
 // Entailment over the rationals implies entailment over the integers, so a
 // "true" answer is sound for the integer IP semantics.
 func Entails(sys linear.System, c linear.Constraint, n int) bool {
-	if c.IsTautology() {
-		return true
-	}
-	base := rowsFromSystem(sys, n)
-	check := func(neg *row) bool {
-		rows := make([]*row, len(base), len(base)+1)
-		for i, r := range base {
-			nr := newRow(n)
-			for j := range r.c {
-				nr.c[j].Set(r.c[j])
-			}
-			nr.k.Set(r.k)
-			nr.strict = r.strict
-			rows[i] = nr
-		}
-		rows = append(rows, neg)
-		return unsatRows(rows, n)
-	}
-	switch c.Rel {
-	case linear.Eq:
-		// sys |= e == 0  iff  sys ∧ e > 0 unsat  and  sys ∧ -e > 0 unsat.
-		return check(rowFromExpr(c.E, n, true, true)) &&
-			check(rowFromExpr(c.E, n, false, true))
-	default:
-		// sys |= e >= 0  iff  sys ∧ -e > 0 unsat.
-		return check(rowFromExpr(c.E, n, true, true))
-	}
+	return prepSystem(sys, n).entails(c)
 }
 
 // EntailsSystem reports whether sys entails every constraint of target.
+// The premise is prepared once and shared across the targets.
 func EntailsSystem(sys, target linear.System, n int) bool {
+	p := prepSystem(sys, n)
 	for _, c := range target {
-		if !Entails(sys, c, n) {
+		if !p.entails(c) {
 			return false
 		}
 	}
@@ -313,8 +565,9 @@ func EntailsSystem(sys, target linear.System, n int) bool {
 // entail, for error reporting; ok is false when every constraint is
 // entailed.
 func FirstUnentailed(sys, target linear.System, n int) (linear.Constraint, bool) {
+	p := prepSystem(sys, n)
 	for _, c := range target {
-		if !Entails(sys, c, n) {
+		if !p.entails(c) {
 			return c, true
 		}
 	}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/clex"
 	"repro/internal/ip"
+	"repro/internal/linear"
 )
 
 // Status classifies one check after certification.
@@ -68,7 +69,19 @@ func (o *Outcome) Add(r CheckResult) {
 }
 
 // VerifyAll verifies every certificate and returns one result per check.
+// Certificates sharing their carrier program and invariant map by pointer
+// (as one tier run exports them) have the shared obligations — initiation
+// and consecution — established once for the group; the per-assert
+// implication always runs per certificate. The outcome is identical to
+// calling Verify on each certificate, because the shared obligations are
+// a pure function of the pointer-identical (Prog, Inv) pair.
 func VerifyAll(certs []*Certificate) []CheckResult {
+	type gkey struct {
+		prog *ip.Program
+		inv0 *linear.System
+		n    int
+	}
+	shared := make(map[gkey]error)
 	out := make([]CheckResult, 0, len(certs))
 	for _, cert := range certs {
 		r := CheckResult{
@@ -77,7 +90,23 @@ func VerifyAll(certs []*Certificate) []CheckResult {
 			Msg:   cert.Check.Msg,
 			Tier:  cert.Check.Tier,
 		}
-		if err := cert.Verify(); err != nil {
+		var err error
+		if cert.Unreachable || len(cert.Inv) == 0 {
+			err = cert.Verify()
+		} else {
+			k := gkey{cert.Prog, &cert.Inv[0], len(cert.Inv)}
+			serr, ok := shared[k]
+			if !ok {
+				serr = cert.verifyShared()
+				shared[k] = serr
+			}
+			if serr != nil {
+				err = serr
+			} else {
+				err = cert.verifyAssert()
+			}
+		}
+		if err != nil {
 			r.Status = StatusFailed
 			r.Detail = err.Error()
 		} else {

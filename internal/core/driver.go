@@ -12,6 +12,7 @@ import (
 	"repro/internal/arena"
 	"repro/internal/budget"
 	"repro/internal/c2ip"
+	"repro/internal/cache"
 	"repro/internal/cast"
 	"repro/internal/certify"
 	"repro/internal/clex"
@@ -103,6 +104,22 @@ type Options struct {
 	// only), or the automatically derived one (paper §4, Table 5's
 	// "Deriving" columns). Callees always keep their declared contracts.
 	Contracts ContractMode
+	// CacheDir enables the content-addressed on-disk result cache
+	// (internal/cache) rooted at this directory. An exact hit replays the
+	// stored verdict; an entry whose body and configuration match but whose
+	// environment (other declarations, prelude, own contract) changed takes
+	// the certificate-revalidation fast path — front end re-run, stored
+	// certificates re-proved by the independent checker, no fixpoint.
+	// Degraded and auto-contract results are never cached.
+	CacheDir string
+	// CacheVerify treats every exact hit like a revalidation: certificates
+	// re-proved and assert accounting re-checked before the entry is
+	// trusted (paranoid mode; the integrity digests are always checked).
+	CacheVerify bool
+	// PtCacheSize bounds the process-wide pointer-analysis memo
+	// (0 = the 128-entry default, negative = unbounded). Overflow evicts
+	// the oldest entries first; evictions are surfaced in RunStats.
+	PtCacheSize int
 }
 
 // ContractMode selects the analyzed procedure's own contract.
@@ -158,6 +175,14 @@ type ProcReport struct {
 	// procedure's unresolved checks are conservatively present in
 	// Violations (never silently "safe").
 	Degraded *Degradation
+	// CacheStatus records how the result cache participated: "hit" (exact
+	// replay, no front end or fixpoint), "revalidated" (front end re-run,
+	// certificates re-proved, no fixpoint), "stored" (fresh analysis,
+	// result written to the cache), "uncached" (caching enabled but this
+	// result was not storable — e.g. degraded), or "" (caching disabled).
+	// On "hit" the AST-level intermediates (Inlined, PPT) are nil and
+	// Space reflects the hit path, not the original analysis.
+	CacheStatus string
 }
 
 // Degradation records why and how a procedure's analysis fell short of a
@@ -227,6 +252,27 @@ type RunStats struct {
 	// run (the automatic density policy; forced policies count too).
 	// Content-only decisions, hence deterministic.
 	SparseZoneSelections, DenseZoneSelections int64
+	// CacheHits / CacheRevalidated / CacheMisses count, under
+	// Options.CacheDir, how each cacheable procedure was resolved: exact
+	// replay, certificate revalidation (front end re-run, stored
+	// certificates re-proved, no fixpoint), or full analysis. CacheStores
+	// counts entries written (fresh results and revalidation refreshes
+	// under the new key). CacheBadEntries counts corrupt, truncated, or
+	// undecodable entries encountered (each is logged and analyzed
+	// around); CacheCertRejected counts entries rejected because a stored
+	// certificate failed re-verification or assert accounting — never
+	// silently trusted.
+	CacheHits, CacheRevalidated, CacheMisses int
+	CacheStores                              int
+	CacheBadEntries, CacheCertRejected       int
+	// PtCacheEvictions counts pointer-analysis memo entries evicted
+	// (oldest first) because the memo reached its configured bound.
+	PtCacheEvictions int
+	// FixpointIterations sums the fixpoint worklist iterations actually
+	// executed this run. Cached procedures contribute nothing — a fully
+	// warm run reports 0, which is the deterministic witness that the
+	// result cache, not the engine, produced the reports.
+	FixpointIterations int
 	// MemberResolved / MemberHavocked count C2IP memory-access sites
 	// (member accesses lowered to byte arithmetic, plus ordinary derefs)
 	// whose constraints were generated with a precise offset/aSize pair for
@@ -295,10 +341,16 @@ func Prepare(filename, src string, noLibc bool) (*corec.Program, error) {
 // internal/polyhedra).
 type runCounters struct {
 	ptHits, ptMisses      atomic.Int64
+	ptEvict               atomic.Int64
 	drops                 atomic.Int64
 	arenaBytes            atomic.Int64
 	selSparse, selDense   atomic.Int64
 	memResolved, memHavoc atomic.Int64
+	cacheHits, cacheReval atomic.Int64
+	cacheMiss             atomic.Int64
+	cacheStores           atomic.Int64
+	cacheBad, cacheRej    atomic.Int64
+	fixIters              atomic.Int64
 }
 
 // AnalyzeSource runs CSSV on a single translation unit given as text.
@@ -341,10 +393,15 @@ func AnalyzeSource(filename, src string, opts Options) (*Report, error) {
 	}
 	exclusive := workers == 1
 
+	cc, err := newCacheCtx(filename, src, opts)
+	if err != nil {
+		return nil, err
+	}
+
 	rc := &runCounters{}
 	results := make([]*ProcReport, len(procs))
 	err = runPool(workers, len(procs), func(i int, done <-chan struct{}) error {
-		pr, err := guardedAnalyzeProc(file, prog, procs[i], opts, rc, exclusive, done)
+		pr, err := guardedAnalyzeProc(file, prog, procs[i], opts, cc, rc, exclusive, done)
 		if err != nil {
 			if err == errCancelled {
 				return err
@@ -378,6 +435,14 @@ func AnalyzeSource(filename, src string, opts Options) (*Report, error) {
 	rep.Stats.DenseZoneSelections = rc.selDense.Load()
 	rep.Stats.MemberResolved = int(rc.memResolved.Load())
 	rep.Stats.MemberHavocked = int(rc.memHavoc.Load())
+	rep.Stats.CacheHits = int(rc.cacheHits.Load())
+	rep.Stats.CacheRevalidated = int(rc.cacheReval.Load())
+	rep.Stats.CacheMisses = int(rc.cacheMiss.Load())
+	rep.Stats.CacheStores = int(rc.cacheStores.Load())
+	rep.Stats.CacheBadEntries = int(rc.cacheBad.Load())
+	rep.Stats.CacheCertRejected = int(rc.cacheRej.Load())
+	rep.Stats.PtCacheEvictions = int(rc.ptEvict.Load())
+	rep.Stats.FixpointIterations = int(rc.fixIters.Load())
 	return rep, nil
 }
 
@@ -386,13 +451,13 @@ func AnalyzeSource(filename, src string, opts Options) (*Report, error) {
 // synthesized unresolved violation, so the run completes (with a nonzero
 // message count) instead of crashing. Sibling procedures are unaffected.
 func guardedAnalyzeProc(orig *cast.File, prog *corec.Program, name string, opts Options,
-	rc *runCounters, exclusive bool, done <-chan struct{}) (pr *ProcReport, err error) {
+	cc *cacheCtx, rc *runCounters, exclusive bool, done <-chan struct{}) (pr *ProcReport, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			pr, err = panicReport(name, r, debug.Stack()), nil
 		}
 	}()
-	return analyzeProc(orig, prog, name, opts, rc, exclusive, done)
+	return analyzeProc(orig, prog, name, opts, cc, rc, exclusive, done)
 }
 
 // panicReport builds the conservative report for a procedure whose
@@ -451,7 +516,7 @@ func withContract(prog *corec.Program, proc string, ct *cast.Contract) *corec.Pr
 // a failing sibling cancels the pipeline promptly. exclusive marks that no
 // sibling runs concurrently, enabling the Space measurement.
 func analyzeProc(orig *cast.File, prog *corec.Program, name string, opts Options,
-	rc *runCounters, exclusive bool, done <-chan struct{}) (*ProcReport, error) {
+	cc *cacheCtx, rc *runCounters, exclusive bool, done <-chan struct{}) (*ProcReport, error) {
 	var allocBefore uint64
 	if exclusive {
 		allocBefore = heapAllocBytes()
@@ -489,6 +554,26 @@ func analyzeProc(orig *cast.File, prog *corec.Program, name string, opts Options
 		pr.Derived = der
 	}
 
+	// Result-cache lookup. Auto-contract runs are not cached: the derived
+	// contract is itself the product of a fixpoint the cache does not
+	// capture. On an exact hit (body, configuration, and environment all
+	// unchanged) the whole pipeline below — front end included — is
+	// skipped.
+	var ckey cache.Key
+	cacheable := false
+	if cc != nil && opts.Contracts != AutoContracts {
+		ckey, cacheable = cc.keyFor(prog, name)
+	}
+	if cacheable {
+		if hit := cc.tryHit(ckey, opts, rc); hit != nil {
+			hit.CPU = time.Since(start)
+			if exclusive {
+				hit.Space = heapAllocBytes() - allocBefore
+			}
+			return hit, nil
+		}
+	}
+
 	// Phase 1: inline contracts into P, then renormalize.
 	inlined, err := inline.File(prog, name)
 	if err != nil {
@@ -516,11 +601,14 @@ func analyzeProc(orig *cast.File, prog *corec.Program, name string, opts Options
 	// pointer result is memoized process-wide (read-only for all
 	// consumers), so procedures whose inlining leaves the global points-to
 	// input unchanged — and repeated runs — share one analysis.
-	g, hit := cachedPointerAnalyze(nprog, opts.PointerMode)
+	g, hit, evicted := cachedPointerAnalyze(nprog, opts.PointerMode, opts.PtCacheSize)
 	if hit {
 		rc.ptHits.Add(1)
 	} else {
 		rc.ptMisses.Add(1)
+	}
+	if evicted > 0 {
+		rc.ptEvict.Add(int64(evicted))
 	}
 	pt := ppt.Build(nprog, fd, g, opts.PPT)
 	pr.PPT = pt
@@ -545,115 +633,144 @@ func analyzeProc(orig *cast.File, prog *corec.Program, name string, opts Options
 		return nil, errCancelled
 	}
 
-	// Phase 4: integer analysis — a single fixpoint in the configured
-	// domain, or the tiered cascade over reduced sub-programs. The budget
-	// token (wall-clock deadline measured from the start of this
-	// procedure's pipeline, plus the deterministic step budget) and the
-	// per-run substrate configs are threaded through the engine and the
-	// numeric kernels; a nil token is free.
-	var deadline time.Time
-	if opts.ProcDeadline > 0 {
-		deadline = start.Add(opts.ProcDeadline)
-	}
-	tok := budget.New(deadline, opts.StepBudget)
-	// One arena per procedure, shared by every substrate of this pipeline
-	// (single-goroutine by construction) and freed wholesale when the
-	// procedure's report is built — the configs, and the arena with them,
-	// go out of scope at return.
-	var ar *arena.Arena
-	if !opts.NoArena {
-		ar = arena.New()
-	}
-	pcfg := &polyhedra.Config{MaxRays: opts.MaxRays, Token: tok, Arena: ar}
-	zcfg := &zone.Config{Token: tok, Arena: ar}
-	aopts := analysis.Options{
-		Domain:          analysis.WithSubstrate(opts.Domain, pcfg, zcfg),
-		WideningDelay:   opts.WideningDelay,
-		NarrowingPasses: opts.NarrowingPasses,
-		Certify:         opts.Certify,
-		Token:           tok,
-		ZoneConfig:      zcfg,
-		Octagon:         opts.Octagon,
-	}
-	var certs []*certify.Certificate
-	var exhausted string
-	if opts.Cascade {
-		cres, err := analysis.AnalyzeCascade(res.Prog, aopts)
-		if err != nil {
-			return nil, fmt.Errorf("analysis: %w", err)
+	// Certificate-revalidation fast path: a cache entry whose body and
+	// configuration match but whose environment changed is reused iff the
+	// freshly generated integer program is identical (encoded form,
+	// positions included) and every stored certificate re-proves under the
+	// independent checker — no fixpoint runs. The side-effect check below
+	// still runs fresh: the procedure's own contract may be exactly what
+	// changed.
+	revalidated := false
+	var cachedCerts []*certify.Certificate
+	var cachedOutcome *certify.Outcome
+	if cacheable {
+		revalidated, cachedCerts, cachedOutcome = cc.tryRevalidate(ckey, pr, res.Prog, opts, rc)
+		if !revalidated {
+			rc.cacheMiss.Add(1)
 		}
-		pr.Violations = cres.Violations
-		pr.Iterations = cres.Iterations
-		pr.Cascade = cres
-		certs = cres.Certificates
-		exhausted = cres.Exhausted
-	} else {
-		ares, err := analysis.Analyze(res.Prog, aopts)
-		if err != nil {
-			return nil, fmt.Errorf("analysis: %w", err)
-		}
-		pr.Violations = ares.Violations
-		pr.Iterations = ares.Iterations
-		if opts.Certify {
-			certs = analysis.CertifyResult(ares, aopts)
-		}
-		exhausted = ares.Exhausted
-	}
-	// Ray-cap drops are counted per run; budget-induced constraint drops
-	// are timing-dependent and deliberately uncounted (determinism).
-	rc.drops.Add(pcfg.DroppedConstraints())
-	rc.arenaBytes.Add(ar.Recycled())
-	sparseSel, denseSel := zcfg.SparseSelections()
-	rc.selSparse.Add(sparseSel)
-	rc.selDense.Add(denseSel)
-	if exhausted != "" {
-		unresolved := 0
-		for _, v := range pr.Violations {
-			if v.Unresolved {
-				unresolved++
-			}
-		}
-		pr.Degraded = &Degradation{
-			Cause: exhausted,
-			Detail: fmt.Sprintf("analysis budget exhausted (%s); %d check(s) unresolved",
-				exhausted, unresolved),
-			Unresolved: unresolved,
-		}
-		// Certificates from an exhausted run may be partial; skip
-		// certification rather than certify against pre-fixpoint iterates.
-		certs = nil
 	}
 
-	// Phase 4b: a-posteriori certification — verify every discharged
-	// check's certificate with the independent Fourier–Motzkin checker and
-	// replay every violation through the directed interpreter. Replay runs
-	// against the original IP: slices over-approximate executions, so only
-	// a trace of the full program is a genuine witness. This happens before
-	// the side-effect check appends its (IP-less) violations. A degraded
-	// procedure is not certified: its unresolved checks have no
-	// certificates and its counter-examples were never computed.
-	if opts.Certify && pr.Degraded == nil {
-		if cancelled(done) {
-			return nil, errCancelled
+	var certs []*certify.Certificate
+	if !revalidated {
+		// Phase 4: integer analysis — a single fixpoint in the configured
+		// domain, or the tiered cascade over reduced sub-programs. The budget
+		// token (wall-clock deadline measured from the start of this
+		// procedure's pipeline, plus the deterministic step budget) and the
+		// per-run substrate configs are threaded through the engine and the
+		// numeric kernels; a nil token is free.
+		var deadline time.Time
+		if opts.ProcDeadline > 0 {
+			deadline = start.Add(opts.ProcDeadline)
 		}
-		tierOf := map[int]string{}
-		if pr.Cascade != nil {
-			for _, c := range pr.Cascade.Checks {
-				if c.Violated {
-					tierOf[c.Index] = c.Tier
+		tok := budget.New(deadline, opts.StepBudget)
+		// One arena per procedure, shared by every substrate of this pipeline
+		// (single-goroutine by construction) and freed wholesale when the
+		// procedure's report is built — the configs, and the arena with them,
+		// go out of scope at return.
+		var ar *arena.Arena
+		if !opts.NoArena {
+			ar = arena.New()
+		}
+		pcfg := &polyhedra.Config{MaxRays: opts.MaxRays, Token: tok, Arena: ar}
+		zcfg := &zone.Config{Token: tok, Arena: ar}
+		// Certificates are exported whenever the result may be cached, not
+		// only under Options.Certify: revalidating a stored entry later
+		// requires its certificates. The flag is result-neutral — it only
+		// makes the engine export what it already proved.
+		aopts := analysis.Options{
+			Domain:          analysis.WithSubstrate(opts.Domain, pcfg, zcfg),
+			WideningDelay:   opts.WideningDelay,
+			NarrowingPasses: opts.NarrowingPasses,
+			Certify:         opts.Certify || cacheable,
+			Token:           tok,
+			ZoneConfig:      zcfg,
+			Octagon:         opts.Octagon,
+		}
+		var exhausted string
+		if opts.Cascade {
+			cres, err := analysis.AnalyzeCascade(res.Prog, aopts)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: %w", err)
+			}
+			pr.Violations = cres.Violations
+			pr.Iterations = cres.Iterations
+			pr.Cascade = cres
+			certs = cres.Certificates
+			exhausted = cres.Exhausted
+		} else {
+			ares, err := analysis.Analyze(res.Prog, aopts)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: %w", err)
+			}
+			pr.Violations = ares.Violations
+			pr.Iterations = ares.Iterations
+			if opts.Certify || cacheable {
+				certs = analysis.CertifyResult(ares, aopts)
+			}
+			exhausted = ares.Exhausted
+		}
+		rc.fixIters.Add(int64(pr.Iterations))
+		// Ray-cap drops are counted per run; budget-induced constraint drops
+		// are timing-dependent and deliberately uncounted (determinism).
+		rc.drops.Add(pcfg.DroppedConstraints())
+		rc.arenaBytes.Add(ar.Recycled())
+		sparseSel, denseSel := zcfg.SparseSelections()
+		rc.selSparse.Add(sparseSel)
+		rc.selDense.Add(denseSel)
+		if exhausted != "" {
+			unresolved := 0
+			for _, v := range pr.Violations {
+				if v.Unresolved {
+					unresolved++
 				}
 			}
-		} else {
-			dom := opts.Domain
-			if dom == nil {
-				dom = analysis.PolyDomain{}
+			pr.Degraded = &Degradation{
+				Cause: exhausted,
+				Detail: fmt.Sprintf("analysis budget exhausted (%s); %d check(s) unresolved",
+					exhausted, unresolved),
+				Unresolved: unresolved,
 			}
-			for _, v := range pr.Violations {
-				tierOf[v.Index] = dom.Name()
-			}
+			// Certificates from an exhausted run may be partial; skip
+			// certification rather than certify against pre-fixpoint iterates.
+			certs = nil
 		}
-		pr.Certification = certifyProc(res.Prog, certs, pr.Violations, tierOf)
+
+		// Phase 4b: a-posteriori certification — verify every discharged
+		// check's certificate with the independent Fourier–Motzkin checker and
+		// replay every violation through the directed interpreter. Replay runs
+		// against the original IP: slices over-approximate executions, so only
+		// a trace of the full program is a genuine witness. This happens before
+		// the side-effect check appends its (IP-less) violations. A degraded
+		// procedure is not certified: its unresolved checks have no
+		// certificates and its counter-examples were never computed.
+		if opts.Certify && pr.Degraded == nil {
+			if cancelled(done) {
+				return nil, errCancelled
+			}
+			tierOf := map[int]string{}
+			if pr.Cascade != nil {
+				for _, c := range pr.Cascade.Checks {
+					if c.Violated {
+						tierOf[c.Index] = c.Tier
+					}
+				}
+			} else {
+				dom := opts.Domain
+				if dom == nil {
+					dom = analysis.PolyDomain{}
+				}
+				for _, v := range pr.Violations {
+					tierOf[v.Index] = dom.Name()
+				}
+			}
+			pr.Certification = certifyProc(res.Prog, certs, pr.Violations, tierOf)
+		}
 	}
+
+	// nAnalysis separates the analysis-produced violations from the
+	// side-effect ones appended below; the cache stores the two lists
+	// separately (a revalidation replays only the former).
+	nAnalysis := len(pr.Violations)
 
 	// Side-effect verification (the modifies clause is part of the
 	// contract and is checked like the pre/postconditions).
@@ -662,6 +779,27 @@ func analyzeProc(orig *cast.File, prog *corec.Program, name string, opts Options
 			pr.Violations = append(pr.Violations,
 				checkSideEffects(fd, pt, origFd.Contract)...)
 		}
+	}
+
+	// Store (or, after a revalidation, refresh under the new key, so the
+	// next identical run exact-hits). Degraded results are never cached:
+	// they depend on budgets and timing, and their checks are unresolved.
+	if cacheable && pr.Degraded == nil {
+		outcome := pr.Certification
+		storeCerts := certs
+		if revalidated {
+			// Preserve the stored certification outcome even when this run
+			// did not request certification, so the refreshed entry stays
+			// usable for certifying runs.
+			outcome = cachedOutcome
+			storeCerts = cachedCerts
+		}
+		cc.put(ckey, pr, nAnalysis, res.MemberResolved, res.MemberHavocked, storeCerts, outcome, rc)
+		if !revalidated {
+			pr.CacheStatus = "stored"
+		}
+	} else if cc != nil && pr.CacheStatus == "" {
+		pr.CacheStatus = "uncached"
 	}
 
 	pr.CPU = time.Since(start)

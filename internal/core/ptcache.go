@@ -30,11 +30,12 @@ type ptKey struct {
 	hash   [sha256.Size]byte
 }
 
-// ptCacheMax bounds the cache. On overflow the whole map is dropped (a
-// simple, documented policy: entries are cheap to recompute and the cache
-// exists for the common repeated-run and per-procedure-fan-out cases, which
-// never approach the bound).
-const ptCacheMax = 128
+// defaultPtCacheMax is the memo bound used when the caller does not
+// configure one (Options.PtCacheSize == 0). Entries are evicted in
+// insertion order (FIFO) once the bound is reached — not dropped
+// wholesale, so a long-running embedder cycling through many translation
+// units keeps its recent working set warm.
+const defaultPtCacheMax = 128
 
 type ptEntry struct {
 	once sync.Once
@@ -44,6 +45,8 @@ type ptEntry struct {
 var ptCache = struct {
 	sync.Mutex
 	m map[ptKey]*ptEntry
+	// order lists live keys oldest first; it drives FIFO eviction.
+	order []ptKey
 }{m: map[ptKey]*ptEntry{}}
 
 func pointerKey(prog *corec.Program, mode pointer.Mode) ptKey {
@@ -67,21 +70,37 @@ func pointerKey(prog *corec.Program, mode pointer.Mode) ptKey {
 
 // cachedPointerAnalyze memoizes pointer.Analyze on (program shape, mode).
 // Concurrent calls with the same key block on one computation instead of
-// duplicating it. The second result reports whether this was a cache hit.
-func cachedPointerAnalyze(prog *corec.Program, mode pointer.Mode) (*pointer.Result, bool) {
+// duplicating it. limit bounds the memo (0 = defaultPtCacheMax, negative =
+// unbounded); on overflow the oldest entries are evicted first. The second
+// result reports whether this was a cache hit, the third how many entries
+// were evicted to make room.
+func cachedPointerAnalyze(prog *corec.Program, mode pointer.Mode, limit int) (*pointer.Result, bool, int) {
+	max := limit
+	if max == 0 {
+		max = defaultPtCacheMax
+	}
 	k := pointerKey(prog, mode)
+	evicted := 0
 	ptCache.Lock()
 	e, hit := ptCache.m[k]
 	if !hit {
-		if len(ptCache.m) >= ptCacheMax {
-			ptCache.m = map[ptKey]*ptEntry{}
+		if max > 0 {
+			for len(ptCache.m) >= max && len(ptCache.order) > 0 {
+				old := ptCache.order[0]
+				ptCache.order = ptCache.order[1:]
+				if _, ok := ptCache.m[old]; ok {
+					delete(ptCache.m, old)
+					evicted++
+				}
+			}
 		}
 		e = &ptEntry{}
 		ptCache.m[k] = e
+		ptCache.order = append(ptCache.order, k)
 	}
 	ptCache.Unlock()
 	e.once.Do(func() { e.res = pointer.Analyze(prog, mode) })
-	return e.res, hit
+	return e.res, hit, evicted
 }
 
 // FlushCaches empties the process-wide memoization caches (currently the
@@ -91,5 +110,6 @@ func cachedPointerAnalyze(prog *corec.Program, mode pointer.Mode) (*pointer.Resu
 func FlushCaches() {
 	ptCache.Lock()
 	ptCache.m = map[ptKey]*ptEntry{}
+	ptCache.order = nil
 	ptCache.Unlock()
 }

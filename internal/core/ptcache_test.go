@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"repro/internal/corec"
 	"repro/internal/pointer"
 )
 
@@ -18,11 +19,11 @@ func TestCachedPointerAnalyzeSharesResults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r1, hit1 := cachedPointerAnalyze(prog, pointer.Inclusion)
+	r1, hit1, _ := cachedPointerAnalyze(prog, pointer.Inclusion, 0)
 	if hit1 {
 		t.Errorf("first analysis reported a cache hit")
 	}
-	r2, hit2 := cachedPointerAnalyze(prog, pointer.Inclusion)
+	r2, hit2, _ := cachedPointerAnalyze(prog, pointer.Inclusion, 0)
 	if !hit2 {
 		t.Errorf("second analysis missed the cache")
 	}
@@ -30,7 +31,7 @@ func TestCachedPointerAnalyzeSharesResults(t *testing.T) {
 		t.Errorf("cache returned a different result object for the same input")
 	}
 	// A different mode is a different key.
-	r3, hit3 := cachedPointerAnalyze(prog, pointer.Unification)
+	r3, hit3, _ := cachedPointerAnalyze(prog, pointer.Unification, 0)
 	if hit3 {
 		t.Errorf("different mode reported a cache hit")
 	}
@@ -42,11 +43,11 @@ func TestCachedPointerAnalyzeSharesResults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, hit := cachedPointerAnalyze(prog2, pointer.Inclusion); hit {
+	if _, hit, _ := cachedPointerAnalyze(prog2, pointer.Inclusion, 0); hit {
 		t.Errorf("different program reported a cache hit")
 	}
 	FlushCaches()
-	if _, hit := cachedPointerAnalyze(prog, pointer.Inclusion); hit {
+	if _, hit, _ := cachedPointerAnalyze(prog, pointer.Inclusion, 0); hit {
 		t.Errorf("FlushCaches did not empty the memo")
 	}
 }
@@ -126,5 +127,59 @@ func TestPrecisionDropsSurfaced(t *testing.T) {
 	}
 	if rep2.Stats.PrecisionDrops == 0 {
 		t.Errorf("capped run reported no precision drops; the cap must be surfaced in Stats")
+	}
+}
+
+// TestPtCacheEviction drives the memo past a tiny bound and checks FIFO
+// eviction: the oldest entry leaves first, later entries stay warm, and
+// the evicted count is reported to the caller.
+func TestPtCacheEviction(t *testing.T) {
+	FlushCaches()
+	defer FlushCaches()
+	progs := make([]*corec.Program, 3)
+	for i := range progs {
+		src := ptcacheSrc
+		for j := 0; j < i; j++ {
+			src += "\nchar extra" + string(rune('a'+j)) + "[4];"
+		}
+		p, err := Prepare("t.c", src, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		progs[i] = p
+	}
+	const limit = 2
+	if _, _, ev := cachedPointerAnalyze(progs[0], pointer.Inclusion, limit); ev != 0 {
+		t.Errorf("first insert evicted %d entries", ev)
+	}
+	if _, _, ev := cachedPointerAnalyze(progs[1], pointer.Inclusion, limit); ev != 0 {
+		t.Errorf("second insert evicted %d entries (limit %d)", ev, limit)
+	}
+	if _, _, ev := cachedPointerAnalyze(progs[2], pointer.Inclusion, limit); ev != 1 {
+		t.Errorf("third insert evicted %d entries, want exactly 1", ev)
+	}
+	// progs[0] was oldest and must be gone; progs[1] and progs[2] survive.
+	if _, hit, _ := cachedPointerAnalyze(progs[2], pointer.Inclusion, limit); !hit {
+		t.Errorf("newest entry was evicted")
+	}
+	if _, hit, _ := cachedPointerAnalyze(progs[1], pointer.Inclusion, limit); !hit {
+		t.Errorf("second-newest entry was evicted")
+	}
+	if _, hit, ev := cachedPointerAnalyze(progs[0], pointer.Inclusion, limit); hit {
+		t.Errorf("oldest entry survived past the bound")
+	} else if ev != 1 {
+		t.Errorf("re-inserting the evicted entry evicted %d entries, want 1", ev)
+	}
+	// A negative limit means unbounded: nothing is ever evicted.
+	FlushCaches()
+	for i, p := range progs {
+		if _, _, ev := cachedPointerAnalyze(p, pointer.Inclusion, -1); ev != 0 {
+			t.Errorf("unbounded insert %d evicted %d entries", i, ev)
+		}
+	}
+	for i, p := range progs {
+		if _, hit, _ := cachedPointerAnalyze(p, pointer.Inclusion, -1); !hit {
+			t.Errorf("unbounded cache lost entry %d", i)
+		}
 	}
 }

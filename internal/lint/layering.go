@@ -89,6 +89,19 @@ var LayerRules = []LayerRule{
 		Why:  "the arena is a leaf below every substrate: recycled memory must carry no knowledge of what it stores, and a nil arena must remain a complete no-op",
 	},
 	{
+		Pkg: ModulePath + "/internal/cache",
+		Deny: []string{
+			ModulePath + "/internal/analysis",
+			ModulePath + "/internal/polyhedra",
+			ModulePath + "/internal/zone",
+			ModulePath + "/internal/octagon",
+			ModulePath + "/internal/interval",
+			ModulePath + "/internal/numkernel",
+			ModulePath + "/internal/core",
+		},
+		Why: "the cache stores claims the independent checker can re-prove; linking the engine (or any substrate it runs on) would let cached verdicts depend on the code whose results they replace",
+	},
+	{
 		Pkg: ModulePath + "/internal/lint",
 		Deny: []string{
 			ModulePath + "/internal/",

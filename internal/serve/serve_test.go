@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+)
+
+func post(t *testing.T, ts *httptest.Server, path string, body interface{}, out interface{}) *http.Response {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp
+}
+
+func TestServeWarmProcess(t *testing.T) {
+	src, err := os.ReadFile("../../testdata/running/skipline.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &Server{CacheDir: t.TempDir(), Workers: 1}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if resp, err := http.Get(ts.URL + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: resp=%v err=%v", resp, err)
+	}
+
+	req := Request{
+		Filename: "skipline.c",
+		Source:   string(src),
+		Config:   RequestConfig{Cascade: true, Quiet: true},
+	}
+	var cold, warm Response
+	post(t, ts, "/v1/analyze", req, &cold)
+	if cold.Error != "" || cold.ExitCode != 1 || cold.Messages != 1 {
+		t.Fatalf("cold response: %+v", cold)
+	}
+	if !strings.Contains(cold.Output, "precondition of SkipLine may be violated") {
+		t.Errorf("cold output missing the expected message:\n%s", cold.Output)
+	}
+	post(t, ts, "/v1/analyze", req, &warm)
+	if warm.Output != cold.Output || warm.ExitCode != cold.ExitCode {
+		t.Errorf("warm response differs from cold:\ncold: %+v\nwarm: %+v", cold, warm)
+	}
+
+	var stats Stats
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Requests != 2 || stats.CacheHits == 0 || stats.CacheStores == 0 {
+		t.Errorf("stats after warm run: %+v", stats)
+	}
+}
+
+func TestServeBatchAndErrors(t *testing.T) {
+	src, err := os.ReadFile("../../testdata/running/skipline.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &Server{Workers: 1}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	batch := BatchRequest{Requests: []Request{
+		{Filename: "skipline.c", Source: string(src), Config: RequestConfig{Cascade: true, Quiet: true}},
+		{Filename: "broken.c", Source: "void f( {", Config: RequestConfig{}},
+	}}
+	var resp BatchResponse
+	post(t, ts, "/v1/batch", batch, &resp)
+	if len(resp.Results) != 2 {
+		t.Fatalf("batch returned %d results, want 2", len(resp.Results))
+	}
+	if resp.Results[0].Error != "" || resp.Results[0].Messages != 1 {
+		t.Errorf("batch result 0: %+v", resp.Results[0])
+	}
+	if resp.Results[1].Error == "" || resp.Results[1].ExitCode != 2 {
+		t.Errorf("batch result 1 should be a parse failure: %+v", resp.Results[1])
+	}
+
+	if r, err := http.Post(ts.URL+"/v1/analyze", "application/json",
+		strings.NewReader("{not json")); err != nil || r.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: resp=%v err=%v", r, err)
+	}
+	if r, err := http.Get(ts.URL + "/v1/analyze"); err != nil || r.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET analyze: resp=%v err=%v", r, err)
+	}
+
+	// Rejected HTTP requests never reach the analyzer: only the two
+	// batch jobs count, one of which failed to parse.
+	if got := srv.Snapshot(); got.Requests != 2 || got.Failures != 1 {
+		t.Errorf("snapshot: %+v", got)
+	}
+}

@@ -22,6 +22,7 @@ func stripTimings(r *Report) {
 		p := &r.Procedures[i]
 		p.CPU = 0
 		p.Space = 0
+		p.CacheStatus = ""
 		if p.Cascade != nil {
 			for j := range p.Cascade.Tiers {
 				p.Cascade.Tiers[j].CPU = 0
