@@ -185,13 +185,25 @@ func zoneRandom(cfg *zone.Config, n int, density float64, seed uint64) *zone.DBM
 func main() {
 	var (
 		suite    = flag.String("suite", "numeric", "benchmark suite: numeric (substrate + headline), cache (analysis-cache cold/warm/reval + headline), all")
-		out      = flag.String("out", "BENCH_numeric.json", "output JSON path")
+		out      = flag.String("out", "", "output JSON path (default BENCH_<suite>.json)")
 		baseline = flag.String("baseline", "", "previous results to embed for before/after comparison")
 		force    = flag.Bool("force", false, "overwrite an existing output file")
 		quick    = flag.Bool("quick", false, "single iteration per benchmark (CI smoke)")
 		bt       = flag.Duration("benchtime", 500*time.Millisecond, "minimum measured time per benchmark")
 	)
 	flag.Parse()
+
+	// The default output file is named for the suite that ran, so a
+	// `-suite cache` run can never silently land in BENCH_numeric.json.
+	// An explicit -out under `-suite all` is refused: the recorded
+	// artifacts are per-suite, and a single file would mislabel whichever
+	// suite its name claims — run each suite with its own -out instead.
+	if *out == "" {
+		*out = "BENCH_" + *suite + ".json"
+	} else if *suite == "all" {
+		fmt.Fprintln(os.Stderr, "cssv-bench: -suite all mixes recorded artifacts; drop -out (writes BENCH_all.json) or run each suite with its own -out")
+		os.Exit(2)
+	}
 
 	// Recorded benchmark files are PR-reviewed artifacts: refuse to
 	// clobber one silently.

@@ -16,9 +16,12 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"time"
@@ -32,6 +35,8 @@ func main() {
 		cacheDir    = flag.String("cache-dir", "", "directory for the shared on-disk analysis cache (default: in-process warmth only)")
 		cacheVerify = flag.Bool("cache-verify", false, "re-verify stored certificates before trusting exact cache hits")
 		jobs        = flag.Int("j", 0, "procedures analyzed in parallel per request (0 = all CPUs)")
+		maxBody     = flag.Int64("max-request-bytes", 0, "largest accepted request body in bytes (0 = 64 MiB default, negative = unbounded); larger bodies get 413")
+		grace       = flag.Duration("shutdown-grace", 5*time.Minute, "on SIGINT/SIGTERM, how long in-flight requests may finish before being cut off")
 		submit      = flag.String("submit", "", "client mode: analyze this C file via a running daemon instead of serving")
 		wait        = flag.Duration("connect-timeout", 10*time.Second, "client mode: how long to retry connecting to the daemon")
 
@@ -42,6 +47,7 @@ func main() {
 		cascade   = flag.Bool("cascade", false, "client mode: discharge checks in tiers")
 		certify   = flag.Bool("certify", false, "client mode: verify invariant certificates")
 		octagon   = flag.Bool("octagon", false, "client mode: insert the octagon tier (implies -cascade)")
+		schedMode = flag.String("schedule", "", "client mode: cascade tier scheduler (off, static, adaptive)")
 		stats     = flag.Bool("stats", false, "client mode: print per-procedure statistics")
 		quiet     = flag.Bool("q", false, "client mode: suppress warnings")
 	)
@@ -56,6 +62,7 @@ func main() {
 			Cascade:   *cascade,
 			Certify:   *certify,
 			Octagon:   *octagon,
+			Schedule:  *schedMode,
 			Stats:     *stats,
 			Quiet:     *quiet,
 		}))
@@ -66,9 +73,28 @@ func main() {
 		os.Exit(2)
 	}
 
-	srv := &serve.Server{CacheDir: *cacheDir, CacheVerify: *cacheVerify, Workers: *jobs}
+	srv := &serve.Server{
+		CacheDir:        *cacheDir,
+		CacheVerify:     *cacheVerify,
+		Workers:         *jobs,
+		MaxRequestBytes: *maxBody,
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cssv-serve:", err)
+		os.Exit(2)
+	}
+	ctx, stop := serve.NotifyContext(context.Background())
+	defer stop()
 	fmt.Fprintf(os.Stderr, "cssv-serve: listening on %s (cache-dir=%q)\n", *addr, *cacheDir)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	err = serve.RunServer(ctx, ln, srv, *grace)
+	switch {
+	case err == nil:
+		fmt.Fprintln(os.Stderr, "cssv-serve: shut down cleanly")
+	case errors.Is(err, context.DeadlineExceeded):
+		fmt.Fprintln(os.Stderr, "cssv-serve: shutdown grace expired with requests in flight")
+		os.Exit(2)
+	default:
 		fmt.Fprintln(os.Stderr, "cssv-serve:", err)
 		os.Exit(2)
 	}

@@ -43,6 +43,8 @@ func main() {
 		cacheDir    = flag.String("cache-dir", "", "directory for the on-disk analysis cache (default: no cache); re-runs reuse stored per-procedure results when the procedure, contracts and configuration are unchanged")
 		cacheVerify = flag.Bool("cache-verify", false, "re-verify stored certificates with the independent checker before trusting an exact cache hit (revalidation always verifies)")
 		ptcacheSize = flag.Int("ptcache-size", 0, "in-memory pointer-analysis memo bound in entries (0 = default 128, negative = unbounded); oldest entries are evicted first")
+		schedMode   = flag.String("schedule", "off", "cascade tier scheduler: off (fixed interval->zone->final cascade), static (scheduled path, fixed plan), adaptive (per-check tier order and step budgets from the recorded profile); static and adaptive imply -cascade")
+		schedProf   = flag.String("schedule-profile", "", "directory for the on-disk scheduler profile (default: <cache-dir>/schedule when -cache-dir is set, otherwise in-memory only)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -68,6 +70,8 @@ func main() {
 		CacheDir:          *cacheDir,
 		CacheVerify:       *cacheVerify,
 		PtCacheSize:       *ptcacheSize,
+		Schedule:          *schedMode,
+		ScheduleProfile:   *schedProf,
 	}
 	if *jobs < 0 {
 		fmt.Fprintln(os.Stderr, "cssv: -j must be >= 0")

@@ -45,6 +45,7 @@ import (
 	"repro/internal/derive"
 	"repro/internal/linear"
 	"repro/internal/ppt"
+	"repro/internal/schedule"
 )
 
 // Config selects analysis variants. The zero value is the paper's
@@ -146,6 +147,21 @@ type Config struct {
 	// 128-entry default, negative = unbounded). Overflow evicts oldest
 	// entries first; evictions appear in RunStats.PtCacheEvictions.
 	PtCacheSize int
+	// Schedule selects the cascade's tier scheduling: "off" (default, or
+	// empty) runs the fixed interval→zone→…→final cascade through the
+	// legacy code path with byte-identical reports; "static" routes every
+	// check through the scheduler with the fixed plan (deterministic
+	// exercise of the scheduled path); "adaptive" plans per-check tier
+	// order and per-tier step budgets from static slice features and the
+	// recorded cross-run profile. Scheduling redistributes cost only: the
+	// final domain always runs last and unbudgeted, so no verdict can
+	// change. A non-off mode implies Cascade.
+	Schedule string
+	// ScheduleProfile is the directory for the adaptive scheduler's
+	// cross-run outcome profiles. Empty defaults to <CacheDir>/schedule
+	// when CacheDir is set; with neither, outcomes stay in-memory and the
+	// adaptive scheduler starts cold each run.
+	ScheduleProfile string
 }
 
 // Message is one potential string error.
@@ -264,6 +280,24 @@ type CascadeStats struct {
 	ResidualVars, ResidualStmts int
 	// ReducedProgram is the pretty-printed residual integer program.
 	ReducedProgram string
+	// Decisions lists the scheduler's plans, one per group of checks that
+	// shared a plan (nil under Config.Schedule "off", and for procedures
+	// replayed from the result cache, which stores verdicts, not
+	// scheduling history).
+	Decisions []ScheduleDecision
+}
+
+// ScheduleDecision is one plan the scheduler applied to a group of
+// checks.
+type ScheduleDecision struct {
+	// Checks are the integer-program statement indices of the group.
+	Checks []int
+	// Order lists the tiers tried, in order; Budgets the per-tier step
+	// budget (0 = unbudgeted). Source is "static" (fixed order) or
+	// "profile" (steered by recorded outcomes).
+	Order   []string
+	Budgets []int
+	Source  string
 }
 
 // CascadeTier is one tier of the cascade.
@@ -353,6 +387,18 @@ type RunStats struct {
 	// versus sites where a channel was abandoned (unknown target, untracked
 	// offset, or the legacy wide-store terminator havoc).
 	MemberResolved, MemberHavocked int
+	// ScheduleMode names the cascade scheduling mode of the run ("off",
+	// "static", "adaptive"). ScheduleDecisions counts the plans the
+	// scheduler applied across procedures; ScheduleFromProfile how many
+	// were steered by the recorded profile rather than the static
+	// fallback.
+	ScheduleMode        string
+	ScheduleDecisions   int
+	ScheduleFromProfile int
+	// TierDischarged counts discharged checks per cascade tier name
+	// (plus "unreachable" for CFG-pruned checks); nil when the cascade
+	// did not run.
+	TierDischarged map[string]int
 }
 
 // Messages returns all messages across procedures.
@@ -417,22 +463,30 @@ func (cfg Config) driverOptions() (core.Options, error) {
 	if cfg.StepBudget < 0 {
 		return core.Options{}, fmt.Errorf("cssv: StepBudget must be >= 0, got %d", cfg.StepBudget)
 	}
+	schedMode, err := schedule.ParseMode(cfg.Schedule)
+	if err != nil {
+		return core.Options{}, fmt.Errorf("cssv: %v", err)
+	}
 	opts := core.Options{
-		Cascade:       cfg.Cascade || cfg.Octagon,
-		Certify:       cfg.Certify,
-		CacheDir:      cfg.CacheDir,
-		CacheVerify:   cfg.CacheVerify,
-		PtCacheSize:   cfg.PtCacheSize,
-		Procs:         cfg.Procedures,
-		NoLibc:        cfg.NoLibc,
-		Workers:       cfg.Workers,
-		WideningDelay: cfg.WideningDelay,
-		ProcDeadline:  cfg.ProcTimeout,
-		StepBudget:    cfg.StepBudget,
-		MaxRays:       cfg.MaxRays,
-		Octagon:       cfg.Octagon,
-		NoArena:       cfg.NoArena,
-		PPT:           ppt.Options{DisableMerging: cfg.DisablePPTMerging},
+		// The scheduler lives in the cascade, so a non-off mode implies it
+		// (like Octagon).
+		Cascade:         cfg.Cascade || cfg.Octagon || schedMode != schedule.Off,
+		Schedule:        schedMode,
+		ScheduleProfile: cfg.ScheduleProfile,
+		Certify:         cfg.Certify,
+		CacheDir:        cfg.CacheDir,
+		CacheVerify:     cfg.CacheVerify,
+		PtCacheSize:     cfg.PtCacheSize,
+		Procs:           cfg.Procedures,
+		NoLibc:          cfg.NoLibc,
+		Workers:         cfg.Workers,
+		WideningDelay:   cfg.WideningDelay,
+		ProcDeadline:    cfg.ProcTimeout,
+		StepBudget:      cfg.StepBudget,
+		MaxRays:         cfg.MaxRays,
+		Octagon:         cfg.Octagon,
+		NoArena:         cfg.NoArena,
+		PPT:             ppt.Options{DisableMerging: cfg.DisablePPTMerging},
 		C2IP: c2ip.Options{
 			Naive:           cfg.NaiveC2IP,
 			StrictZeroStore: cfg.StrictZeroStore,
@@ -537,6 +591,12 @@ func convertProc(pr *core.ProcReport) Procedure {
 			cs.Checks = append(cs.Checks, CheckOrigin{
 				Pos: c.Pos.String(), Check: c.Msg, Tier: c.Tier,
 				Violated: c.Violated, IPVars: c.Vars, IPSize: c.Stmts,
+			})
+		}
+		for _, d := range pr.Cascade.Sched {
+			cs.Decisions = append(cs.Decisions, ScheduleDecision{
+				Checks: d.Checks, Order: d.Order, Budgets: d.Budgets,
+				Source: d.Source,
 			})
 		}
 		p.Cascade = cs

@@ -8,6 +8,7 @@ import (
 	"repro/internal/ip"
 	"repro/internal/linear"
 	"repro/internal/reduce"
+	"repro/internal/schedule"
 )
 
 // TierStat reports one tier of the cascade.
@@ -74,6 +75,9 @@ type CascadeResult struct {
 	// discharged by completed cheaper tiers keep their verdicts — those
 	// tiers ran to a sound fixpoint.
 	Exhausted string
+	// Sched records the plans the scheduler applied, one per group of
+	// checks sharing a plan (nil when the fixed cascade ran).
+	Sched []schedule.Decision
 }
 
 // AnalyzeCascade runs the tiered check discharge of the reduction design:
@@ -113,6 +117,10 @@ func AnalyzeCascade(p *ip.Program, opts Options) (*CascadeResult, error) {
 		}
 	}
 	tiers = append(tiers, final)
+
+	if opts.Planner != nil && opts.Planner.Mode() != schedule.Off {
+		return analyzeScheduled(p, opts, pruned, pm, propagated, tiers)
+	}
 
 	out := &CascadeResult{}
 	decided := map[int]CheckProvenance{} // keyed by pruned-program index
@@ -246,8 +254,14 @@ func AnalyzeCascade(p *ip.Program, opts Options) (*CascadeResult, error) {
 		residual = next
 	}
 
-	// Provenance in program order; unreachable asserts (pruned away) are
-	// recorded as discharged by the pruning pass.
+	assembleChecks(p, pm, decided, opts.Certify, out)
+	return out, nil
+}
+
+// assembleChecks records per-assert provenance in program order;
+// unreachable asserts (pruned away) are recorded as discharged by the
+// pruning pass. Shared by the legacy cascade and the scheduled path.
+func assembleChecks(p *ip.Program, pm reduce.StmtMap, decided map[int]CheckProvenance, certifyOn bool, out *CascadeResult) {
 	for _, idx := range p.Asserts() {
 		found := false
 		for pi, orig := range pm {
@@ -264,7 +278,7 @@ func AnalyzeCascade(p *ip.Program, opts Options) (*CascadeResult, error) {
 			out.Checks = append(out.Checks, CheckProvenance{
 				Index: idx, Pos: ast.Pos, Msg: ast.Msg, Tier: "unreachable",
 			})
-			if opts.Certify {
+			if certifyOn {
 				// Pruning discharged the check as CFG-unreachable; the
 				// verifier re-derives reachability on the original program.
 				out.Certificates = append(out.Certificates, &certify.Certificate{
@@ -279,5 +293,4 @@ func AnalyzeCascade(p *ip.Program, opts Options) (*CascadeResult, error) {
 			}
 		}
 	}
-	return out, nil
 }

@@ -7,13 +7,30 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/budget"
 	"repro/internal/clex"
 	"repro/internal/ip"
 	"repro/internal/linear"
+	"repro/internal/schedule"
 	"repro/internal/zone"
 )
+
+// TierBudgetExhausted is the Result.Exhausted value of an analysis cut
+// short by Options.TierToken (the scheduler's per-tier step budget), as
+// opposed to the procedure budget. The cascade treats it as "skip this
+// tier" — the checks fall through to the next tier — never as an
+// unresolved verdict.
+const TierBudgetExhausted = "tier-budget"
+
+// debugIterEvery reads CSSV_DEBUG_ITER once per process. The trace is a
+// human debugging aid: it must go to stderr, never stdout, because
+// stdout carries the machine-readable report stream (CLI reports and
+// daemon responses are byte-compared against goldens).
+var debugIterEvery = sync.OnceValue(func() int {
+	return osGetenvInt("CSSV_DEBUG_ITER")
+})
 
 // Options tunes the fixpoint iteration.
 type Options struct {
@@ -41,6 +58,20 @@ type Options struct {
 	// asked about is reported as an unresolved Violation (a potential
 	// error, never silently "safe") and Result.Exhausted names the cause.
 	Token *budget.Token
+	// TierToken, when non-nil, is the scheduler's per-tier step budget,
+	// polled alongside Token. Its exhaustion is reported as
+	// Result.Exhausted == TierBudgetExhausted: the cascade then skips
+	// the tier for the affected checks instead of reporting them
+	// unresolved, so a tier budget can only cost time, never verdicts.
+	TierToken *budget.Token
+	// Planner, when non-nil with a mode other than schedule.Off, routes
+	// AnalyzeCascade through the scheduled path: per-check feature
+	// extraction, plan groups, per-tier ordering and budgets.
+	Planner *schedule.Planner
+	// Recorder, when non-nil, receives the scheduled cascade's
+	// per-(bucket, tier) outcomes for the cross-run profile. It is not
+	// safe for concurrent use; the driver gives each procedure its own.
+	Recorder *schedule.Recorder
 	// ZoneConfig configures the zone tier AnalyzeCascade constructs
 	// internally (the final domain arrives pre-configured via Domain).
 	ZoneConfig *zone.Config
@@ -181,18 +212,21 @@ func Analyze(p *ip.Program, opts Options) (*Result, error) {
 
 	const maxIterations = 2_000_000
 	const wideningEscalation = 12
-	debugEvery := osGetenvInt("CSSV_DEBUG_ITER")
+	debugEvery := debugIterEvery()
 	memo := includesMemo{}
 	for work.Len() > 0 {
 		iterations++
 		if debugEvery > 0 && iterations%debugEvery == 0 {
-			fmt.Printf("[engine] iter %d\n", iterations)
+			fmt.Fprintf(os.Stderr, "[engine] iter %d\n", iterations)
 		}
 		if iterations > maxIterations {
 			return nil, fmt.Errorf("analysis: fixpoint iteration budget exceeded")
 		}
 		if !opts.Token.Step(1) {
 			return exhaustedResult(p, opts, dom, nvars, iterations), nil
+		}
+		if !opts.TierToken.Step(1) {
+			return tierExhaustedResult(p, opts, dom, nvars, iterations), nil
 		}
 		i := work.pop()
 		inWork[i] = false
@@ -247,6 +281,9 @@ func Analyze(p *ip.Program, opts Options) (*Result, error) {
 				// outcome.
 				return exhaustedResult(p, opts, dom, nvars, iterations), nil
 			}
+			if opts.TierToken.Exhausted() {
+				return tierExhaustedResult(p, opts, dom, nvars, iterations), nil
+			}
 			acc := dom.Bottom(nvars)
 			for _, pe := range preds[j] {
 				s := transfer(pe.to, in[pe.to])
@@ -294,7 +331,23 @@ func Analyze(p *ip.Program, opts Options) (*Result, error) {
 		// canonical exhausted outcome so reports stay deterministic.
 		return exhaustedResult(p, opts, dom, nvars, iterations), nil
 	}
+	if opts.TierToken.Exhausted() {
+		return tierExhaustedResult(p, opts, dom, nvars, iterations), nil
+	}
 	return res, nil
+}
+
+// tierExhaustedResult is the canonical outcome of a run cut short by the
+// scheduler's per-tier step budget: shaped exactly like exhaustedResult
+// (no invariants, universe exit, unresolved per-check Violations) but
+// with the distinguished cause, so the cascade can tell "skip this tier"
+// apart from "the procedure budget is gone". Tier budgets are pure step
+// counts, so the cut point — and therefore the whole result — is
+// deterministic across worker counts.
+func tierExhaustedResult(p *ip.Program, opts Options, dom Domain, nvars, iterations int) *Result {
+	res := exhaustedResult(p, opts, dom, nvars, iterations)
+	res.Exhausted = TierBudgetExhausted
+	return res
 }
 
 // exhaustedResult is the canonical outcome of a budget-exhausted analysis:

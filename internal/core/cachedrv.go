@@ -96,6 +96,11 @@ func confFingerprint(opts Options) string {
 		opts.WideningDelay, opts.NarrowingPasses, opts.Cascade, opts.Octagon, opts.MaxRays)
 	fmt.Fprintf(h, "nolibc=%v nosideeffect=%v contracts=%d\n",
 		opts.NoLibc, opts.NoSideEffectCheck, opts.Contracts)
+	// The schedule mode participates because cached entries replay tier
+	// statistics: an entry recorded under one scheduling mode must not be
+	// replayed under another. The profile directory does not — the profile
+	// can only move cost between tiers, never change results.
+	fmt.Fprintf(h, "schedule=%s\n", opts.Schedule)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

@@ -16,6 +16,7 @@ var determinismScope = []string{
 	ModulePath + "/internal/analysis",
 	ModulePath + "/internal/table5",
 	ModulePath + "/internal/derive",
+	ModulePath + "/internal/schedule",
 }
 
 // Determinism guards the bit-identical-reports contract. In scope
@@ -32,7 +33,10 @@ var determinismScope = []string{
 //     strip before comparing);
 //   - any import of math/rand: randomness never belongs on the report
 //     path (the directed interpreter takes a caller-seeded source and
-//     lives outside this scope).
+//     lives outside this scope);
+//   - calls to fmt.Print/Printf/Println: the implicit-stdout variants
+//     interleave debug text into report output (reports flow through the
+//     caller's writer; debug traces belong on os.Stderr).
 var Determinism = &Analyzer{
 	Name: "determinism",
 	Doc:  "keep map order, wall-clock time, and randomness out of report content",
@@ -71,6 +75,7 @@ func runDeterminism(pass *Pass) error {
 			}
 			checkMapRanges(pass, fd.Body)
 			checkClockCalls(pass, imports, fd.Body)
+			checkStdoutPrints(pass, imports, fd.Body)
 		}
 	}
 	return nil
@@ -270,6 +275,32 @@ func checkClockCalls(pass *Pass, imports map[string]string, body *ast.BlockStmt)
 		}
 		pass.Report(call.Pos(),
 			"time.%s outside the timing-stats idiom: wall-clock values must not influence report content", sel)
+		return true
+	})
+}
+
+// checkStdoutPrints flags the implicit-stdout fmt variants: analysis and
+// report code must write through the caller's writer (or os.Stderr for
+// debug traces), never the process's stdout, which carries the report.
+func checkStdoutPrints(pass *Pass, imports map[string]string, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || imports[pkg.Name] != "fmt" {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Print", "Printf", "Println":
+			pass.Report(call.Pos(),
+				"fmt.%s writes to process stdout from the report path: use the caller's writer, or fmt.Fprintf(os.Stderr, ...) for debug traces", sel.Sel.Name)
+		}
 		return true
 	})
 }

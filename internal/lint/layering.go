@@ -102,6 +102,11 @@ var LayerRules = []LayerRule{
 		Why: "the cache stores claims the independent checker can re-prove; linking the engine (or any substrate it runs on) would let cached verdicts depend on the code whose results they replace",
 	},
 	{
+		Pkg:  ModulePath + "/internal/schedule",
+		Deny: []string{ModulePath + "/"},
+		Why:  "the scheduler is a leaf that maps static features to tier orders and budgets — pure cost policy; linking any analysis layer would let scheduling read the state whose verdicts it must never influence",
+	},
+	{
 		Pkg: ModulePath + "/internal/lint",
 		Deny: []string{
 			ModulePath + "/internal/",

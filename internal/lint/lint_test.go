@@ -40,6 +40,7 @@ func TestLayeringFixtures(t *testing.T) {
 	t.Run("substrate", func(t *testing.T) { fixture(t, Layering, "repro/internal/zone", 0) })
 	t.Run("octagon", func(t *testing.T) { fixture(t, Layering, "repro/internal/octagon", 0) })
 	t.Run("cache", func(t *testing.T) { fixture(t, Layering, "repro/internal/cache", 0) })
+	t.Run("schedule", func(t *testing.T) { fixture(t, Layering, "repro/internal/schedule", 0) })
 }
 
 func TestDeterminismFixture(t *testing.T) {

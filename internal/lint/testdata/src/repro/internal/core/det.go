@@ -84,3 +84,15 @@ func badSince(epoch time.Time) bool {
 	delay := time.Since(epoch) // want `time.Since outside the timing-stats idiom`
 	return delay > 0
 }
+
+func badStdoutTrace(iter int) {
+	fmt.Printf("[engine] iter %d\n", iter) // want `fmt.Printf writes to process stdout from the report path`
+}
+
+func badStdoutLine() {
+	fmt.Println("debug") // want `fmt.Println writes to process stdout from the report path`
+}
+
+func okStderrTrace(iter int) {
+	fmt.Fprintf(os.Stderr, "[engine] iter %d\n", iter)
+}

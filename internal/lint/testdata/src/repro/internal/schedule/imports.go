@@ -1,0 +1,11 @@
+// Fixture for the layering analyzer: the scheduler is a leaf — pure
+// cost policy that must not link any analysis layer.
+package schedule
+
+import (
+	"sort"
+
+	_ "repro/internal/analysis" // want `must not import repro/internal/analysis`
+)
+
+var _ = sort.Strings

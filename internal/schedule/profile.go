@@ -1,0 +1,144 @@
+package schedule
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ProfileVersion retires old profile files wholesale when the bucket or
+// outcome encoding changes.
+const ProfileVersion = 1
+
+// profileMagic leads every profile file, followed by the version and the
+// hex sha256 of the body — the same self-verifying shape as the analysis
+// cache entries, so a torn write or a bit flip is detected and the
+// profile falls back to empty instead of steering plans from garbage.
+const profileMagic = "cssv-schedule"
+
+// ProfilePath returns the profile file for a profile directory and a
+// configuration fingerprint. Profiles are content-addressed by the
+// run-relevant configuration (like cache entries): outcomes recorded
+// under one tier set or widening policy never steer a run under another.
+func ProfilePath(dir, confHash string) string {
+	short := confHash
+	if len(short) > 16 {
+		short = short[:16]
+	}
+	return filepath.Join(dir, "schedule-"+short+".prof")
+}
+
+// encodeProfile renders the profile body deterministically: buckets and
+// tiers in sorted order, one JSON object per line.
+func encodeProfile(p *Profile) []byte {
+	var sb strings.Builder
+	buckets := make([]string, 0, len(p.Buckets))
+	for b := range p.Buckets {
+		buckets = append(buckets, b)
+	}
+	sort.Strings(buckets)
+	for _, b := range buckets {
+		tiers := make([]string, 0, len(p.Buckets[b]))
+		for t := range p.Buckets[b] {
+			tiers = append(tiers, t)
+		}
+		sort.Strings(tiers)
+		for _, t := range tiers {
+			o := p.Buckets[b][t]
+			line, _ := json.Marshal(struct {
+				Bucket string `json:"bucket"`
+				Tier   string `json:"tier"`
+				TierOutcome
+			}{b, t, *o})
+			sb.Write(line)
+			sb.WriteByte('\n')
+		}
+	}
+	return []byte(sb.String())
+}
+
+// LoadProfile reads and verifies a profile file. A missing file yields
+// an empty profile and no error; a corrupt, truncated, or
+// version-mismatched file yields an empty profile and a descriptive
+// error so the caller can log it — the run proceeds either way.
+func LoadProfile(path string) (*Profile, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return NewProfile(), nil
+		}
+		return NewProfile(), err
+	}
+	nl := strings.IndexByte(string(raw), '\n')
+	if nl < 0 {
+		return NewProfile(), fmt.Errorf("schedule: %s: missing header", path)
+	}
+	header, body := string(raw[:nl]), raw[nl+1:]
+	var magic, sum string
+	var version int
+	if _, err := fmt.Sscanf(header, "%s %d %s", &magic, &version, &sum); err != nil || magic != profileMagic {
+		return NewProfile(), fmt.Errorf("schedule: %s: malformed header %q", path, header)
+	}
+	if version != ProfileVersion {
+		return NewProfile(), fmt.Errorf("schedule: %s: version %d, want %d", path, version, ProfileVersion)
+	}
+	got := sha256.Sum256(body)
+	if hex.EncodeToString(got[:]) != sum {
+		return NewProfile(), fmt.Errorf("schedule: %s: body digest mismatch", path)
+	}
+	p := NewProfile()
+	for lineno, line := range strings.Split(string(body), "\n") {
+		if line == "" {
+			continue
+		}
+		var rec struct {
+			Bucket string `json:"bucket"`
+			Tier   string `json:"tier"`
+			TierOutcome
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			return NewProfile(), fmt.Errorf("schedule: %s:%d: %v", path, lineno+2, err)
+		}
+		tiers := p.Buckets[rec.Bucket]
+		if tiers == nil {
+			tiers = map[string]*TierOutcome{}
+			p.Buckets[rec.Bucket] = tiers
+		}
+		o := rec.TierOutcome
+		tiers[rec.Tier] = &o
+	}
+	return p, nil
+}
+
+// SaveProfile writes the profile atomically (temp file + rename in the
+// same directory), creating the directory if needed. Concurrent writers
+// are safe — the rename is atomic and each writer saves a fully merged
+// profile — though the last writer's counts win.
+func SaveProfile(path string, p *Profile) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	body := encodeProfile(p)
+	sum := sha256.Sum256(body)
+	data := []byte(fmt.Sprintf("%s %d %s\n", profileMagic, ProfileVersion, hex.EncodeToString(sum[:])))
+	data = append(data, body...)
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".schedule-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

@@ -20,10 +20,17 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"net"
 	"net/http"
+	"os"
+	"os/signal"
 	"sync"
+	"syscall"
+	"time"
 
 	"repro"
 )
@@ -40,6 +47,10 @@ type RequestConfig struct {
 	Cascade   bool     `json:"cascade,omitempty"`
 	Certify   bool     `json:"certify,omitempty"`
 	Octagon   bool     `json:"octagon,omitempty"`
+	// Schedule selects the cascade tier scheduler ("off", "static",
+	// "adaptive"); the profile directory stays server-owned (it lives
+	// under the server's cache directory).
+	Schedule string `json:"schedule,omitempty"`
 
 	Stats         bool `json:"stats,omitempty"`
 	DumpIP        bool `json:"dump_ip,omitempty"`
@@ -102,9 +113,40 @@ type Server struct {
 	CacheVerify bool
 	// Workers is the per-request parallelism (0 = all CPUs).
 	Workers int
+	// MaxRequestBytes bounds each request body; larger bodies are
+	// rejected with 413 Request Entity Too Large before the decoder
+	// buffers them (0 = the 64 MiB default, negative = unbounded).
+	MaxRequestBytes int64
 
 	mu    sync.Mutex
 	stats Stats
+}
+
+// DefaultMaxRequestBytes is the request-body bound applied when
+// Server.MaxRequestBytes is zero: generous for source files, small
+// enough that a misbehaving client cannot exhaust daemon memory.
+const DefaultMaxRequestBytes = 64 << 20
+
+func (s *Server) limitBody(w http.ResponseWriter, r *http.Request) {
+	limit := s.MaxRequestBytes
+	if limit == 0 {
+		limit = DefaultMaxRequestBytes
+	}
+	if limit > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, limit)
+	}
+}
+
+// decodeError maps a body-decode failure to its HTTP status: 413 when
+// the body tripped the MaxBytesReader bound, 400 otherwise.
+func decodeError(w http.ResponseWriter, err error) {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		http.Error(w, fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit),
+			http.StatusRequestEntityTooLarge)
+		return
+	}
+	http.Error(w, "malformed request: "+err.Error(), http.StatusBadRequest)
 }
 
 // Handler returns the daemon's HTTP mux.
@@ -118,9 +160,10 @@ func (s *Server) Handler() http.Handler {
 			http.Error(w, "POST required", http.StatusMethodNotAllowed)
 			return
 		}
+		s.limitBody(w, r)
 		var req Request
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			http.Error(w, "malformed request: "+err.Error(), http.StatusBadRequest)
+			decodeError(w, err)
 			return
 		}
 		writeJSON(w, s.analyze(req))
@@ -130,9 +173,10 @@ func (s *Server) Handler() http.Handler {
 			http.Error(w, "POST required", http.StatusMethodNotAllowed)
 			return
 		}
+		s.limitBody(w, r)
 		var req BatchRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			http.Error(w, "malformed request: "+err.Error(), http.StatusBadRequest)
+			decodeError(w, err)
 			return
 		}
 		resp := BatchResponse{Results: make([]Response, len(req.Requests))}
@@ -172,6 +216,7 @@ func (s *Server) analyze(req Request) Response {
 		Cascade:     c.Cascade || c.Octagon || c.DumpReducedIP,
 		Certify:     c.Certify,
 		Octagon:     c.Octagon,
+		Schedule:    c.Schedule,
 		Workers:     s.Workers,
 		CacheDir:    s.CacheDir,
 		CacheVerify: s.CacheVerify,
@@ -212,6 +257,47 @@ func (s *Server) analyze(req Request) Response {
 		Messages:   messages,
 		CertFailed: certFailed,
 	}
+}
+
+// RunServer serves s on ln until ctx is cancelled (typically by SIGINT
+// or SIGTERM), then drains: in-flight requests run to completion —
+// bounded by grace — before the listener closes and RunServer returns.
+// A nil error means a clean drain; context.DeadlineExceeded means the
+// grace period expired with requests still in flight (they were then
+// cut off).
+func RunServer(ctx context.Context, ln net.Listener, s *Server, grace time.Duration) error {
+	srv := &http.Server{
+		Handler: s.Handler(),
+		// Slow-loris guard: a client gets one minute to deliver its
+		// request. Responses are unbounded deliberately — a polyhedra
+		// run on a large batch can legitimately take many minutes, and
+		// cutting it off would waste the whole analysis.
+		ReadTimeout: time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		// Listener failed before shutdown was requested.
+		return err
+	case <-ctx.Done():
+	}
+	sctx := context.Background()
+	if grace > 0 {
+		var cancel context.CancelFunc
+		sctx, cancel = context.WithTimeout(sctx, grace)
+		defer cancel()
+	}
+	err := srv.Shutdown(sctx)
+	<-errc // Serve has returned http.ErrServerClosed by now
+	return err
+}
+
+// NotifyContext returns a context cancelled on SIGINT or SIGTERM — the
+// signal wiring used by cmd/cssv-serve, exposed here so tests exercise
+// the same code path.
+func NotifyContext(parent context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {
